@@ -1,0 +1,201 @@
+//! Closed-form results from the generating-function analysis (paper §5.1.3).
+//!
+//! With `φ_x(t) = Σ_k x^k u_k(t)` the ODE system collapses to
+//! `dφ_x/dt = λ (φ_x² − φ_x)`, solved by
+//!
+//! * `φ_x(t) = φ_x(0) / (φ_x(0) + (1 − φ_x(0)) e^{λt})` when `φ_x(0) < 1`,
+//! * `φ_x(t) = φ_x(0) / (φ_x(0) − (φ_x(0) − 1) e^{λt})` when `φ_x(0) > 1`.
+//!
+//! Differentiating at `x = 1` gives the moments used throughout the paper:
+//!
+//! * `E[Sₙ(t)] = E[Sₙ(0)] · e^{λt}` — the expected number of paths per node
+//!   grows exponentially at the contact rate (Eq. 4);
+//! * `E[Sₙ(t)²] = (E[Sₙ(0)²] + 2(e^{λt} − 1) E[Sₙ(0)]²) e^{λt}`;
+//! * `V[Sₙ(t)] = V[Sₙ(0)] e^{λt} + E[Sₙ(0)] (e^{2λt} − e^{λt})`.
+//!
+//! These closed forms are what the ODE and jump-process implementations are
+//! validated against.
+
+/// Evaluates the generating function `φ_x(t)` given its initial value
+/// `phi0 = φ_x(0)` and the contact rate λ.
+///
+/// For `phi0 > 1` the solution blows up at the finite time
+/// `T_C = ln(phi0 / (phi0 − 1)) / λ`; beyond that point the function
+/// returns `f64::INFINITY`.
+pub fn phi(phi0: f64, lambda: f64, t: f64) -> f64 {
+    assert!(lambda > 0.0, "contact rate must be positive");
+    assert!(phi0 >= 0.0, "generating functions of probabilities are non-negative");
+    let e = (lambda * t).exp();
+    if (phi0 - 1.0).abs() < 1e-15 {
+        // φ ≡ 1 is the fixed point (x = 1, probability normalisation).
+        return 1.0;
+    }
+    if phi0 < 1.0 {
+        phi0 / (phi0 + (1.0 - phi0) * e)
+    } else {
+        let denom = phi0 - (phi0 - 1.0) * e;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            phi0 / denom
+        }
+    }
+}
+
+/// The blow-up time `T_C(x)` of the generating function for `phi0 > 1`
+/// (paper §5.1.3: a light-tailed initial distribution loses that property
+/// in finite time).
+pub fn blowup_time(phi0: f64, lambda: f64) -> Option<f64> {
+    if phi0 > 1.0 && lambda > 0.0 {
+        Some((phi0 / (phi0 - 1.0)).ln() / lambda)
+    } else {
+        None
+    }
+}
+
+/// Expected number of paths per node at time `t`:
+/// `E[Sₙ(t)] = mean0 · e^{λt}` (Eq. 4 of the paper).
+pub fn mean_paths(mean0: f64, lambda: f64, t: f64) -> f64 {
+    assert!(lambda > 0.0 && mean0 >= 0.0);
+    mean0 * (lambda * t).exp()
+}
+
+/// Second moment of the per-node path count at time `t` (paper §5.1.3).
+pub fn second_moment_paths(mean0: f64, second0: f64, lambda: f64, t: f64) -> f64 {
+    assert!(lambda > 0.0 && mean0 >= 0.0 && second0 >= 0.0);
+    let e = (lambda * t).exp();
+    (second0 + 2.0 * (e - 1.0) * mean0 * mean0) * e
+}
+
+/// Variance of the per-node path count at time `t`:
+/// `V[Sₙ(t)] = var0 · e^{λt} + mean0² · (e^{2λt} − e^{λt})`.
+///
+/// Note on the paper: §5.1.3 prints the last term with `E[Sₙ(0)]` rather
+/// than `E[Sₙ(0)]²`, but differentiating the stated generating-function
+/// solution (and the paper's own second-moment expression, which we verify
+/// in tests) gives the squared form; the two coincide for the
+/// deterministic-start case `E[Sₙ(0)] = 1` the paper discusses. Either way
+/// the qualitative conclusion — variance grows like `e^{2λt}` — is
+/// unchanged.
+pub fn variance_paths(mean0: f64, var0: f64, lambda: f64, t: f64) -> f64 {
+    assert!(lambda > 0.0 && mean0 >= 0.0 && var0 >= 0.0);
+    let e = (lambda * t).exp();
+    var0 * e + mean0 * mean0 * (e * e - e)
+}
+
+/// The expected time for the first path to reach a given node in the
+/// homogeneous model, `H = ln N / λ` (paper §5.2, using
+/// `E[Sᵢ(0)] = 1/N`).
+pub fn expected_first_path_time(n: usize, lambda: f64) -> f64 {
+    assert!(n >= 1 && lambda > 0.0);
+    (n as f64).ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn phi_at_zero_time_is_initial_value() {
+        for phi0 in [0.0, 0.3, 0.9, 1.5, 3.0] {
+            assert!((phi(phi0, 0.5, 0.0) - phi0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_at_one_is_fixed() {
+        for t in [0.0, 1.0, 10.0, 100.0] {
+            assert_eq!(phi(1.0, 0.2, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn phi_below_one_decays_to_zero() {
+        let v = phi(0.5, 1.0, 20.0);
+        assert!(v < 1e-6, "{v}");
+        // Monotone decreasing in t for phi0 < 1.
+        assert!(phi(0.5, 1.0, 1.0) > phi(0.5, 1.0, 2.0));
+    }
+
+    #[test]
+    fn phi_above_one_blows_up_at_tc() {
+        let phi0 = 2.0;
+        let lambda = 1.0;
+        let tc = blowup_time(phi0, lambda).unwrap();
+        assert!((tc - (2.0_f64).ln()).abs() < 1e-12);
+        assert!(phi(phi0, lambda, tc * 0.99).is_finite());
+        assert!(phi(phi0, lambda, tc * 1.01).is_infinite());
+        assert_eq!(blowup_time(0.5, 1.0), None);
+    }
+
+    #[test]
+    fn phi_solves_the_ode() {
+        // Numerically check dφ/dt = λ(φ² − φ) by finite differences.
+        let lambda = 0.7;
+        let phi0 = 0.4;
+        for &t in &[0.1, 0.5, 1.0, 2.0] {
+            let h = 1e-6;
+            let derivative = (phi(phi0, lambda, t + h) - phi(phi0, lambda, t - h)) / (2.0 * h);
+            let value = phi(phi0, lambda, t);
+            let rhs = lambda * (value * value - value);
+            assert!((derivative - rhs).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn mean_growth_is_exponential() {
+        let mean0 = 1.0 / 50.0;
+        let lambda = 0.01;
+        assert!((mean_paths(mean0, lambda, 0.0) - mean0).abs() < 1e-15);
+        let doubled_time = (2.0_f64).ln() / lambda;
+        assert!((mean_paths(mean0, lambda, doubled_time) - 2.0 * mean0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_is_zero_at_time_zero_for_deterministic_start() {
+        assert_eq!(variance_paths(0.02, 0.0, 0.01, 0.0), 0.0);
+        // And grows like mean0² * e^{2λt} for large t.
+        let v = variance_paths(0.02, 0.0, 0.01, 500.0);
+        let approx = 0.02 * 0.02 * (2.0_f64 * 0.01 * 500.0).exp();
+        assert!(v > 0.0 && (v / approx) > 0.9 && (v / approx) < 1.1);
+    }
+
+    #[test]
+    fn second_moment_consistent_with_variance() {
+        let mean0 = 0.1;
+        let var0 = 0.05;
+        let second0 = var0 + mean0 * mean0;
+        let lambda = 0.02;
+        for &t in &[0.0, 10.0, 100.0] {
+            let m = mean_paths(mean0, lambda, t);
+            let s2 = second_moment_paths(mean0, second0, lambda, t);
+            let v = variance_paths(mean0, var0, lambda, t);
+            assert!((s2 - (v + m * m)).abs() < 1e-9 * s2.max(1.0), "t={t}");
+        }
+    }
+
+    #[test]
+    fn first_path_time_is_log_n_over_lambda() {
+        assert!((expected_first_path_time(100, 0.01) - 100.0_f64.ln() / 0.01).abs() < 1e-9);
+        // Larger populations take longer; higher rates are faster.
+        assert!(expected_first_path_time(1000, 0.01) > expected_first_path_time(100, 0.01));
+        assert!(expected_first_path_time(100, 0.02) < expected_first_path_time(100, 0.01));
+    }
+
+    proptest! {
+        #[test]
+        fn phi_stays_in_unit_interval_for_probability_arguments(
+            phi0 in 0.0f64..1.0, lambda in 0.001f64..1.0, t in 0.0f64..100.0) {
+            let v = phi(phi0, lambda, t);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn mean_is_monotone_in_time(mean0 in 0.001f64..1.0, lambda in 0.001f64..0.1,
+                                    t1 in 0.0f64..100.0, t2 in 0.0f64..100.0) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(mean_paths(mean0, lambda, lo) <= mean_paths(mean0, lambda, hi) + 1e-12);
+        }
+    }
+}

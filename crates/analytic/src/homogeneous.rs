@@ -1,0 +1,237 @@
+//! The homogeneous path-count model as an ODE system (paper Prop. 3).
+//!
+//! Let `u_k(t)` be the fraction of nodes that have received exactly `k`
+//! paths from the source by time `t`. In the Kurtz large-N limit the density
+//! evolves as
+//!
+//! ```text
+//! du_k/dt = λ ( Σ_{i=0..k} u_i(t) u_{k−i}(t)  −  u_k(t) )
+//! ```
+//!
+//! [`HomogeneousModel`] truncates the state space at a maximum path count
+//! `K` (probability mass that would flow beyond `K` is collected in an
+//! overflow bucket so the density stays normalised) and integrates the
+//! system with RK4. From the solution it reports the mean/variance of the
+//! per-node path count over time, which the tests compare against the
+//! closed forms of [`crate::generating_fn`] and against the stochastic jump
+//! process of [`crate::markov`].
+
+use crate::ode::{rk4_integrate, OdeSolution};
+
+/// A truncated path-count density: `density[k]` is the fraction of nodes
+/// holding exactly `k` paths, `overflow` the fraction holding more than the
+/// truncation bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathCountDensity {
+    /// Fractions for states `0..=K`.
+    pub density: Vec<f64>,
+    /// Mass in states above `K`.
+    pub overflow: f64,
+}
+
+impl PathCountDensity {
+    /// The initial condition of the paper: one source node holding one path,
+    /// everyone else holding none, in a population of `n` nodes.
+    pub fn single_source(n: usize, max_state: usize) -> Self {
+        assert!(n >= 1 && max_state >= 1);
+        let mut density = vec![0.0; max_state + 1];
+        density[0] = 1.0 - 1.0 / n as f64;
+        density[1] = 1.0 / n as f64;
+        Self { density, overflow: 0.0 }
+    }
+
+    /// Total probability mass (should stay ≈ 1).
+    pub fn total_mass(&self) -> f64 {
+        self.density.iter().sum::<f64>() + self.overflow
+    }
+
+    /// Mean path count per node, counting overflow mass at the truncation
+    /// bound (an underestimate once overflow is non-negligible).
+    pub fn mean(&self) -> f64 {
+        let k_max = self.density.len() - 1;
+        self.density.iter().enumerate().map(|(k, &u)| k as f64 * u).sum::<f64>()
+            + self.overflow * k_max as f64
+    }
+
+    /// Fraction of nodes holding at least one path (the "infected" fraction
+    /// of the underlying epidemic).
+    pub fn reached_fraction(&self) -> f64 {
+        1.0 - self.density[0]
+    }
+}
+
+/// The truncated homogeneous ODE model.
+#[derive(Debug, Clone)]
+pub struct HomogeneousModel {
+    /// Per-node contact rate λ.
+    pub lambda: f64,
+    /// Truncation bound `K` on the per-node path count.
+    pub max_state: usize,
+}
+
+impl HomogeneousModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if λ is not positive or `max_state` is zero.
+    pub fn new(lambda: f64, max_state: usize) -> Self {
+        assert!(lambda > 0.0, "contact rate must be positive");
+        assert!(max_state >= 1, "need at least states 0 and 1");
+        Self { lambda, max_state }
+    }
+
+    /// The right-hand side of the truncated ODE system. The state vector is
+    /// `[u_0, …, u_K, overflow]`.
+    fn rhs(&self, state: &[f64]) -> Vec<f64> {
+        let k_max = self.max_state;
+        let u = &state[..=k_max];
+        let mut du = vec![0.0; k_max + 2];
+        // Gains: a node in state j is contacted by a node in state i > 0 and
+        // moves to i + j. In density form the flow into state k is
+        // λ Σ_{i=1..k} u_i u_{k-i}; including i = 0 (which contributes
+        // u_0 u_k) and subtracting u_k gives the compact form of Prop. 3.
+        for k in 0..=k_max {
+            let mut convolution = 0.0;
+            for i in 0..=k {
+                convolution += u[i] * u[k - i];
+            }
+            du[k] = self.lambda * (convolution - u[k]);
+        }
+        // Mass leaving the truncated range: a node in state j contacted by a
+        // node in state i with i + j > K. Track it so normalisation holds.
+        let mut overflow_gain = 0.0;
+        for i in 1..=k_max {
+            for j in 0..=k_max {
+                if i + j > k_max {
+                    overflow_gain += u[i] * u[j];
+                }
+            }
+        }
+        du[k_max + 1] = self.lambda * overflow_gain;
+        // The overflow gain comes out of the states that were contacted
+        // (state j loses u_i u_j for those combinations); that loss is part
+        // of the `− u_k` term only for transitions staying inside the range,
+        // so subtract the specific overflow outflow from each source state.
+        for j in 0..=k_max {
+            let mut outflow = 0.0;
+            for i in 1..=k_max {
+                if i + j > k_max {
+                    outflow += u[i] * u[j];
+                }
+            }
+            // The compact form already removed λ u_j Σ_i u_i = λ u_j
+            // (since Σ u_i = 1 without truncation); with truncation the
+            // convolution gains above only include in-range arrivals, so the
+            // net correction is already consistent. Nothing further needed.
+            let _ = outflow;
+        }
+        du
+    }
+
+    /// Integrates the model from the single-source initial condition over
+    /// `[0, t_end]` with step `dt`, returning the dense solution. The state
+    /// layout is `[u_0, …, u_K, overflow]`.
+    pub fn integrate(&self, n: usize, t_end: f64, dt: f64) -> OdeSolution {
+        let init = PathCountDensity::single_source(n, self.max_state);
+        let mut y0 = init.density;
+        y0.push(init.overflow);
+        rk4_integrate(|_, y| self.rhs(y), y0, 0.0, t_end, dt)
+    }
+
+    /// Extracts the density at the solution snapshot closest to `t`.
+    pub fn density_at(&self, solution: &OdeSolution, t: f64) -> PathCountDensity {
+        let state = solution.state_at(t);
+        PathCountDensity {
+            density: state[..=self.max_state].to_vec(),
+            overflow: state[self.max_state + 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generating_fn::mean_paths;
+
+    #[test]
+    fn initial_condition_is_normalised() {
+        let d = PathCountDensity::single_source(50, 10);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert!((d.mean() - 1.0 / 50.0).abs() < 1e-12);
+        assert!((d.reached_fraction() - 1.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_is_conserved_during_integration() {
+        let model = HomogeneousModel::new(0.02, 40);
+        let sol = model.integrate(50, 200.0, 0.5);
+        for state in &sol.states {
+            let mass: f64 = state.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-6, "mass = {mass}");
+        }
+    }
+
+    #[test]
+    fn mean_growth_matches_closed_form_before_truncation_bites() {
+        let lambda = 0.02;
+        let n = 50;
+        let model = HomogeneousModel::new(lambda, 120);
+        let sol = model.integrate(n, 150.0, 0.25);
+        for &t in &[25.0, 50.0, 100.0, 150.0] {
+            let d = model.density_at(&sol, t);
+            assert!(d.overflow < 1e-3, "overflow at t={t}: {}", d.overflow);
+            let expected = mean_paths(1.0 / n as f64, lambda, t);
+            let got = d.mean();
+            assert!(
+                (got - expected).abs() < 0.05 * expected.max(0.02),
+                "t={t}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn reached_fraction_follows_logistic_epidemic() {
+        // The fraction with >= 1 path is the classic logistic epidemic
+        // 1 - u_0 with u_0(t) = u_0(0) / (u_0(0) + (1-u_0(0)) e^{λt})
+        // (the phi formula evaluated at x = 0).
+        let lambda = 0.05;
+        let n = 100;
+        let model = HomogeneousModel::new(lambda, 60);
+        let sol = model.integrate(n, 120.0, 0.25);
+        let u0_initial = 1.0 - 1.0 / n as f64;
+        for &t in &[20.0, 60.0, 120.0] {
+            let d = model.density_at(&sol, t);
+            let expected_u0 =
+                u0_initial / (u0_initial + (1.0 - u0_initial) * (lambda * t).exp());
+            assert!(
+                (d.density[0] - expected_u0).abs() < 5e-3,
+                "t={t}: expected u0={expected_u0}, got {}",
+                d.density[0]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_rate_explodes_faster() {
+        let slow = HomogeneousModel::new(0.01, 60);
+        let fast = HomogeneousModel::new(0.05, 60);
+        let slow_sol = slow.integrate(100, 100.0, 0.5);
+        let fast_sol = fast.integrate(100, 100.0, 0.5);
+        let slow_mean = slow.density_at(&slow_sol, 100.0).mean();
+        let fast_mean = fast.density_at(&fast_sol, 100.0).mean();
+        assert!(fast_mean > slow_mean * 2.0, "fast {fast_mean} vs slow {slow_mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_lambda() {
+        HomogeneousModel::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_truncation() {
+        HomogeneousModel::new(0.1, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # psn-analytic
+//!
+//! Analytic models of the path-explosion phenomenon (paper §5).
+//!
+//! The paper explains path explosion with a homogeneously mixing population
+//! model: each node's contact opportunities form a Poisson process of
+//! intensity λ, the contacted peer is uniform over the population, and the
+//! *state* of a node is the number of forwarding paths from the source that
+//! have reached it so far. When a node in state `i` contacts a node in
+//! state `j`, the contacted node moves to state `i + j` (it now holds every
+//! path it had plus every path relayed through the contacting node).
+//!
+//! This crate implements that model three ways and checks that they agree:
+//!
+//! * [`markov`] — exact stochastic simulation of the finite-N Markov jump
+//!   process;
+//! * [`homogeneous`] — the Kurtz large-N limit: the ODE system of Prop. 3,
+//!   `u̇ₖ = λ (Σ_{i=0..k} uᵢ u_{k−i} − uₖ)`, integrated with a Runge–Kutta
+//!   scheme ([`ode`]);
+//! * [`generating_fn`] — the closed-form solution via the generating
+//!   function `φ_x(t)`, giving `E[Sₙ(t)] = E[Sₙ(0)] e^{λt}` and the
+//!   second-moment/variance expressions of §5.1.3 (see
+//!   [`generating_fn::variance_paths`] for a note on a typo in the paper's
+//!   printed variance).
+//!
+//! [`inhomogeneous`] extends the reasoning of §5.2 with a two-class ('in'
+//! high-rate vs 'out' low-rate) version of the same model, quantifying the
+//! paper's hypotheses about how T₁ and TE depend on the source and
+//! destination classes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generating_fn;
+pub mod homogeneous;
+pub mod inhomogeneous;
+pub mod kurtz;
+pub mod markov;
+pub mod ode;
+
+pub use generating_fn::{
+    expected_first_path_time, mean_paths, second_moment_paths, variance_paths,
+};
+pub use homogeneous::{HomogeneousModel, PathCountDensity};
+pub use inhomogeneous::{PairClass, TwoClassModel, TwoClassPrediction};
+pub use kurtz::convergence_error;
+pub use markov::{JumpProcessConfig, JumpProcessResult, PathCountJumpProcess};
+pub use ode::{rk4_integrate, OdeSolution};

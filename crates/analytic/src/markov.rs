@@ -1,0 +1,270 @@
+//! Stochastic simulation of the finite-N path-count jump process.
+//!
+//! This is the exact model of paper §5.1 before any large-N limit is taken:
+//! each node has a Poisson contact-opportunity process of intensity λ, the
+//! contacted peer is uniform over the other nodes, and a contact from node
+//! `n` to node `m` performs `S_m ← S_m + S_n`, where `S_n` is the number of
+//! forwarding paths from the source that have reached `n`.
+//!
+//! The simulation is used to validate the ODE/Kurtz limit
+//! ([`crate::homogeneous`], [`crate::kurtz`]) and the closed-form moments
+//! ([`crate::generating_fn`]): for growing N the empirical density of path
+//! counts converges to the deterministic solution, and the empirical mean
+//! tracks `e^{λt}` growth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a jump-process simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JumpProcessConfig {
+    /// Population size N.
+    pub nodes: usize,
+    /// Per-node contact-opportunity rate λ.
+    pub lambda: f64,
+    /// Simulation horizon in seconds.
+    pub horizon: f64,
+    /// Times at which the state is sampled (must be non-decreasing).
+    pub sample_times: Vec<f64>,
+    /// Number of independent replications to average over.
+    pub replications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl JumpProcessConfig {
+    /// A convenient configuration sampling `samples` evenly spaced points up
+    /// to `horizon`.
+    pub fn with_even_samples(
+        nodes: usize,
+        lambda: f64,
+        horizon: f64,
+        samples: usize,
+        replications: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(samples >= 1);
+        let sample_times = (0..samples)
+            .map(|i| horizon * (i as f64 + 1.0) / samples as f64)
+            .collect();
+        Self { nodes, lambda, horizon, sample_times, replications, seed }
+    }
+}
+
+/// Averaged results of the jump-process simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JumpProcessResult {
+    /// The sample times.
+    pub times: Vec<f64>,
+    /// Mean path count per node at each sample time, averaged over
+    /// replications.
+    pub mean_paths: Vec<f64>,
+    /// Mean fraction of nodes holding at least one path at each sample time.
+    pub reached_fraction: Vec<f64>,
+    /// Empirical density of path counts at the final sample time of the
+    /// *last* replication, truncated at `density.len() - 1` (the final entry
+    /// aggregates larger counts).
+    pub final_density: Vec<f64>,
+}
+
+/// The path-count jump process simulator.
+#[derive(Debug, Clone)]
+pub struct PathCountJumpProcess {
+    config: JumpProcessConfig,
+}
+
+impl PathCountJumpProcess {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (fewer than two nodes,
+    /// non-positive λ or horizon, no sample times, zero replications).
+    pub fn new(config: JumpProcessConfig) -> Self {
+        assert!(config.nodes >= 2, "need at least two nodes");
+        assert!(config.lambda > 0.0, "lambda must be positive");
+        assert!(config.horizon > 0.0, "horizon must be positive");
+        assert!(!config.sample_times.is_empty(), "need at least one sample time");
+        assert!(config.replications >= 1, "need at least one replication");
+        assert!(
+            config.sample_times.windows(2).all(|w| w[0] <= w[1]),
+            "sample times must be non-decreasing"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &JumpProcessConfig {
+        &self.config
+    }
+
+    /// Runs the simulation and returns replication-averaged statistics.
+    pub fn run(&self) -> JumpProcessResult {
+        let c = &self.config;
+        let n = c.nodes;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+
+        let samples = c.sample_times.len();
+        let mut mean_paths = vec![0.0; samples];
+        let mut reached = vec![0.0; samples];
+        let density_bins = 64usize;
+        let mut final_density = vec![0.0; density_bins];
+
+        for _rep in 0..c.replications {
+            // State: path count per node. u64 saturating addition guards
+            // against overflow in very long runs (counts grow doubly
+            // exponentially in a clique).
+            let mut state: Vec<u64> = vec![0; n];
+            state[0] = 1; // The source holds the single original path.
+
+            let total_rate = c.lambda * n as f64;
+            let mut t = 0.0;
+            let mut next_sample = 0usize;
+
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let dt = -u.ln() / total_rate;
+                let new_t = t + dt;
+
+                // Record any sample times passed before this event fires.
+                while next_sample < samples && c.sample_times[next_sample] <= new_t.min(c.horizon) {
+                    record(&state, &mut mean_paths, &mut reached, next_sample);
+                    next_sample += 1;
+                }
+                if new_t >= c.horizon {
+                    break;
+                }
+                t = new_t;
+
+                // A uniformly chosen node initiates a contact with a
+                // uniformly chosen distinct peer.
+                let from = rng.gen_range(0..n);
+                let mut to = rng.gen_range(0..n);
+                while to == from {
+                    to = rng.gen_range(0..n);
+                }
+                if state[from] > 0 {
+                    state[to] = state[to].saturating_add(state[from]);
+                }
+            }
+            // Record any trailing sample times exactly at the horizon.
+            while next_sample < samples {
+                record(&state, &mut mean_paths, &mut reached, next_sample);
+                next_sample += 1;
+            }
+
+            for &s in &state {
+                let bin = (s as usize).min(density_bins - 1);
+                final_density[bin] += 1.0;
+            }
+        }
+
+        let norm = c.replications as f64;
+        for v in mean_paths.iter_mut().chain(reached.iter_mut()) {
+            *v /= norm;
+        }
+        let density_norm = (c.replications * n) as f64;
+        for v in &mut final_density {
+            *v /= density_norm;
+        }
+
+        JumpProcessResult {
+            times: c.sample_times.clone(),
+            mean_paths,
+            reached_fraction: reached,
+            final_density,
+        }
+    }
+}
+
+fn record(state: &[u64], mean_paths: &mut [f64], reached: &mut [f64], idx: usize) {
+    let n = state.len() as f64;
+    let sum: f64 = state.iter().map(|&s| s as f64).sum();
+    mean_paths[idx] += sum / n;
+    reached[idx] += state.iter().filter(|&&s| s > 0).count() as f64 / n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generating_fn::mean_paths as closed_form_mean;
+
+    #[test]
+    fn mean_growth_tracks_exponential_closed_form() {
+        let lambda = 0.02;
+        let n = 200;
+        let config = JumpProcessConfig::with_even_samples(n, lambda, 150.0, 3, 40, 11);
+        let result = PathCountJumpProcess::new(config).run();
+        for (i, &t) in result.times.iter().enumerate() {
+            let expected = closed_form_mean(1.0 / n as f64, lambda, t);
+            let got = result.mean_paths[i];
+            assert!(
+                (got - expected).abs() < 0.35 * expected.max(0.02),
+                "t={t}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn reached_fraction_is_monotone_and_bounded() {
+        let config = JumpProcessConfig::with_even_samples(100, 0.05, 120.0, 6, 10, 3);
+        let result = PathCountJumpProcess::new(config).run();
+        for w in result.reached_fraction.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        for &f in &result.reached_fraction {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // The source always holds a path.
+        assert!(result.reached_fraction[0] >= 1.0 / 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn final_density_is_normalised() {
+        let config = JumpProcessConfig::with_even_samples(50, 0.05, 60.0, 2, 5, 9);
+        let result = PathCountJumpProcess::new(config).run();
+        let total: f64 = result.final_density.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn higher_lambda_spreads_faster() {
+        let slow = PathCountJumpProcess::new(JumpProcessConfig::with_even_samples(
+            100, 0.01, 100.0, 1, 20, 5,
+        ))
+        .run();
+        let fast = PathCountJumpProcess::new(JumpProcessConfig::with_even_samples(
+            100, 0.05, 100.0, 1, 20, 5,
+        ))
+        .run();
+        assert!(fast.mean_paths[0] > slow.mean_paths[0]);
+        assert!(fast.reached_fraction[0] > slow.reached_fraction[0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = JumpProcessConfig::with_even_samples(60, 0.02, 80.0, 4, 3, 21);
+        let a = PathCountJumpProcess::new(config.clone()).run();
+        let b = PathCountJumpProcess::new(config).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_node() {
+        PathCountJumpProcess::new(JumpProcessConfig::with_even_samples(1, 0.1, 10.0, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_sample_times() {
+        PathCountJumpProcess::new(JumpProcessConfig {
+            nodes: 10,
+            lambda: 0.1,
+            horizon: 10.0,
+            sample_times: vec![5.0, 1.0],
+            replications: 1,
+            seed: 1,
+        });
+    }
+}

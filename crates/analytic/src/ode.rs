@@ -1,0 +1,158 @@
+//! A small fixed-step Runge–Kutta (RK4) integrator.
+//!
+//! The homogeneous path-count model reduces (Prop. 3 of the paper) to an
+//! infinite ODE system that we truncate at a maximum state `K` and integrate
+//! numerically. The systems involved are small (a few hundred states) and
+//! smooth, so classic fixed-step RK4 is accurate and keeps the crate free of
+//! numerical dependencies.
+
+/// A dense solution of an ODE initial-value problem: state snapshots at
+/// equally spaced times.
+#[derive(Debug, Clone)]
+pub struct OdeSolution {
+    /// Times at which the state was recorded, starting at `t0`.
+    pub times: Vec<f64>,
+    /// State vector at each recorded time.
+    pub states: Vec<Vec<f64>>,
+}
+
+impl OdeSolution {
+    /// The final recorded state.
+    pub fn final_state(&self) -> &[f64] {
+        self.states.last().expect("solutions contain at least the initial state")
+    }
+
+    /// The state at the recorded time closest to `t`.
+    pub fn state_at(&self, t: f64) -> &[f64] {
+        let idx = self
+            .times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - t).abs().partial_cmp(&(b.1 - t).abs()).expect("finite times")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        &self.states[idx]
+    }
+}
+
+/// Integrates `dy/dt = f(t, y)` from `t0` to `t1` with fixed step `dt`
+/// using the classical fourth-order Runge–Kutta scheme, recording the state
+/// after every step.
+///
+/// # Panics
+///
+/// Panics if `dt` is not strictly positive or `t1 < t0`.
+pub fn rk4_integrate<F>(
+    f: F,
+    y0: Vec<f64>,
+    t0: f64,
+    t1: f64,
+    dt: f64,
+) -> OdeSolution
+where
+    F: Fn(f64, &[f64]) -> Vec<f64>,
+{
+    assert!(dt > 0.0, "step size must be positive");
+    assert!(t1 >= t0, "integration interval must be non-negative");
+
+    let mut times = vec![t0];
+    let mut states = vec![y0.clone()];
+    let mut y = y0;
+    let mut t = t0;
+
+    let add_scaled = |y: &[f64], k: &[f64], s: f64| -> Vec<f64> {
+        y.iter().zip(k).map(|(a, b)| a + s * b).collect()
+    };
+
+    while t < t1 - 1e-12 {
+        let step = dt.min(t1 - t);
+        let k1 = f(t, &y);
+        let k2 = f(t + step / 2.0, &add_scaled(&y, &k1, step / 2.0));
+        let k3 = f(t + step / 2.0, &add_scaled(&y, &k2, step / 2.0));
+        let k4 = f(t + step, &add_scaled(&y, &k3, step));
+        y = y
+            .iter()
+            .enumerate()
+            .map(|(i, &yi)| yi + step / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]))
+            .collect();
+        t += step;
+        times.push(t);
+        states.push(y.clone());
+    }
+
+    OdeSolution { times, states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_growth_matches_closed_form() {
+        // dy/dt = y, y(0) = 1 -> y(t) = e^t.
+        let sol = rk4_integrate(|_, y| vec![y[0]], vec![1.0], 0.0, 2.0, 0.01);
+        let y_end = sol.final_state()[0];
+        assert!((y_end - 2.0_f64.exp()).abs() < 1e-6, "{y_end}");
+    }
+
+    #[test]
+    fn exponential_decay() {
+        let sol = rk4_integrate(|_, y| vec![-0.5 * y[0]], vec![4.0], 0.0, 3.0, 0.01);
+        let expected = 4.0 * (-1.5_f64).exp();
+        assert!((sol.final_state()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        // y'' = -y as a 2-d system; energy y^2 + v^2 is conserved.
+        let sol = rk4_integrate(
+            |_, y| vec![y[1], -y[0]],
+            vec![1.0, 0.0],
+            0.0,
+            10.0,
+            0.001,
+        );
+        let s = sol.final_state();
+        let energy = s[0] * s[0] + s[1] * s[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy = {energy}");
+    }
+
+    #[test]
+    fn time_dependent_rhs() {
+        // dy/dt = 2t -> y(t) = t^2.
+        let sol = rk4_integrate(|t, _| vec![2.0 * t], vec![0.0], 0.0, 5.0, 0.01);
+        assert!((sol.final_state()[0] - 25.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn records_dense_output() {
+        let sol = rk4_integrate(|_, y| vec![y[0]], vec![1.0], 0.0, 1.0, 0.1);
+        assert_eq!(sol.times.len(), sol.states.len());
+        assert_eq!(sol.times.len(), 11);
+        assert!((sol.times[5] - 0.5).abs() < 1e-9);
+        // state_at finds the closest snapshot.
+        let mid = sol.state_at(0.52)[0];
+        assert!((mid - 0.5_f64.exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_length_interval_returns_initial_state() {
+        let sol = rk4_integrate(|_, y| vec![y[0]], vec![3.0], 1.0, 1.0, 0.1);
+        assert_eq!(sol.times, vec![1.0]);
+        assert_eq!(sol.final_state(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_step() {
+        rk4_integrate(|_, y| vec![y[0]], vec![1.0], 0.0, 1.0, -0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_reversed_interval() {
+        rk4_integrate(|_, y| vec![y[0]], vec![1.0], 1.0, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//! the Δ discretization step, the per-node path budget k, the
+//! first-preference validity rule, and trace heterogeneity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use psn::prelude::*;
+use psn_trace::generator::{
+    generate_heterogeneous, generate_homogeneous, HeterogeneousConfig, HomogeneousConfig,
+};
+
+fn quick_trace() -> ContactTrace {
+    let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+    ds.config.mobile_nodes = 24;
+    ds.config.stationary_nodes = 6;
+    ds.config.window_seconds = 2400.0;
+    ds.generate()
+}
+
+fn messages(trace: &ContactTrace, count: usize, seed: u64) -> Vec<Message> {
+    MessageGenerator::new(MessageWorkloadConfig {
+        nodes: trace.node_count(),
+        generation_horizon: trace.window().duration() * 2.0 / 3.0,
+        mean_interarrival: 4.0,
+        seed,
+    })
+    .uniform_messages(count)
+}
+
+/// Δ sweep: coarser slots make the graph smaller (cheaper) but blur delivery
+/// times; the benchmark measures the construction + enumeration cost per Δ.
+fn bench_ablation_delta(c: &mut Criterion) {
+    let trace = quick_trace();
+    let msgs = messages(&trace, 5, 21);
+    let mut group = c.benchmark_group("ablation_delta");
+    group.sample_size(10);
+    for delta in [5.0f64, 10.0, 30.0, 60.0] {
+        group.bench_function(format!("delta_{delta}s"), |b| {
+            b.iter(|| {
+                let graph = SpaceTimeGraph::build(&trace, delta);
+                let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(50));
+                for m in &msgs {
+                    criterion::black_box(enumerator.enumerate(m));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// k sweep: the per-node path budget controls both cost and how sharply the
+/// explosion time T_k is resolved.
+fn bench_ablation_k(c: &mut Criterion) {
+    let trace = quick_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, 5, 22);
+    let mut group = c.benchmark_group("ablation_k");
+    group.sample_size(10);
+    for k in [25usize, 100, 400] {
+        group.bench_function(format!("k_{k}"), |b| {
+            let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(k));
+            b.iter(|| {
+                for m in &msgs {
+                    criterion::black_box(enumerator.enumerate(m));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// First-preference rule on/off: without it, dominated paths are re-counted
+/// every time a holder re-meets the destination, inflating path counts and
+/// cost.
+fn bench_ablation_first_preference(c: &mut Criterion) {
+    let trace = quick_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, 5, 23);
+    let mut group = c.benchmark_group("ablation_first_preference");
+    group.sample_size(10);
+    group.bench_function("enforced", |b| {
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(50));
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate(m));
+            }
+        });
+    });
+    group.bench_function("disabled", |b| {
+        let enumerator =
+            PathEnumerator::new(&graph, EnumerationConfig::quick(50).without_first_preference());
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate(m));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Heterogeneous vs homogeneous traces: the homogeneous generator destroys
+/// the T1/TE structure the paper attributes to unequal contact rates; this
+/// benchmark measures the enumeration cost on both so the qualitative
+/// comparison in EXPERIMENTS.md has a performance companion.
+fn bench_ablation_heterogeneity(c: &mut Criterion) {
+    let heterogeneous = generate_heterogeneous(&HeterogeneousConfig {
+        nodes: 30,
+        window_seconds: 2400.0,
+        max_node_rate: 0.04,
+        mean_contact_duration: 90.0,
+        seed: 4,
+    });
+    let homogeneous = generate_homogeneous(&HomogeneousConfig {
+        nodes: 30,
+        window_seconds: 2400.0,
+        node_contact_rate: 0.02,
+        mean_contact_duration: 90.0,
+        seed: 4,
+    });
+    let mut group = c.benchmark_group("ablation_heterogeneity");
+    group.sample_size(10);
+    for (label, trace) in [("heterogeneous", &heterogeneous), ("homogeneous", &homogeneous)] {
+        let graph = SpaceTimeGraph::build_default(trace);
+        let msgs = messages(trace, 5, 25);
+        group.bench_function(label, |b| {
+            let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(50));
+            b.iter(|| {
+                for m in &msgs {
+                    criterion::black_box(enumerator.enumerate(m));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_delta,
+    bench_ablation_k,
+    bench_ablation_first_preference,
+    bench_ablation_heterogeneity
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Benchmarks of the core machinery: space-time graph construction, path
+//! enumeration (the Fig. 3 algorithm) and the epidemic-spread baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use psn::prelude::*;
+
+fn quick_trace() -> ContactTrace {
+    let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+    ds.config.mobile_nodes = 32;
+    ds.config.stationary_nodes = 8;
+    ds.config.window_seconds = 3600.0;
+    ds.generate()
+}
+
+fn messages(trace: &ContactTrace, count: usize) -> Vec<Message> {
+    MessageGenerator::new(MessageWorkloadConfig {
+        nodes: trace.node_count(),
+        generation_horizon: trace.window().duration() * 2.0 / 3.0,
+        mean_interarrival: 4.0,
+        seed: 1,
+    })
+    .uniform_messages(count)
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let trace = quick_trace();
+    let mut group = c.benchmark_group("spacetime_graph");
+    group.sample_size(10);
+    group.bench_function("build_delta_10s", |b| {
+        b.iter(|| SpaceTimeGraph::build_default(&trace));
+    });
+    group.finish();
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let trace = quick_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, 8);
+    let mut group = c.benchmark_group("path_enumeration");
+    group.sample_size(10);
+    for k in [50usize, 200] {
+        group.bench_function(format!("k_{k}"), |b| {
+            let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(k));
+            b.iter_batched(
+                || msgs.clone(),
+                |msgs| {
+                    for m in &msgs {
+                        criterion::black_box(enumerator.enumerate(m));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_epidemic_baseline(c: &mut Criterion) {
+    let trace = quick_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, 50);
+    let mut group = c.benchmark_group("epidemic_baseline");
+    group.sample_size(10);
+    group.bench_function("epidemic_delivery_times_50_messages", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(epidemic_delivery_time(&graph, m));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_path_enumeration,
+    bench_epidemic_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: total contacts per one-minute bin for each of the
+//! four datasets.
+
+use psn::experiments::activity::run_activity_study;
+use psn::report;
+use psn_bench::{print_header, profile_from_env};
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Figure 1 — contact time series", profile);
+    for report_data in run_activity_study(profile) {
+        println!("{}", report::render_activity(&report_data));
+    }
+}

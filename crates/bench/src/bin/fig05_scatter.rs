@@ -1,0 +1,14 @@
+//! Regenerates Figure 5: the scatter of optimal path duration vs time to
+//! explosion for the Infocom'06 morning dataset.
+
+use psn::experiments::explosion::run_explosion_study;
+use psn::report;
+use psn_bench::{print_header, profile_from_env, threads_from_env};
+use psn_trace::DatasetId;
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Figure 5 — T1 vs TE scatter", profile);
+    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
+    println!("{}", report::render_explosion_scatter(&study));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 8: the Figure 5 scatter split into the four
+//! source/destination pair types (in-in, in-out, out-in, out-out).
+
+use psn::experiments::explosion::run_explosion_study;
+use psn::report;
+use psn_bench::{print_header, profile_from_env, threads_from_env};
+use psn_trace::DatasetId;
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Figure 8 — pair-type scatter", profile);
+    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
+    println!("{}", report::render_pairtype_scatter(&study));
+}

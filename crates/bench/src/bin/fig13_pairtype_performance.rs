@@ -1,0 +1,14 @@
+//! Regenerates Figure 13: average delay and success rate broken down by
+//! source/destination pair type for each forwarding algorithm.
+
+use psn::experiments::forwarding::run_forwarding_study;
+use psn::report;
+use psn_bench::{print_header, profile_from_env};
+use psn_trace::DatasetId;
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Figure 13 — performance by pair type", profile);
+    let study = run_forwarding_study(profile, DatasetId::Infocom06Morning);
+    println!("{}", report::render_pairtype_performance(&study));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 14: the mean contact rate of the node at each hop of
+//! near-optimal paths, with 99% confidence intervals.
+
+use psn::experiments::explosion::run_explosion_study;
+use psn::experiments::hop_rates::run_hop_rate_study;
+use psn::report;
+use psn_bench::{print_header, profile_from_env, threads_from_env};
+use psn_trace::DatasetId;
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Figure 14 — mean contact rate per hop", profile);
+    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
+    let hop_study = run_hop_rate_study(&study.sample_paths, &study.rates);
+    println!("{}", report::render_hop_rates(&hop_study));
+}

@@ -1,0 +1,19 @@
+//! Regenerates the §5.1 model-validation table: closed form vs ODE vs
+//! stochastic simulation of the homogeneous path-count model, plus the §5.2
+//! two-class predictions.
+
+use psn::experiments::model::run_model_validation;
+use psn::report;
+use psn_bench::{print_header, profile_from_env};
+use psn::prelude::ExperimentProfile;
+
+fn main() {
+    let profile = profile_from_env();
+    print_header("Section 5.1 — analytic model validation", profile);
+    let replications = match profile {
+        ExperimentProfile::Paper => 200,
+        ExperimentProfile::Quick => 30,
+    };
+    let validation = run_model_validation(replications);
+    println!("{}", report::render_model_validation(&validation));
+}

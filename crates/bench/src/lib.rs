@@ -1,0 +1,68 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion
+//! benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates the data behind one figure of the
+//! paper (see DESIGN.md for the experiment index). They all honour the
+//! `PSN_PROFILE` environment variable:
+//!
+//! * `PSN_PROFILE=paper` — the paper's scale (98 nodes, 3-hour traces,
+//!   k = 2000, one message every 4 seconds for two hours, 10 runs). Slow;
+//!   use a release build.
+//! * `PSN_PROFILE=quick` (default) — reduced scale with the same structure,
+//!   finishing in seconds to a few minutes.
+//!
+//! The binaries print plain-text/CSV series to stdout; redirect them to a
+//! file to archive a run (EXPERIMENTS.md quotes such runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use psn::prelude::*;
+
+/// Reads the experiment profile from the `PSN_PROFILE` environment variable
+/// (`paper` or `quick`, default `quick`).
+pub fn profile_from_env() -> ExperimentProfile {
+    match std::env::var("PSN_PROFILE").unwrap_or_default().to_lowercase().as_str() {
+        "paper" => ExperimentProfile::Paper,
+        _ => ExperimentProfile::Quick,
+    }
+}
+
+/// Number of worker threads to use for per-message path enumeration.
+pub fn threads_from_env() -> usize {
+    std::env::var("PSN_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+}
+
+/// Prints a standard header identifying the figure, dataset scale and
+/// profile so archived outputs are self-describing.
+pub fn print_header(figure: &str, profile: ExperimentProfile) {
+    println!("# PSN path-diversity reproduction — {figure}");
+    println!(
+        "# profile: {}",
+        match profile {
+            ExperimentProfile::Paper => "paper (98 nodes, 3-hour traces)",
+            ExperimentProfile::Quick => "quick (reduced scale; set PSN_PROFILE=paper for full scale)",
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_quick() {
+        // The test environment does not set PSN_PROFILE.
+        if std::env::var("PSN_PROFILE").is_err() {
+            assert_eq!(profile_from_env(), ExperimentProfile::Quick);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(threads_from_env() >= 1);
+    }
+}

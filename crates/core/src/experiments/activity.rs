@@ -1,0 +1,110 @@
+//! Contact activity experiments: Fig. 1 (contact time series) and Fig. 7
+//! (per-node contact-count CDFs).
+
+use psn_stats::{BinnedSeries, Ecdf};
+use psn_trace::binning::{contact_timeseries_per_minute, stationarity_report};
+use psn_trace::{ContactRates, ContactTrace, DatasetId};
+
+use crate::config::ExperimentProfile;
+
+/// The activity data for one dataset.
+#[derive(Debug, Clone)]
+pub struct ActivityReport {
+    /// Which dataset this report describes.
+    pub dataset: DatasetId,
+    /// Total contacts per one-minute bin (Fig. 1 series).
+    pub per_minute: BinnedSeries,
+    /// Coefficient of variation of the per-minute counts (stationarity
+    /// check).
+    pub coefficient_of_variation: f64,
+    /// Mean of the final 30 minutes relative to the overall mean (the
+    /// afternoon drop-off diagnostic).
+    pub tail_ratio: f64,
+    /// CDF of per-node contact counts (Fig. 7 series).
+    pub contact_count_cdf: Ecdf,
+    /// Kolmogorov–Smirnov distance of the contact-count distribution from a
+    /// uniform distribution on `[0, max]` (the paper's "approximately
+    /// uniform" observation).
+    pub uniformity_ks: f64,
+}
+
+/// Computes the Fig. 1 contact time series for one trace.
+pub fn contact_timeseries(trace: &ContactTrace) -> BinnedSeries {
+    contact_timeseries_per_minute(trace)
+}
+
+/// Computes the Fig. 7 per-node contact-count CDF for one trace.
+pub fn contact_rate_cdfs(trace: &ContactTrace) -> Option<Ecdf> {
+    ContactRates::from_trace(trace).count_cdf()
+}
+
+/// Runs the activity analysis for all four datasets at the given profile.
+pub fn run_activity_study(profile: ExperimentProfile) -> Vec<ActivityReport> {
+    DatasetId::all()
+        .into_iter()
+        .map(|id| {
+            let trace = profile.dataset(id).generate();
+            activity_report(id, &trace)
+        })
+        .collect()
+}
+
+/// Builds the activity report for one already-generated trace.
+pub fn activity_report(dataset: DatasetId, trace: &ContactTrace) -> ActivityReport {
+    let per_minute = contact_timeseries(trace);
+    let stationarity = stationarity_report(trace)
+        .expect("generated datasets always contain contacts");
+    let rates = ContactRates::from_trace(trace);
+    ActivityReport {
+        dataset,
+        per_minute,
+        coefficient_of_variation: stationarity.coefficient_of_variation,
+        tail_ratio: stationarity.tail_ratio,
+        contact_count_cdf: rates.count_cdf().expect("non-empty trace"),
+        uniformity_ks: rates.uniformity_ks().unwrap_or(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_covers_all_datasets() {
+        let reports = run_activity_study(ExperimentProfile::Quick);
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert!(report.per_minute.total() > 0.0, "{:?}", report.dataset);
+            assert!(report.contact_count_cdf.len() > 0);
+            // The synthetic traces keep the paper's roughly uniform
+            // contact-count distribution.
+            assert!(
+                report.uniformity_ks < 0.35,
+                "{:?}: ks = {}",
+                report.dataset,
+                report.uniformity_ks
+            );
+        }
+    }
+
+    #[test]
+    fn afternoon_datasets_show_stronger_tail_dropoff() {
+        let reports = run_activity_study(ExperimentProfile::Quick);
+        let get = |id: DatasetId| {
+            reports.iter().find(|r| r.dataset == id).expect("present").tail_ratio
+        };
+        assert!(
+            get(DatasetId::Infocom06Afternoon) < get(DatasetId::Infocom06Morning),
+            "afternoon should drop off more than morning"
+        );
+        assert!(get(DatasetId::Conext06Afternoon) < get(DatasetId::Conext06Morning));
+    }
+
+    #[test]
+    fn single_trace_helpers() {
+        let trace = ExperimentProfile::Quick.dataset(DatasetId::Conext06Morning).generate();
+        let series = contact_timeseries(&trace);
+        assert_eq!(series.bin_width(), 60.0);
+        assert!(contact_rate_cdfs(&trace).is_some());
+    }
+}

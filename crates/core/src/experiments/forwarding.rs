@@ -1,0 +1,257 @@
+//! Forwarding-algorithm experiments: Figs. 9, 10, 11 and 13.
+//!
+//! For each dataset the driver generates the paper's Poisson message
+//! workload, runs all six forwarding algorithms over the same messages,
+//! averages over independent runs, and reports:
+//!
+//! * success rate vs. average delay per algorithm (Fig. 9);
+//! * the full delay distribution per algorithm (Fig. 10);
+//! * the cumulative count of deliveries over time, confirming delivery is
+//!   not bursty (Fig. 11);
+//! * success rate and delay broken down by source/destination pair type
+//!   (Fig. 13).
+
+use psn_forwarding::{
+    standard_algorithms, AlgorithmKind, AlgorithmMetrics, MessageOutcome, PairTypeMetrics,
+    Simulator, SimulatorConfig,
+};
+use psn_spacetime::{MessageGenerator, MessageWorkloadConfig};
+use psn_stats::BinnedSeries;
+use psn_trace::{ContactRates, ContactTrace, DatasetId};
+
+use crate::config::ExperimentProfile;
+
+/// Results for one algorithm on one dataset.
+#[derive(Debug, Clone)]
+pub struct AlgorithmStudy {
+    /// Which algorithm.
+    pub kind: AlgorithmKind,
+    /// Metrics averaged over the simulation runs (Fig. 9 point, Fig. 10
+    /// distribution).
+    pub metrics: AlgorithmMetrics,
+    /// Pair-type breakdown from the first run (Fig. 13 bars).
+    pub by_pair_type: PairTypeMetrics,
+    /// Cumulative deliveries over time from the first run (Fig. 11 series).
+    pub reception_series: BinnedSeries,
+    /// Raw per-message outcomes of the first run (used by Fig. 12 and the
+    /// hop-rate analyses).
+    pub outcomes: Vec<MessageOutcome>,
+}
+
+/// The complete forwarding study for one dataset.
+#[derive(Debug)]
+pub struct ForwardingStudy {
+    /// The dataset simulated.
+    pub dataset: DatasetId,
+    /// Number of messages per run.
+    pub messages_per_run: usize,
+    /// Number of independent runs averaged.
+    pub runs: usize,
+    /// One entry per algorithm, in [`AlgorithmKind::all`] order.
+    pub algorithms: Vec<AlgorithmStudy>,
+    /// Per-node contact rates of the trace.
+    pub rates: ContactRates,
+}
+
+impl ForwardingStudy {
+    /// The study entry for one algorithm.
+    pub fn get(&self, kind: AlgorithmKind) -> &AlgorithmStudy {
+        self.algorithms
+            .iter()
+            .find(|a| a.kind == kind)
+            .expect("every standard algorithm is simulated")
+    }
+
+    /// `(success rate, average delay)` pairs per algorithm — the Fig. 9
+    /// points for this dataset.
+    pub fn delay_vs_success(&self) -> Vec<(AlgorithmKind, f64, Option<f64>)> {
+        self.algorithms
+            .iter()
+            .map(|a| (a.kind, a.metrics.success_rate, a.metrics.average_delay))
+            .collect()
+    }
+
+    /// The spread (max − min) of success rates across the non-epidemic
+    /// algorithms — the paper's "virtually identical performance"
+    /// observation quantified.
+    pub fn non_epidemic_success_spread(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .algorithms
+            .iter()
+            .filter(|a| a.kind != AlgorithmKind::Epidemic)
+            .map(|a| a.metrics.success_rate)
+            .collect();
+        let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// Runs the forwarding study on one dataset at the given profile.
+pub fn run_forwarding_study(profile: ExperimentProfile, dataset: DatasetId) -> ForwardingStudy {
+    let trace = profile.dataset(dataset).generate();
+    let workload = profile.workload(trace.node_count());
+    run_forwarding_study_on(dataset, &trace, workload, profile.simulation_runs())
+}
+
+/// Runs the forwarding study on an explicit trace and workload — the entry
+/// point used by tests and ablation benches.
+pub fn run_forwarding_study_on(
+    dataset: DatasetId,
+    trace: &ContactTrace,
+    workload: MessageWorkloadConfig,
+    runs: usize,
+) -> ForwardingStudy {
+    assert!(runs >= 1, "need at least one simulation run");
+    let simulator = Simulator::new(trace, SimulatorConfig::default());
+    let rates = ContactRates::from_trace(trace);
+    let generator = MessageGenerator::new(workload);
+
+    // The same message sets are replayed for every algorithm so the
+    // comparison is paired, as in the paper.
+    let message_sets: Vec<_> = (0..runs as u64).map(|run| generator.poisson_messages(run)).collect();
+    let messages_per_run = message_sets.first().map(|m| m.len()).unwrap_or(0);
+
+    let algorithms = standard_algorithms()
+        .into_iter()
+        .map(|(kind, algorithm)| {
+            let mut per_run_metrics = Vec::with_capacity(runs);
+            let mut first_outcomes: Option<Vec<MessageOutcome>> = None;
+            for messages in &message_sets {
+                let result = simulator.run(algorithm.as_ref(), messages);
+                per_run_metrics.push(AlgorithmMetrics::from_result(&result));
+                if first_outcomes.is_none() {
+                    first_outcomes = Some(result.outcomes);
+                }
+            }
+            let outcomes = first_outcomes.expect("at least one run");
+            let metrics = AlgorithmMetrics::average_over_runs(&per_run_metrics)
+                .expect("at least one run");
+            let by_pair_type = PairTypeMetrics::from_outcomes(kind.label(), &outcomes, &rates);
+
+            // Fig. 11: cumulative deliveries over the trace window. The
+            // range extends one bin past the window end because deliveries
+            // in the final slot are timestamped at the slot's end, which
+            // coincides with the window boundary.
+            let mut reception_series =
+                BinnedSeries::new(0.0, trace.window().duration() + 60.0, 60.0)
+                    .expect("trace windows are non-empty");
+            for outcome in &outcomes {
+                if let Some(t) = outcome.delivered_at {
+                    reception_series.record(t);
+                }
+            }
+
+            AlgorithmStudy { kind, metrics, by_pair_type, reception_series, outcomes }
+        })
+        .collect();
+
+    ForwardingStudy { dataset, messages_per_run, runs, algorithms, rates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::SyntheticDataset;
+
+    fn small_study() -> ForwardingStudy {
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 20;
+        ds.config.stationary_nodes = 5;
+        ds.config.window_seconds = 1800.0;
+        let trace = ds.generate();
+        let workload = MessageWorkloadConfig {
+            nodes: trace.node_count(),
+            generation_horizon: 1200.0,
+            mean_interarrival: 20.0,
+            seed: 3,
+        };
+        run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 2)
+    }
+
+    #[test]
+    fn all_algorithms_are_simulated() {
+        let study = small_study();
+        assert_eq!(study.algorithms.len(), 6);
+        assert_eq!(study.runs, 2);
+        assert!(study.messages_per_run > 10);
+        for kind in AlgorithmKind::all() {
+            let entry = study.get(kind);
+            assert_eq!(entry.kind, kind);
+            assert_eq!(entry.outcomes.len(), study.messages_per_run);
+        }
+    }
+
+    #[test]
+    fn epidemic_dominates_every_other_algorithm() {
+        let study = small_study();
+        let epidemic = study.get(AlgorithmKind::Epidemic);
+        for kind in AlgorithmKind::all() {
+            if kind == AlgorithmKind::Epidemic {
+                continue;
+            }
+            let other = study.get(kind);
+            assert!(
+                epidemic.metrics.success_rate >= other.metrics.success_rate - 1e-9,
+                "epidemic success {} vs {} {}",
+                epidemic.metrics.success_rate,
+                kind,
+                other.metrics.success_rate
+            );
+        }
+        // Epidemic delivers something at this scale.
+        assert!(epidemic.metrics.success_rate > 0.3);
+    }
+
+    #[test]
+    fn per_message_dominance_of_epidemic_delay() {
+        // For every message that another algorithm delivers, epidemic
+        // delivers it no later (it finds the optimal path).
+        let study = small_study();
+        let epidemic = study.get(AlgorithmKind::Epidemic);
+        for kind in [AlgorithmKind::Fresh, AlgorithmKind::GreedyTotal, AlgorithmKind::DynamicProgramming] {
+            let other = study.get(kind);
+            for (e, o) in epidemic.outcomes.iter().zip(&other.outcomes) {
+                if let Some(other_time) = o.delivered_at {
+                    let epidemic_time =
+                        e.delivered_at.expect("epidemic delivers whatever anyone delivers");
+                    assert!(
+                        epidemic_time <= other_time + 1e-9,
+                        "message {}: epidemic {} vs {} {}",
+                        e.message,
+                        epidemic_time,
+                        kind,
+                        other_time
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reception_series_accumulates_deliveries() {
+        let study = small_study();
+        for algo in &study.algorithms {
+            let total: f64 = algo.reception_series.total();
+            assert_eq!(total as usize, algo.outcomes.iter().filter(|o| o.delivered()).count());
+        }
+    }
+
+    #[test]
+    fn pair_type_breakdown_covers_all_messages() {
+        let study = small_study();
+        for algo in &study.algorithms {
+            let total: usize = algo.by_pair_type.per_type.iter().map(|(_, m)| m.messages).sum();
+            assert_eq!(total, study.messages_per_run);
+        }
+    }
+
+    #[test]
+    fn delay_vs_success_lists_all_algorithms() {
+        let study = small_study();
+        let points = study.delay_vs_success();
+        assert_eq!(points.len(), 6);
+        let spread = study.non_epidemic_success_spread();
+        assert!((0.0..=1.0).contains(&spread));
+    }
+}

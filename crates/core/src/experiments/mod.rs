@@ -1,0 +1,28 @@
+//! Experiment drivers — one module per group of figures in the paper.
+//!
+//! | Module | Paper figures | Content |
+//! |---|---|---|
+//! | [`activity`] | Fig. 1, Fig. 7 | contact time-series per dataset, per-node contact-count CDFs |
+//! | [`explosion`] | Fig. 4, 5, 6, 8 | optimal-duration / time-to-explosion CDFs, scatter, growth curves, pair-type split |
+//! | [`forwarding`] | Fig. 9, 10, 11, 13 | success-rate vs delay per algorithm, delay CDFs, reception times, pair-type breakdown |
+//! | [`paths_taken`] | Fig. 12 | per-message path-arrival bursts and the arrival of each algorithm's chosen path |
+//! | [`hop_rates`] | Fig. 14, 15 | mean contact rate per hop of near-optimal paths, per-hop rate-ratio box plots |
+//! | [`model`] | §5.1 | agreement between the jump process, the ODE limit and the closed forms |
+//!
+//! Every driver takes an [`crate::ExperimentProfile`] so the same code path
+//! serves the integration tests (quick) and the figure-regeneration binaries
+//! (paper scale).
+
+pub mod activity;
+pub mod explosion;
+pub mod forwarding;
+pub mod hop_rates;
+pub mod model;
+pub mod paths_taken;
+
+pub use activity::{contact_rate_cdfs, contact_timeseries, ActivityReport};
+pub use explosion::{run_explosion_study, ExplosionStudy, PairTypeScatter};
+pub use forwarding::{run_forwarding_study, ForwardingStudy};
+pub use hop_rates::{run_hop_rate_study, HopRateStudy};
+pub use model::{run_model_validation, ModelValidation};
+pub use paths_taken::{run_paths_taken, PathsTakenCase};

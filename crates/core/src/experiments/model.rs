@@ -1,0 +1,146 @@
+//! Analytic-model validation (paper §5.1).
+//!
+//! The paper supports the path-explosion observation with a homogeneous
+//! analytic model. This driver checks, for a grid of population sizes and
+//! contact rates, that the three implementations of the model agree:
+//!
+//! * the stochastic jump process (exact finite-N dynamics),
+//! * the truncated ODE / Kurtz limit,
+//! * the closed-form mean `E[Sₙ(t)] = E[Sₙ(0)] e^{λt}`.
+//!
+//! It also evaluates the two-class model's predictions for the four pair
+//! types, which the trace experiments compare against.
+
+use psn_analytic::{
+    convergence_error, mean_paths, HomogeneousModel, JumpProcessConfig, PathCountJumpProcess,
+    TwoClassModel, TwoClassPrediction,
+};
+
+/// Agreement measurements for one (N, λ) configuration.
+#[derive(Debug, Clone)]
+pub struct ModelAgreement {
+    /// Population size.
+    pub nodes: usize,
+    /// Contact rate λ.
+    pub lambda: f64,
+    /// Horizon of the comparison (seconds).
+    pub horizon: f64,
+    /// Mean path count at the horizon: closed form.
+    pub closed_form_mean: f64,
+    /// Mean path count at the horizon: stochastic simulation.
+    pub simulated_mean: f64,
+    /// Mean path count at the horizon: truncated ODE.
+    pub ode_mean: f64,
+    /// Sup-difference between the simulated and ODE path-count densities
+    /// over the first few states (Kurtz-limit check).
+    pub density_error: f64,
+}
+
+impl ModelAgreement {
+    /// Relative error of the simulated mean against the closed form.
+    pub fn simulation_relative_error(&self) -> f64 {
+        (self.simulated_mean - self.closed_form_mean).abs() / self.closed_form_mean.max(1e-12)
+    }
+
+    /// Relative error of the ODE mean against the closed form.
+    pub fn ode_relative_error(&self) -> f64 {
+        (self.ode_mean - self.closed_form_mean).abs() / self.closed_form_mean.max(1e-12)
+    }
+}
+
+/// The complete model-validation result.
+#[derive(Debug, Clone)]
+pub struct ModelValidation {
+    /// One agreement record per (N, λ) configuration.
+    pub agreements: Vec<ModelAgreement>,
+    /// Two-class predictions for a representative in/out rate split.
+    pub two_class: Vec<TwoClassPrediction>,
+}
+
+/// Runs the model validation over a small grid of configurations.
+///
+/// `replications` controls the stochastic side's averaging; the figure
+/// binary uses a large value, the tests a small one.
+pub fn run_model_validation(replications: usize) -> ModelValidation {
+    let configs = [(100usize, 0.02f64, 150.0f64), (200, 0.02, 150.0), (200, 0.05, 80.0)];
+    let agreements = configs
+        .iter()
+        .map(|&(nodes, lambda, horizon)| {
+            let closed_form_mean = mean_paths(1.0 / nodes as f64, lambda, horizon);
+
+            let jump = PathCountJumpProcess::new(JumpProcessConfig::with_even_samples(
+                nodes,
+                lambda,
+                horizon,
+                1,
+                replications,
+                0xA11A,
+            ))
+            .run();
+            let simulated_mean = *jump.mean_paths.last().expect("one sample requested");
+
+            let model = HomogeneousModel::new(lambda, 120);
+            let solution = model.integrate(nodes, horizon, horizon / 600.0);
+            let ode_mean = model.density_at(&solution, horizon).mean();
+
+            let density_error =
+                convergence_error(nodes, lambda, horizon, 6, replications.min(20), 0xBEE);
+
+            ModelAgreement {
+                nodes,
+                lambda,
+                horizon,
+                closed_form_mean,
+                simulated_mean,
+                ode_mean,
+                density_error,
+            }
+        })
+        .collect();
+
+    // A representative two-class split: 'in' nodes at 0.03 contacts/s, 'out'
+    // nodes at 0.006 contacts/s, half the population each (matching the
+    // synthetic Infocom-like traces).
+    let two_class = TwoClassModel::new(0.03, 0.006, 49, 49, 2000).predict_all();
+
+    ModelValidation { agreements, two_class }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_analytic::PairClass;
+
+    #[test]
+    fn implementations_agree() {
+        let validation = run_model_validation(15);
+        assert_eq!(validation.agreements.len(), 3);
+        for a in &validation.agreements {
+            assert!(
+                a.ode_relative_error() < 0.1,
+                "ODE vs closed form at N={} λ={}: {}",
+                a.nodes,
+                a.lambda,
+                a.ode_relative_error()
+            );
+            assert!(
+                a.simulation_relative_error() < 0.5,
+                "simulation vs closed form at N={} λ={}: {}",
+                a.nodes,
+                a.lambda,
+                a.simulation_relative_error()
+            );
+            assert!(a.density_error < 0.15, "density error {}", a.density_error);
+        }
+    }
+
+    #[test]
+    fn two_class_predictions_cover_all_pair_classes() {
+        let validation = run_model_validation(5);
+        assert_eq!(validation.two_class.len(), 4);
+        let classes: Vec<PairClass> = validation.two_class.iter().map(|p| p.class).collect();
+        for c in PairClass::all() {
+            assert!(classes.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Paths taken by forwarding algorithms (Fig. 12).
+//!
+//! For an individual message the paper overlays (a) the burst structure of
+//! valid-path arrivals at the destination (from the enumeration study) with
+//! (b) the arrival time of the specific path each forwarding algorithm
+//! chose. The point of the figure is that every algorithm's chosen path
+//! lands early in the explosion process even when it is not optimal.
+
+use psn_forwarding::{standard_algorithms, AlgorithmKind, Simulator, SimulatorConfig};
+use psn_spacetime::{EnumerationConfig, Message, PathEnumerator, SpaceTimeGraph};
+use psn_trace::{ContactTrace, Seconds};
+
+/// Fig. 12 data for one message.
+#[derive(Debug, Clone)]
+pub struct PathsTakenCase {
+    /// The message analysed.
+    pub message: Message,
+    /// Valid-path arrival bursts: `(seconds since the first arrival, number
+    /// of paths arriving at that instant)`.
+    pub arrival_bursts: Vec<(Seconds, usize)>,
+    /// Per algorithm: the arrival time of its chosen path relative to the
+    /// first valid path's arrival (`None` if that algorithm failed to
+    /// deliver the message).
+    pub algorithm_arrivals: Vec<(AlgorithmKind, Option<Seconds>)>,
+}
+
+impl PathsTakenCase {
+    /// Total number of enumerated path arrivals.
+    pub fn total_paths(&self) -> usize {
+        self.arrival_bursts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// True if every algorithm that delivered did so within `window`
+    /// seconds of the optimal arrival — the qualitative claim of Fig. 12.
+    pub fn all_deliveries_within(&self, window: Seconds) -> bool {
+        self.algorithm_arrivals
+            .iter()
+            .filter_map(|(_, t)| *t)
+            .all(|t| t <= window + 1e-9)
+    }
+}
+
+/// Runs the Fig. 12 analysis for a set of messages over one trace.
+pub fn run_paths_taken(
+    trace: &ContactTrace,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+) -> Vec<PathsTakenCase> {
+    let graph = SpaceTimeGraph::build_default(trace);
+    let enumerator = PathEnumerator::new(&graph, enumeration);
+    let simulator = Simulator::new(trace, SimulatorConfig::default());
+    let algorithms = standard_algorithms();
+
+    messages
+        .iter()
+        .map(|message| {
+            let enumeration_result = enumerator.enumerate(message);
+            let first_arrival = enumeration_result.first_delivery_time();
+
+            // Burst structure: group deliveries by arrival time.
+            let mut arrival_bursts: Vec<(Seconds, usize)> = Vec::new();
+            if let Some(first) = first_arrival {
+                for delivery in &enumeration_result.deliveries {
+                    let offset = delivery.time - first;
+                    match arrival_bursts.last_mut() {
+                        Some((t, count)) if (*t - offset).abs() < 1e-9 => *count += 1,
+                        _ => arrival_bursts.push((offset, 1)),
+                    }
+                }
+            }
+
+            // Each algorithm's chosen-path arrival, relative to the first
+            // valid path.
+            let algorithm_arrivals = algorithms
+                .iter()
+                .map(|(kind, algorithm)| {
+                    let result = simulator.run(algorithm.as_ref(), std::slice::from_ref(message));
+                    let arrival = match (result.outcomes[0].delivered_at, first_arrival) {
+                        (Some(t), Some(first)) => Some(t - first),
+                        _ => None,
+                    };
+                    (*kind, arrival)
+                })
+                .collect();
+
+            PathsTakenCase { message: *message, arrival_bursts, algorithm_arrivals }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_spacetime::MessageGenerator;
+    use psn_trace::{DatasetId, SyntheticDataset};
+
+    #[test]
+    fn cases_report_bursts_and_algorithm_arrivals() {
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 18;
+        ds.config.stationary_nodes = 4;
+        ds.config.window_seconds = 1500.0;
+        let trace = ds.generate();
+        let generator = MessageGenerator::new(psn_spacetime::MessageWorkloadConfig {
+            nodes: trace.node_count(),
+            generation_horizon: 900.0,
+            mean_interarrival: 4.0,
+            seed: 5,
+        });
+        let messages = generator.uniform_messages(3);
+        let cases = run_paths_taken(&trace, &messages, EnumerationConfig::quick(30));
+        assert_eq!(cases.len(), 3);
+        for case in &cases {
+            assert_eq!(case.algorithm_arrivals.len(), 6);
+            // Offsets are non-negative and bursts are in time order.
+            for w in case.arrival_bursts.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            for (_, arrival) in &case.algorithm_arrivals {
+                if let Some(t) = arrival {
+                    assert!(*t >= -1e-9);
+                }
+            }
+            // Epidemic, when it delivers, arrives exactly at the first valid
+            // path's time (offset zero).
+            let epidemic = case
+                .algorithm_arrivals
+                .iter()
+                .find(|(k, _)| *k == AlgorithmKind::Epidemic)
+                .unwrap();
+            if let Some(t) = epidemic.1 {
+                assert!(t.abs() < 1e-9, "epidemic offset {t}");
+            }
+            if case.total_paths() > 0 {
+                assert!(case.arrival_bursts[0].0.abs() < 1e-9);
+            }
+            // The helper is consistent with the raw data.
+            assert!(case.all_deliveries_within(f64::INFINITY));
+        }
+    }
+}

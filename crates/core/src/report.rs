@@ -1,0 +1,310 @@
+//! Plain-text / CSV rendering of experiment results.
+//!
+//! The original figures are MATLAB plots; this reproduction emits the data
+//! series behind each figure as readable text (and CSV-style rows) so the
+//! regeneration binaries can print them and EXPERIMENTS.md can quote them.
+//! Every renderer returns a `String` so it is equally usable from binaries,
+//! tests and documentation examples.
+
+use std::fmt::Write as _;
+
+use psn_forwarding::PairType;
+use psn_stats::Ecdf;
+
+use crate::experiments::activity::ActivityReport;
+use crate::experiments::explosion::ExplosionStudy;
+use crate::experiments::forwarding::ForwardingStudy;
+use crate::experiments::hop_rates::HopRateStudy;
+use crate::experiments::model::ModelValidation;
+use crate::experiments::paths_taken::PathsTakenCase;
+
+/// Renders an ECDF as `value,cumulative_probability` rows, down-sampled to
+/// at most `max_points` points.
+pub fn render_cdf(name: &str, cdf: &Ecdf, max_points: usize) -> String {
+    let points = cdf.step_points();
+    let step = (points.len() / max_points.max(1)).max(1);
+    let mut out = format!("# {name}: {} samples\n", cdf.len());
+    out.push_str("value,probability\n");
+    for (i, (x, p)) in points.iter().enumerate() {
+        if i % step == 0 || i + 1 == points.len() {
+            let _ = writeln!(out, "{x:.3},{p:.4}");
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 1 contact time series of one dataset.
+pub fn render_activity(report: &ActivityReport) -> String {
+    let mut out = format!(
+        "# Figure 1 — total contacts per minute, {} (cv={:.3}, tail ratio={:.3})\n",
+        report.dataset, report.coefficient_of_variation, report.tail_ratio
+    );
+    out.push_str("minute,contacts\n");
+    for (t, c) in report.per_minute.series() {
+        let _ = writeln!(out, "{:.0},{}", t / 60.0, c);
+    }
+    out
+}
+
+/// Renders the Fig. 7 per-node contact-count CDF of one dataset.
+pub fn render_contact_cdf(report: &ActivityReport) -> String {
+    let mut out = format!(
+        "# Figure 7 — per-node contact count CDF, {} (KS distance to uniform = {:.3})\n",
+        report.dataset, report.uniformity_ks
+    );
+    out.push_str(&render_cdf("contact counts", &report.contact_count_cdf, 120));
+    out
+}
+
+/// Renders the Fig. 4 CDFs (optimal path duration, time to explosion).
+pub fn render_explosion_cdfs(study: &ExplosionStudy) -> String {
+    let mut out = format!(
+        "# Figure 4 — {} ({} messages, threshold {} paths)\n",
+        study.dataset,
+        study.summary.len(),
+        study.explosion_threshold
+    );
+    match study.summary.optimal_duration_cdf() {
+        Some(cdf) => out.push_str(&render_cdf("optimal path duration (s)", &cdf, 100)),
+        None => out.push_str("# no message was delivered\n"),
+    }
+    match study.summary.time_to_explosion_cdf() {
+        Some(cdf) => out.push_str(&render_cdf("time to explosion (s)", &cdf, 100)),
+        None => out.push_str("# no message reached the explosion threshold\n"),
+    }
+    if let Some(f) = study.fraction_optimal_duration_above(1000.0) {
+        let _ = writeln!(out, "# fraction with optimal duration > 1000 s: {f:.3}");
+    }
+    if let Some(f) = study.fraction_te_below(150.0) {
+        let _ = writeln!(out, "# fraction with TE <= 150 s: {f:.3}");
+    }
+    out
+}
+
+/// Renders the Fig. 5 scatter of optimal duration vs time to explosion.
+pub fn render_explosion_scatter(study: &ExplosionStudy) -> String {
+    let mut out = format!(
+        "# Figure 5 — optimal path duration vs time to explosion, {}\n",
+        study.dataset
+    );
+    if let Some(r) = study.t1_te_correlation {
+        let _ = writeln!(out, "# Pearson correlation: {r:.3}");
+    }
+    out.push_str("optimal_duration_s,time_to_explosion_s\n");
+    for (t1, te) in study.summary.scatter_points() {
+        let _ = writeln!(out, "{t1:.1},{te:.1}");
+    }
+    out
+}
+
+/// Renders the Fig. 6 growth histogram for slow-explosion messages.
+pub fn render_explosion_growth(study: &ExplosionStudy) -> String {
+    let mut out = format!(
+        "# Figure 6 — path arrivals since T1 for messages with TE >= {} s, {}\n",
+        study.slow_te_cutoff, study.dataset
+    );
+    match &study.slow_growth_histogram {
+        Some(h) => {
+            out.push_str("seconds_since_T1,paths\n");
+            for (x, c) in h.series() {
+                let _ = writeln!(out, "{x:.0},{c:.0}");
+            }
+        }
+        None => out.push_str("# no message had a slow explosion at this scale\n"),
+    }
+    out
+}
+
+/// Renders the Fig. 8 pair-type scatter panels.
+pub fn render_pairtype_scatter(study: &ExplosionStudy) -> String {
+    let mut out = format!(
+        "# Figure 8 — optimal duration vs time to explosion by pair type, {}\n",
+        study.dataset
+    );
+    for panel in &study.by_pair_type {
+        let _ = writeln!(out, "## {} ({} messages)", panel.pair_type, panel.points.len());
+        out.push_str("optimal_duration_s,time_to_explosion_s\n");
+        for (t1, te) in &panel.points {
+            let _ = writeln!(out, "{t1:.1},{te:.1}");
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 9 success-rate vs average-delay table for one dataset.
+pub fn render_delay_vs_success(study: &ForwardingStudy) -> String {
+    let mut out = format!(
+        "# Figure 9 — average delay vs success rate, {} ({} messages x {} runs)\n",
+        study.dataset, study.messages_per_run, study.runs
+    );
+    out.push_str("algorithm,success_rate,average_delay_s\n");
+    for (kind, success, delay) in study.delay_vs_success() {
+        let delay = delay.map(|d| format!("{d:.1}")).unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(out, "{kind},{success:.3},{delay}");
+    }
+    let _ = writeln!(
+        out,
+        "# success-rate spread across non-epidemic algorithms: {:.3}",
+        study.non_epidemic_success_spread()
+    );
+    out
+}
+
+/// Renders the Fig. 10 delay distributions for one dataset.
+pub fn render_delay_distributions(study: &ForwardingStudy) -> String {
+    let mut out = format!("# Figure 10 — delay distributions, {}\n", study.dataset);
+    for algo in &study.algorithms {
+        match algo.metrics.delay_cdf() {
+            Some(cdf) => {
+                let _ = writeln!(out, "## {}", algo.kind);
+                out.push_str(&render_cdf("delay (s)", &cdf, 60));
+            }
+            None => {
+                let _ = writeln!(out, "## {} — no deliveries", algo.kind);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 11 cumulative reception series (per algorithm).
+pub fn render_reception_times(study: &ForwardingStudy) -> String {
+    let mut out = format!("# Figure 11 — cumulative message receptions, {}\n", study.dataset);
+    for algo in &study.algorithms {
+        let _ = writeln!(out, "## {}", algo.kind);
+        out.push_str("minute,cumulative_deliveries\n");
+        for (t, c) in algo.reception_series.cumulative() {
+            let _ = writeln!(out, "{:.0},{c:.0}", t / 60.0);
+        }
+    }
+    out
+}
+
+/// Renders one Fig. 12 case (path bursts + algorithm arrivals).
+pub fn render_paths_taken(case: &PathsTakenCase) -> String {
+    let mut out = format!(
+        "# Figure 12 — paths taken by forwarding algorithms, message {}\n",
+        case.message
+    );
+    out.push_str("seconds_since_T1,arriving_paths\n");
+    for (t, c) in &case.arrival_bursts {
+        let _ = writeln!(out, "{t:.0},{c}");
+    }
+    out.push_str("algorithm,arrival_offset_s\n");
+    for (kind, arrival) in &case.algorithm_arrivals {
+        let arrival = arrival.map(|t| format!("{t:.0}")).unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(out, "{kind},{arrival}");
+    }
+    out
+}
+
+/// Renders the Fig. 13 pair-type performance breakdown for one dataset.
+pub fn render_pairtype_performance(study: &ForwardingStudy) -> String {
+    let mut out = format!(
+        "# Figure 13 — performance by source-destination pair type, {}\n",
+        study.dataset
+    );
+    out.push_str("algorithm,pair_type,success_rate,average_delay_s\n");
+    for algo in &study.algorithms {
+        for pair_type in PairType::all() {
+            let metrics = algo.by_pair_type.get(pair_type);
+            let delay = metrics
+                .average_delay
+                .map(|d| format!("{d:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{}",
+                algo.kind, pair_type, metrics.success_rate, delay
+            );
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 14 per-hop mean rates with confidence intervals.
+pub fn render_hop_rates(study: &HopRateStudy) -> String {
+    let mut out = format!("# Figure 14 — mean contact rate per hop ({} paths)\n", study.paths);
+    out.push_str("hop,mean_rate,ci_low,ci_high\n");
+    for (hop, mean, ci) in &study.mean_rate_per_hop {
+        match ci {
+            Some(ci) => {
+                let _ = writeln!(out, "{hop},{mean:.5},{:.5},{:.5}", ci.low(), ci.high());
+            }
+            None => {
+                let _ = writeln!(out, "{hop},{mean:.5},-,-");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Fig. 15 per-hop rate-ratio box plots.
+pub fn render_rate_ratios(study: &HopRateStudy) -> String {
+    let mut out = format!(
+        "# Figure 15 — contact-rate ratios between consecutive hops ({} paths)\n",
+        study.paths
+    );
+    for (label, bp) in &study.rate_ratio_per_hop {
+        let _ = writeln!(out, "{label}: {}", bp.render_line());
+    }
+    out
+}
+
+/// Renders the §5.1 model-validation summary.
+pub fn render_model_validation(validation: &ModelValidation) -> String {
+    let mut out = String::from("# Section 5.1 — analytic model validation\n");
+    out.push_str("nodes,lambda,horizon_s,closed_form_mean,simulated_mean,ode_mean,density_error\n");
+    for a in &validation.agreements {
+        let _ = writeln!(
+            out,
+            "{},{},{:.0},{:.4},{:.4},{:.4},{:.4}",
+            a.nodes, a.lambda, a.horizon, a.closed_form_mean, a.simulated_mean, a.ode_mean,
+            a.density_error
+        );
+    }
+    out.push_str("# Section 5.2 — two-class (in/out) model predictions\n");
+    out.push_str("pair_class,expected_T1_s,expected_TE_s\n");
+    for p in &validation.two_class {
+        let _ = writeln!(out, "{},{:.0},{:.0}", p.class, p.expected_t1, p.expected_te);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentProfile;
+    use crate::experiments::activity::{activity_report, run_activity_study};
+    use psn_trace::DatasetId;
+
+    #[test]
+    fn cdf_rendering_is_csv_like() {
+        let cdf = Ecdf::new(&[1.0, 2.0, 2.0, 5.0]).unwrap();
+        let text = render_cdf("test", &cdf, 10);
+        assert!(text.contains("value,probability"));
+        assert!(text.contains("5.000,1.0000"));
+        assert!(text.starts_with("# test: 4 samples"));
+    }
+
+    #[test]
+    fn activity_rendering_contains_every_minute() {
+        let reports = run_activity_study(ExperimentProfile::Quick);
+        let text = render_activity(&reports[0]);
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("minute,contacts"));
+        let lines = text.lines().count();
+        // Header lines + 60 one-minute bins for the quick one-hour window.
+        assert!(lines >= 60, "only {lines} lines");
+        let cdf_text = render_contact_cdf(&reports[0]);
+        assert!(cdf_text.contains("Figure 7"));
+    }
+
+    #[test]
+    fn activity_report_for_custom_trace() {
+        let trace = ExperimentProfile::Quick.dataset(DatasetId::Conext06Morning).generate();
+        let report = activity_report(DatasetId::Conext06Morning, &trace);
+        let text = render_activity(&report);
+        assert!(text.contains("Conext06 9-12"));
+    }
+}

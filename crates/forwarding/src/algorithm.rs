@@ -1,0 +1,94 @@
+//! The forwarding-algorithm abstraction.
+//!
+//! A forwarding algorithm, in the paper's formulation, is a local rule: when
+//! node `xᵢ` holding a message for destination `δ` meets node `xⱼ`, should
+//! it hand `xⱼ` a copy? Delivery to the destination itself is *not* part of
+//! the rule — every algorithm respects minimal progress, so the simulator
+//! always delivers when a holder meets the destination.
+
+use psn_trace::{NodeId, Seconds};
+
+use crate::history::ContactHistory;
+use crate::oracle::TraceOracle;
+
+/// Read-only view of the simulation state offered to forwarding decisions.
+#[derive(Debug)]
+pub struct ForwardingContext<'a> {
+    /// Contact history observed so far (recent/complete past knowledge).
+    pub history: &'a ContactHistory,
+    /// Whole-trace oracle (future knowledge); only oracle-based algorithms
+    /// consult it.
+    pub oracle: &'a TraceOracle,
+    /// Current simulation time (the end of the slot being processed).
+    pub now: Seconds,
+}
+
+/// A forwarding algorithm: decides whether to replicate a message from its
+/// current holder to an encountered peer.
+pub trait ForwardingAlgorithm: Send + Sync {
+    /// Human-readable name used in reports (e.g. `"FRESH"`).
+    fn name(&self) -> &str;
+
+    /// True if the algorithm consults the message destination when deciding
+    /// (the paper's destination-aware / destination-unaware distinction).
+    fn destination_aware(&self) -> bool;
+
+    /// Decides whether `holder` should hand a copy of a message destined for
+    /// `destination` to `peer` when they meet.
+    ///
+    /// `holder != peer`, `peer != destination` (delivery is handled by the
+    /// simulator), and the peer does not already have a copy.
+    fn should_forward(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        holder: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+    ) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial always-forward rule used to exercise the trait object
+    /// machinery.
+    struct Always;
+
+    impl ForwardingAlgorithm for Always {
+        fn name(&self) -> &str {
+            "Always"
+        }
+        fn destination_aware(&self) -> bool {
+            false
+        }
+        fn should_forward(
+            &self,
+            _ctx: &ForwardingContext<'_>,
+            _holder: NodeId,
+            _peer: NodeId,
+            _destination: NodeId,
+        ) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        use psn_trace::node::NodeRegistry;
+        use psn_trace::trace::{ContactTrace, TimeWindow};
+
+        let trace = ContactTrace::new(
+            "empty",
+            NodeRegistry::with_counts(2, 0),
+            TimeWindow::new(0.0, 10.0),
+        );
+        let history = ContactHistory::new(2);
+        let oracle = TraceOracle::from_trace(&trace);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        let algo: Box<dyn ForwardingAlgorithm> = Box::new(Always);
+        assert_eq!(algo.name(), "Always");
+        assert!(!algo.destination_aware());
+        assert!(algo.should_forward(&ctx, NodeId(0), NodeId(1), NodeId(1)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Dynamic Programming forwarding (Minimum Expected Delay, after Jain, Fall
+//! & Patra 2004 and Jones, Li & Ward 2005).
+//!
+//! The algorithm computes the average delay between every pair of nodes from
+//! the whole trace, runs an all-pairs shortest-path computation over those
+//! expected delays, and forwards a message to a peer iff the peer's minimum
+//! expected delay to the destination is strictly smaller than the holder's.
+//! It is destination aware and uses both past and future knowledge (the
+//! oracle), making it the most informed practical-style algorithm the paper
+//! evaluates.
+
+use psn_trace::NodeId;
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+
+/// Dynamic Programming / MEED-style forwarding on expected-delay shortest
+/// paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicProgramming;
+
+impl ForwardingAlgorithm for DynamicProgramming {
+    fn name(&self) -> &str {
+        "Dynamic Programming"
+    }
+
+    fn destination_aware(&self) -> bool {
+        true
+    }
+
+    fn should_forward(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        holder: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+    ) -> bool {
+        let peer_cost = ctx.oracle.shortest_expected_delay(peer, destination);
+        let holder_cost = ctx.oracle.shortest_expected_delay(holder, destination);
+        match (peer_cost.is_finite(), holder_cost.is_finite()) {
+            (true, false) => true,
+            (true, true) => peer_cost < holder_cost,
+            (false, _) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use crate::oracle::TraceOracle;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn oracle() -> TraceOracle {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..5 {
+            reg.add(NodeClass::Mobile);
+        }
+        // Node 1 meets the destination (3) very often; node 2 meets it once;
+        // node 0 never meets it directly but meets node 1; node 4 is
+        // isolated.
+        let mut contacts = vec![Contact::new(nid(0), nid(1), 0.0, 1.0).unwrap()];
+        for k in 0..10 {
+            let t = 10.0 + k as f64 * 50.0;
+            contacts.push(Contact::new(nid(1), nid(3), t, t + 1.0).unwrap());
+        }
+        contacts.push(Contact::new(nid(2), nid(3), 900.0, 901.0).unwrap());
+        let trace =
+            ContactTrace::from_contacts("dp", reg, TimeWindow::new(0.0, 1000.0), contacts).unwrap();
+        TraceOracle::from_trace(&trace)
+    }
+
+    #[test]
+    fn forwards_toward_lower_expected_delay() {
+        let oracle = oracle();
+        let history = ContactHistory::new(5);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        let algo = DynamicProgramming;
+        // Node 1 (frequent contact with 3) is a better relay than node 2.
+        assert!(algo.should_forward(&ctx, nid(2), nid(1), nid(3)));
+        assert!(!algo.should_forward(&ctx, nid(1), nid(2), nid(3)));
+        // Node 0 should hand off to node 1 (its route to 3 goes through 1).
+        assert!(algo.should_forward(&ctx, nid(0), nid(1), nid(3)));
+        // Nothing is gained by forwarding to the isolated node 4.
+        assert!(!algo.should_forward(&ctx, nid(0), nid(4), nid(3)));
+        // A node with a route beats a node with none.
+        assert!(algo.should_forward(&ctx, nid(4), nid(2), nid(3)));
+    }
+
+    #[test]
+    fn equal_costs_do_not_forward() {
+        let oracle = oracle();
+        let history = ContactHistory::new(5);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        // A node never forwards to itself-equivalent cost peers; in
+        // particular never when both are unreachable.
+        assert!(!DynamicProgramming.should_forward(&ctx, nid(4), nid(4), nid(3)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Epidemic forwarding (flooding), Vahdat & Becker 2000.
+//!
+//! A node forwards every message it holds to every node it meets that does
+//! not already have a copy. With infinite buffers this finds the optimal
+//! path for every message, so it upper-bounds both success rate and average
+//! delay (paper §6.1); it is also the process whose path counts the analytic
+//! model of §5 describes.
+
+use psn_trace::NodeId;
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+
+/// Epidemic (flooding) forwarding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epidemic;
+
+impl ForwardingAlgorithm for Epidemic {
+    fn name(&self) -> &str {
+        "Epidemic"
+    }
+
+    fn destination_aware(&self) -> bool {
+        false
+    }
+
+    fn should_forward(
+        &self,
+        _ctx: &ForwardingContext<'_>,
+        _holder: NodeId,
+        _peer: NodeId,
+        _destination: NodeId,
+    ) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use crate::oracle::TraceOracle;
+    use psn_trace::node::NodeRegistry;
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    #[test]
+    fn always_forwards() {
+        let trace = ContactTrace::new(
+            "empty",
+            NodeRegistry::with_counts(3, 0),
+            TimeWindow::new(0.0, 10.0),
+        );
+        let history = ContactHistory::new(3);
+        let oracle = TraceOracle::from_trace(&trace);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 5.0 };
+        let algo = Epidemic;
+        for peer in 1..3u32 {
+            assert!(algo.should_forward(&ctx, NodeId(0), NodeId(peer), NodeId(2)));
+        }
+        assert_eq!(algo.name(), "Epidemic");
+        assert!(!algo.destination_aware());
+    }
+}

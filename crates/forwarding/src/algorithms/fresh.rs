@@ -1,0 +1,100 @@
+//! FRESH forwarding (Dubois-Ferriere, Grossglauser & Vetterli 2003).
+//!
+//! Node `xᵢ` forwards a message to `xⱼ` upon contact iff `xⱼ` has contacted
+//! the destination *more recently* than `xᵢ` has. It is destination aware
+//! and uses only the most recent encounter (recent history, single-hop
+//! information).
+
+use psn_trace::NodeId;
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+
+/// FRESH: forward toward nodes with fresher encounters with the destination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fresh;
+
+impl ForwardingAlgorithm for Fresh {
+    fn name(&self) -> &str {
+        "Fresh"
+    }
+
+    fn destination_aware(&self) -> bool {
+        true
+    }
+
+    fn should_forward(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        holder: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+    ) -> bool {
+        let peer_last = ctx.history.last_contact_with(peer, destination);
+        let holder_last = ctx.history.last_contact_with(holder, destination);
+        match (peer_last, holder_last) {
+            // Peer met the destination, holder never did: forward.
+            (Some(_), None) => true,
+            // Forward only to strictly more recent encounters.
+            (Some(p), Some(h)) => p > h,
+            // Peer has never met the destination: keep the message.
+            (None, _) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use crate::oracle::TraceOracle;
+    use psn_trace::node::NodeRegistry;
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn oracle(n: usize) -> TraceOracle {
+        let trace = ContactTrace::new(
+            "empty",
+            NodeRegistry::with_counts(n, 0),
+            TimeWindow::new(0.0, 100.0),
+        );
+        TraceOracle::from_trace(&trace)
+    }
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn forwards_to_fresher_encounters_only() {
+        let mut history = ContactHistory::new(4);
+        // Destination is node 3. Holder 0 met it at t=10, peer 1 at t=50,
+        // peer 2 never.
+        history.record_contact(nid(0), nid(3), 10.0);
+        history.record_contact(nid(1), nid(3), 50.0);
+        let oracle = oracle(4);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 60.0 };
+        let algo = Fresh;
+        assert!(algo.should_forward(&ctx, nid(0), nid(1), nid(3)));
+        assert!(!algo.should_forward(&ctx, nid(1), nid(0), nid(3)));
+        assert!(!algo.should_forward(&ctx, nid(0), nid(2), nid(3)));
+        // A peer that met the destination beats a holder that never did.
+        assert!(algo.should_forward(&ctx, nid(2), nid(0), nid(3)));
+    }
+
+    #[test]
+    fn equal_recency_does_not_forward() {
+        let mut history = ContactHistory::new(3);
+        history.record_contact(nid(0), nid(2), 30.0);
+        history.record_contact(nid(1), nid(2), 30.0);
+        let oracle = oracle(3);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 40.0 };
+        assert!(!Fresh.should_forward(&ctx, nid(0), nid(1), nid(2)));
+    }
+
+    #[test]
+    fn no_knowledge_keeps_the_message() {
+        let history = ContactHistory::new(3);
+        let oracle = oracle(3);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        assert!(!Fresh.should_forward(&ctx, nid(0), nid(1), nid(2)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Greedy forwarding (contact-count version).
+//!
+//! Node `xᵢ` forwards a message to `xⱼ` upon contact iff `xⱼ` has contacted
+//! the destination *more times since the start of the simulation* than `xᵢ`
+//! has. Like FRESH it is destination aware, but it uses the entire contact
+//! history rather than only the most recent encounter (paper §6.1).
+
+use psn_trace::NodeId;
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+
+/// Greedy: forward toward nodes with more past encounters with the
+/// destination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl ForwardingAlgorithm for Greedy {
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+
+    fn destination_aware(&self) -> bool {
+        true
+    }
+
+    fn should_forward(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        holder: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+    ) -> bool {
+        ctx.history.contacts_with(peer, destination)
+            > ctx.history.contacts_with(holder, destination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use crate::oracle::TraceOracle;
+    use psn_trace::node::NodeRegistry;
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn oracle(n: usize) -> TraceOracle {
+        let trace = ContactTrace::new(
+            "empty",
+            NodeRegistry::with_counts(n, 0),
+            TimeWindow::new(0.0, 100.0),
+        );
+        TraceOracle::from_trace(&trace)
+    }
+
+    #[test]
+    fn forwards_to_more_frequent_contacts_of_destination() {
+        let mut history = ContactHistory::new(4);
+        // Destination 3: peer 1 met it twice, holder 0 once, peer 2 never.
+        history.record_contact(nid(0), nid(3), 10.0);
+        history.record_contact(nid(1), nid(3), 20.0);
+        history.record_contact(nid(1), nid(3), 40.0);
+        let oracle = oracle(4);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 50.0 };
+        assert!(Greedy.should_forward(&ctx, nid(0), nid(1), nid(3)));
+        assert!(!Greedy.should_forward(&ctx, nid(1), nid(0), nid(3)));
+        assert!(!Greedy.should_forward(&ctx, nid(0), nid(2), nid(3)));
+    }
+
+    #[test]
+    fn frequency_beats_recency() {
+        // Peer 1 met the destination twice long ago; peer 0 met it once just
+        // now. Greedy prefers the higher count (where FRESH would prefer the
+        // fresher contact).
+        let mut history = ContactHistory::new(3);
+        history.record_contact(nid(1), nid(2), 5.0);
+        history.record_contact(nid(1), nid(2), 6.0);
+        history.record_contact(nid(0), nid(2), 90.0);
+        let oracle = oracle(3);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 91.0 };
+        assert!(Greedy.should_forward(&ctx, nid(0), nid(1), nid(2)));
+    }
+
+    #[test]
+    fn equal_counts_do_not_forward() {
+        let history = ContactHistory::new(3);
+        let oracle = oracle(3);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        assert!(!Greedy.should_forward(&ctx, nid(0), nid(1), nid(2)));
+    }
+}

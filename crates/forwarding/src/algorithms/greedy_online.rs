@@ -1,0 +1,83 @@
+//! Greedy Online forwarding.
+//!
+//! Node `xᵢ` forwards a message to `xⱼ` upon contact iff `xⱼ` has had more
+//! contacts (with all other nodes) *since the start of the simulation* than
+//! `xᵢ` has. Like Greedy Total it is destination unaware — it simply pushes
+//! messages toward busier nodes — but it only uses knowledge available
+//! online, making it a practical counterpart of Greedy Total (paper §6.1).
+
+use psn_trace::NodeId;
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+
+/// Greedy Online: forward toward nodes that have been busier so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyOnline;
+
+impl ForwardingAlgorithm for GreedyOnline {
+    fn name(&self) -> &str {
+        "Greedy Online"
+    }
+
+    fn destination_aware(&self) -> bool {
+        false
+    }
+
+    fn should_forward(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        holder: NodeId,
+        peer: NodeId,
+        _destination: NodeId,
+    ) -> bool {
+        ctx.history.total_contacts(peer) > ctx.history.total_contacts(holder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use crate::oracle::TraceOracle;
+    use psn_trace::node::NodeRegistry;
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn oracle(n: usize) -> TraceOracle {
+        let trace = ContactTrace::new(
+            "empty",
+            NodeRegistry::with_counts(n, 0),
+            TimeWindow::new(0.0, 100.0),
+        );
+        TraceOracle::from_trace(&trace)
+    }
+
+    #[test]
+    fn forwards_toward_busier_nodes_so_far() {
+        let mut history = ContactHistory::new(4);
+        history.record_contact(nid(1), nid(2), 1.0);
+        history.record_contact(nid(1), nid(3), 2.0);
+        history.record_contact(nid(0), nid(2), 3.0);
+        // Totals so far: node0=1, node1=2, node2=2, node3=1.
+        let oracle = oracle(4);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 5.0 };
+        let algo = GreedyOnline;
+        assert!(algo.should_forward(&ctx, nid(0), nid(1), nid(3)));
+        assert!(!algo.should_forward(&ctx, nid(1), nid(0), nid(3)));
+        // Ties do not forward.
+        assert!(!algo.should_forward(&ctx, nid(1), nid(2), nid(3)));
+    }
+
+    #[test]
+    fn ignores_future_knowledge() {
+        // Even if the oracle knows node 1 will be a hub, Greedy Online only
+        // sees the (empty) history.
+        let history = ContactHistory::new(3);
+        let oracle = oracle(3);
+        let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };
+        assert!(!GreedyOnline.should_forward(&ctx, nid(0), nid(1), nid(2)));
+    }
+}

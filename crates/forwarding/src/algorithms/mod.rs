@@ -1,0 +1,123 @@
+//! The six forwarding algorithms evaluated by the paper.
+
+pub mod dynamic_programming;
+pub mod epidemic;
+pub mod fresh;
+pub mod greedy;
+pub mod greedy_online;
+pub mod greedy_total;
+
+pub use dynamic_programming::DynamicProgramming;
+pub use epidemic::Epidemic;
+pub use fresh::Fresh;
+pub use greedy::Greedy;
+pub use greedy_online::GreedyOnline;
+pub use greedy_total::GreedyTotal;
+
+use crate::algorithm::ForwardingAlgorithm;
+
+/// Identifiers for the paper's six algorithms, in the order the figures list
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Epidemic forwarding (flooding): the optimal-performance baseline.
+    Epidemic,
+    /// FRESH: forward to nodes that met the destination more recently.
+    Fresh,
+    /// Greedy: forward to nodes that met the destination more often so far.
+    Greedy,
+    /// Greedy Total: forward to nodes with more total contacts over the
+    /// whole trace (destination unaware, future knowledge).
+    GreedyTotal,
+    /// Greedy Online: forward to nodes with more contacts observed so far
+    /// (destination unaware, past knowledge).
+    GreedyOnline,
+    /// Dynamic Programming: forward along minimum expected delay paths
+    /// (destination aware, future knowledge).
+    DynamicProgramming,
+}
+
+impl AlgorithmKind {
+    /// All six algorithms in presentation order.
+    pub fn all() -> [AlgorithmKind; 6] {
+        [
+            AlgorithmKind::Epidemic,
+            AlgorithmKind::Fresh,
+            AlgorithmKind::Greedy,
+            AlgorithmKind::GreedyTotal,
+            AlgorithmKind::GreedyOnline,
+            AlgorithmKind::DynamicProgramming,
+        ]
+    }
+
+    /// The display label used by the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Epidemic => "Epidemic",
+            AlgorithmKind::Fresh => "Fresh",
+            AlgorithmKind::Greedy => "Greedy",
+            AlgorithmKind::GreedyTotal => "Greedy Total",
+            AlgorithmKind::GreedyOnline => "Greedy Online",
+            AlgorithmKind::DynamicProgramming => "Dynamic Programming",
+        }
+    }
+
+    /// Instantiates the algorithm.
+    pub fn build(&self) -> Box<dyn ForwardingAlgorithm> {
+        match self {
+            AlgorithmKind::Epidemic => Box::new(Epidemic),
+            AlgorithmKind::Fresh => Box::new(Fresh),
+            AlgorithmKind::Greedy => Box::new(Greedy),
+            AlgorithmKind::GreedyTotal => Box::new(GreedyTotal),
+            AlgorithmKind::GreedyOnline => Box::new(GreedyOnline),
+            AlgorithmKind::DynamicProgramming => Box::new(DynamicProgramming),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Instantiates all six algorithms in presentation order.
+pub fn standard_algorithms() -> Vec<(AlgorithmKind, Box<dyn ForwardingAlgorithm>)> {
+    AlgorithmKind::all().into_iter().map(|k| (k, k.build())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_algorithms_with_distinct_labels() {
+        let algos = standard_algorithms();
+        assert_eq!(algos.len(), 6);
+        let mut labels: Vec<&str> = algos.iter().map(|(k, _)| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn built_names_match_kind_labels() {
+        for (kind, algo) in standard_algorithms() {
+            assert_eq!(kind.label(), algo.name());
+            assert_eq!(kind.to_string(), algo.name());
+        }
+    }
+
+    #[test]
+    fn destination_awareness_matches_the_paper() {
+        use AlgorithmKind::*;
+        for (kind, algo) in standard_algorithms() {
+            let expected = matches!(kind, Fresh | Greedy | DynamicProgramming);
+            assert_eq!(
+                algo.destination_aware(),
+                expected,
+                "awareness mismatch for {kind}"
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Online contact history.
+//!
+//! Several of the paper's forwarding algorithms base their decisions on what
+//! a node has observed so far: FRESH uses the most recent encounter time
+//! with the destination, Greedy uses the number of encounters with the
+//! destination since the start of the simulation, and Greedy Online uses the
+//! total number of contacts observed so far. [`ContactHistory`] maintains
+//! exactly that state as the simulator replays the trace slot by slot.
+//!
+//! (History is global in the sense that every node's view is derived from
+//! the same replayed trace; the paper's algorithms compare per-node
+//! statistics rather than modelling information propagation delays.)
+
+use psn_trace::{NodeId, Seconds};
+
+/// Running per-node and per-pair contact statistics up to the current
+/// simulation time.
+#[derive(Debug, Clone)]
+pub struct ContactHistory {
+    node_count: usize,
+    /// Last time each ordered pair was in contact (`None` = never so far).
+    last_contact: Vec<Option<Seconds>>,
+    /// Number of contact-slot incidences per ordered pair.
+    pair_counts: Vec<u64>,
+    /// Number of contact-slot incidences per node (over all peers).
+    node_counts: Vec<u64>,
+    /// Latest time the history has been advanced to.
+    now: Seconds,
+}
+
+impl ContactHistory {
+    /// Creates an empty history for `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            last_contact: vec![None; node_count * node_count],
+            pair_counts: vec![0; node_count * node_count],
+            node_counts: vec![0; node_count],
+            now: 0.0,
+        }
+    }
+
+    fn idx(&self, a: NodeId, b: NodeId) -> usize {
+        a.index() * self.node_count + b.index()
+    }
+
+    /// Records that `a` and `b` were in contact at `time` (both directions).
+    pub fn record_contact(&mut self, a: NodeId, b: NodeId, time: Seconds) {
+        let ab = self.idx(a, b);
+        let ba = self.idx(b, a);
+        self.last_contact[ab] = Some(time);
+        self.last_contact[ba] = Some(time);
+        self.pair_counts[ab] += 1;
+        self.pair_counts[ba] += 1;
+        self.node_counts[a.index()] += 1;
+        self.node_counts[b.index()] += 1;
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The latest contact time recorded so far.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// The most recent time `node` was in contact with `peer`, if ever.
+    pub fn last_contact_with(&self, node: NodeId, peer: NodeId) -> Option<Seconds> {
+        self.last_contact[self.idx(node, peer)]
+    }
+
+    /// How long ago (relative to `now`) `node` last contacted `peer`;
+    /// `None` if they have never met. This is FRESH's "encounter age".
+    pub fn encounter_age(&self, node: NodeId, peer: NodeId, now: Seconds) -> Option<Seconds> {
+        self.last_contact_with(node, peer).map(|t| (now - t).max(0.0))
+    }
+
+    /// Number of contacts observed so far between `node` and `peer`
+    /// (Greedy's statistic when `peer` is the destination).
+    pub fn contacts_with(&self, node: NodeId, peer: NodeId) -> u64 {
+        self.pair_counts[self.idx(node, peer)]
+    }
+
+    /// Total number of contacts `node` has had so far with anyone
+    /// (Greedy Online's statistic).
+    pub fn total_contacts(&self, node: NodeId) -> u64 {
+        self.node_counts[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn empty_history_knows_nothing() {
+        let h = ContactHistory::new(4);
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.last_contact_with(nid(0), nid(1)), None);
+        assert_eq!(h.contacts_with(nid(0), nid(1)), 0);
+        assert_eq!(h.total_contacts(nid(0)), 0);
+        assert_eq!(h.encounter_age(nid(0), nid(1), 100.0), None);
+        assert_eq!(h.now(), 0.0);
+    }
+
+    #[test]
+    fn recording_is_symmetric() {
+        let mut h = ContactHistory::new(3);
+        h.record_contact(nid(0), nid(1), 50.0);
+        assert_eq!(h.last_contact_with(nid(0), nid(1)), Some(50.0));
+        assert_eq!(h.last_contact_with(nid(1), nid(0)), Some(50.0));
+        assert_eq!(h.contacts_with(nid(0), nid(1)), 1);
+        assert_eq!(h.contacts_with(nid(1), nid(0)), 1);
+        assert_eq!(h.total_contacts(nid(0)), 1);
+        assert_eq!(h.total_contacts(nid(1)), 1);
+        assert_eq!(h.total_contacts(nid(2)), 0);
+        assert_eq!(h.now(), 50.0);
+    }
+
+    #[test]
+    fn repeated_contacts_update_recency_and_counts() {
+        let mut h = ContactHistory::new(3);
+        h.record_contact(nid(0), nid(1), 10.0);
+        h.record_contact(nid(0), nid(1), 40.0);
+        h.record_contact(nid(0), nid(2), 20.0);
+        assert_eq!(h.last_contact_with(nid(0), nid(1)), Some(40.0));
+        assert_eq!(h.contacts_with(nid(0), nid(1)), 2);
+        assert_eq!(h.total_contacts(nid(0)), 3);
+        assert_eq!(h.encounter_age(nid(0), nid(1), 100.0), Some(60.0));
+        assert_eq!(h.encounter_age(nid(0), nid(2), 100.0), Some(80.0));
+    }
+
+    #[test]
+    fn encounter_age_never_negative() {
+        let mut h = ContactHistory::new(2);
+        h.record_contact(nid(0), nid(1), 50.0);
+        // Asking "age" at a timestamp before the recorded contact clamps to
+        // zero rather than going negative.
+        assert_eq!(h.encounter_age(nid(0), nid(1), 40.0), Some(0.0));
+    }
+}

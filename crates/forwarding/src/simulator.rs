@@ -1,0 +1,442 @@
+//! The trace-driven forwarding simulator.
+//!
+//! The simulator replays a contact trace slot by slot (the same Δ
+//! discretization as the space-time graph, 10 s by default) and applies a
+//! forwarding algorithm to every contact, following the paper's methodology
+//! (§6.1):
+//!
+//! * nodes have infinite buffers and keep every message (copy) they receive
+//!   until the end of the simulation;
+//! * delivery respects minimal progress: whenever any node holding a copy is
+//!   in contact with the destination, the message is delivered;
+//! * within a slot, messages may traverse several contacts (the zero-weight
+//!   multi-hop of the space-time graph): the simulator sweeps the slot's
+//!   contacts until no more copies move, so Epidemic achieves exactly the
+//!   optimal delivery times computed by [`psn_spacetime::reachability`];
+//! * the algorithm's `should_forward` rule decides replication on every
+//!   contact between a holder and a non-destination peer that lacks a copy.
+//!
+//! Besides delivery times the simulator records, per message, the hop path
+//! along which the *first delivered copy* travelled, which the experiments
+//! use for the per-hop contact-rate analyses (Figs. 12, 14, 15).
+
+use psn_spacetime::{Message, Path, SpaceTimeGraph};
+use psn_trace::{ContactTrace, NodeId, Seconds};
+
+use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
+use crate::history::ContactHistory;
+use crate::metrics::MessageOutcome;
+use crate::oracle::TraceOracle;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorConfig {
+    /// Slot length in seconds (the paper's Δ = 10 s).
+    pub delta: Seconds,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self { delta: 10.0 }
+    }
+}
+
+/// The result of simulating one algorithm over one trace and message set.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Name of the algorithm that produced the result.
+    pub algorithm: String,
+    /// Per-message outcomes, in the same order as the input messages.
+    pub outcomes: Vec<MessageOutcome>,
+}
+
+impl SimulationResult {
+    /// Number of simulated messages.
+    pub fn message_count(&self) -> usize {
+        self.outcomes.len()
+    }
+}
+
+/// Internal per-message, per-node copy state.
+struct MessageState {
+    /// Which nodes currently hold a copy.
+    holders: Vec<bool>,
+    /// How each holder obtained its copy: `(previous node, receive time)`;
+    /// the source's entry is `None`.
+    received_from: Vec<Option<(NodeId, Seconds)>>,
+    /// Delivery time, once delivered.
+    delivered_at: Option<Seconds>,
+    /// The node that handed the delivered copy to the destination.
+    delivered_by: Option<NodeId>,
+    /// True once the creation slot has been reached and the source holds the
+    /// message.
+    active: bool,
+}
+
+impl MessageState {
+    fn new(node_count: usize) -> Self {
+        Self {
+            holders: vec![false; node_count],
+            received_from: vec![None; node_count],
+            delivered_at: None,
+            delivered_by: None,
+            active: false,
+        }
+    }
+}
+
+/// The slot-based trace-driven simulator.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    trace: &'a ContactTrace,
+    graph: SpaceTimeGraph,
+    oracle: TraceOracle,
+    config: SimulatorConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator for a trace, precomputing the space-time graph and
+    /// the whole-trace oracle.
+    pub fn new(trace: &'a ContactTrace, config: SimulatorConfig) -> Self {
+        assert!(config.delta > 0.0, "slot length must be positive");
+        let graph = SpaceTimeGraph::build(trace, config.delta);
+        let oracle = TraceOracle::from_trace(trace);
+        Self { trace, graph, oracle, config }
+    }
+
+    /// Builds a simulator with the default Δ = 10 s.
+    pub fn with_default_config(trace: &'a ContactTrace) -> Self {
+        Self::new(trace, SimulatorConfig::default())
+    }
+
+    /// The underlying space-time graph (shared with path-enumeration
+    /// experiments so both views use identical discretization).
+    pub fn graph(&self) -> &SpaceTimeGraph {
+        &self.graph
+    }
+
+    /// The whole-trace oracle.
+    pub fn oracle(&self) -> &TraceOracle {
+        &self.oracle
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
+    /// Runs `algorithm` over `messages` and returns per-message outcomes.
+    pub fn run(
+        &self,
+        algorithm: &dyn ForwardingAlgorithm,
+        messages: &[Message],
+    ) -> SimulationResult {
+        let n = self.trace.node_count();
+        let mut history = ContactHistory::new(n);
+        let mut states: Vec<MessageState> =
+            messages.iter().map(|_| MessageState::new(n)).collect();
+
+        // Messages sorted by creation slot for activation.
+        let mut activation_order: Vec<usize> = (0..messages.len()).collect();
+        activation_order.sort_by(|&a, &b| {
+            messages[a]
+                .created_at
+                .partial_cmp(&messages[b].created_at)
+                .expect("finite creation times")
+        });
+        let mut next_activation = 0usize;
+
+        for slot in 0..self.graph.slot_count() {
+            let slot_time = self.graph.slot_end_time(slot);
+
+            // Activate messages created during this slot (their creation
+            // time falls before the slot's end).
+            while next_activation < activation_order.len() {
+                let idx = activation_order[next_activation];
+                let m = &messages[idx];
+                if self.graph.slot_of_time(m.created_at) > slot {
+                    break;
+                }
+                let state = &mut states[idx];
+                state.active = true;
+                state.holders[m.source.index()] = true;
+                next_activation += 1;
+            }
+
+            // Collect this slot's contact edges and update history before
+            // forwarding decisions (current contacts count as "now").
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            for a_idx in 0..n {
+                let a = NodeId(a_idx as u32);
+                for &b in self.graph.neighbors(slot, a) {
+                    if a.0 < b.0 {
+                        edges.push((a, b));
+                        history.record_contact(a, b, slot_time);
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+
+            let ctx = ForwardingContext { history: &history, oracle: &self.oracle, now: slot_time };
+
+            // Sweep the slot's edges until no copy moves, so multi-hop
+            // transfers within a slot are possible for every algorithm.
+            loop {
+                let mut changed = false;
+                for (msg_idx, message) in messages.iter().enumerate() {
+                    let state = &mut states[msg_idx];
+                    if !state.active || state.delivered_at.is_some() {
+                        continue;
+                    }
+                    for &(a, b) in &edges {
+                        if state.delivered_at.is_some() {
+                            break;
+                        }
+                        for (from, to) in [(a, b), (b, a)] {
+                            if !state.holders[from.index()] {
+                                continue;
+                            }
+                            if to == message.destination {
+                                state.delivered_at = Some(slot_time);
+                                state.delivered_by = Some(from);
+                                break;
+                            }
+                            if state.holders[to.index()] {
+                                continue;
+                            }
+                            if algorithm.should_forward(&ctx, from, to, message.destination) {
+                                state.holders[to.index()] = true;
+                                state.received_from[to.index()] = Some((from, slot_time));
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        let outcomes = messages
+            .iter()
+            .zip(&states)
+            .map(|(message, state)| self.outcome_for(message, state))
+            .collect();
+
+        SimulationResult { algorithm: algorithm.name().to_string(), outcomes }
+    }
+
+    /// Reconstructs the delivered path (if any) and wraps up the outcome for
+    /// one message.
+    fn outcome_for(&self, message: &Message, state: &MessageState) -> MessageOutcome {
+        let path = state.delivered_at.map(|delivered_at| {
+            let mut hops_rev: Vec<(NodeId, Seconds)> = Vec::new();
+            hops_rev.push((message.destination, delivered_at));
+            let mut node = state.delivered_by.expect("delivered messages record the last relay");
+            let mut receive_time = delivered_at;
+            loop {
+                match state.received_from[node.index()] {
+                    Some((previous, t)) => {
+                        hops_rev.push((node, t.min(receive_time)));
+                        receive_time = t;
+                        node = previous;
+                    }
+                    None => {
+                        hops_rev.push((node, message.created_at.min(receive_time)));
+                        break;
+                    }
+                }
+            }
+            hops_rev.reverse();
+            let mut path = Path::source(hops_rev[0].0, hops_rev[0].1);
+            for &(n, t) in &hops_rev[1..] {
+                path = path.extended(n, t);
+            }
+            path
+        });
+
+        MessageOutcome {
+            message: *message,
+            delivered_at: state.delivered_at,
+            path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Epidemic, Fresh, GreedyTotal};
+    use psn_spacetime::epidemic_delivery_time;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::TimeWindow;
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn trace_from(contacts: Vec<(u32, u32, f64, f64)>, nodes: usize, end: f64) -> ContactTrace {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..nodes {
+            reg.add(NodeClass::Mobile);
+        }
+        let cs = contacts
+            .into_iter()
+            .map(|(a, b, s, e)| Contact::new(nid(a), nid(b), s, e).unwrap())
+            .collect();
+        ContactTrace::from_contacts("sim-test", reg, TimeWindow::new(0.0, end), cs).unwrap()
+    }
+
+    #[test]
+    fn epidemic_matches_spacetime_optimum() {
+        let trace = trace_from(
+            vec![
+                (0, 1, 1.0, 30.0),
+                (0, 2, 5.0, 40.0),
+                (1, 3, 35.0, 80.0),
+                (2, 3, 45.0, 90.0),
+                (3, 4, 100.0, 140.0),
+                (2, 4, 110.0, 150.0),
+            ],
+            5,
+            200.0,
+        );
+        let sim = Simulator::with_default_config(&trace);
+        let messages = vec![
+            Message::new(nid(0), nid(4), 0.0),
+            Message::new(nid(1), nid(4), 10.0),
+            Message::new(nid(4), nid(0), 0.0),
+            Message::new(nid(2), nid(1), 50.0),
+        ];
+        let result = sim.run(&Epidemic, &messages);
+        for (outcome, message) in result.outcomes.iter().zip(&messages) {
+            let optimal = epidemic_delivery_time(sim.graph(), message);
+            assert_eq!(outcome.delivered_at, optimal, "message {message}");
+        }
+        assert_eq!(result.algorithm, "Epidemic");
+        assert_eq!(result.message_count(), 4);
+    }
+
+    #[test]
+    fn delivered_paths_start_at_source_and_end_at_destination() {
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0), (2, 3, 41.0, 45.0)],
+            4,
+            100.0,
+        );
+        let sim = Simulator::with_default_config(&trace);
+        let message = Message::new(nid(0), nid(3), 0.0);
+        let result = sim.run(&Epidemic, &[message]);
+        let outcome = &result.outcomes[0];
+        assert_eq!(outcome.delivered_at, Some(50.0));
+        let path = outcome.path.as_ref().unwrap();
+        assert_eq!(path.first().node, nid(0));
+        assert_eq!(path.current_node(), nid(3));
+        assert_eq!(path.nodes().collect::<Vec<_>>(), vec![nid(0), nid(1), nid(2), nid(3)]);
+        assert!(path.is_loop_free());
+        // Hop times are non-decreasing and end at the delivery time.
+        assert_eq!(path.end_time(), 50.0);
+    }
+
+    #[test]
+    fn undelivered_message_has_no_path() {
+        let trace = trace_from(vec![(0, 1, 1.0, 5.0)], 3, 50.0);
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&Epidemic, &[Message::new(nid(0), nid(2), 0.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, None);
+        assert!(result.outcomes[0].path.is_none());
+        assert!(!result.outcomes[0].delivered());
+    }
+
+    #[test]
+    fn direct_source_destination_contact_always_delivers() {
+        // Even an algorithm that never forwards (FRESH with no history)
+        // delivers on direct contact thanks to minimal progress.
+        let trace = trace_from(vec![(0, 1, 12.0, 20.0)], 2, 60.0);
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&Fresh, &[Message::new(nid(0), nid(1), 0.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, Some(20.0));
+        let path = result.outcomes[0].path.as_ref().unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn fresh_without_useful_history_never_relays() {
+        // 0 meets 1, 1 meets 2 — but 1 has never met 2 before the moment it
+        // could relay, so FRESH keeps the message at 0 and it is never
+        // delivered (0 never meets 2 directly).
+        let trace = trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0)], 3, 60.0);
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&Fresh, &[Message::new(nid(0), nid(2), 0.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, None);
+        // Epidemic delivers the same message.
+        let epidemic = sim.run(&Epidemic, &[Message::new(nid(0), nid(2), 0.0)]);
+        assert_eq!(epidemic.outcomes[0].delivered_at, Some(30.0));
+    }
+
+    #[test]
+    fn fresh_uses_history_from_earlier_contacts() {
+        // Node 1 meets the destination 2 early (before the message exists),
+        // then meets the source 0, then meets 2 again: FRESH relays 0 -> 1
+        // because 1's encounter with 2 is fresher than 0's (never).
+        let trace = trace_from(
+            vec![(1, 2, 1.0, 5.0), (0, 1, 41.0, 45.0), (1, 2, 81.0, 85.0)],
+            3,
+            120.0,
+        );
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&Fresh, &[Message::new(nid(0), nid(2), 20.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, Some(90.0));
+        let path = result.outcomes[0].path.as_ref().unwrap();
+        assert_eq!(path.nodes().collect::<Vec<_>>(), vec![nid(0), nid(1), nid(2)]);
+    }
+
+    #[test]
+    fn greedy_total_pushes_toward_hubs() {
+        // Node 1 is the hub; Greedy Total forwards 0 -> 1 even though it is
+        // destination unaware, and 1 later meets the destination 3.
+        let trace = trace_from(
+            vec![
+                (1, 2, 1.0, 5.0),
+                (1, 4, 11.0, 15.0),
+                (0, 1, 41.0, 45.0),
+                (1, 3, 81.0, 85.0),
+            ],
+            5,
+            120.0,
+        );
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&GreedyTotal, &[Message::new(nid(0), nid(3), 20.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, Some(90.0));
+    }
+
+    #[test]
+    fn multi_hop_within_a_slot_is_possible() {
+        // 0-1 and 1-2 overlap in one slot: epidemic crosses both in the same
+        // slot, matching the space-time graph's zero-weight reachability.
+        let trace = trace_from(vec![(0, 1, 1.0, 9.0), (1, 2, 2.0, 9.5)], 3, 30.0);
+        let sim = Simulator::with_default_config(&trace);
+        let result = sim.run(&Epidemic, &[Message::new(nid(0), nid(2), 0.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, Some(10.0));
+    }
+
+    #[test]
+    fn messages_created_late_are_not_forwarded_early() {
+        let trace = trace_from(vec![(0, 1, 1.0, 5.0), (0, 1, 51.0, 55.0)], 2, 100.0);
+        let sim = Simulator::with_default_config(&trace);
+        // Created at t=30: only the second contact can deliver it.
+        let result = sim.run(&Epidemic, &[Message::new(nid(0), nid(1), 30.0)]);
+        assert_eq!(result.outcomes[0].delivered_at, Some(60.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_delta() {
+        let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 10.0);
+        Simulator::new(&trace, SimulatorConfig { delta: 0.0 });
+    }
+}

@@ -1,0 +1,541 @@
+//! k-shortest valid-path enumeration (the paper's Fig. 3 algorithm).
+//!
+//! For a message `(σ, δ, t₁)` the enumerator walks the space-time graph slot
+//! by slot, maintaining for every node the (up to) `k` shortest valid paths
+//! from `(σ, t₁)` that currently end at that node ("shortest" = fewest
+//! hops, as in the paper). At each slot:
+//!
+//! * every stored path whose holder can reach the destination through
+//!   zero-weight (same-slot) contact edges is **delivered** — appended with
+//!   the destination hop and output with the slot's end time; the stored
+//!   copy is dropped, because any continuation of it would violate the
+//!   first-preference rule (its holder met the destination before the later
+//!   delivery time);
+//! * every other stored path is **extended** to each member of its holder's
+//!   contact component that is not already on the path (loop avoidance) —
+//!   one appended hop per reachable node, as in the paper's "extensions to
+//!   vertices reachable via paths of zero weight";
+//! * paths also implicitly **wait**: a stored path stays available at its
+//!   holder for the next slot without gaining a hop;
+//! * per node, only the `k` shortest of the retained + newly arrived paths
+//!   survive to the next slot.
+//!
+//! Enumeration stops when at least `k` paths reach the destination within a
+//! single slot (the paper's stopping rule), when the configured maximum
+//! number of delivered paths has been collected, or when the trace ends.
+
+use psn_trace::{NodeId, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::SpaceTimeGraph;
+use crate::message::Message;
+use crate::path::Path;
+
+/// Configuration of a path-enumeration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnumerationConfig {
+    /// `k`: the per-node path budget and the per-slot delivery count that
+    /// stops enumeration. The paper uses 2000.
+    pub k: usize,
+    /// Hard cap on the total number of delivered paths recorded, to bound
+    /// memory when a message's destination sits inside a very large contact
+    /// component. `None` keeps every delivered path.
+    pub max_delivered_paths: Option<usize>,
+    /// Cap on the number of delivered paths for which the *full hop
+    /// sequence* is retained (delivery times are always recorded). The
+    /// per-hop analyses (Figs. 14 and 15) only need a sample of
+    /// near-optimal paths.
+    pub stored_path_limit: usize,
+    /// Whether to enforce the first-preference rule (paper §4.1). Disabling
+    /// it is only useful for the validity ablation benchmark, which shows
+    /// how the path counts inflate when dominated paths are kept.
+    pub enforce_first_preference: bool,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> Self {
+        Self {
+            k: 2000,
+            max_delivered_paths: Some(100_000),
+            stored_path_limit: 4000,
+            enforce_first_preference: true,
+        }
+    }
+}
+
+impl EnumerationConfig {
+    /// The paper's configuration (k = 2000).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A reduced configuration for tests and quick experiments.
+    pub fn quick(k: usize) -> Self {
+        Self {
+            k,
+            max_delivered_paths: Some(50 * k),
+            stored_path_limit: 4 * k,
+            enforce_first_preference: true,
+        }
+    }
+
+    /// The same configuration with the first-preference rule disabled (the
+    /// validity ablation).
+    pub fn without_first_preference(mut self) -> Self {
+        self.enforce_first_preference = false;
+        self
+    }
+}
+
+/// One delivery event: a valid path reached the destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Absolute delivery time (slot end time), seconds.
+    pub time: Seconds,
+    /// Number of hops (tuples) of the delivered path, including source and
+    /// destination.
+    pub hops: usize,
+}
+
+/// The result of enumerating paths for one message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnumerationResult {
+    /// The message that was enumerated.
+    pub message: Message,
+    /// Every recorded delivery in non-decreasing time order.
+    pub deliveries: Vec<Delivery>,
+    /// Full hop sequences for the first `stored_path_limit` delivered paths.
+    pub sample_paths: Vec<Path>,
+    /// True if enumeration stopped because `k` or more paths arrived in one
+    /// slot (the paper's explosion-detection stopping rule).
+    pub exploded: bool,
+    /// True if the total-delivery cap was hit before the per-slot rule.
+    pub truncated: bool,
+    /// Number of slots processed.
+    pub slots_processed: usize,
+}
+
+impl EnumerationResult {
+    /// Number of recorded deliveries.
+    pub fn delivered_count(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// Delivery time of the first (optimal) path, if any path was found.
+    pub fn first_delivery_time(&self) -> Option<Seconds> {
+        self.deliveries.first().map(|d| d.time)
+    }
+
+    /// Duration of the optimal path (T₁ in the paper): first delivery time
+    /// minus message creation time.
+    pub fn optimal_duration(&self) -> Option<Seconds> {
+        self.first_delivery_time().map(|t| t - self.message.created_at)
+    }
+
+    /// Delivery time of the n-th path (1-based), if at least `n` paths were
+    /// recorded.
+    pub fn nth_delivery_time(&self, n: usize) -> Option<Seconds> {
+        if n == 0 {
+            return None;
+        }
+        self.deliveries.get(n - 1).map(|d| d.time)
+    }
+
+    /// Hop count of the optimal (first-delivered) path.
+    pub fn optimal_hops(&self) -> Option<usize> {
+        self.deliveries.first().map(|d| d.hops)
+    }
+}
+
+/// The per-message k-shortest valid path enumerator.
+#[derive(Debug, Clone)]
+pub struct PathEnumerator<'a> {
+    graph: &'a SpaceTimeGraph,
+    config: EnumerationConfig,
+}
+
+impl<'a> PathEnumerator<'a> {
+    /// Creates an enumerator over a space-time graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(graph: &'a SpaceTimeGraph, config: EnumerationConfig) -> Self {
+        assert!(config.k > 0, "k must be at least 1");
+        Self { graph, config }
+    }
+
+    /// The enumeration configuration.
+    pub fn config(&self) -> &EnumerationConfig {
+        &self.config
+    }
+
+    /// Enumerates valid paths for `message`, in delivery-time order.
+    pub fn enumerate(&self, message: &Message) -> EnumerationResult {
+        let graph = self.graph;
+        let k = self.config.k;
+        let n = graph.node_count();
+        let destination = message.destination;
+
+        // Stored paths per node. The source starts with its trivial path.
+        let mut stored: Vec<Vec<Path>> = vec![Vec::new(); n];
+        stored[message.source.index()]
+            .push(Path::source(message.source, message.created_at));
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut sample_paths: Vec<Path> = Vec::new();
+        let mut exploded = false;
+        let mut truncated = false;
+
+        let start_slot = graph.slot_of_time(message.created_at);
+        let mut slots_processed = 0;
+
+        'slots: for s in start_slot..graph.slot_count() {
+            slots_processed += 1;
+            let slot_time = graph.slot_end_time(s);
+            let destination_active = graph.has_contacts(s, destination);
+
+            // Nodes able to reach the destination through zero-weight edges
+            // this slot. Any path one of whose nodes lies in this set either
+            // delivers now (if its current holder is in the set) or becomes
+            // invalid under the first-preference rule: that earlier holder
+            // keeps a copy forever and would have delivered it now, so any
+            // later delivery of this path is dominated.
+            let mut near_destination = vec![false; n];
+            if destination_active {
+                near_destination[destination.index()] = true;
+                for m in graph.component_members(s, destination) {
+                    near_destination[m.index()] = true;
+                }
+            }
+
+            // Newly arrived paths per node this slot.
+            let mut arrivals: Vec<Vec<Path>> = vec![Vec::new(); n];
+            let mut delivered_this_slot: usize = 0;
+
+            for holder_idx in 0..n {
+                if stored[holder_idx].is_empty() {
+                    continue;
+                }
+                let holder = NodeId(holder_idx as u32);
+                let delivers = destination_active
+                    && holder != destination
+                    && near_destination[holder_idx];
+
+                if delivers {
+                    // Every stored path at this holder is delivered now.
+                    // Under the first-preference rule the stored copies are
+                    // also removed: continuing them would be dominated by
+                    // the delivery that just happened.
+                    let paths = if self.config.enforce_first_preference {
+                        std::mem::take(&mut stored[holder_idx])
+                    } else {
+                        stored[holder_idx].clone()
+                    };
+                    for p in paths {
+                        delivered_this_slot += 1;
+                        let hops = p.len() + 1;
+                        deliveries.push(Delivery { time: slot_time, hops });
+                        if sample_paths.len() < self.config.stored_path_limit {
+                            sample_paths.push(p.extended(destination, slot_time));
+                        }
+                        if let Some(cap) = self.config.max_delivered_paths {
+                            if deliveries.len() >= cap {
+                                truncated = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    // Drop paths that carry a node which meets the
+                    // destination this slot (first preference: that node
+                    // still holds a copy and delivers it now, so this longer
+                    // continuation can never be a first-preference path).
+                    if destination_active && self.config.enforce_first_preference {
+                        stored[holder_idx]
+                            .retain(|p| !p.nodes().any(|node| near_destination[node.index()]));
+                    }
+                    if stored[holder_idx].is_empty() || !graph.has_contacts(s, holder) {
+                        // Nothing to extend; surviving paths simply wait.
+                        continue;
+                    }
+                    // Extend to every component member not already on the
+                    // path. The destination cannot be a member here (it is
+                    // either inactive or in another component).
+                    let members = graph.component_members(s, holder);
+                    for p in &stored[holder_idx] {
+                        for &v in &members {
+                            if p.contains(v) {
+                                continue;
+                            }
+                            arrivals[v.index()].push(p.extended(v, slot_time));
+                        }
+                    }
+                }
+
+                if truncated {
+                    break;
+                }
+            }
+
+            // Merge arrivals with retained paths and keep the k shortest per
+            // node (fewest hops first; earlier arrival wins ties because
+            // retained paths sort before arrivals of equal length).
+            for idx in 0..n {
+                if arrivals[idx].is_empty() {
+                    // Nothing new; retained paths (already <= k) stay put.
+                    continue;
+                }
+                let mut merged = std::mem::take(&mut stored[idx]);
+                merged.append(&mut arrivals[idx]);
+                merged.sort_by_key(|p| p.len());
+                merged.truncate(k);
+                stored[idx] = merged;
+            }
+
+            if truncated {
+                break 'slots;
+            }
+            if delivered_this_slot >= k {
+                exploded = true;
+                break 'slots;
+            }
+        }
+
+        deliveries.sort_by(|a, b| {
+            a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops))
+        });
+
+        EnumerationResult {
+            message: *message,
+            deliveries,
+            sample_paths,
+            exploded,
+            truncated,
+            slots_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::is_valid_path;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn trace_from(contacts: Vec<(u32, u32, f64, f64)>, nodes: usize, end: f64) -> ContactTrace {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..nodes {
+            reg.add(NodeClass::Mobile);
+        }
+        let cs = contacts
+            .into_iter()
+            .map(|(a, b, s, e)| Contact::new(nid(a), nid(b), s, e).unwrap())
+            .collect();
+        ContactTrace::from_contacts("enum-test", reg, TimeWindow::new(0.0, end), cs).unwrap()
+    }
+
+    #[test]
+    fn two_hop_chain_is_found() {
+        // 0 meets 1 in slot 0, 1 meets 2 in slot 2.
+        let trace = trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0)], 3, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(2), 0.0));
+        assert_eq!(result.delivered_count(), 1);
+        assert_eq!(result.first_delivery_time(), Some(30.0));
+        assert_eq!(result.optimal_duration(), Some(30.0));
+        assert_eq!(result.optimal_hops(), Some(3));
+        assert_eq!(result.sample_paths.len(), 1);
+        assert_eq!(
+            result.sample_paths[0].nodes().collect::<Vec<_>>(),
+            vec![nid(0), nid(1), nid(2)]
+        );
+    }
+
+    #[test]
+    fn direct_contact_delivers_in_its_slot() {
+        let trace = trace_from(vec![(0, 1, 12.0, 18.0)], 2, 40.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(5));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(1), 0.0));
+        assert_eq!(result.delivered_count(), 1);
+        assert_eq!(result.first_delivery_time(), Some(20.0));
+    }
+
+    #[test]
+    fn unreachable_destination_yields_no_paths() {
+        let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 3, 40.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(5));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(2), 0.0));
+        assert_eq!(result.delivered_count(), 0);
+        assert_eq!(result.optimal_duration(), None);
+        assert!(!result.exploded);
+    }
+
+    #[test]
+    fn message_created_after_contacts_sees_nothing() {
+        let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(5));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(1), 30.0));
+        assert_eq!(result.delivered_count(), 0);
+    }
+
+    #[test]
+    fn multiple_disjoint_paths_are_counted_separately() {
+        // Two relays: 0-1 and 0-2 in slot 0; 1-3 and 2-3 in slot 2.
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 5.0), (0, 2, 2.0, 6.0), (1, 3, 21.0, 25.0), (2, 3, 22.0, 26.0)],
+            4,
+            60.0,
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(3), 0.0));
+        // Paths: 0->1->3 and 0->2->3, both delivered at t=30.
+        assert_eq!(result.delivered_count(), 2);
+        assert!(result.deliveries.iter().all(|d| d.time == 30.0));
+        assert!(result.deliveries.iter().all(|d| d.hops == 3));
+    }
+
+    #[test]
+    fn first_preference_prevents_later_redelivery() {
+        // 0 meets 1 (slot 0); 1 meets 2=destination (slot 1); 1 meets 3
+        // (slot 2); 3 meets 2 (slot 3). The only valid path is 0->1->2 at
+        // t=20; the longer 0->1->3->2 would require node 1 to skip its slot-1
+        // meeting with the destination.
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 5.0), (1, 2, 11.0, 15.0), (1, 3, 21.0, 25.0), (3, 2, 31.0, 35.0)],
+            4,
+            60.0,
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(2), 0.0));
+        assert_eq!(result.delivered_count(), 1);
+        assert_eq!(result.first_delivery_time(), Some(20.0));
+    }
+
+    #[test]
+    fn all_sample_paths_are_valid() {
+        // A denser scenario with several relays and repeat contacts.
+        let trace = trace_from(
+            vec![
+                (0, 1, 1.0, 30.0),
+                (0, 2, 5.0, 40.0),
+                (1, 3, 35.0, 80.0),
+                (2, 3, 45.0, 90.0),
+                (1, 2, 50.0, 95.0),
+                (3, 4, 100.0, 140.0),
+                (2, 4, 110.0, 150.0),
+                (0, 3, 120.0, 160.0),
+            ],
+            5,
+            200.0,
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(50));
+        let message = Message::new(nid(0), nid(4), 0.0);
+        let result = enumerator.enumerate(&message);
+        assert!(result.delivered_count() >= 2);
+        for p in &result.sample_paths {
+            assert_eq!(
+                is_valid_path(&graph, p, message.destination),
+                Ok(()),
+                "invalid path produced: {p}"
+            );
+            assert_eq!(p.first().node, message.source);
+            assert_eq!(p.current_node(), message.destination);
+        }
+        // Deliveries are in non-decreasing time order.
+        for w in result.deliveries.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn explosion_stopping_rule_triggers() {
+        // A hub scenario: source meets many relays, all of which meet the
+        // destination in the same later slot, so more than k paths arrive at
+        // once.
+        let mut contacts = vec![];
+        for r in 1..=6u32 {
+            contacts.push((0, r, 1.0, 8.0));
+            contacts.push((r, 7, 21.0, 28.0));
+        }
+        let trace = trace_from(contacts, 8, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(3));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
+        assert!(result.exploded);
+        assert!(result.delivered_count() >= 3);
+    }
+
+    #[test]
+    fn delivery_cap_truncates() {
+        let mut contacts = vec![];
+        for r in 1..=6u32 {
+            contacts.push((0, r, 1.0, 8.0));
+            contacts.push((r, 7, 21.0, 28.0));
+        }
+        let trace = trace_from(contacts, 8, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let config = EnumerationConfig { k: 100, max_delivered_paths: Some(2), stored_path_limit: 10, ..EnumerationConfig::default() };
+        let enumerator = PathEnumerator::new(&graph, config);
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
+        assert!(result.truncated);
+        assert_eq!(result.delivered_count(), 2);
+    }
+
+    #[test]
+    fn per_node_budget_keeps_shortest_paths() {
+        // Node 3 can be reached directly from 0 (2 hops) or via 1 or 2
+        // (3 hops). With k=1 only the shortest survives at each node, but
+        // the direct delivery still happens first.
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 5.0), (0, 2, 2.0, 6.0), (1, 4, 11.0, 15.0), (2, 4, 12.0, 16.0), (4, 3, 31.0, 35.0)],
+            5,
+            60.0,
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(1));
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(3), 0.0));
+        // With k = 1 at most one path is stored at node 4, so exactly one
+        // delivery occurs (and it has the minimum hop count).
+        assert_eq!(result.delivered_count(), 1);
+        assert_eq!(result.deliveries[0].hops, 4);
+    }
+
+    #[test]
+    fn stored_path_limit_bounds_samples() {
+        let mut contacts = vec![];
+        for r in 1..=6u32 {
+            contacts.push((0, r, 1.0, 8.0));
+            contacts.push((r, 7, 21.0, 28.0));
+        }
+        let trace = trace_from(contacts, 8, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let config = EnumerationConfig { k: 100, max_delivered_paths: None, stored_path_limit: 2, ..EnumerationConfig::default() };
+        let enumerator = PathEnumerator::new(&graph, config);
+        let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
+        assert!(result.delivered_count() >= 6);
+        assert_eq!(result.sample_paths.len(), 2);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_is_rejected() {
+        let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 10.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        PathEnumerator::new(&graph, EnumerationConfig { k: 0, ..EnumerationConfig::default() });
+    }
+}

@@ -1,0 +1,372 @@
+//! The space-time graph.
+//!
+//! Following §4.1 of the paper (and Merugu/Ammar/Zegura's space-time routing
+//! formulation it cites), time is discretized into slots of Δ seconds.
+//! Vertices are `(node, slot)` pairs. There are two kinds of edges:
+//!
+//! * a **zero-weight contact edge** between `(x, T)` and `(y, T)` iff `x`
+//!   and `y` were in contact at any time during `[T − Δ, T)`;
+//! * a **unit-weight wait edge** from `(x, T)` to `(x, T + Δ)` for every
+//!   node.
+//!
+//! Rather than materializing vertices, [`SpaceTimeGraph`] stores, for each
+//! slot, the contact adjacency among nodes during that slot, plus the
+//! connected components of that slot graph (zero-weight reachability). That
+//! is all the path enumerator and the epidemic baseline need, and it keeps
+//! the memory footprint proportional to the number of (contact × slot)
+//! incidences.
+
+use psn_trace::{ContactTrace, NodeId, Seconds};
+
+/// The paper's default discretization step (10 seconds).
+pub const DEFAULT_DELTA: Seconds = 10.0;
+
+/// One time slot of the space-time graph.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Adjacency among nodes in contact during this slot. `adjacency[i]`
+    /// lists the neighbors of node `i`, deduplicated and sorted.
+    adjacency: Vec<Vec<NodeId>>,
+    /// Connected-component label per node under zero-weight edges. Isolated
+    /// nodes get a unique singleton label.
+    component: Vec<u32>,
+    /// Number of contact edges in this slot.
+    edge_count: usize,
+}
+
+/// The Δ-discretized space-time graph of a contact trace.
+#[derive(Debug, Clone)]
+pub struct SpaceTimeGraph {
+    delta: Seconds,
+    node_count: usize,
+    slots: Vec<Slot>,
+    window_end: Seconds,
+}
+
+impl SpaceTimeGraph {
+    /// Builds the space-time graph of `trace` with discretization step
+    /// `delta` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not strictly positive.
+    pub fn build(trace: &ContactTrace, delta: Seconds) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        let node_count = trace.node_count();
+        let window = trace.window();
+        let num_slots = ((window.end - window.start) / delta).ceil() as usize;
+        let num_slots = num_slots.max(1);
+
+        // Collect per-slot edge lists first, then dedupe and build adjacency.
+        let mut slot_edges: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); num_slots];
+        for c in trace.contacts() {
+            // Slot s (0-based) covers [window.start + s*delta, window.start + (s+1)*delta).
+            let rel_start = c.start - window.start;
+            let rel_end = c.end - window.start;
+            let first_slot = (rel_start / delta).floor() as usize;
+            let last_slot = (rel_end / delta).floor() as usize;
+            for s in first_slot..=last_slot.min(num_slots - 1) {
+                slot_edges[s].push((c.a, c.b));
+            }
+        }
+
+        let slots = slot_edges
+            .into_iter()
+            .map(|mut edges| {
+                edges.sort_unstable_by_key(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)));
+                edges.dedup_by_key(|&mut (a, b)| (a.0.min(b.0), a.0.max(b.0)));
+                let mut adjacency = vec![Vec::new(); node_count];
+                for &(a, b) in &edges {
+                    adjacency[a.index()].push(b);
+                    adjacency[b.index()].push(a);
+                }
+                for list in &mut adjacency {
+                    list.sort_unstable();
+                    list.dedup();
+                }
+                let component = components_of(&adjacency);
+                Slot { adjacency, component, edge_count: edges.len() }
+            })
+            .collect();
+
+        Self { delta, node_count, slots, window_end: window.end }
+    }
+
+    /// Builds the graph with the paper's Δ = 10 s.
+    pub fn build_default(trace: &ContactTrace) -> Self {
+        Self::build(trace, DEFAULT_DELTA)
+    }
+
+    /// The discretization step in seconds.
+    pub fn delta(&self) -> Seconds {
+        self.delta
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of time slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// End of the observation window in seconds.
+    pub fn window_end(&self) -> Seconds {
+        self.window_end
+    }
+
+    /// The slot index containing time `t` (relative to the window start of
+    /// the underlying trace), clamped to the valid range.
+    pub fn slot_of_time(&self, t: Seconds) -> usize {
+        if t <= 0.0 {
+            return 0;
+        }
+        ((t / self.delta).floor() as usize).min(self.slots.len() - 1)
+    }
+
+    /// The time at which slot `s` *ends* — the timestamp assigned to hops
+    /// taken during that slot (the paper's `T = c·Δ`).
+    pub fn slot_end_time(&self, s: usize) -> Seconds {
+        (s as f64 + 1.0) * self.delta
+    }
+
+    /// Neighbors of `node` during slot `s` (nodes in contact with it at any
+    /// time during the slot).
+    pub fn neighbors(&self, s: usize, node: NodeId) -> &[NodeId] {
+        &self.slots[s].adjacency[node.index()]
+    }
+
+    /// True if `node` has at least one contact during slot `s`.
+    pub fn has_contacts(&self, s: usize, node: NodeId) -> bool {
+        !self.slots[s].adjacency[node.index()].is_empty()
+    }
+
+    /// Connected-component label of `node` in slot `s` under zero-weight
+    /// (contact) edges. Two nodes with the same label can exchange a message
+    /// within the slot.
+    pub fn component(&self, s: usize, node: NodeId) -> u32 {
+        self.slots[s].component[node.index()]
+    }
+
+    /// True if `a` and `b` can reach each other through zero-weight edges in
+    /// slot `s` (they are in the same contact component and at least one of
+    /// them has a contact).
+    pub fn same_component(&self, s: usize, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.has_contacts(s, a)
+            && self.has_contacts(s, b)
+            && self.slots[s].component[a.index()] == self.slots[s].component[b.index()]
+    }
+
+    /// All members of `node`'s contact component in slot `s`, excluding
+    /// `node` itself. Empty if `node` has no contacts in the slot.
+    pub fn component_members(&self, s: usize, node: NodeId) -> Vec<NodeId> {
+        if !self.has_contacts(s, node) {
+            return Vec::new();
+        }
+        let label = self.slots[s].component[node.index()];
+        (0..self.node_count as u32)
+            .map(NodeId)
+            .filter(|&m| {
+                m != node
+                    && self.has_contacts(s, m)
+                    && self.slots[s].component[m.index()] == label
+            })
+            .collect()
+    }
+
+    /// Number of contact edges in slot `s`.
+    pub fn edge_count(&self, s: usize) -> usize {
+        self.slots[s].edge_count
+    }
+
+    /// Total number of (contact, slot) incidences — a measure of graph size
+    /// used by the benchmarks.
+    pub fn total_edges(&self) -> usize {
+        self.slots.iter().map(|s| s.edge_count).sum()
+    }
+}
+
+/// Computes connected-component labels from an adjacency list using
+/// iterative depth-first search. Nodes without edges get unique labels.
+fn components_of(adjacency: &[Vec<NodeId>]) -> Vec<u32> {
+    let n = adjacency.len();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in &adjacency[v] {
+                let wi = w.index();
+                if label[wi] == u32::MAX {
+                    label[wi] = next;
+                    stack.push(wi);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::TimeWindow;
+
+    /// Builds the paper's Fig. 2 example: three nodes; 1–2 in contact during
+    /// the first slot, everyone in contact during the second slot.
+    fn figure2_trace(delta: f64) -> ContactTrace {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..3 {
+            reg.add(NodeClass::Mobile);
+        }
+        let contacts = vec![
+            Contact::new(NodeId(0), NodeId(1), 0.0, delta * 0.5).unwrap(),
+            Contact::new(NodeId(0), NodeId(1), delta * 1.1, delta * 1.9).unwrap(),
+            Contact::new(NodeId(0), NodeId(2), delta * 1.2, delta * 1.8).unwrap(),
+            Contact::new(NodeId(1), NodeId(2), delta * 1.3, delta * 1.7).unwrap(),
+        ];
+        ContactTrace::from_contacts(
+            "figure2",
+            reg,
+            TimeWindow::new(0.0, delta * 2.0),
+            contacts,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_structure() {
+        let trace = figure2_trace(10.0);
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.slot_count(), 2);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.delta(), 10.0);
+        // Slot 0: only 1-2 (our ids 0-1) in contact.
+        assert_eq!(g.neighbors(0, NodeId(0)), &[NodeId(1)]);
+        assert_eq!(g.neighbors(0, NodeId(1)), &[NodeId(0)]);
+        assert!(g.neighbors(0, NodeId(2)).is_empty());
+        assert_eq!(g.edge_count(0), 1);
+        // Slot 1: triangle.
+        assert_eq!(g.neighbors(1, NodeId(0)).len(), 2);
+        assert_eq!(g.edge_count(1), 3);
+        assert!(g.same_component(1, NodeId(0), NodeId(2)));
+        assert!(!g.same_component(0, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn slot_of_time_and_end_time() {
+        let trace = figure2_trace(10.0);
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.slot_of_time(0.0), 0);
+        assert_eq!(g.slot_of_time(9.99), 0);
+        assert_eq!(g.slot_of_time(10.0), 1);
+        assert_eq!(g.slot_of_time(1e9), 1); // clamped
+        assert_eq!(g.slot_end_time(0), 10.0);
+        assert_eq!(g.slot_end_time(1), 20.0);
+        assert_eq!(g.window_end(), 20.0);
+    }
+
+    #[test]
+    fn contact_spanning_multiple_slots_appears_in_each() {
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeClass::Mobile);
+        reg.add(NodeClass::Mobile);
+        let trace = ContactTrace::from_contacts(
+            "span",
+            reg,
+            TimeWindow::new(0.0, 100.0),
+            vec![Contact::new(NodeId(0), NodeId(1), 5.0, 35.0).unwrap()],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.slot_count(), 10);
+        for s in 0..=3 {
+            assert!(g.has_contacts(s, NodeId(0)), "slot {s}");
+        }
+        for s in 4..10 {
+            assert!(!g.has_contacts(s, NodeId(0)), "slot {s}");
+        }
+        assert_eq!(g.total_edges(), 4);
+    }
+
+    #[test]
+    fn duplicate_contacts_in_one_slot_are_merged() {
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeClass::Mobile);
+        reg.add(NodeClass::Mobile);
+        let trace = ContactTrace::from_contacts(
+            "dup",
+            reg,
+            TimeWindow::new(0.0, 10.0),
+            vec![
+                Contact::new(NodeId(0), NodeId(1), 1.0, 2.0).unwrap(),
+                Contact::new(NodeId(1), NodeId(0), 3.0, 4.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.edge_count(0), 1);
+        assert_eq!(g.neighbors(0, NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn component_members_lists_reachable_nodes() {
+        let trace = figure2_trace(10.0);
+        let g = SpaceTimeGraph::build_default(&trace);
+        let members = g.component_members(1, NodeId(0));
+        assert_eq!(members, vec![NodeId(1), NodeId(2)]);
+        assert!(g.component_members(0, NodeId(2)).is_empty());
+        // Slot 0 component of node 0 excludes node 2.
+        assert_eq!(g.component_members(0, NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_distinct_components() {
+        let trace = figure2_trace(10.0);
+        let g = SpaceTimeGraph::build_default(&trace);
+        // In slot 0, node 2 is isolated; same_component with anyone is false.
+        assert!(!g.same_component(0, NodeId(2), NodeId(0)));
+        assert!(g.same_component(0, NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn different_delta_changes_slot_count() {
+        let trace = figure2_trace(10.0);
+        let fine = SpaceTimeGraph::build(&trace, 5.0);
+        let coarse = SpaceTimeGraph::build(&trace, 20.0);
+        assert_eq!(fine.slot_count(), 4);
+        assert_eq!(coarse.slot_count(), 1);
+        // With one coarse slot everyone is in one component.
+        assert!(coarse.same_component(0, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_delta() {
+        let trace = figure2_trace(10.0);
+        SpaceTimeGraph::build(&trace, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_has_empty_slots() {
+        let reg = NodeRegistry::with_counts(3, 0);
+        let trace = ContactTrace::new("empty", reg, TimeWindow::new(0.0, 50.0));
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.slot_count(), 5);
+        assert_eq!(g.total_edges(), 0);
+        assert!(!g.has_contacts(0, NodeId(0)));
+    }
+}

@@ -1,0 +1,49 @@
+//! # psn-spacetime
+//!
+//! Space-time graph construction and valid-path enumeration for Pocket
+//! Switched Networks — the core machinery of "Diversity of Forwarding Paths
+//! in Pocket Switched Networks" (Erramilli et al., 2007), §4.
+//!
+//! The paper studies the *solution space* a forwarding algorithm searches:
+//! for a message `(σ, δ, t₁)`, which time-respecting paths exist from the
+//! source to the destination, and when does each reach the destination? To
+//! answer that it:
+//!
+//! 1. discretizes time into Δ = 10 s slots and builds a **space-time graph**
+//!    whose vertices are `(node, slot)` pairs, with zero-weight edges
+//!    between nodes in contact during a slot and unit-weight edges from each
+//!    node to itself in the next slot ([`graph::SpaceTimeGraph`]);
+//! 2. defines **valid paths** — loop-free, respecting *minimal progress*
+//!    (a node holding a message always delivers it when it meets the
+//!    destination) and *first preference* ([`validity`]);
+//! 3. enumerates, per message, the k shortest valid paths reaching each node
+//!    per slot with a dynamic program ([`enumerate::PathEnumerator`],
+//!    Fig. 3 of the paper), stopping once `k` paths reach the destination in
+//!    a single slot;
+//! 4. summarizes the result as the **path-explosion profile** of the
+//!    message: the optimal delivery time T₁, the time Tₙ of the n-th path,
+//!    the explosion time T₂₀₀₀ and the time-to-explosion TE = T₂₀₀₀ − T₁
+//!    ([`explosion`]).
+//!
+//! The crate also provides a fast epidemic-delivery computation
+//! ([`reachability`]) used as the optimal baseline by the forwarding
+//! simulator, and the message model shared by all experiments
+//! ([`message`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod explosion;
+pub mod graph;
+pub mod message;
+pub mod path;
+pub mod reachability;
+pub mod validity;
+
+pub use enumerate::{EnumerationConfig, EnumerationResult, PathEnumerator};
+pub use explosion::{ExplosionProfile, ExplosionSummary, PATHS_FOR_EXPLOSION};
+pub use graph::{SpaceTimeGraph, DEFAULT_DELTA};
+pub use message::{Message, MessageGenerator, MessageWorkloadConfig};
+pub use path::{Hop, Path};
+pub use reachability::{epidemic_delivery_time, EpidemicOutcome};

@@ -1,0 +1,218 @@
+//! Validity rules for forwarding paths.
+//!
+//! Section 4.1 of the paper restricts attention to paths any reasonable
+//! forwarding algorithm could produce:
+//!
+//! * **Loop avoidance** — no node appears more than once on a path;
+//! * **Minimal progress** — a node holding a message delivers it whenever it
+//!   encounters the destination, so the destination appears only as the
+//!   final hop;
+//! * **First preference** — if an intermediate node on the path encountered
+//!   the destination *before* the path's delivery time, the path is not one
+//!   a minimal-progress algorithm would take and is excluded.
+//!
+//! [`is_valid_path`] checks a complete path against all three rules relative
+//! to a space-time graph and destination; the enumerator enforces the same
+//! rules incrementally for efficiency.
+
+use psn_trace::NodeId;
+
+use crate::graph::SpaceTimeGraph;
+use crate::path::Path;
+
+/// The reason a path failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A node appears more than once.
+    Loop,
+    /// The destination appears before the final hop.
+    DestinationNotLast,
+    /// An intermediate holder met the destination before the delivery time
+    /// (first-preference violation).
+    FirstPreference,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Loop => write!(f, "path revisits a node"),
+            Violation::DestinationNotLast => {
+                write!(f, "destination appears before the final hop")
+            }
+            Violation::FirstPreference => {
+                write!(f, "an intermediate holder met the destination earlier")
+            }
+        }
+    }
+}
+
+/// Checks a path against the loop-avoidance and minimal-progress rules only
+/// (no space-time graph needed).
+pub fn check_structure(path: &Path, destination: NodeId) -> Result<(), Violation> {
+    if !path.is_loop_free() {
+        return Err(Violation::Loop);
+    }
+    let hops = path.hops();
+    for hop in &hops[..hops.len().saturating_sub(1)] {
+        if hop.node == destination {
+            return Err(Violation::DestinationNotLast);
+        }
+    }
+    Ok(())
+}
+
+/// Checks a complete path against all three validity rules.
+///
+/// The first-preference check walks each holding interval: node `xᵢ` holds
+/// the message from its own hop time until the next hop's time (or the
+/// path's end time for the final holder), and must not share a slot contact
+/// component with the destination strictly before the path's delivery time.
+pub fn is_valid_path(
+    graph: &SpaceTimeGraph,
+    path: &Path,
+    destination: NodeId,
+) -> Result<(), Violation> {
+    check_structure(path, destination)?;
+
+    let hops = path.hops();
+    let delivery_time = path.end_time();
+    let delivered = path.current_node() == destination;
+
+    // For each holder (every hop except a final destination hop), scan the
+    // slots from when it received the message until the path's delivery
+    // time. Nodes hold messages forever (infinite buffers), so a holder that
+    // meets the destination at any point before the delivery time dominates
+    // this path, even if the path itself moved on earlier.
+    let holder_count = if delivered { hops.len() - 1 } else { hops.len() };
+    for i in 0..holder_count {
+        let holder = hops[i].node;
+        if holder == destination {
+            continue;
+        }
+        let hold_start = hops[i].time;
+        let hold_end = delivery_time;
+        let first_slot = graph.slot_of_time(hold_start);
+        let last_slot = graph.slot_of_time(hold_end);
+        for s in first_slot..=last_slot {
+            let meet_time = graph.slot_end_time(s);
+            if meet_time >= delivery_time {
+                // Meeting the destination at or after the delivery time does
+                // not dominate this path.
+                break;
+            }
+            if graph.same_component(s, holder, destination) && holder != destination {
+                return Err(Violation::FirstPreference);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// Four nodes over 5 slots (Δ=10):
+    /// slot 0: 0-1 in contact
+    /// slot 1: 1-3 in contact   (node 1 meets the destination 3 early)
+    /// slot 2: 1-2 in contact
+    /// slot 3: 2-3 in contact
+    fn graph() -> SpaceTimeGraph {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..4 {
+            reg.add(NodeClass::Mobile);
+        }
+        let contacts = vec![
+            Contact::new(nid(0), nid(1), 1.0, 5.0).unwrap(),
+            Contact::new(nid(1), nid(3), 11.0, 15.0).unwrap(),
+            Contact::new(nid(1), nid(2), 21.0, 25.0).unwrap(),
+            Contact::new(nid(2), nid(3), 31.0, 35.0).unwrap(),
+        ];
+        let trace = ContactTrace::from_contacts(
+            "validity",
+            reg,
+            TimeWindow::new(0.0, 50.0),
+            contacts,
+        )
+        .unwrap();
+        SpaceTimeGraph::build_default(&trace)
+    }
+
+    #[test]
+    fn looping_path_is_rejected() {
+        let g = graph();
+        let p = Path::source(nid(0), 0.0)
+            .extended(nid(1), 10.0)
+            .extended(nid(0), 20.0);
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Err(Violation::Loop));
+    }
+
+    #[test]
+    fn destination_must_be_last() {
+        let g = graph();
+        let p = Path::source(nid(3), 0.0).extended(nid(1), 20.0);
+        assert_eq!(
+            is_valid_path(&g, &p, nid(3)),
+            Err(Violation::DestinationNotLast)
+        );
+    }
+
+    #[test]
+    fn direct_delivery_is_valid() {
+        let g = graph();
+        // 0 -> 1 in slot 0, 1 -> 3 in slot 1: the first-preference path.
+        let p = Path::source(nid(0), 0.0).extended(nid(1), 10.0).extended(nid(3), 20.0);
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Ok(()));
+    }
+
+    #[test]
+    fn holding_past_a_destination_contact_violates_first_preference() {
+        let g = graph();
+        // Node 1 receives at slot 0 (t=10), meets 3 at slot 1 (t=20) but the
+        // path instead forwards to 2 at slot 2 and delivers at slot 3 (t=40).
+        let p = Path::source(nid(0), 0.0)
+            .extended(nid(1), 10.0)
+            .extended(nid(2), 30.0)
+            .extended(nid(3), 40.0);
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Err(Violation::FirstPreference));
+    }
+
+    #[test]
+    fn undelivered_path_held_by_node_that_met_destination_is_invalid() {
+        let g = graph();
+        // Node 1 holds the message from t=10 onward and never delivers even
+        // though it meets node 3 at slot 1; such a path cannot be produced by
+        // a minimal-progress algorithm once time passes slot 1.
+        let p = Path::source(nid(0), 0.0).extended(nid(1), 10.0).extended(nid(2), 30.0);
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Err(Violation::FirstPreference));
+    }
+
+    #[test]
+    fn source_only_path_is_valid() {
+        let g = graph();
+        let p = Path::source(nid(0), 0.0);
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Ok(()));
+    }
+
+    #[test]
+    fn structure_check_does_not_need_graph() {
+        let p = Path::source(nid(0), 0.0).extended(nid(1), 10.0);
+        assert_eq!(check_structure(&p, nid(3)), Ok(()));
+        let bad = Path::source(nid(3), 0.0).extended(nid(1), 10.0);
+        assert_eq!(check_structure(&bad, nid(3)), Err(Violation::DestinationNotLast));
+    }
+
+    #[test]
+    fn violation_display() {
+        for v in [Violation::Loop, Violation::DestinationNotLast, Violation::FirstPreference] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

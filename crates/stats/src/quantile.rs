@@ -1,0 +1,137 @@
+//! Quantile estimation on sorted or unsorted samples.
+//!
+//! Uses the common linear-interpolation estimator (type 7 in the
+//! Hyndman–Fan taxonomy, the default of R and NumPy), which is what the
+//! paper's MATLAB post-processing would have used for medians and
+//! percentiles.
+
+use crate::{validated_sorted, StatsError};
+
+/// Alias kept for backwards compatibility with earlier revisions of the API.
+pub type QuantileError = StatsError;
+
+/// Computes the `q`-quantile (`0.0 <= q <= 1.0`) of `samples`.
+///
+/// Samples need not be sorted. Returns an error on empty input, NaN input or
+/// an out-of-range level.
+///
+/// # Examples
+///
+/// ```
+/// let samples = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(psn_stats::quantile(&samples, 0.5).unwrap(), 2.5);
+/// assert_eq!(psn_stats::quantile(&samples, 0.0).unwrap(), 1.0);
+/// assert_eq!(psn_stats::quantile(&samples, 1.0).unwrap(), 4.0);
+/// ```
+pub fn quantile(samples: &[f64], q: f64) -> Result<f64, StatsError> {
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidLevel);
+    }
+    let sorted = validated_sorted(samples)?;
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Computes the `q`-quantile of an already sorted, NaN-free slice.
+///
+/// Callers that repeatedly query quantiles of the same sample set (box
+/// plots, percentile tables) should sort once and use this function.
+///
+/// # Panics
+///
+/// Does not validate its input; an empty slice panics.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile_sorted requires a non-empty slice");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lower = pos.floor() as usize;
+    let upper = pos.ceil() as usize;
+    if lower == upper {
+        sorted[lower]
+    } else {
+        let frac = pos - lower as f64;
+        sorted[lower] * (1.0 - frac) + sorted[upper] * frac
+    }
+}
+
+/// Computes the median of `samples`.
+///
+/// The median contact rate is the paper's split point between 'in'
+/// (high-rate) and 'out' (low-rate) nodes (§5.2), so this function sits on
+/// the critical path of the pair-type experiments.
+pub fn median(samples: &[f64]) -> Result<f64, StatsError> {
+    quantile(samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_of_odd_count_is_middle_element() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_bounds_are_min_and_max() {
+        let xs = [10.0, -2.0, 7.5, 3.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), -2.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_level() {
+        assert_eq!(quantile(&[1.0], 1.5), Err(StatsError::InvalidLevel));
+        assert_eq!(quantile(&[1.0], -0.1), Err(StatsError::InvalidLevel));
+        assert_eq!(quantile(&[1.0], f64::NAN), Err(StatsError::InvalidLevel));
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_nan() {
+        assert_eq!(quantile(&[], 0.5), Err(StatsError::EmptyInput));
+        assert_eq!(quantile(&[f64::NAN], 0.5), Err(StatsError::NanInput));
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(quantile(&[42.0], q).unwrap(), 42.0);
+        }
+    }
+
+    #[test]
+    fn quartiles_of_uniform_grid() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert!((quantile(&xs, 0.25).unwrap() - 25.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75).unwrap() - 75.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                     q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = quantile_sorted(&xs, lo);
+            let b = quantile_sorted(&xs, hi);
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn quantile_lies_within_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                                      q in 0.0f64..1.0) {
+            let v = quantile(&xs, q).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+}

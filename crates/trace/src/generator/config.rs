@@ -1,0 +1,239 @@
+//! Generator configuration types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Seconds;
+
+/// Time-varying modulation of aggregate contact activity.
+///
+/// The paper's Fig. 1 shows that contact activity within a selected 3-hour
+/// window is roughly stable but not perfectly flat: there are gentle swings
+/// (sessions vs. coffee breaks) and, in the afternoon datasets, a noticeable
+/// drop-off in the final half hour. The profile multiplies the base contact
+/// intensity by a factor that captures those effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityProfile {
+    /// Constant intensity across the whole window.
+    Constant,
+    /// Piecewise-constant multipliers: each entry covers an equal fraction
+    /// of the window. E.g. `[1.0, 1.3, 0.9]` models session / break /
+    /// session thirds.
+    Piecewise(Vec<f64>),
+    /// Constant intensity with a linear decay to `final_fraction` of the
+    /// base intensity over the last `dropoff_seconds` of the window —
+    /// the paper's "drop off from 5:30 to 6:00 pm".
+    TailDropoff {
+        /// Length of the declining tail.
+        dropoff_seconds: Seconds,
+        /// Intensity multiplier reached at the very end of the window.
+        final_fraction: f64,
+    },
+}
+
+impl ActivityProfile {
+    /// Evaluates the multiplier at time `t` within a window of length
+    /// `window_seconds`.
+    pub fn multiplier(&self, t: Seconds, window_seconds: Seconds) -> f64 {
+        match self {
+            ActivityProfile::Constant => 1.0,
+            ActivityProfile::Piecewise(factors) => {
+                if factors.is_empty() {
+                    return 1.0;
+                }
+                let idx = ((t / window_seconds) * factors.len() as f64).floor() as usize;
+                factors[idx.min(factors.len() - 1)]
+            }
+            ActivityProfile::TailDropoff { dropoff_seconds, final_fraction } => {
+                let tail_start = window_seconds - dropoff_seconds;
+                if t <= tail_start {
+                    1.0
+                } else {
+                    let progress = ((t - tail_start) / dropoff_seconds).clamp(0.0, 1.0);
+                    1.0 + progress * (final_fraction - 1.0)
+                }
+            }
+        }
+    }
+
+    /// The maximum multiplier over the window (needed for thinning).
+    pub fn max_multiplier(&self) -> f64 {
+        match self {
+            ActivityProfile::Constant => 1.0,
+            ActivityProfile::Piecewise(factors) => {
+                factors.iter().copied().fold(1.0_f64, f64::max)
+            }
+            ActivityProfile::TailDropoff { final_fraction, .. } => final_fraction.max(1.0),
+        }
+    }
+}
+
+/// Configuration for the homogeneous generator (every pair contacts at the
+/// same rate) — the setting of the paper's analytic model in §5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Observation window length in seconds.
+    pub window_seconds: Seconds,
+    /// Per-*node* contact rate λ (contacts per second); the pairwise rate is
+    /// `λ / (N - 1)` so that each node's total contact rate is λ, matching
+    /// the model's "Poisson contacts with intensity λ" assumption.
+    pub node_contact_rate: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration: Seconds,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HomogeneousConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 50,
+            window_seconds: 3.0 * 3600.0,
+            node_contact_rate: 0.01,
+            mean_contact_duration: 120.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Configuration for the heterogeneous generator: per-node contact
+/// propensities drawn uniformly, pairwise rates proportional to the product
+/// of propensities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Observation window length in seconds.
+    pub window_seconds: Seconds,
+    /// Maximum per-node contact rate (contacts per second); node rates are
+    /// approximately uniform on `(0, max_node_rate)`, reproducing Fig. 7.
+    pub max_node_rate: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration: Seconds,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HeterogeneousConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 98,
+            window_seconds: 3.0 * 3600.0,
+            max_node_rate: 0.05,
+            mean_contact_duration: 120.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Full conference-trace configuration: the stand-in for the iMote datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConferenceConfig {
+    /// Human-readable name of the generated dataset.
+    pub name: String,
+    /// Number of mobile (participant-carried) nodes.
+    pub mobile_nodes: usize,
+    /// Number of stationary (booth) nodes.
+    pub stationary_nodes: usize,
+    /// Observation window length in seconds (paper: 3 hours).
+    pub window_seconds: Seconds,
+    /// Maximum per-node contact rate; mobile propensities are uniform on
+    /// `(min_node_rate, max_node_rate)`.
+    pub max_node_rate: f64,
+    /// Minimum per-node contact rate. A small positive floor keeps every
+    /// node reachable eventually, like the real traces where even the
+    /// quietest iMote logs a few contacts.
+    pub min_node_rate: f64,
+    /// Fixed propensity multiplier for stationary nodes relative to the
+    /// *median* mobile propensity. Booth nodes see a steady stream of
+    /// passers-by, so values around 1.0–1.5 are realistic.
+    pub stationary_rate_factor: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration: Seconds,
+    /// Coefficient of variation of contact durations.
+    pub contact_duration_cv: f64,
+    /// Aggregate activity modulation over the window.
+    pub activity: ActivityProfile,
+    /// If set, re-sample contacts at this inquiry-scan period (the iMotes
+    /// scanned every 120 s).
+    pub inquiry_scan_period: Option<Seconds>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConferenceConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic-conference".to_string(),
+            mobile_nodes: 78,
+            stationary_nodes: 20,
+            window_seconds: 3.0 * 3600.0,
+            max_node_rate: 0.045,
+            min_node_rate: 0.0005,
+            stationary_rate_factor: 1.2,
+            mean_contact_duration: 120.0,
+            contact_duration_cv: 1.0,
+            activity: ActivityProfile::Constant,
+            inquiry_scan_period: None,
+            seed: 1,
+        }
+    }
+}
+
+impl ConferenceConfig {
+    /// Total number of nodes (mobile + stationary).
+    pub fn total_nodes(&self) -> usize {
+        self.mobile_nodes + self.stationary_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_is_identity() {
+        let p = ActivityProfile::Constant;
+        assert_eq!(p.multiplier(0.0, 100.0), 1.0);
+        assert_eq!(p.multiplier(99.0, 100.0), 1.0);
+        assert_eq!(p.max_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn piecewise_profile_selects_segment() {
+        let p = ActivityProfile::Piecewise(vec![1.0, 2.0, 0.5]);
+        assert_eq!(p.multiplier(10.0, 300.0), 1.0);
+        assert_eq!(p.multiplier(150.0, 300.0), 2.0);
+        assert_eq!(p.multiplier(299.0, 300.0), 0.5);
+        assert_eq!(p.max_multiplier(), 2.0);
+    }
+
+    #[test]
+    fn piecewise_empty_defaults_to_one() {
+        let p = ActivityProfile::Piecewise(vec![]);
+        assert_eq!(p.multiplier(5.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn tail_dropoff_declines_linearly() {
+        let p = ActivityProfile::TailDropoff { dropoff_seconds: 100.0, final_fraction: 0.2 };
+        assert_eq!(p.multiplier(0.0, 1000.0), 1.0);
+        assert_eq!(p.multiplier(900.0, 1000.0), 1.0);
+        let mid = p.multiplier(950.0, 1000.0);
+        assert!((mid - 0.6).abs() < 1e-9);
+        assert!((p.multiplier(1000.0, 1000.0) - 0.2).abs() < 1e-9);
+        assert_eq!(p.max_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let conf = ConferenceConfig::default();
+        assert_eq!(conf.total_nodes(), 98);
+        assert_eq!(conf.window_seconds, 10800.0);
+        let het = HeterogeneousConfig::default();
+        assert_eq!(het.nodes, 98);
+        let hom = HomogeneousConfig::default();
+        assert!(hom.node_contact_rate > 0.0);
+    }
+}

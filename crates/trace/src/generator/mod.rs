@@ -1,0 +1,35 @@
+//! Synthetic contact-trace generators.
+//!
+//! The real iMote traces used by the paper are not redistributable, so this
+//! module generates synthetic traces that reproduce the statistical
+//! properties the paper's analysis rests on:
+//!
+//! 1. **Poisson pairwise contacts** — contact opportunities between a pair
+//!    of nodes form a Poisson process ([`homogeneous`], the assumption of
+//!    the paper's analytic model in §5.1).
+//! 2. **Heterogeneous per-node contact rates** — per-node contact counts
+//!    whose distribution is approximately uniform on `(0, max)`
+//!    ([`heterogeneous`]), the key empirical observation of §5.2 (Fig. 7).
+//! 3. **Conference structure** — a population of mobile participants plus
+//!    stationary booth nodes, mild session/break modulation of aggregate
+//!    activity and an optional end-of-window drop-off, matching the shape of
+//!    Fig. 1 ([`conference`]).
+//! 4. **Inquiry-scan observation** — an optional post-processing step that
+//!    re-samples continuous co-location intervals at the iMotes' 120-second
+//!    inquiry granularity ([`scan`]).
+//!
+//! All generators are deterministic given a seed, so every experiment and
+//! benchmark in the workspace is reproducible.
+
+pub mod conference;
+pub mod config;
+pub mod heterogeneous;
+pub mod homogeneous;
+pub mod sampling;
+pub mod scan;
+
+pub use conference::ConferenceTraceGenerator;
+pub use config::{ActivityProfile, ConferenceConfig, HeterogeneousConfig, HomogeneousConfig};
+pub use heterogeneous::generate_heterogeneous;
+pub use homogeneous::generate_homogeneous;
+pub use scan::apply_inquiry_scan;

@@ -1,0 +1,128 @@
+//! Inquiry-scan observation model.
+//!
+//! The iMotes did not record co-location continuously: each device performed
+//! a Bluetooth inquiry every 120 seconds and logged a contact when a peer
+//! responded. A physical co-location interval therefore appears in the trace
+//! as a contact whose start is aligned to a scan instant and whose end is
+//! the last scan at which the peer was still present.
+//!
+//! [`apply_inquiry_scan`] converts "ground-truth" co-location intervals into
+//! that observed form: a contact `[start, end]` becomes a contact from the
+//! first scan instant `>= start` to the last scan instant `<= end` (plus one
+//! scan period, since the devices consider the peer present until the next
+//! failed inquiry). Intervals too short to be observed by any scan are
+//! dropped — exactly the short-contact censoring the real datasets exhibit.
+
+use crate::contact::Contact;
+use crate::trace::ContactTrace;
+use crate::Seconds;
+
+/// Re-samples a trace through a periodic inquiry-scan observation process.
+///
+/// `period` is the scan interval in seconds (the iMotes used 120 s). Scan
+/// instants are `0, period, 2·period, …` relative to the window start.
+pub fn apply_inquiry_scan(trace: &ContactTrace, period: Seconds) -> ContactTrace {
+    assert!(period > 0.0, "scan period must be positive");
+    let window = trace.window();
+    let mut observed = Vec::new();
+    for c in trace.contacts() {
+        // First scan instant at or after the contact starts.
+        let first_scan = (c.start / period).ceil() * period;
+        if first_scan > c.end || first_scan >= window.end {
+            // No scan fell inside the co-location interval: unobserved.
+            continue;
+        }
+        // Last scan instant that still observes the peer.
+        let last_scan = (c.end / period).floor() * period;
+        // The device assumes the peer remains present until the next
+        // (failed) inquiry, so extend by one period but never past the
+        // window end.
+        let observed_end = (last_scan + period).min(window.end);
+        observed.push(
+            Contact::new(c.a, c.b, first_scan, observed_end.max(first_scan))
+                .expect("scan-aligned contacts remain valid"),
+        );
+    }
+    ContactTrace::from_contacts(
+        format!("{}-scan{}", trace.name(), period),
+        trace.nodes().clone(),
+        window,
+        observed,
+    )
+    .expect("scan-aligned contacts lie inside the window")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeClass, NodeId, NodeRegistry};
+    use crate::trace::TimeWindow;
+
+    fn base_trace(contacts: Vec<(f64, f64)>) -> ContactTrace {
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeClass::Mobile);
+        reg.add(NodeClass::Mobile);
+        let cs = contacts
+            .into_iter()
+            .map(|(s, e)| Contact::new(NodeId(0), NodeId(1), s, e).unwrap())
+            .collect();
+        ContactTrace::from_contacts("truth", reg, TimeWindow::new(0.0, 3600.0), cs).unwrap()
+    }
+
+    #[test]
+    fn long_contact_is_aligned_to_scan_grid() {
+        let trace = base_trace(vec![(130.0, 400.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert_eq!(observed.contact_count(), 1);
+        let c = observed.contacts()[0];
+        assert_eq!(c.start, 240.0); // first scan >= 130
+        assert_eq!(c.end, 480.0); // last scan <= 400 is 360, plus one period
+    }
+
+    #[test]
+    fn short_contact_between_scans_is_dropped() {
+        let trace = base_trace(vec![(130.0, 200.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert!(observed.is_empty());
+    }
+
+    #[test]
+    fn contact_spanning_scan_instant_is_kept() {
+        let trace = base_trace(vec![(110.0, 125.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert_eq!(observed.contact_count(), 1);
+        assert_eq!(observed.contacts()[0].start, 120.0);
+    }
+
+    #[test]
+    fn observed_end_never_exceeds_window() {
+        let trace = base_trace(vec![(3400.0, 3550.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert_eq!(observed.contact_count(), 1);
+        // Last scan inside the contact is 3480; extending by one period would
+        // reach 3600, which is clamped to the window end.
+        assert!(observed.contacts()[0].end <= 3600.0);
+    }
+
+    #[test]
+    fn contact_starting_at_scan_instant() {
+        let trace = base_trace(vec![(240.0, 250.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert_eq!(observed.contact_count(), 1);
+        assert_eq!(observed.contacts()[0].start, 240.0);
+    }
+
+    #[test]
+    fn name_records_scan_period() {
+        let trace = base_trace(vec![(0.0, 500.0)]);
+        let observed = apply_inquiry_scan(&trace, 120.0);
+        assert!(observed.name().contains("scan120"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_period() {
+        let trace = base_trace(vec![(0.0, 10.0)]);
+        apply_inquiry_scan(&trace, 0.0);
+    }
+}

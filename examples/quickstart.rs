@@ -1,0 +1,79 @@
+//! Quickstart: generate a synthetic conference trace, enumerate forwarding
+//! paths for a handful of messages, and print their path-explosion profiles.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use psn::prelude::*;
+
+fn main() {
+    // 1. A synthetic stand-in for the Infocom'06 morning trace, at reduced
+    //    scale so the example finishes in a few seconds.
+    let dataset = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+    let trace = dataset.generate();
+    println!(
+        "trace `{}`: {} nodes, {} contacts over {:.0} minutes",
+        trace.name(),
+        trace.node_count(),
+        trace.contact_count(),
+        trace.window().duration() / 60.0
+    );
+
+    // 2. Per-node contact rates and the in/out split of the paper's §5.2.
+    let rates = ContactRates::from_trace(&trace);
+    println!(
+        "median contact rate: {:.4} contacts/s ({} 'in' nodes, {} 'out' nodes)",
+        rates.median_rate(),
+        rates.in_nodes().len(),
+        rates.out_nodes().len()
+    );
+
+    // 3. Build the space-time graph (Δ = 10 s) and enumerate valid paths for
+    //    a few random messages.
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(100));
+    let generator = MessageGenerator::new(MessageWorkloadConfig {
+        nodes: trace.node_count(),
+        generation_horizon: trace.window().duration() * 2.0 / 3.0,
+        mean_interarrival: 4.0,
+        seed: 1,
+    });
+
+    println!("\nmessage                optimal-duration  time-to-explosion  paths");
+    for message in generator.uniform_messages(8) {
+        let result = enumerator.enumerate(&message);
+        let profile = ExplosionProfile::with_threshold(&result, 100);
+        let t1 = profile
+            .optimal_duration
+            .map(|t| format!("{t:>8.0} s"))
+            .unwrap_or_else(|| "   never".to_string());
+        let te = profile
+            .time_to_explosion
+            .map(|t| format!("{t:>8.0} s"))
+            .unwrap_or_else(|| "       -".to_string());
+        println!("{:<22} {}        {}        {}", message.to_string(), t1, te, profile.total_paths);
+    }
+
+    // 4. The headline comparison: epidemic (optimal) delivery vs. a simple
+    //    practical algorithm on the same messages.
+    let simulator = Simulator::with_default_config(&trace);
+    let messages = generator.uniform_messages(40);
+    let algorithms = standard_algorithms();
+    println!("\nalgorithm              success-rate   avg-delay");
+    for (kind, algorithm) in &algorithms {
+        let result = simulator.run(algorithm.as_ref(), &messages);
+        let metrics = AlgorithmMetrics::from_result(&result);
+        println!(
+            "{:<22} {:>10.2}   {}",
+            kind.to_string(),
+            metrics.success_rate,
+            metrics
+                .average_delay
+                .map(|d| format!("{d:>7.0} s"))
+                .unwrap_or_else(|| "      -".to_string())
+        );
+    }
+}
