@@ -202,8 +202,7 @@ mod tests {
         let u0_initial = 1.0 - 1.0 / n as f64;
         for &t in &[20.0, 60.0, 120.0] {
             let d = model.density_at(&sol, t);
-            let expected_u0 =
-                u0_initial / (u0_initial + (1.0 - u0_initial) * (lambda * t).exp());
+            let expected_u0 = u0_initial / (u0_initial + (1.0 - u0_initial) * (lambda * t).exp());
             assert!(
                 (d.density[0] - expected_u0).abs() < 5e-3,
                 "t={t}: expected u0={expected_u0}, got {}",

@@ -129,13 +129,7 @@ impl TwoClassModel {
         if lambda_in <= lambda_out {
             return None;
         }
-        Some(Self {
-            lambda_in,
-            lambda_out,
-            n_in: inn.len(),
-            n_out: out.len(),
-            explosion_threshold,
-        })
+        Some(Self { lambda_in, lambda_out, n_in: inn.len(), n_out: out.len(), explosion_threshold })
     }
 
     /// Time for the message to first move from a low-rate source into the
@@ -171,7 +165,10 @@ impl TwoClassModel {
             PairClass::InIn => (fast_first, fast_ramp),
             // High-rate source, low-rate destination: first path is fast but
             // the destination only samples the explosion at its own rate.
-            PairClass::InOut => (fast_first + self.delivery_trickle_time() * 0.5, fast_ramp + self.delivery_trickle_time()),
+            PairClass::InOut => (
+                fast_first + self.delivery_trickle_time() * 0.5,
+                fast_ramp + self.delivery_trickle_time(),
+            ),
             // Low-rate source: long wait before the high-rate core is
             // reached, then a fast explosion ending at a fast destination.
             PairClass::OutIn => (self.escape_time() + fast_first, fast_ramp),

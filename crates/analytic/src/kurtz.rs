@@ -31,7 +31,8 @@ pub fn convergence_error(
     assert!(compare_states >= 1);
 
     // Stochastic side.
-    let config = JumpProcessConfig::with_even_samples(nodes, lambda, horizon, 1, replications, seed);
+    let config =
+        JumpProcessConfig::with_even_samples(nodes, lambda, horizon, 1, replications, seed);
     let result = PathCountJumpProcess::new(config).run();
     let empirical = &result.final_density;
 

@@ -44,9 +44,8 @@ impl JumpProcessConfig {
         seed: u64,
     ) -> Self {
         assert!(samples >= 1);
-        let sample_times = (0..samples)
-            .map(|i| horizon * (i as f64 + 1.0) / samples as f64)
-            .collect();
+        let sample_times =
+            (0..samples).map(|i| horizon * (i as f64 + 1.0) / samples as f64).collect();
         Self { nodes, lambda, horizon, sample_times, replications, seed }
     }
 }

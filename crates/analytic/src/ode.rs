@@ -28,9 +28,7 @@ impl OdeSolution {
             .times
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - t).abs().partial_cmp(&(b.1 - t).abs()).expect("finite times")
-            })
+            .min_by(|a, b| (a.1 - t).abs().partial_cmp(&(b.1 - t).abs()).expect("finite times"))
             .map(|(i, _)| i)
             .unwrap_or(0);
         &self.states[idx]
@@ -44,13 +42,7 @@ impl OdeSolution {
 /// # Panics
 ///
 /// Panics if `dt` is not strictly positive or `t1 < t0`.
-pub fn rk4_integrate<F>(
-    f: F,
-    y0: Vec<f64>,
-    t0: f64,
-    t1: f64,
-    dt: f64,
-) -> OdeSolution
+pub fn rk4_integrate<F>(f: F, y0: Vec<f64>, t0: f64, t1: f64, dt: f64) -> OdeSolution
 where
     F: Fn(f64, &[f64]) -> Vec<f64>,
 {
@@ -107,13 +99,7 @@ mod tests {
     #[test]
     fn harmonic_oscillator_conserves_energy() {
         // y'' = -y as a 2-d system; energy y^2 + v^2 is conserved.
-        let sol = rk4_integrate(
-            |_, y| vec![y[1], -y[0]],
-            vec![1.0, 0.0],
-            0.0,
-            10.0,
-            0.001,
-        );
+        let sol = rk4_integrate(|_, y| vec![y[1], -y[0]], vec![1.0, 0.0], 0.0, 10.0, 0.001);
         let s = sol.final_state();
         let energy = s[0] * s[0] + s[1] * s[1];
         assert!((energy - 1.0).abs() < 1e-6, "energy = {energy}");

@@ -134,11 +134,50 @@ fn bench_ablation_heterogeneity(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine ablation: the arena-backed enumerator (with and without scratch
+/// reuse) against the retained `Vec<Hop>`-cloning reference implementation,
+/// isolating how much of the speedup comes from the arena itself versus
+/// from amortizing the scratch allocations across messages.
+fn bench_ablation_engine(c: &mut Criterion) {
+    let trace = quick_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, 5, 26);
+    let mut group = c.benchmark_group("ablation_engine");
+    group.sample_size(10);
+    group.bench_function("arena_scratch_reuse", |b| {
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(100));
+        let mut scratch = EnumerationScratch::new();
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate_with_scratch(m, &mut scratch));
+            }
+        });
+    });
+    group.bench_function("arena_fresh_scratch", |b| {
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(100));
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate(m));
+            }
+        });
+    });
+    group.bench_function("reference", |b| {
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(100));
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate_reference(m));
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ablation_delta,
     bench_ablation_k,
     bench_ablation_first_preference,
-    bench_ablation_heterogeneity
+    bench_ablation_heterogeneity,
+    bench_ablation_engine
 );
 criterion_main!(benches);

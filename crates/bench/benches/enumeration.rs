@@ -1,5 +1,18 @@
 //! Benchmarks of the core machinery: space-time graph construction, path
 //! enumeration (the Fig. 3 algorithm) and the epidemic-spread baseline.
+//!
+//! The `paper_enumeration` group is the BENCH headline: it runs the
+//! arena-backed engine and the retained `Vec<Hop>`-cloning reference
+//! implementation over the same messages on the paper-scale conference
+//! trace (98 nodes, 3 hours, k = 2000), so the reported ratio *is* the
+//! engine speedup.
+//!
+//! Knobs:
+//!
+//! * `PSN_BENCH_MESSAGES` — number of messages per paper-scale iteration
+//!   (default 8; the smoke mode in CI sets 2);
+//! * `--quick` (or `PSN_BENCH_QUICK=1`) — cuts sample counts and sample
+//!   time in the harness, e.g. `cargo bench --bench enumeration -- --quick`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -13,14 +26,25 @@ fn quick_trace() -> ContactTrace {
     ds.generate()
 }
 
-fn messages(trace: &ContactTrace, count: usize) -> Vec<Message> {
+fn paper_trace() -> ContactTrace {
+    SyntheticDataset::paper_config(DatasetId::Infocom06Morning).generate()
+}
+
+fn messages(trace: &ContactTrace, count: usize, seed: u64) -> Vec<Message> {
     MessageGenerator::new(MessageWorkloadConfig {
         nodes: trace.node_count(),
         generation_horizon: trace.window().duration() * 2.0 / 3.0,
         mean_interarrival: 4.0,
-        seed: 1,
+        seed,
     })
     .uniform_messages(count)
+}
+
+/// Message count for the paper-scale groups, env-gated so the CI smoke run
+/// (`PSN_BENCH_MESSAGES=2 cargo bench --bench enumeration -- --quick`)
+/// finishes in seconds.
+fn paper_message_count() -> usize {
+    std::env::var("PSN_BENCH_MESSAGES").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
 }
 
 fn bench_graph_construction(c: &mut Criterion) {
@@ -36,17 +60,18 @@ fn bench_graph_construction(c: &mut Criterion) {
 fn bench_path_enumeration(c: &mut Criterion) {
     let trace = quick_trace();
     let graph = SpaceTimeGraph::build_default(&trace);
-    let msgs = messages(&trace, 8);
+    let msgs = messages(&trace, 8, 1);
     let mut group = c.benchmark_group("path_enumeration");
     group.sample_size(10);
     for k in [50usize, 200] {
         group.bench_function(format!("k_{k}"), |b| {
             let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(k));
+            let mut scratch = EnumerationScratch::new();
             b.iter_batched(
                 || msgs.clone(),
                 |msgs| {
                     for m in &msgs {
-                        criterion::black_box(enumerator.enumerate(m));
+                        criterion::black_box(enumerator.enumerate_with_scratch(m, &mut scratch));
                     }
                 },
                 BatchSize::SmallInput,
@@ -56,10 +81,41 @@ fn bench_path_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline comparison: arena engine vs. retained reference engine on
+/// the conference-trace workload at paper settings (k = 2000).
+fn bench_paper_enumeration(c: &mut Criterion) {
+    let trace = paper_trace();
+    let graph = SpaceTimeGraph::build_default(&trace);
+    let msgs = messages(&trace, paper_message_count(), 0xBE7C);
+    let config = EnumerationConfig::paper();
+    let mut group = c.benchmark_group("paper_enumeration");
+    // Each sample is seconds (arena) to minutes (reference) of work;
+    // three samples bound the run time while still giving a min/median/max.
+    group.sample_size(3);
+    group.bench_function("arena_k_2000", |b| {
+        let enumerator = PathEnumerator::new(&graph, config.clone());
+        let mut scratch = EnumerationScratch::new();
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate_with_scratch(m, &mut scratch));
+            }
+        });
+    });
+    group.bench_function("reference_k_2000", |b| {
+        let enumerator = PathEnumerator::new(&graph, config.clone());
+        b.iter(|| {
+            for m in &msgs {
+                criterion::black_box(enumerator.enumerate_reference(m));
+            }
+        });
+    });
+    group.finish();
+}
+
 fn bench_epidemic_baseline(c: &mut Criterion) {
     let trace = quick_trace();
     let graph = SpaceTimeGraph::build_default(&trace);
-    let msgs = messages(&trace, 50);
+    let msgs = messages(&trace, 50, 1);
     let mut group = c.benchmark_group("epidemic_baseline");
     group.sample_size(10);
     group.bench_function("epidemic_delivery_times_50_messages", |b| {
@@ -76,6 +132,7 @@ criterion_group!(
     benches,
     bench_graph_construction,
     bench_path_enumeration,
+    bench_paper_enumeration,
     bench_epidemic_baseline
 );
 criterion_main!(benches);

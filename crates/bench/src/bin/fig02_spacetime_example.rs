@@ -36,11 +36,8 @@ fn main() {
     for slot in 0..graph.slot_count() {
         println!("slot {slot} (ends at t = {:.0} s):", graph.slot_end_time(slot));
         for node in 0..graph.node_count() as u32 {
-            let neighbors: Vec<String> = graph
-                .neighbors(slot, NodeId(node))
-                .iter()
-                .map(|n| n.to_string())
-                .collect();
+            let neighbors: Vec<String> =
+                graph.neighbors(slot, NodeId(node)).iter().map(|n| n.to_string()).collect();
             println!(
                 "  n{node}: zero-weight edges to [{}], wait edge to (n{node}, slot {})",
                 neighbors.join(", "),

@@ -3,9 +3,9 @@
 //! two-class predictions.
 
 use psn::experiments::model::run_model_validation;
+use psn::prelude::ExperimentProfile;
 use psn::report;
 use psn_bench::{print_header, profile_from_env};
-use psn::prelude::ExperimentProfile;
 
 fn main() {
     let profile = profile_from_env();

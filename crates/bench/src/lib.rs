@@ -44,7 +44,8 @@ pub fn print_header(figure: &str, profile: ExperimentProfile) {
         "# profile: {}",
         match profile {
             ExperimentProfile::Paper => "paper (98 nodes, 3-hour traces)",
-            ExperimentProfile::Quick => "quick (reduced scale; set PSN_PROFILE=paper for full scale)",
+            ExperimentProfile::Quick =>
+                "quick (reduced scale; set PSN_PROFILE=paper for full scale)",
         }
     );
 }

@@ -52,8 +52,8 @@ pub fn run_activity_study(profile: ExperimentProfile) -> Vec<ActivityReport> {
 /// Builds the activity report for one already-generated trace.
 pub fn activity_report(dataset: DatasetId, trace: &ContactTrace) -> ActivityReport {
     let per_minute = contact_timeseries(trace);
-    let stationarity = stationarity_report(trace)
-        .expect("generated datasets always contain contacts");
+    let stationarity =
+        stationarity_report(trace).expect("generated datasets always contain contacts");
     let rates = ContactRates::from_trace(trace);
     ActivityReport {
         dataset,
@@ -75,7 +75,7 @@ mod tests {
         assert_eq!(reports.len(), 4);
         for report in &reports {
             assert!(report.per_minute.total() > 0.0, "{:?}", report.dataset);
-            assert!(report.contact_count_cdf.len() > 0);
+            assert!(!report.contact_count_cdf.is_empty());
             // The synthetic traces keep the paper's roughly uniform
             // contact-count distribution.
             assert!(
@@ -90,9 +90,8 @@ mod tests {
     #[test]
     fn afternoon_datasets_show_stronger_tail_dropoff() {
         let reports = run_activity_study(ExperimentProfile::Quick);
-        let get = |id: DatasetId| {
-            reports.iter().find(|r| r.dataset == id).expect("present").tail_ratio
-        };
+        let get =
+            |id: DatasetId| reports.iter().find(|r| r.dataset == id).expect("present").tail_ratio;
         assert!(
             get(DatasetId::Infocom06Afternoon) < get(DatasetId::Infocom06Morning),
             "afternoon should drop off more than morning"

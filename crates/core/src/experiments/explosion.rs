@@ -14,11 +14,11 @@
 //!   optimal duration over 1000 s, fraction with TE ≤ 150 s, correlation
 //!   between T₁ and TE).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psn_spacetime::{
-    EnumerationConfig, ExplosionProfile, ExplosionSummary, Message, MessageGenerator,
-    PathEnumerator, Path, SpaceTimeGraph,
+    EnumerationConfig, ExplosionProfile, ExplosionSummary, Message, MessageGenerator, Path,
+    PathEnumerator, SpaceTimeGraph,
 };
 use psn_stats::{correlation, Histogram};
 use psn_trace::{ContactRates, ContactTrace, DatasetId, Seconds};
@@ -88,14 +88,12 @@ pub fn run_explosion_study(
     threads: usize,
 ) -> ExplosionStudy {
     let trace = profile.dataset(dataset).generate();
-    let generator = MessageGenerator::new(
-        psn_spacetime::MessageWorkloadConfig {
-            nodes: trace.node_count(),
-            generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
-            mean_interarrival: 4.0,
-            seed: 0xEC0,
-        },
-    );
+    let generator = MessageGenerator::new(psn_spacetime::MessageWorkloadConfig {
+        nodes: trace.node_count(),
+        generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
+        mean_interarrival: 4.0,
+        seed: 0xEC0,
+    });
     let messages = generator.uniform_messages(profile.enumeration_messages());
     run_explosion_study_on(
         dataset,
@@ -122,37 +120,43 @@ pub fn run_explosion_study_on(
     let rates = ContactRates::from_trace(trace);
     let threads = threads.max(1);
 
-    // Enumerate messages in parallel; each worker takes indices off a shared
-    // counter so the work is balanced even though per-message cost varies
-    // wildly (out-out messages cost far more than in-in ones).
-    let next = Mutex::new(0usize);
-    let profiles: Mutex<Vec<(usize, ExplosionProfile, Vec<Path>)>> =
-        Mutex::new(Vec::with_capacity(messages.len()));
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let enumerator = PathEnumerator::new(&graph, enumeration.clone());
-                loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        if idx >= messages.len() {
-                            break;
+    // Enumerate messages in parallel; each worker claims indices off a
+    // lock-free fetch-add counter so the work is balanced even though
+    // per-message cost varies wildly (out-out messages cost far more than
+    // in-in ones). Results accumulate in per-worker vectors that are merged
+    // after the join, so the hot loop takes no locks at all.
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, ExplosionProfile, Vec<Path>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let enumerator = PathEnumerator::new(&graph, enumeration.clone());
+                        let mut scratch = psn_spacetime::EnumerationScratch::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= messages.len() {
+                                break;
+                            }
+                            let result =
+                                enumerator.enumerate_with_scratch(&messages[idx], &mut scratch);
+                            let profile =
+                                ExplosionProfile::with_threshold(&result, explosion_threshold);
+                            local.push((idx, profile, result.sample_paths));
                         }
-                        *guard += 1;
-                        idx
-                    };
-                    let result = enumerator.enumerate(&messages[idx]);
-                    let profile = ExplosionProfile::with_threshold(&result, explosion_threshold);
-                    profiles.lock().push((idx, profile, result.sample_paths));
-                }
-            });
-        }
-    })
-    .expect("enumeration workers do not panic");
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration workers do not panic"))
+                .collect()
+        });
 
-    let mut collected = profiles.into_inner();
+    let mut collected: Vec<(usize, ExplosionProfile, Vec<Path>)> =
+        per_worker.iter_mut().flat_map(std::mem::take).collect();
     collected.sort_by_key(|(idx, _, _)| *idx);
 
     let mut summary = ExplosionSummary::new();
@@ -168,10 +172,8 @@ pub fn run_explosion_study_on(
         // Pair-type scatter (Fig. 8).
         if let (Some(t1), Some(te)) = (profile.optimal_duration, profile.time_to_explosion) {
             let class = classify_message(&rates, &messages[idx]);
-            let panel = by_type
-                .iter_mut()
-                .find(|p| p.pair_type == class)
-                .expect("all pair types present");
+            let panel =
+                by_type.iter_mut().find(|p| p.pair_type == class).expect("all pair types present");
             panel.points.push((t1, te));
 
             // Slow-explosion growth histogram (Fig. 6).

@@ -109,7 +109,8 @@ pub fn run_forwarding_study_on(
 
     // The same message sets are replayed for every algorithm so the
     // comparison is paired, as in the paper.
-    let message_sets: Vec<_> = (0..runs as u64).map(|run| generator.poisson_messages(run)).collect();
+    let message_sets: Vec<_> =
+        (0..runs as u64).map(|run| generator.poisson_messages(run)).collect();
     let messages_per_run = message_sets.first().map(|m| m.len()).unwrap_or(0);
 
     let algorithms = standard_algorithms()
@@ -125,8 +126,8 @@ pub fn run_forwarding_study_on(
                 }
             }
             let outcomes = first_outcomes.expect("at least one run");
-            let metrics = AlgorithmMetrics::average_over_runs(&per_run_metrics)
-                .expect("at least one run");
+            let metrics =
+                AlgorithmMetrics::average_over_runs(&per_run_metrics).expect("at least one run");
             let by_pair_type = PairTypeMetrics::from_outcomes(kind.label(), &outcomes, &rates);
 
             // Fig. 11: cumulative deliveries over the trace window. The
@@ -209,7 +210,9 @@ mod tests {
         // delivers it no later (it finds the optimal path).
         let study = small_study();
         let epidemic = study.get(AlgorithmKind::Epidemic);
-        for kind in [AlgorithmKind::Fresh, AlgorithmKind::GreedyTotal, AlgorithmKind::DynamicProgramming] {
+        for kind in
+            [AlgorithmKind::Fresh, AlgorithmKind::GreedyTotal, AlgorithmKind::DynamicProgramming]
+        {
             let other = study.get(kind);
             for (e, o) in epidemic.outcomes.iter().zip(&other.outcomes) {
                 if let Some(other_time) = o.delivered_at {

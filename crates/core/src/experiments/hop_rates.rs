@@ -141,13 +141,21 @@ mod tests {
         let mut contacts = Vec::new();
         // Node 1: 2 contacts, node 2: 4 contacts, node 3: 6 contacts.
         for k in 0..2 {
-            contacts.push(Contact::new(nid(1), nid(2), k as f64 * 10.0, k as f64 * 10.0 + 1.0).unwrap());
+            contacts.push(
+                Contact::new(nid(1), nid(2), k as f64 * 10.0, k as f64 * 10.0 + 1.0).unwrap(),
+            );
         }
         for k in 0..2 {
-            contacts.push(Contact::new(nid(2), nid(3), 100.0 + k as f64 * 10.0, 101.0 + k as f64 * 10.0).unwrap());
+            contacts.push(
+                Contact::new(nid(2), nid(3), 100.0 + k as f64 * 10.0, 101.0 + k as f64 * 10.0)
+                    .unwrap(),
+            );
         }
         for k in 0..4 {
-            contacts.push(Contact::new(nid(3), nid(0), 200.0 + k as f64 * 10.0, 201.0 + k as f64 * 10.0).unwrap());
+            contacts.push(
+                Contact::new(nid(3), nid(0), 200.0 + k as f64 * 10.0, 201.0 + k as f64 * 10.0)
+                    .unwrap(),
+            );
         }
         let trace =
             ContactTrace::from_contacts("hr", reg, TimeWindow::new(0.0, 1000.0), contacts).unwrap();

@@ -33,10 +33,7 @@ impl PathsTakenCase {
     /// True if every algorithm that delivered did so within `window`
     /// seconds of the optimal arrival — the qualitative claim of Fig. 12.
     pub fn all_deliveries_within(&self, window: Seconds) -> bool {
-        self.algorithm_arrivals
-            .iter()
-            .filter_map(|(_, t)| *t)
-            .all(|t| t <= window + 1e-9)
+        self.algorithm_arrivals.iter().filter_map(|(_, t)| *t).all(|t| t <= window + 1e-9)
     }
 }
 
@@ -50,11 +47,12 @@ pub fn run_paths_taken(
     let enumerator = PathEnumerator::new(&graph, enumeration);
     let simulator = Simulator::new(trace, SimulatorConfig::default());
     let algorithms = standard_algorithms();
+    let mut scratch = psn_spacetime::EnumerationScratch::new();
 
     messages
         .iter()
         .map(|message| {
-            let enumeration_result = enumerator.enumerate(message);
+            let enumeration_result = enumerator.enumerate_with_scratch(message, &mut scratch);
             let first_arrival = enumeration_result.first_delivery_time();
 
             // Burst structure: group deliveries by arrival time.

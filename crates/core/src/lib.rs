@@ -64,8 +64,9 @@ pub mod prelude {
         Simulator, SimulatorConfig,
     };
     pub use psn_spacetime::{
-        epidemic_delivery_time, EnumerationConfig, ExplosionProfile, ExplosionSummary, Message,
-        MessageGenerator, MessageWorkloadConfig, Path, PathEnumerator, SpaceTimeGraph,
+        epidemic_delivery_time, EnumerationConfig, EnumerationScratch, ExplosionProfile,
+        ExplosionSummary, Message, MessageGenerator, MessageWorkloadConfig, Path, PathEnumerator,
+        SpaceTimeGraph,
     };
     pub use psn_stats::{BoxPlot, ConfidenceInterval, Ecdf, Histogram, Summary};
     pub use psn_trace::{

@@ -83,10 +83,8 @@ pub fn render_explosion_cdfs(study: &ExplosionStudy) -> String {
 
 /// Renders the Fig. 5 scatter of optimal duration vs time to explosion.
 pub fn render_explosion_scatter(study: &ExplosionStudy) -> String {
-    let mut out = format!(
-        "# Figure 5 — optimal path duration vs time to explosion, {}\n",
-        study.dataset
-    );
+    let mut out =
+        format!("# Figure 5 — optimal path duration vs time to explosion, {}\n", study.dataset);
     if let Some(r) = study.t1_te_correlation {
         let _ = writeln!(out, "# Pearson correlation: {r:.3}");
     }
@@ -182,10 +180,8 @@ pub fn render_reception_times(study: &ForwardingStudy) -> String {
 
 /// Renders one Fig. 12 case (path bursts + algorithm arrivals).
 pub fn render_paths_taken(case: &PathsTakenCase) -> String {
-    let mut out = format!(
-        "# Figure 12 — paths taken by forwarding algorithms, message {}\n",
-        case.message
-    );
+    let mut out =
+        format!("# Figure 12 — paths taken by forwarding algorithms, message {}\n", case.message);
     out.push_str("seconds_since_T1,arriving_paths\n");
     for (t, c) in &case.arrival_bursts {
         let _ = writeln!(out, "{t:.0},{c}");
@@ -200,23 +196,16 @@ pub fn render_paths_taken(case: &PathsTakenCase) -> String {
 
 /// Renders the Fig. 13 pair-type performance breakdown for one dataset.
 pub fn render_pairtype_performance(study: &ForwardingStudy) -> String {
-    let mut out = format!(
-        "# Figure 13 — performance by source-destination pair type, {}\n",
-        study.dataset
-    );
+    let mut out =
+        format!("# Figure 13 — performance by source-destination pair type, {}\n", study.dataset);
     out.push_str("algorithm,pair_type,success_rate,average_delay_s\n");
     for algo in &study.algorithms {
         for pair_type in PairType::all() {
             let metrics = algo.by_pair_type.get(pair_type);
-            let delay = metrics
-                .average_delay
-                .map(|d| format!("{d:.1}"))
-                .unwrap_or_else(|| "-".to_string());
-            let _ = writeln!(
-                out,
-                "{},{},{:.3},{}",
-                algo.kind, pair_type, metrics.success_rate, delay
-            );
+            let delay =
+                metrics.average_delay.map(|d| format!("{d:.1}")).unwrap_or_else(|| "-".to_string());
+            let _ =
+                writeln!(out, "{},{},{:.3},{}", algo.kind, pair_type, metrics.success_rate, delay);
         }
     }
     out
@@ -259,7 +248,12 @@ pub fn render_model_validation(validation: &ModelValidation) -> String {
         let _ = writeln!(
             out,
             "{},{},{:.0},{:.4},{:.4},{:.4},{:.4}",
-            a.nodes, a.lambda, a.horizon, a.closed_form_mean, a.simulated_mean, a.ode_mean,
+            a.nodes,
+            a.lambda,
+            a.horizon,
+            a.closed_form_mean,
+            a.simulated_mean,
+            a.ode_mean,
             a.density_error
         );
     }

@@ -78,11 +78,8 @@ mod tests {
         use psn_trace::node::NodeRegistry;
         use psn_trace::trace::{ContactTrace, TimeWindow};
 
-        let trace = ContactTrace::new(
-            "empty",
-            NodeRegistry::with_counts(2, 0),
-            TimeWindow::new(0.0, 10.0),
-        );
+        let trace =
+            ContactTrace::new("empty", NodeRegistry::with_counts(2, 0), TimeWindow::new(0.0, 10.0));
         let history = ContactHistory::new(2);
         let oracle = TraceOracle::from_trace(&trace);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 0.0 };

@@ -44,11 +44,8 @@ mod tests {
 
     #[test]
     fn always_forwards() {
-        let trace = ContactTrace::new(
-            "empty",
-            NodeRegistry::with_counts(3, 0),
-            TimeWindow::new(0.0, 10.0),
-        );
+        let trace =
+            ContactTrace::new("empty", NodeRegistry::with_counts(3, 0), TimeWindow::new(0.0, 10.0));
         let history = ContactHistory::new(3);
         let oracle = TraceOracle::from_trace(&trace);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 5.0 };

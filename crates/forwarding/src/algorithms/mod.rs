@@ -113,11 +113,7 @@ mod tests {
         use AlgorithmKind::*;
         for (kind, algo) in standard_algorithms() {
             let expected = matches!(kind, Fresh | Greedy | DynamicProgramming);
-            assert_eq!(
-                algo.destination_aware(),
-                expected,
-                "awareness mismatch for {kind}"
-            );
+            assert_eq!(algo.destination_aware(), expected, "awareness mismatch for {kind}");
         }
     }
 }

@@ -137,12 +137,7 @@ impl PairTypeMetrics {
 
     /// The metrics for one pair type.
     pub fn get(&self, pair_type: PairType) -> &AlgorithmMetrics {
-        &self
-            .per_type
-            .iter()
-            .find(|(t, _)| *t == pair_type)
-            .expect("every pair type is present")
-            .1
+        &self.per_type.iter().find(|(t, _)| *t == pair_type).expect("every pair type is present").1
     }
 }
 

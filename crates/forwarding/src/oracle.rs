@@ -148,10 +148,7 @@ mod tests {
         assert_eq!(oracle.expected_delay(nid(0), nid(3)), f64::INFINITY);
         assert_eq!(oracle.expected_delay(nid(2), nid(2)), 0.0);
         // Symmetric.
-        assert_eq!(
-            oracle.expected_delay(nid(0), nid(1)),
-            oracle.expected_delay(nid(1), nid(0))
-        );
+        assert_eq!(oracle.expected_delay(nid(0), nid(1)), oracle.expected_delay(nid(1), nid(0)));
     }
 
     #[test]

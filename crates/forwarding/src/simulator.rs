@@ -133,8 +133,7 @@ impl<'a> Simulator<'a> {
     ) -> SimulationResult {
         let n = self.trace.node_count();
         let mut history = ContactHistory::new(n);
-        let mut states: Vec<MessageState> =
-            messages.iter().map(|_| MessageState::new(n)).collect();
+        let mut states: Vec<MessageState> = messages.iter().map(|_| MessageState::new(n)).collect();
 
         // Messages sorted by creation slot for activation.
         let mut activation_order: Vec<usize> = (0..messages.len()).collect();
@@ -258,11 +257,7 @@ impl<'a> Simulator<'a> {
             path
         });
 
-        MessageOutcome {
-            message: *message,
-            delivered_at: state.delivered_at,
-            path,
-        }
+        MessageOutcome { message: *message, delivered_at: state.delivered_at, path }
     }
 }
 
@@ -323,11 +318,8 @@ mod tests {
 
     #[test]
     fn delivered_paths_start_at_source_and_end_at_destination() {
-        let trace = trace_from(
-            vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0), (2, 3, 41.0, 45.0)],
-            4,
-            100.0,
-        );
+        let trace =
+            trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0), (2, 3, 41.0, 45.0)], 4, 100.0);
         let sim = Simulator::with_default_config(&trace);
         let message = Message::new(nid(0), nid(3), 0.0);
         let result = sim.run(&Epidemic, &[message]);
@@ -383,11 +375,8 @@ mod tests {
         // Node 1 meets the destination 2 early (before the message exists),
         // then meets the source 0, then meets 2 again: FRESH relays 0 -> 1
         // because 1's encounter with 2 is fresher than 0's (never).
-        let trace = trace_from(
-            vec![(1, 2, 1.0, 5.0), (0, 1, 41.0, 45.0), (1, 2, 81.0, 85.0)],
-            3,
-            120.0,
-        );
+        let trace =
+            trace_from(vec![(1, 2, 1.0, 5.0), (0, 1, 41.0, 45.0), (1, 2, 81.0, 85.0)], 3, 120.0);
         let sim = Simulator::with_default_config(&trace);
         let result = sim.run(&Fresh, &[Message::new(nid(0), nid(2), 20.0)]);
         assert_eq!(result.outcomes[0].delivered_at, Some(90.0));
@@ -400,12 +389,7 @@ mod tests {
         // Node 1 is the hub; Greedy Total forwards 0 -> 1 even though it is
         // destination unaware, and 1 later meets the destination 3.
         let trace = trace_from(
-            vec![
-                (1, 2, 1.0, 5.0),
-                (1, 4, 11.0, 15.0),
-                (0, 1, 41.0, 45.0),
-                (1, 3, 81.0, 85.0),
-            ],
+            vec![(1, 2, 1.0, 5.0), (1, 4, 11.0, 15.0), (0, 1, 41.0, 45.0), (1, 3, 81.0, 85.0)],
             5,
             120.0,
         );

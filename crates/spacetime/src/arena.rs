@@ -1,0 +1,324 @@
+//! Parent-pointer path arena: the storage engine behind the enumerator.
+//!
+//! The k-shortest valid-path enumeration (paper Fig. 3) keeps up to `k`
+//! in-flight paths *per node per slot*; at paper scale (k = 2000, ~100
+//! nodes) that is hundreds of thousands of live paths, and the dominant
+//! operation is *extension* — append one hop to an existing path. Storing
+//! each path as an owned `Vec<Hop>` makes every extension an O(L) clone of
+//! the whole hop sequence; at the typical 4–8 hop depths of conference
+//! traces, extension traffic dwarfs everything else the enumerator does.
+//!
+//! [`PathArena`] shares path prefixes structurally instead (the classic
+//! multipath-routing trick): every in-flight path is a single arena entry
+//! `(parent, node, time, depth, mask)` whose `parent` points at the path it
+//! extends. Extension is an O(1) append; nothing is ever copied or freed
+//! mid-message.
+//!
+//! Invariants:
+//!
+//! * **append-only** — entries are never mutated or removed once pushed, so
+//!   `u32` handles ([`PathRef`]) stay valid for the arena's whole lifetime
+//!   and parent chains can be walked without bounds worries;
+//! * **per-message lifetime** — the enumerator [`clear`](PathArena::clear)s
+//!   the arena between messages, reusing the allocation; handles must not
+//!   outlive the message that produced them (deliveries are materialized to
+//!   owned [`Path`]s before the next message starts);
+//! * **bitmask small-trace fast path** — each entry carries a 64-bit
+//!   occupancy mask over `node_id & 63`. For traces with ≤ 64 nodes the mask
+//!   is *exact*, making loop-avoidance and first-preference checks O(1) bit
+//!   tests; for larger traces it acts as a Bloom-style filter whose misses
+//!   are definitive and whose hits fall back to an O(depth) parent walk.
+
+use psn_trace::{NodeId, Seconds};
+
+use crate::path::{Hop, Path};
+
+/// Handle to a path stored in a [`PathArena`]. Only meaningful for the
+/// arena (and arena generation) that issued it.
+pub type PathRef = u32;
+
+/// Sentinel parent for source entries.
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Arena index of the path this entry extends; `NO_PARENT` for sources.
+    parent: u32,
+    /// Number of hops on the path ending at this entry (≥ 1).
+    depth: u32,
+    /// The node that received the message at this hop.
+    node: NodeId,
+    /// Occupancy mask over `node_id & 63` of every node on the path.
+    mask: u64,
+    /// The time this hop happened (slot end time; creation time for roots).
+    time: Seconds,
+}
+
+/// Append-only arena of parent-linked paths. See the module docs for the
+/// design invariants.
+#[derive(Debug, Clone, Default)]
+pub struct PathArena {
+    entries: Vec<Entry>,
+    /// True when node ids fit the 64-bit mask exactly (≤ 64 nodes).
+    exact_masks: bool,
+}
+
+#[inline]
+fn bit(node: NodeId) -> u64 {
+    1u64 << (node.0 & 63)
+}
+
+impl PathArena {
+    /// Creates an arena for a trace with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self { entries: Vec::new(), exact_masks: node_count <= 64 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the arena holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the 64-bit masks are exact (trace has ≤ 64 nodes).
+    pub fn exact_masks(&self) -> bool {
+        self.exact_masks
+    }
+
+    /// Drops all paths, keeping the allocation. `node_count` re-arms the
+    /// mask mode for the next message's trace (it never changes within one
+    /// graph, but the scratch that owns this arena can be reused across
+    /// graphs).
+    pub fn clear(&mut self, node_count: usize) {
+        self.entries.clear();
+        self.exact_masks = node_count <= 64;
+    }
+
+    /// Starts a new single-hop path at `node`.
+    pub fn root(&mut self, node: NodeId, time: Seconds) -> PathRef {
+        self.push(Entry { parent: NO_PARENT, depth: 1, node, mask: bit(node), time })
+    }
+
+    /// Extends `parent` with one hop — O(1), no copying.
+    ///
+    /// The caller is responsible for loop avoidance (checking
+    /// [`contains`](Self::contains) first); times must be non-decreasing
+    /// along any chain, which the enumerator guarantees by construction.
+    pub fn extend(&mut self, parent: PathRef, node: NodeId, time: Seconds) -> PathRef {
+        let p = self.entries[parent as usize];
+        debug_assert!(time >= p.time, "extension must not go back in time");
+        self.push(Entry { parent, depth: p.depth + 1, node, mask: p.mask | bit(node), time })
+    }
+
+    fn push(&mut self, entry: Entry) -> PathRef {
+        let idx = self.entries.len();
+        assert!(idx < NO_PARENT as usize, "path arena exhausted u32 handles");
+        self.entries.push(entry);
+        idx as PathRef
+    }
+
+    /// Number of hops on the path ending at `r`.
+    #[inline]
+    pub fn depth(&self, r: PathRef) -> u32 {
+        self.entries[r as usize].depth
+    }
+
+    /// The node holding the message at `r`.
+    #[inline]
+    pub fn node(&self, r: PathRef) -> NodeId {
+        self.entries[r as usize].node
+    }
+
+    /// The time of the final hop of `r`.
+    #[inline]
+    pub fn time(&self, r: PathRef) -> Seconds {
+        self.entries[r as usize].time
+    }
+
+    /// True if `node` lies on the path ending at `r`. O(1) for exact masks
+    /// and for filter misses; O(depth) parent walk otherwise.
+    #[inline]
+    pub fn contains(&self, r: PathRef, node: NodeId) -> bool {
+        let entry = &self.entries[r as usize];
+        if entry.mask & bit(node) == 0 {
+            return false;
+        }
+        if self.exact_masks {
+            return true;
+        }
+        self.walk(r, |n| n == node)
+    }
+
+    /// True if any node of the path ending at `r` is flagged in `set`
+    /// (indexed by node id), where `set_mask` is the OR of [`bit`]s of the
+    /// flagged nodes. This is the first-preference intersection test: O(1)
+    /// whenever the masks prove disjointness.
+    #[inline]
+    pub fn intersects(&self, r: PathRef, set_mask: u64, set: &[bool]) -> bool {
+        let entry = &self.entries[r as usize];
+        if entry.mask & set_mask == 0 {
+            return false;
+        }
+        if self.exact_masks {
+            return true;
+        }
+        self.walk(r, |n| set[n.index()])
+    }
+
+    /// Walks the chain from `r` back to its source, returning true if
+    /// `pred` matches any node.
+    fn walk(&self, r: PathRef, pred: impl Fn(NodeId) -> bool) -> bool {
+        let mut cursor = r;
+        loop {
+            let entry = &self.entries[cursor as usize];
+            if pred(entry.node) {
+                return true;
+            }
+            if entry.parent == NO_PARENT {
+                return false;
+            }
+            cursor = entry.parent;
+        }
+    }
+
+    /// Materializes the full hop sequence of `r` as an owned [`Path`].
+    pub fn materialize(&self, r: PathRef) -> Path {
+        self.materialize_hops(r, 0)
+    }
+
+    /// Materializes `r` plus one extra delivery hop `(node, time)` — the
+    /// shape every delivered path takes — without an intermediate clone.
+    pub fn materialize_extended(&self, r: PathRef, node: NodeId, time: Seconds) -> Path {
+        let mut path = self.materialize_hops(r, 1);
+        // `materialize_hops` left one trailing slot for the delivery hop.
+        path.push_hop(Hop { node, time });
+        path
+    }
+
+    fn materialize_hops(&self, r: PathRef, extra: usize) -> Path {
+        let depth = self.depth(r) as usize;
+        let mut hops = vec![Hop { node: NodeId(0), time: 0.0 }; depth];
+        hops.reserve_exact(extra);
+        let mut cursor = r;
+        for slot in hops.iter_mut().rev() {
+            let entry = &self.entries[cursor as usize];
+            *slot = Hop { node: entry.node, time: entry.time };
+            cursor = entry.parent;
+        }
+        debug_assert_eq!(cursor, NO_PARENT);
+        Path::from_hops(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn roots_and_extensions_share_prefixes() {
+        let mut arena = PathArena::new(8);
+        let root = arena.root(nid(0), 0.0);
+        let a = arena.extend(root, nid(1), 10.0);
+        let b = arena.extend(root, nid(2), 10.0);
+        let deep = arena.extend(a, nid(3), 20.0);
+        assert_eq!(arena.len(), 4); // shared prefix: no copies of the root
+        assert_eq!(arena.depth(root), 1);
+        assert_eq!(arena.depth(a), 2);
+        assert_eq!(arena.depth(deep), 3);
+        assert_eq!(arena.node(b), nid(2));
+        assert_eq!(arena.time(deep), 20.0);
+    }
+
+    #[test]
+    fn contains_is_exact_for_small_traces() {
+        let mut arena = PathArena::new(8);
+        assert!(arena.exact_masks());
+        let root = arena.root(nid(0), 0.0);
+        let p = arena.extend(root, nid(5), 10.0);
+        assert!(arena.contains(p, nid(0)));
+        assert!(arena.contains(p, nid(5)));
+        assert!(!arena.contains(p, nid(3)));
+    }
+
+    #[test]
+    fn contains_falls_back_to_walks_for_large_traces() {
+        // Nodes 2 and 66 collide in the 64-bit mask (66 & 63 == 2); the
+        // filter hit must be confirmed by a walk.
+        let mut arena = PathArena::new(100);
+        assert!(!arena.exact_masks());
+        let root = arena.root(nid(0), 0.0);
+        let p = arena.extend(root, nid(66), 10.0);
+        assert!(arena.contains(p, nid(66)));
+        assert!(!arena.contains(p, nid(2)), "mask collision must not report a false positive");
+        assert!(!arena.contains(p, nid(40)));
+    }
+
+    #[test]
+    fn intersects_matches_membership() {
+        let mut arena = PathArena::new(10);
+        let root = arena.root(nid(1), 0.0);
+        let p = arena.extend(root, nid(4), 10.0);
+        let mut set = vec![false; 10];
+        set[4] = true;
+        let set_mask = bit(nid(4));
+        assert!(arena.intersects(p, set_mask, &set));
+        let mut other = vec![false; 10];
+        other[7] = true;
+        assert!(!arena.intersects(p, bit(nid(7)), &other));
+    }
+
+    #[test]
+    fn intersects_confirms_collisions_on_large_traces() {
+        let mut arena = PathArena::new(100);
+        let root = arena.root(nid(66), 0.0);
+        let mut set = vec![false; 100];
+        set[2] = true; // collides with 66 in the mask
+        assert!(!arena.intersects(root, bit(nid(2)), &set));
+        set[66] = true;
+        assert!(arena.intersects(root, bit(nid(2)) | bit(nid(66)), &set));
+    }
+
+    #[test]
+    fn materialize_reconstructs_hop_sequences() {
+        let mut arena = PathArena::new(8);
+        let root = arena.root(nid(0), 5.0);
+        let a = arena.extend(root, nid(1), 10.0);
+        let b = arena.extend(a, nid(2), 30.0);
+        let path = arena.materialize(b);
+        assert_eq!(path.len(), 3);
+        assert_eq!(path.nodes().collect::<Vec<_>>(), vec![nid(0), nid(1), nid(2)]);
+        assert_eq!(path.first().time, 5.0);
+        assert_eq!(path.end_time(), 30.0);
+    }
+
+    #[test]
+    fn materialize_extended_appends_the_delivery_hop() {
+        let mut arena = PathArena::new(8);
+        let root = arena.root(nid(0), 0.0);
+        let a = arena.extend(root, nid(1), 10.0);
+        let path = arena.materialize_extended(a, nid(7), 20.0);
+        assert_eq!(path.nodes().collect::<Vec<_>>(), vec![nid(0), nid(1), nid(7)]);
+        assert_eq!(path.end_time(), 20.0);
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_rearms_masks() {
+        let mut arena = PathArena::new(8);
+        let root = arena.root(nid(0), 0.0);
+        arena.extend(root, nid(1), 1.0);
+        arena.clear(100);
+        assert!(arena.is_empty());
+        assert!(!arena.exact_masks());
+        arena.clear(8);
+        assert!(arena.exact_masks());
+    }
+}

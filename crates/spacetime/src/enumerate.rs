@@ -23,10 +23,27 @@
 //! Enumeration stops when at least `k` paths reach the destination within a
 //! single slot (the paper's stopping rule), when the configured maximum
 //! number of delivered paths has been collected, or when the trace ends.
+//!
+//! ## Engine
+//!
+//! In-flight paths live in a parent-pointer [`PathArena`]: extending a path
+//! is an O(1) arena push (the prefix is shared, never cloned), and the
+//! loop-avoidance / first-preference membership tests are O(1) bitmask
+//! probes for traces with ≤ 64 nodes (with an O(depth) parent-walk fallback
+//! above that). Full hop sequences are only materialized for the
+//! `stored_path_limit` sampled deliveries. Per-node path budgets are
+//! enforced with `select_nth_unstable_by_key` partial selection instead of
+//! a full sort, and all per-slot buffers live in a reusable
+//! [`EnumerationScratch`]. The pre-arena algorithm — one owned `Vec<Hop>`
+//! per in-flight path — is retained as
+//! [`PathEnumerator::enumerate_reference`] and produces bit-identical
+//! results; the property tests in this module and the `enumeration`
+//! Criterion bench hold the two implementations against each other.
 
 use psn_trace::{NodeId, Seconds};
 use serde::{Deserialize, Serialize};
 
+use crate::arena::{PathArena, PathRef};
 use crate::graph::SpaceTimeGraph;
 use crate::message::Message;
 use crate::path::Path;
@@ -147,6 +164,66 @@ impl EnumerationResult {
     }
 }
 
+/// Reusable per-message working memory of the arena engine.
+///
+/// All allocations the enumerator needs — the path arena, the per-node
+/// stored/arrival lists, the near-destination flags — live here and are
+/// recycled between messages. Callers that enumerate many messages (the
+/// explosion and paths-taken drivers, the benches) should create one
+/// scratch per worker and use
+/// [`PathEnumerator::enumerate_with_scratch`]; one-shot callers can use
+/// [`PathEnumerator::enumerate`], which owns a temporary scratch.
+#[derive(Debug, Clone, Default)]
+pub struct EnumerationScratch {
+    arena: PathArena,
+    /// Arena refs of in-flight paths per node, sorted shortest-first.
+    stored: Vec<Vec<PathRef>>,
+    /// Arena refs arriving at each node within the current slot.
+    arrivals: Vec<Vec<PathRef>>,
+    /// Nodes that can reach the destination via zero-weight edges this slot.
+    near_destination: Vec<bool>,
+    /// The nodes flagged in `near_destination`, for O(set) clearing.
+    near_list: Vec<u32>,
+    /// Nodes with at least one arrival this slot.
+    touched: Vec<u32>,
+    /// Nodes with at least one stored path, ascending.
+    holders: Vec<u32>,
+    /// Holder list snapshot iterated while `stored` is mutated.
+    holders_snapshot: Vec<u32>,
+    /// Double buffer for the per-slot holder-list refresh.
+    holders_next: Vec<u32>,
+    /// `(path, insertion order)` buffer for the k-shortest selection.
+    merge_buf: Vec<(PathRef, u32)>,
+}
+
+impl EnumerationScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets for a new message over a graph with `n` nodes.
+    ///
+    /// The previous run leaves `arrivals` and `near_destination` clean (they
+    /// are drained every slot via `touched` / `near_list`); only `stored`
+    /// can carry paths across runs, and `holders` indexes exactly the nodes
+    /// that might.
+    fn reset(&mut self, n: usize) {
+        self.arena.clear(n);
+        if self.stored.len() < n {
+            self.stored.resize_with(n, Vec::new);
+            self.arrivals.resize_with(n, Vec::new);
+        }
+        if self.near_destination.len() < n {
+            self.near_destination.resize(n, false);
+        }
+        for &h in &self.holders {
+            self.stored[h as usize].clear();
+        }
+        self.holders.clear();
+    }
+}
+
 /// The per-message k-shortest valid path enumerator.
 #[derive(Debug, Clone)]
 pub struct PathEnumerator<'a> {
@@ -172,15 +249,27 @@ impl<'a> PathEnumerator<'a> {
 
     /// Enumerates valid paths for `message`, in delivery-time order.
     pub fn enumerate(&self, message: &Message) -> EnumerationResult {
+        let mut scratch = EnumerationScratch::new();
+        self.enumerate_with_scratch(message, &mut scratch)
+    }
+
+    /// Enumerates valid paths for `message`, reusing `scratch`'s buffers.
+    /// Equivalent to [`enumerate`](Self::enumerate) but amortizes all
+    /// allocations across messages.
+    pub fn enumerate_with_scratch(
+        &self,
+        message: &Message,
+        scratch: &mut EnumerationScratch,
+    ) -> EnumerationResult {
         let graph = self.graph;
         let k = self.config.k;
         let n = graph.node_count();
         let destination = message.destination;
 
-        // Stored paths per node. The source starts with its trivial path.
-        let mut stored: Vec<Vec<Path>> = vec![Vec::new(); n];
-        stored[message.source.index()]
-            .push(Path::source(message.source, message.created_at));
+        scratch.reset(n);
+        let source_ref = scratch.arena.root(message.source, message.created_at);
+        scratch.stored[message.source.index()].push(source_ref);
+        scratch.holders.push(message.source.0);
 
         let mut deliveries: Vec<Delivery> = Vec::new();
         let mut sample_paths: Vec<Path> = Vec::new();
@@ -196,11 +285,220 @@ impl<'a> PathEnumerator<'a> {
             let destination_active = graph.has_contacts(s, destination);
 
             // Nodes able to reach the destination through zero-weight edges
-            // this slot. Any path one of whose nodes lies in this set either
-            // delivers now (if its current holder is in the set) or becomes
-            // invalid under the first-preference rule: that earlier holder
-            // keeps a copy forever and would have delivered it now, so any
-            // later delivery of this path is dominated.
+            // this slot (the destination's component, including itself). Any
+            // path one of whose nodes lies in this set either delivers now
+            // (if its current holder is in the set) or becomes invalid under
+            // the first-preference rule: that earlier holder keeps a copy
+            // forever and would have delivered it now, so any later delivery
+            // of this path is dominated.
+            let mut near_mask = 0u64;
+            if destination_active {
+                for &m in graph.component_slice(s, destination) {
+                    scratch.near_destination[m.index()] = true;
+                    scratch.near_list.push(m.0);
+                    near_mask |= 1u64 << (m.0 & 63);
+                }
+            }
+
+            let mut delivered_this_slot: usize = 0;
+
+            scratch.holders_snapshot.clear();
+            scratch.holders_snapshot.extend_from_slice(&scratch.holders);
+            for &holder_u32 in &scratch.holders_snapshot {
+                let holder_idx = holder_u32 as usize;
+                if scratch.stored[holder_idx].is_empty() {
+                    continue;
+                }
+                let holder = NodeId(holder_u32);
+                let delivers = destination_active
+                    && holder != destination
+                    && scratch.near_destination[holder_idx];
+
+                if delivers {
+                    // Every stored path at this holder is delivered now.
+                    // Under the first-preference rule the stored copies are
+                    // also removed afterwards: continuing them would be
+                    // dominated by the delivery that just happened.
+                    for i in 0..scratch.stored[holder_idx].len() {
+                        let r = scratch.stored[holder_idx][i];
+                        delivered_this_slot += 1;
+                        let hops = scratch.arena.depth(r) as usize + 1;
+                        deliveries.push(Delivery { time: slot_time, hops });
+                        if sample_paths.len() < self.config.stored_path_limit {
+                            sample_paths.push(scratch.arena.materialize_extended(
+                                r,
+                                destination,
+                                slot_time,
+                            ));
+                        }
+                        if let Some(cap) = self.config.max_delivered_paths {
+                            if deliveries.len() >= cap {
+                                truncated = true;
+                                break;
+                            }
+                        }
+                    }
+                    if self.config.enforce_first_preference {
+                        scratch.stored[holder_idx].clear();
+                    }
+                } else {
+                    // Drop paths that carry a node which meets the
+                    // destination this slot (first preference: that node
+                    // still holds a copy and delivers it now, so this longer
+                    // continuation can never be a first-preference path).
+                    if destination_active && self.config.enforce_first_preference {
+                        let arena = &scratch.arena;
+                        let near = &scratch.near_destination;
+                        scratch.stored[holder_idx]
+                            .retain(|&r| !arena.intersects(r, near_mask, near));
+                    }
+                    if scratch.stored[holder_idx].is_empty() || !graph.has_contacts(s, holder) {
+                        // Nothing to extend; surviving paths simply wait.
+                        continue;
+                    }
+                    // Extend to every component member not already on the
+                    // path. The holder itself and the destination are never
+                    // extension targets: the holder is on its own path (so
+                    // the contains check skips it), and the destination is
+                    // either inactive or in another component (its own
+                    // component delivers above).
+                    let members = graph.component_slice(s, holder);
+                    for i in 0..scratch.stored[holder_idx].len() {
+                        let r = scratch.stored[holder_idx][i];
+                        for &v in members {
+                            if scratch.arena.contains(r, v) {
+                                continue;
+                            }
+                            let extended = scratch.arena.extend(r, v, slot_time);
+                            let inbox = &mut scratch.arrivals[v.index()];
+                            if inbox.is_empty() {
+                                scratch.touched.push(v.0);
+                            }
+                            inbox.push(extended);
+                        }
+                    }
+                }
+
+                if truncated {
+                    break;
+                }
+            }
+
+            // Merge arrivals with retained paths and keep the k shortest per
+            // node (fewest hops first; earlier arrival wins ties because
+            // retained paths sort before arrivals of equal length). Only
+            // nodes that actually received arrivals need any work.
+            if !truncated {
+                scratch.touched.sort_unstable();
+                for t in 0..scratch.touched.len() {
+                    let idx = scratch.touched[t] as usize;
+                    Self::keep_k_shortest(
+                        &scratch.arena,
+                        &mut scratch.stored[idx],
+                        &mut scratch.arrivals[idx],
+                        &mut scratch.merge_buf,
+                        k,
+                    );
+                }
+                // Refresh the holder list: previous holders that still hold
+                // paths plus newly touched nodes, ascending and deduplicated.
+                scratch.holders_next.clear();
+                merge_sorted_into(&scratch.holders, &scratch.touched, &mut scratch.holders_next);
+                std::mem::swap(&mut scratch.holders, &mut scratch.holders_next);
+                let stored = &scratch.stored;
+                scratch.holders.retain(|&h| !stored[h as usize].is_empty());
+            } else {
+                for &t in &scratch.touched {
+                    scratch.arrivals[t as usize].clear();
+                }
+            }
+            scratch.touched.clear();
+
+            for &m in &scratch.near_list {
+                scratch.near_destination[m as usize] = false;
+            }
+            scratch.near_list.clear();
+
+            if truncated {
+                break 'slots;
+            }
+            if delivered_this_slot >= k {
+                exploded = true;
+                break 'slots;
+            }
+        }
+
+        deliveries
+            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops)));
+
+        EnumerationResult {
+            message: *message,
+            deliveries,
+            sample_paths,
+            exploded,
+            truncated,
+            slots_processed,
+        }
+    }
+
+    /// Merges `arrivals` into `stored` keeping the `k` shortest paths,
+    /// shortest-first with earlier insertion winning ties — exactly the
+    /// order a stable full sort of `stored ++ arrivals` by depth would
+    /// produce, but using partial selection so the cost is O(m + k log k)
+    /// instead of O(m log m) for m merged candidates.
+    fn keep_k_shortest(
+        arena: &PathArena,
+        stored: &mut Vec<PathRef>,
+        arrivals: &mut Vec<PathRef>,
+        merge_buf: &mut Vec<(PathRef, u32)>,
+        k: usize,
+    ) {
+        merge_buf.clear();
+        merge_buf.extend(
+            stored.iter().chain(arrivals.iter()).enumerate().map(|(seq, &r)| (r, seq as u32)),
+        );
+        arrivals.clear();
+        // The (depth, insertion order) key is unique per element, so the
+        // unstable selection/sort reproduce the stable-sort order exactly.
+        if merge_buf.len() > k {
+            merge_buf.select_nth_unstable_by_key(k - 1, |&(r, seq)| (arena.depth(r), seq));
+            merge_buf.truncate(k);
+        }
+        merge_buf.sort_unstable_by_key(|&(r, seq)| (arena.depth(r), seq));
+        stored.clear();
+        stored.extend(merge_buf.iter().map(|&(r, _)| r));
+    }
+
+    /// The pre-arena reference implementation: every in-flight path is an
+    /// owned [`Path`] and each extension clones the whole hop vector.
+    ///
+    /// Retained for differential testing (the property tests assert the
+    /// arena engine reproduces its output exactly) and for the
+    /// `enumeration` Criterion bench, which measures the arena speedup
+    /// against it. New callers should use [`enumerate`](Self::enumerate).
+    pub fn enumerate_reference(&self, message: &Message) -> EnumerationResult {
+        let graph = self.graph;
+        let k = self.config.k;
+        let n = graph.node_count();
+        let destination = message.destination;
+
+        // Stored paths per node. The source starts with its trivial path.
+        let mut stored: Vec<Vec<Path>> = vec![Vec::new(); n];
+        stored[message.source.index()].push(Path::source(message.source, message.created_at));
+
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut sample_paths: Vec<Path> = Vec::new();
+        let mut exploded = false;
+        let mut truncated = false;
+
+        let start_slot = graph.slot_of_time(message.created_at);
+        let mut slots_processed = 0;
+
+        'slots: for s in start_slot..graph.slot_count() {
+            slots_processed += 1;
+            let slot_time = graph.slot_end_time(s);
+            let destination_active = graph.has_contacts(s, destination);
+
             let mut near_destination = vec![false; n];
             if destination_active {
                 near_destination[destination.index()] = true;
@@ -218,15 +516,10 @@ impl<'a> PathEnumerator<'a> {
                     continue;
                 }
                 let holder = NodeId(holder_idx as u32);
-                let delivers = destination_active
-                    && holder != destination
-                    && near_destination[holder_idx];
+                let delivers =
+                    destination_active && holder != destination && near_destination[holder_idx];
 
                 if delivers {
-                    // Every stored path at this holder is delivered now.
-                    // Under the first-preference rule the stored copies are
-                    // also removed: continuing them would be dominated by
-                    // the delivery that just happened.
                     let paths = if self.config.enforce_first_preference {
                         std::mem::take(&mut stored[holder_idx])
                     } else {
@@ -247,21 +540,13 @@ impl<'a> PathEnumerator<'a> {
                         }
                     }
                 } else {
-                    // Drop paths that carry a node which meets the
-                    // destination this slot (first preference: that node
-                    // still holds a copy and delivers it now, so this longer
-                    // continuation can never be a first-preference path).
                     if destination_active && self.config.enforce_first_preference {
                         stored[holder_idx]
                             .retain(|p| !p.nodes().any(|node| near_destination[node.index()]));
                     }
                     if stored[holder_idx].is_empty() || !graph.has_contacts(s, holder) {
-                        // Nothing to extend; surviving paths simply wait.
                         continue;
                     }
-                    // Extend to every component member not already on the
-                    // path. The destination cannot be a member here (it is
-                    // either inactive or in another component).
                     let members = graph.component_members(s, holder);
                     for p in &stored[holder_idx] {
                         for &v in &members {
@@ -278,12 +563,8 @@ impl<'a> PathEnumerator<'a> {
                 }
             }
 
-            // Merge arrivals with retained paths and keep the k shortest per
-            // node (fewest hops first; earlier arrival wins ties because
-            // retained paths sort before arrivals of equal length).
             for idx in 0..n {
                 if arrivals[idx].is_empty() {
-                    // Nothing new; retained paths (already <= k) stay put.
                     continue;
                 }
                 let mut merged = std::mem::take(&mut stored[idx]);
@@ -302,9 +583,8 @@ impl<'a> PathEnumerator<'a> {
             }
         }
 
-        deliveries.sort_by(|a, b| {
-            a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops))
-        });
+        deliveries
+            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops)));
 
         EnumerationResult {
             message: *message,
@@ -315,6 +595,32 @@ impl<'a> PathEnumerator<'a> {
             slots_processed,
         }
     }
+}
+
+/// Merges two ascending `u32` slices into `out`, ascending and
+/// deduplicated.
+fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 #[cfg(test)]
@@ -488,11 +794,48 @@ mod tests {
         }
         let trace = trace_from(contacts, 8, 60.0);
         let graph = SpaceTimeGraph::build_default(&trace);
-        let config = EnumerationConfig { k: 100, max_delivered_paths: Some(2), stored_path_limit: 10, ..EnumerationConfig::default() };
-        let enumerator = PathEnumerator::new(&graph, config);
+        let config = EnumerationConfig {
+            k: 100,
+            max_delivered_paths: Some(2),
+            stored_path_limit: 10,
+            ..EnumerationConfig::default()
+        };
+        let enumerator = PathEnumerator::new(&graph, config.clone());
         let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
         assert!(result.truncated);
-        assert_eq!(result.delivered_count(), 2);
+        // The clamp is exact: not one delivery past the cap is recorded,
+        // even though the batch that hit the cap held more paths.
+        assert_eq!(result.delivered_count(), config.max_delivered_paths.unwrap());
+        assert!(!result.exploded);
+    }
+
+    #[test]
+    fn delivery_cap_is_exact_across_holder_batches() {
+        // Six relays hold one path each when the destination appears, so the
+        // cap lands mid-way through the per-holder delivery sweep. Every cap
+        // value must clamp exactly — no overshoot from paths already pushed
+        // in the same or subsequent holder batches.
+        let mut contacts = vec![];
+        for r in 1..=6u32 {
+            contacts.push((0, r, 1.0, 8.0));
+            contacts.push((r, 7, 21.0, 28.0));
+        }
+        let trace = trace_from(contacts, 8, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        for cap in 1..=6 {
+            let config = EnumerationConfig {
+                k: 100,
+                max_delivered_paths: Some(cap),
+                stored_path_limit: 10,
+                ..EnumerationConfig::default()
+            };
+            let enumerator = PathEnumerator::new(&graph, config);
+            let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
+            assert_eq!(result.delivered_count(), cap, "cap {cap} must clamp exactly");
+            // The cap fires the moment the count reaches it, so the run is
+            // flagged truncated even when the cap equals the total.
+            assert!(result.truncated, "cap {cap}");
+        }
     }
 
     #[test]
@@ -501,7 +844,13 @@ mod tests {
         // (3 hops). With k=1 only the shortest survives at each node, but
         // the direct delivery still happens first.
         let trace = trace_from(
-            vec![(0, 1, 1.0, 5.0), (0, 2, 2.0, 6.0), (1, 4, 11.0, 15.0), (2, 4, 12.0, 16.0), (4, 3, 31.0, 35.0)],
+            vec![
+                (0, 1, 1.0, 5.0),
+                (0, 2, 2.0, 6.0),
+                (1, 4, 11.0, 15.0),
+                (2, 4, 12.0, 16.0),
+                (4, 3, 31.0, 35.0),
+            ],
             5,
             60.0,
         );
@@ -523,7 +872,12 @@ mod tests {
         }
         let trace = trace_from(contacts, 8, 60.0);
         let graph = SpaceTimeGraph::build_default(&trace);
-        let config = EnumerationConfig { k: 100, max_delivered_paths: None, stored_path_limit: 2, ..EnumerationConfig::default() };
+        let config = EnumerationConfig {
+            k: 100,
+            max_delivered_paths: None,
+            stored_path_limit: 2,
+            ..EnumerationConfig::default()
+        };
         let enumerator = PathEnumerator::new(&graph, config);
         let result = enumerator.enumerate(&Message::new(nid(0), nid(7), 0.0));
         assert!(result.delivered_count() >= 6);
@@ -537,5 +891,188 @@ mod tests {
         let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 10.0);
         let graph = SpaceTimeGraph::build_default(&trace);
         PathEnumerator::new(&graph, EnumerationConfig { k: 0, ..EnumerationConfig::default() });
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 5.0), (0, 2, 2.0, 6.0), (1, 3, 21.0, 25.0), (2, 3, 22.0, 26.0)],
+            4,
+            60.0,
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let mut scratch = EnumerationScratch::new();
+        for message in [
+            Message::new(nid(0), nid(3), 0.0),
+            Message::new(nid(1), nid(2), 0.0),
+            Message::new(nid(0), nid(3), 0.0),
+            Message::new(nid(3), nid(0), 15.0),
+        ] {
+            let reused = enumerator.enumerate_with_scratch(&message, &mut scratch);
+            let fresh = enumerator.enumerate(&message);
+            assert_eq!(reused.deliveries, fresh.deliveries, "message {message}");
+            assert_eq!(reused.sample_paths, fresh.sample_paths, "message {message}");
+            assert_eq!(reused.exploded, fresh.exploded);
+            assert_eq!(reused.truncated, fresh.truncated);
+            assert_eq!(reused.slots_processed, fresh.slots_processed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Differential property tests: the arena engine must reproduce the
+    // retained reference implementation exactly.
+    // ------------------------------------------------------------------
+
+    /// Deterministic pseudo-random trace: `contact_count` contacts with
+    /// uniform endpoints and start times, geometric-ish durations.
+    fn random_trace(seed: u64, nodes: usize, contact_count: usize, window: f64) -> ContactTrace {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut contacts = Vec::with_capacity(contact_count);
+        for _ in 0..contact_count {
+            let a = rng.gen_range(0..nodes as u32);
+            let mut b = rng.gen_range(0..nodes as u32);
+            while b == a {
+                b = rng.gen_range(0..nodes as u32);
+            }
+            let start = rng.gen_range(0.0..window * 0.9);
+            let duration = rng.gen_range(1.0..window * 0.15);
+            contacts.push((a, b, start, (start + duration).min(window)));
+        }
+        trace_from(contacts, nodes, window)
+    }
+
+    fn assert_equivalent(
+        enumerator: &PathEnumerator<'_>,
+        graph: &SpaceTimeGraph,
+        message: &Message,
+        scratch: &mut EnumerationScratch,
+    ) {
+        let arena = enumerator.enumerate_with_scratch(message, scratch);
+        let reference = enumerator.enumerate_reference(message);
+        assert_eq!(arena.deliveries, reference.deliveries, "deliveries differ for {message}");
+        assert_eq!(arena.exploded, reference.exploded, "explosion flag differs for {message}");
+        assert_eq!(arena.truncated, reference.truncated, "truncation flag differs for {message}");
+        assert_eq!(
+            arena.slots_processed, reference.slots_processed,
+            "slot count differs for {message}"
+        );
+        assert_eq!(
+            arena.sample_paths, reference.sample_paths,
+            "sampled hop sequences differ for {message}"
+        );
+        // Sampled paths must satisfy the full validity rules — except under
+        // the ablation that deliberately disables first preference, where
+        // dominated paths are the point.
+        if enumerator.config().enforce_first_preference {
+            for p in &arena.sample_paths {
+                assert_eq!(
+                    is_valid_path(graph, p, message.destination),
+                    Ok(()),
+                    "arena produced invalid path {p} for {message}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_on_random_small_traces() {
+        // Small node counts exercise the exact-bitmask fast path.
+        let mut scratch = EnumerationScratch::new();
+        for seed in 0..12u64 {
+            let nodes = 4 + (seed as usize % 9);
+            let trace = random_trace(seed, nodes, 24 + 3 * seed as usize, 400.0);
+            let graph = SpaceTimeGraph::build_default(&trace);
+            for k in [1usize, 2, 7, 40] {
+                let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(k));
+                for (src, dst) in [(0u32, 1u32), (1, 3), (2, 0)] {
+                    let message = Message::new(nid(src), nid(dst), 10.0 * (seed % 5) as f64);
+                    assert_equivalent(&enumerator, &graph, &message, &mut scratch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_beyond_64_nodes() {
+        // More than 64 nodes: the bitmask degrades to a filter and the
+        // membership checks take the parent-walk fallback.
+        let mut scratch = EnumerationScratch::new();
+        for seed in 100..106u64 {
+            let nodes = 66 + (seed as usize % 7);
+            let trace = random_trace(seed, nodes, 160, 500.0);
+            let graph = SpaceTimeGraph::build_default(&trace);
+            let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(12));
+            // Endpoints chosen to straddle the 64-bit boundary.
+            for (src, dst) in [(0u32, 65u32), (65, 1), (10, 64)] {
+                let message = Message::new(nid(src), nid(dst), 0.0);
+                assert_equivalent(&enumerator, &graph, &message, &mut scratch);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_with_caps_and_ablation() {
+        // Tight delivery caps, tight sample limits, and the disabled
+        // first-preference ablation all hit distinct branches.
+        let mut scratch = EnumerationScratch::new();
+        for seed in 40..46u64 {
+            let trace = random_trace(seed, 10, 60, 400.0);
+            let graph = SpaceTimeGraph::build_default(&trace);
+            for config in [
+                EnumerationConfig {
+                    k: 25,
+                    max_delivered_paths: Some(7),
+                    stored_path_limit: 3,
+                    enforce_first_preference: true,
+                },
+                EnumerationConfig {
+                    k: 5,
+                    max_delivered_paths: Some(2),
+                    stored_path_limit: 1,
+                    enforce_first_preference: true,
+                },
+                EnumerationConfig::quick(8).without_first_preference(),
+            ] {
+                let enumerator = PathEnumerator::new(&graph, config);
+                for (src, dst) in [(0u32, 9u32), (5, 2)] {
+                    let message = Message::new(nid(src), nid(dst), 0.0);
+                    assert_equivalent(&enumerator, &graph, &message, &mut scratch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_on_nonzero_window_start() {
+        // Regression companion to the graph-level window-start fix: the two
+        // engines must agree on absolute delivery times when the trace does
+        // not start at zero.
+        let mut reg = NodeRegistry::new();
+        for _ in 0..3 {
+            reg.add(NodeClass::Mobile);
+        }
+        let contacts = vec![
+            Contact::new(nid(0), nid(1), 1001.0, 1005.0).unwrap(),
+            Contact::new(nid(1), nid(2), 1021.0, 1025.0).unwrap(),
+        ];
+        let trace = ContactTrace::from_contacts(
+            "offset-enum",
+            reg,
+            TimeWindow::new(1000.0, 1060.0),
+            contacts,
+        )
+        .unwrap();
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let message = Message::new(nid(0), nid(2), 1000.0);
+        let mut scratch = EnumerationScratch::new();
+        assert_equivalent(&enumerator, &graph, &message, &mut scratch);
+        let result = enumerator.enumerate(&message);
+        // The delivery lands at the end of the slot containing the 1-2
+        // contact: slot 2 of a window starting at 1000 ends at 1030.
+        assert_eq!(result.first_delivery_time(), Some(1030.0));
     }
 }

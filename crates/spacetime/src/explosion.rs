@@ -111,7 +111,11 @@ impl ExplosionProfile {
     /// Histogram of path arrivals over time since the first delivery, with
     /// the given bin width (Fig. 6 uses the Δ-sized bursts directly; the
     /// figure driver uses 10-second bins).
-    pub fn arrival_histogram(&self, bin_seconds: Seconds, span_seconds: Seconds) -> Option<Histogram> {
+    pub fn arrival_histogram(
+        &self,
+        bin_seconds: Seconds,
+        span_seconds: Seconds,
+    ) -> Option<Histogram> {
         let first = *self.delivery_times.first()?;
         let bins = (span_seconds / bin_seconds).ceil() as usize;
         let mut h = Histogram::new(0.0, bin_seconds, bins.max(1)).ok()?;
@@ -172,15 +176,13 @@ impl ExplosionSummary {
 
     /// CDF of optimal path durations over delivered messages (Fig. 4a).
     pub fn optimal_duration_cdf(&self) -> Option<Ecdf> {
-        let xs: Vec<f64> =
-            self.profiles.iter().filter_map(|p| p.optimal_duration).collect();
+        let xs: Vec<f64> = self.profiles.iter().filter_map(|p| p.optimal_duration).collect();
         Ecdf::new(&xs).ok()
     }
 
     /// CDF of times to explosion over exploded messages (Fig. 4b).
     pub fn time_to_explosion_cdf(&self) -> Option<Ecdf> {
-        let xs: Vec<f64> =
-            self.profiles.iter().filter_map(|p| p.time_to_explosion).collect();
+        let xs: Vec<f64> = self.profiles.iter().filter_map(|p| p.time_to_explosion).collect();
         Ecdf::new(&xs).ok()
     }
 

@@ -22,6 +22,15 @@ use psn_trace::{ContactTrace, NodeId, Seconds};
 pub const DEFAULT_DELTA: Seconds = 10.0;
 
 /// One time slot of the space-time graph.
+///
+/// Besides the adjacency and component labelling, each slot precomputes at
+/// build time the views the enumerator's hot loop needs, so per-message
+/// work never rescans all `n` nodes:
+///
+/// * `active` — the nodes with at least one contact this slot, ascending;
+/// * `members` — the same nodes grouped contiguously by component label
+///   (ascending within each group), with `spans[label]` delimiting each
+///   group, so a component's member list is a borrowed slice.
 #[derive(Debug, Clone)]
 struct Slot {
     /// Adjacency among nodes in contact during this slot. `adjacency[i]`
@@ -32,6 +41,45 @@ struct Slot {
     component: Vec<u32>,
     /// Number of contact edges in this slot.
     edge_count: usize,
+    /// Nodes with at least one contact this slot, ascending.
+    active: Vec<NodeId>,
+    /// Active nodes grouped by component label; each group ascending.
+    members: Vec<NodeId>,
+    /// Half-open `(start, end)` range into `members` per component label.
+    /// Labels of isolated nodes get an empty range.
+    spans: Vec<(u32, u32)>,
+}
+
+impl Slot {
+    fn new(adjacency: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
+        let component = components_of(&adjacency);
+        let n = adjacency.len();
+        let active: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|node| !adjacency[node.index()].is_empty()).collect();
+
+        // Group active nodes by component label with a counting pass; the
+        // ascending fill keeps each group sorted.
+        let label_count = component.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut sizes = vec![0u32; label_count];
+        for node in &active {
+            sizes[component[node.index()] as usize] += 1;
+        }
+        let mut spans = Vec::with_capacity(label_count);
+        let mut offset = 0u32;
+        for &size in &sizes {
+            spans.push((offset, offset + size));
+            offset += size;
+        }
+        let mut members = vec![NodeId(0); active.len()];
+        let mut cursors: Vec<u32> = spans.iter().map(|&(start, _)| start).collect();
+        for &node in &active {
+            let label = component[node.index()] as usize;
+            members[cursors[label] as usize] = node;
+            cursors[label] += 1;
+        }
+
+        Self { adjacency, component, edge_count, active, members, spans }
+    }
 }
 
 /// The Δ-discretized space-time graph of a contact trace.
@@ -40,6 +88,7 @@ pub struct SpaceTimeGraph {
     delta: Seconds,
     node_count: usize,
     slots: Vec<Slot>,
+    window_start: Seconds,
     window_end: Seconds,
 }
 
@@ -64,9 +113,9 @@ impl SpaceTimeGraph {
             let rel_start = c.start - window.start;
             let rel_end = c.end - window.start;
             let first_slot = (rel_start / delta).floor() as usize;
-            let last_slot = (rel_end / delta).floor() as usize;
-            for s in first_slot..=last_slot.min(num_slots - 1) {
-                slot_edges[s].push((c.a, c.b));
+            let last_slot = ((rel_end / delta).floor() as usize).min(num_slots - 1);
+            for edges in slot_edges.iter_mut().take(last_slot + 1).skip(first_slot) {
+                edges.push((c.a, c.b));
             }
         }
 
@@ -84,12 +133,11 @@ impl SpaceTimeGraph {
                     list.sort_unstable();
                     list.dedup();
                 }
-                let component = components_of(&adjacency);
-                Slot { adjacency, component, edge_count: edges.len() }
+                Slot::new(adjacency, edges.len())
             })
             .collect();
 
-        Self { delta, node_count, slots, window_end: window.end }
+        Self { delta, node_count, slots, window_start: window.start, window_end: window.end }
     }
 
     /// Builds the graph with the paper's Δ = 10 s.
@@ -112,24 +160,33 @@ impl SpaceTimeGraph {
         self.slots.len()
     }
 
+    /// Start of the observation window in seconds.
+    pub fn window_start(&self) -> Seconds {
+        self.window_start
+    }
+
     /// End of the observation window in seconds.
     pub fn window_end(&self) -> Seconds {
         self.window_end
     }
 
-    /// The slot index containing time `t` (relative to the window start of
-    /// the underlying trace), clamped to the valid range.
+    /// The slot index containing absolute time `t`, clamped to the valid
+    /// range. Slot `s` covers `[start + s·Δ, start + (s+1)·Δ)` where `start`
+    /// is the trace window start — the same convention `build` slots
+    /// contacts with.
     pub fn slot_of_time(&self, t: Seconds) -> usize {
-        if t <= 0.0 {
+        let rel = t - self.window_start;
+        if rel <= 0.0 {
             return 0;
         }
-        ((t / self.delta).floor() as usize).min(self.slots.len() - 1)
+        ((rel / self.delta).floor() as usize).min(self.slots.len() - 1)
     }
 
-    /// The time at which slot `s` *ends* — the timestamp assigned to hops
-    /// taken during that slot (the paper's `T = c·Δ`).
+    /// The absolute time at which slot `s` *ends* — the timestamp assigned
+    /// to hops taken during that slot (the paper's `T = c·Δ`, offset by the
+    /// window start for traces that do not begin at zero).
     pub fn slot_end_time(&self, s: usize) -> Seconds {
-        (s as f64 + 1.0) * self.delta
+        self.window_start + (s as f64 + 1.0) * self.delta
     }
 
     /// Neighbors of `node` during slot `s` (nodes in contact with it at any
@@ -162,21 +219,32 @@ impl SpaceTimeGraph {
             && self.slots[s].component[a.index()] == self.slots[s].component[b.index()]
     }
 
+    /// All members of `node`'s contact component in slot `s` *including*
+    /// `node` itself, as a borrowed slice of the per-slot component table
+    /// precomputed at build time (ascending node ids). Empty if `node` has
+    /// no contacts in the slot.
+    pub fn component_slice(&self, s: usize, node: NodeId) -> &[NodeId] {
+        let slot = &self.slots[s];
+        if slot.adjacency[node.index()].is_empty() {
+            return &[];
+        }
+        let (start, end) = slot.spans[slot.component[node.index()] as usize];
+        &slot.members[start as usize..end as usize]
+    }
+
+    /// Nodes with at least one contact in slot `s`, ascending — the only
+    /// nodes a path can move to (or from) during the slot.
+    pub fn active_nodes(&self, s: usize) -> &[NodeId] {
+        &self.slots[s].active
+    }
+
     /// All members of `node`'s contact component in slot `s`, excluding
     /// `node` itself. Empty if `node` has no contacts in the slot.
+    ///
+    /// Allocates; hot paths should use [`component_slice`](Self::component_slice)
+    /// instead, which returns a borrowed slice (including `node`).
     pub fn component_members(&self, s: usize, node: NodeId) -> Vec<NodeId> {
-        if !self.has_contacts(s, node) {
-            return Vec::new();
-        }
-        let label = self.slots[s].component[node.index()];
-        (0..self.node_count as u32)
-            .map(NodeId)
-            .filter(|&m| {
-                m != node
-                    && self.has_contacts(s, m)
-                    && self.slots[s].component[m.index()] == label
-            })
-            .collect()
+        self.component_slice(s, node).iter().copied().filter(|&m| m != node).collect()
     }
 
     /// Number of contact edges in slot `s`.
@@ -238,13 +306,8 @@ mod tests {
             Contact::new(NodeId(0), NodeId(2), delta * 1.2, delta * 1.8).unwrap(),
             Contact::new(NodeId(1), NodeId(2), delta * 1.3, delta * 1.7).unwrap(),
         ];
-        ContactTrace::from_contacts(
-            "figure2",
-            reg,
-            TimeWindow::new(0.0, delta * 2.0),
-            contacts,
-        )
-        .unwrap()
+        ContactTrace::from_contacts("figure2", reg, TimeWindow::new(0.0, delta * 2.0), contacts)
+            .unwrap()
     }
 
     #[test]
@@ -358,6 +421,79 @@ mod tests {
     fn rejects_nonpositive_delta() {
         let trace = figure2_trace(10.0);
         SpaceTimeGraph::build(&trace, 0.0);
+    }
+
+    #[test]
+    fn nonzero_window_start_offsets_slot_times() {
+        // Regression test: slot 0 of a window starting at t=1000 covers
+        // [1000, 1010) and therefore *ends* at 1010, not at 10. Before the
+        // fix `slot_end_time` returned `(s+1)·Δ` in absolute terms while
+        // `build` slotted contacts relative to the window start, so every
+        // delivery time in a nonzero-start trace was shifted by the start.
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeClass::Mobile);
+        reg.add(NodeClass::Mobile);
+        let trace = ContactTrace::from_contacts(
+            "offset-window",
+            reg,
+            TimeWindow::new(1000.0, 1050.0),
+            vec![Contact::new(NodeId(0), NodeId(1), 1012.0, 1018.0).unwrap()],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.slot_count(), 5);
+        assert_eq!(g.window_start(), 1000.0);
+        // The contact lands in slot 1 ([1010, 1020)), matching `build`.
+        assert!(g.has_contacts(1, NodeId(0)));
+        assert!(!g.has_contacts(0, NodeId(0)));
+        // Times map back through the same offset convention.
+        assert_eq!(g.slot_of_time(1000.0), 0);
+        assert_eq!(g.slot_of_time(1012.0), 1);
+        assert_eq!(g.slot_of_time(999.0), 0); // clamped below the window
+        assert_eq!(g.slot_end_time(0), 1010.0);
+        assert_eq!(g.slot_end_time(1), 1020.0);
+        // End-time of the contact's slot stays inside the window.
+        assert!(g.slot_end_time(1) <= g.window_end());
+    }
+
+    #[test]
+    fn component_slice_groups_active_nodes() {
+        let trace = figure2_trace(10.0);
+        let g = SpaceTimeGraph::build_default(&trace);
+        // Slot 0: only nodes 0 and 1 are active, in one component.
+        assert_eq!(g.active_nodes(0), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.component_slice(0, NodeId(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.component_slice(0, NodeId(1)), &[NodeId(0), NodeId(1)]);
+        assert!(g.component_slice(0, NodeId(2)).is_empty());
+        // Slot 1: the full triangle, ascending.
+        assert_eq!(g.active_nodes(1), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(g.component_slice(1, NodeId(2)), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn component_slice_separates_components() {
+        // Two disjoint pairs in one slot: 0-1 and 2-3.
+        let mut reg = NodeRegistry::new();
+        for _ in 0..5 {
+            reg.add(NodeClass::Mobile);
+        }
+        let trace = ContactTrace::from_contacts(
+            "pairs",
+            reg,
+            TimeWindow::new(0.0, 10.0),
+            vec![
+                Contact::new(NodeId(0), NodeId(1), 1.0, 2.0).unwrap(),
+                Contact::new(NodeId(2), NodeId(3), 3.0, 4.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.component_slice(0, NodeId(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(g.component_slice(0, NodeId(3)), &[NodeId(2), NodeId(3)]);
+        assert!(g.component_slice(0, NodeId(4)).is_empty());
+        assert_eq!(g.active_nodes(0), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        // The allocating compatibility API agrees with the slices.
+        assert_eq!(g.component_members(0, NodeId(0)), vec![NodeId(1)]);
     }
 
     #[test]

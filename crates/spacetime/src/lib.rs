@@ -29,10 +29,39 @@
 //! ([`reachability`]) used as the optimal baseline by the forwarding
 //! simulator, and the message model shared by all experiments
 //! ([`message`]).
+//!
+//! ## The arena enumeration engine
+//!
+//! The enumerator stores in-flight paths in a parent-pointer [`arena`]
+//! ([`PathArena`]) rather than as owned hop vectors. The design invariants:
+//!
+//! * **append-only** — arena entries are never mutated or freed while a
+//!   message is being enumerated, so `u32` handles stay valid and path
+//!   prefixes are shared structurally; extending a path is an O(1) push
+//!   instead of an O(length) clone;
+//! * **per-message lifetime** — the arena (inside an
+//!   [`EnumerationScratch`]) is cleared between messages, and delivered
+//!   paths are materialized to owned [`Path`]s (only up to the configured
+//!   `stored_path_limit`) before the next message starts;
+//! * **bitmask small-trace fast path** — every entry carries a 64-bit node
+//!   occupancy mask: exact for traces with ≤ 64 nodes (O(1) loop-avoidance
+//!   and first-preference checks), a Bloom-style filter with an O(depth)
+//!   parent-walk fallback above that.
+//!
+//! [`SpaceTimeGraph`] precomputes per-slot component member lists and
+//! active-node lists at build time, so the enumerator's hot loop borrows
+//! slices instead of rescanning all nodes. The pre-arena algorithm is
+//! retained as [`PathEnumerator::enumerate_reference`]; property tests
+//! assert the two engines produce identical output, and the `enumeration`
+//! Criterion bench (`cargo bench --bench enumeration`, see the `psn-bench`
+//! crate) measures the speedup — use
+//! `PSN_BENCH_MESSAGES=2 cargo bench --bench enumeration -- --quick` for a
+//! smoke run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod enumerate;
 pub mod explosion;
 pub mod graph;
@@ -41,7 +70,8 @@ pub mod path;
 pub mod reachability;
 pub mod validity;
 
-pub use enumerate::{EnumerationConfig, EnumerationResult, PathEnumerator};
+pub use arena::{PathArena, PathRef};
+pub use enumerate::{EnumerationConfig, EnumerationResult, EnumerationScratch, PathEnumerator};
 pub use explosion::{ExplosionProfile, ExplosionSummary, PATHS_FOR_EXPLOSION};
 pub use graph::{SpaceTimeGraph, DEFAULT_DELTA};
 pub use message::{Message, MessageGenerator, MessageWorkloadConfig};

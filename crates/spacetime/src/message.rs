@@ -66,12 +66,7 @@ impl MessageWorkloadConfig {
     /// The paper's forwarding workload over a three-hour window: one message
     /// every 4 seconds during the first two hours.
     pub fn paper_default(nodes: usize) -> Self {
-        Self {
-            nodes,
-            generation_horizon: 2.0 * 3600.0,
-            mean_interarrival: 4.0,
-            seed: 42,
-        }
+        Self { nodes, generation_horizon: 2.0 * 3600.0, mean_interarrival: 4.0, seed: 42 }
     }
 }
 
@@ -113,7 +108,8 @@ impl MessageGenerator {
     /// forwarding-study workload (§6). `run` perturbs the seed so that the
     /// paper's "averaged over 10 simulation runs" can be reproduced.
     pub fn poisson_messages(&self, run: u64) -> Vec<Message> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(run.wrapping_mul(0x9E37)));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(run.wrapping_mul(0x9E37)));
         let mut messages = Vec::new();
         let rate = 1.0 / self.config.mean_interarrival;
         let mut t = 0.0;
@@ -191,11 +187,7 @@ mod tests {
         let msgs = gen.poisson_messages(0);
         // Expected count: horizon / mean interarrival = 1800.
         let expected = 7200.0 / 4.0;
-        assert!(
-            (msgs.len() as f64 - expected).abs() < 0.15 * expected,
-            "count = {}",
-            msgs.len()
-        );
+        assert!((msgs.len() as f64 - expected).abs() < 0.15 * expected, "count = {}", msgs.len());
         // Arrival times are increasing.
         for w in msgs.windows(2) {
             assert!(w[0].created_at <= w[1].created_at);

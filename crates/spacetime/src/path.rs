@@ -120,6 +120,18 @@ impl Path {
         Path { hops }
     }
 
+    /// Appends one hop in place. Crate-internal: the arena uses this to
+    /// finish a delivered path without the intermediate clone `extended`
+    /// would cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new hop's time is before the current end time.
+    pub(crate) fn push_hop(&mut self, hop: Hop) {
+        assert!(hop.time >= self.end_time(), "extension must not go back in time");
+        self.hops.push(hop);
+    }
+
     /// True if no node appears more than once (the paper's loop-avoidance
     /// requirement).
     pub fn is_loop_free(&self) -> bool {
@@ -197,20 +209,15 @@ mod tests {
             Hop { node: nid(0), time: 9.0 },
         ]);
         assert!(!looping.is_loop_free());
-        let clean = Path::from_hops(vec![
-            Hop { node: nid(0), time: 0.0 },
-            Hop { node: nid(1), time: 5.0 },
-        ]);
+        let clean =
+            Path::from_hops(vec![Hop { node: nid(0), time: 0.0 }, Hop { node: nid(1), time: 5.0 }]);
         assert!(clean.is_loop_free());
     }
 
     #[test]
     #[should_panic]
     fn from_hops_rejects_decreasing_times() {
-        Path::from_hops(vec![
-            Hop { node: nid(0), time: 10.0 },
-            Hop { node: nid(1), time: 5.0 },
-        ]);
+        Path::from_hops(vec![Hop { node: nid(0), time: 10.0 }, Hop { node: nid(1), time: 5.0 }]);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! optimal baseline by the forwarding experiments, for the delivery-time
 //! CDFs, and as a cross-check on the enumerator's first-delivery times.
 
-use psn_trace::{NodeId, Seconds};
+use psn_trace::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::SpaceTimeGraph;
@@ -66,10 +66,13 @@ pub fn epidemic_spread(
         // Any component containing an infected node becomes fully infected
         // by the end of the slot (zero-weight edges within the slot).
         // Collect infected component labels first to avoid order dependence.
+        // Only nodes with contacts this slot can spread or catch a copy, so
+        // both passes walk the precomputed active-node list instead of all n
+        // nodes.
         let mut infected_components: Vec<u32> = Vec::new();
-        for idx in 0..n {
-            if infection[idx].is_some() && graph.has_contacts(s, NodeId(idx as u32)) {
-                infected_components.push(graph.component(s, NodeId(idx as u32)));
+        for &node in graph.active_nodes(s) {
+            if infection[node.index()].is_some() {
+                infected_components.push(graph.component(s, node));
             }
         }
         if infected_components.is_empty() {
@@ -78,12 +81,9 @@ pub fn epidemic_spread(
         infected_components.sort_unstable();
         infected_components.dedup();
 
-        for idx in 0..n {
+        for &node in graph.active_nodes(s) {
+            let idx = node.index();
             if infection[idx].is_some() {
-                continue;
-            }
-            let node = NodeId(idx as u32);
-            if !graph.has_contacts(s, node) {
                 continue;
             }
             if infected_components.binary_search(&graph.component(s, node)).is_ok() {
@@ -114,6 +114,7 @@ mod tests {
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeRegistry};
     use psn_trace::trace::{ContactTrace, TimeWindow};
+    use psn_trace::NodeId;
 
     fn nid(v: u32) -> NodeId {
         NodeId(v)
@@ -203,7 +204,8 @@ mod tests {
 
     #[test]
     fn stop_at_destination_does_not_change_delivery_time() {
-        let trace = trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0), (2, 3, 41.0, 45.0)], 4, 60.0);
+        let trace =
+            trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0), (2, 3, 41.0, 45.0)], 4, 60.0);
         let graph = SpaceTimeGraph::build_default(&trace);
         let message = Message::new(nid(0), nid(2), 0.0);
         let early = epidemic_spread(&graph, &message, true);

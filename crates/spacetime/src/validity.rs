@@ -84,12 +84,12 @@ pub fn is_valid_path(
     // meets the destination at any point before the delivery time dominates
     // this path, even if the path itself moved on earlier.
     let holder_count = if delivered { hops.len() - 1 } else { hops.len() };
-    for i in 0..holder_count {
-        let holder = hops[i].node;
+    for hop in hops.iter().take(holder_count) {
+        let holder = hop.node;
         if holder == destination {
             continue;
         }
-        let hold_start = hops[i].time;
+        let hold_start = hop.time;
         let hold_end = delivery_time;
         let first_slot = graph.slot_of_time(hold_start);
         let last_slot = graph.slot_of_time(hold_end);
@@ -135,22 +135,16 @@ mod tests {
             Contact::new(nid(1), nid(2), 21.0, 25.0).unwrap(),
             Contact::new(nid(2), nid(3), 31.0, 35.0).unwrap(),
         ];
-        let trace = ContactTrace::from_contacts(
-            "validity",
-            reg,
-            TimeWindow::new(0.0, 50.0),
-            contacts,
-        )
-        .unwrap();
+        let trace =
+            ContactTrace::from_contacts("validity", reg, TimeWindow::new(0.0, 50.0), contacts)
+                .unwrap();
         SpaceTimeGraph::build_default(&trace)
     }
 
     #[test]
     fn looping_path_is_rejected() {
         let g = graph();
-        let p = Path::source(nid(0), 0.0)
-            .extended(nid(1), 10.0)
-            .extended(nid(0), 20.0);
+        let p = Path::source(nid(0), 0.0).extended(nid(1), 10.0).extended(nid(0), 20.0);
         assert_eq!(is_valid_path(&g, &p, nid(3)), Err(Violation::Loop));
     }
 
@@ -158,10 +152,7 @@ mod tests {
     fn destination_must_be_last() {
         let g = graph();
         let p = Path::source(nid(3), 0.0).extended(nid(1), 20.0);
-        assert_eq!(
-            is_valid_path(&g, &p, nid(3)),
-            Err(Violation::DestinationNotLast)
-        );
+        assert_eq!(is_valid_path(&g, &p, nid(3)), Err(Violation::DestinationNotLast));
     }
 
     #[test]

@@ -48,22 +48,15 @@ impl BoxPlot {
         let low_fence = q1 - 1.5 * iqr;
         let high_fence = q3 + 1.5 * iqr;
 
-        let whisker_low = sorted
-            .iter()
-            .copied()
-            .find(|&x| x >= low_fence)
-            .unwrap_or(sorted[0]);
+        let whisker_low = sorted.iter().copied().find(|&x| x >= low_fence).unwrap_or(sorted[0]);
         let whisker_high = sorted
             .iter()
             .rev()
             .copied()
             .find(|&x| x <= high_fence)
             .unwrap_or(*sorted.last().expect("non-empty"));
-        let outliers = sorted
-            .iter()
-            .copied()
-            .filter(|&x| x < low_fence || x > high_fence)
-            .collect();
+        let outliers =
+            sorted.iter().copied().filter(|&x| x < low_fence || x > high_fence).collect();
 
         Ok(Self {
             count: sorted.len(),

@@ -58,7 +58,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -126,12 +126,7 @@ impl ConfidenceInterval {
         }
         let mean = summary.mean().expect("count >= 2");
         let se = summary.std_error().expect("count >= 2");
-        Ok(Self {
-            mean,
-            half_width: z_score(level) * se,
-            level,
-            count: summary.count(),
-        })
+        Ok(Self { mean, half_width: z_score(level) * se, level, count: summary.count() })
     }
 
     /// Lower bound of the interval.

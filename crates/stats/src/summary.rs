@@ -29,14 +29,7 @@ impl Default for Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Self {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            sum: 0.0,
-        }
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
     }
 
     /// Builds a summary from a slice in one pass.

@@ -74,7 +74,8 @@ mod tests {
         for m in 0..minutes {
             for k in 0..contacts_per_minute {
                 let t = m as f64 * 60.0 + k as f64 * (60.0 / contacts_per_minute as f64);
-                contacts.push(Contact::new(NodeId(0), NodeId(1 + (k as u32 % 3)), t, t + 1.0).unwrap());
+                contacts
+                    .push(Contact::new(NodeId(0), NodeId(1 + (k as u32 % 3)), t, t + 1.0).unwrap());
             }
         }
         ContactTrace::from_contacts(
@@ -124,13 +125,9 @@ mod tests {
             let t = m as f64 * 60.0;
             contacts.push(Contact::new(NodeId(0), NodeId(1), t, t + 1.0).unwrap());
         }
-        let trace = ContactTrace::from_contacts(
-            "dropoff",
-            reg,
-            TimeWindow::new(0.0, 3600.0),
-            contacts,
-        )
-        .unwrap();
+        let trace =
+            ContactTrace::from_contacts("dropoff", reg, TimeWindow::new(0.0, 3600.0), contacts)
+                .unwrap();
         let report = stationarity_report(&trace).unwrap();
         assert!(report.tail_ratio < 0.1, "{report:?}");
     }

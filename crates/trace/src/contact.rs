@@ -147,10 +147,7 @@ mod tests {
     fn rejects_invalid_contacts() {
         assert_eq!(Contact::new(nid(1), nid(1), 0.0, 1.0), Err(ContactError::SelfContact));
         assert_eq!(Contact::new(nid(1), nid(2), 5.0, 1.0), Err(ContactError::NegativeDuration));
-        assert_eq!(
-            Contact::new(nid(1), nid(2), f64::NAN, 1.0),
-            Err(ContactError::NonFiniteTime)
-        );
+        assert_eq!(Contact::new(nid(1), nid(2), f64::NAN, 1.0), Err(ContactError::NonFiniteTime));
         assert_eq!(
             Contact::new(nid(1), nid(2), 0.0, f64::INFINITY),
             Err(ContactError::NonFiniteTime)

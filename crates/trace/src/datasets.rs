@@ -148,18 +148,12 @@ impl SyntheticDataset {
 
     /// Generates all four paper-scale datasets.
     pub fn generate_all_paper() -> Vec<(DatasetId, ContactTrace)> {
-        DatasetId::all()
-            .into_iter()
-            .map(|id| (id, Self::paper_config(id).generate()))
-            .collect()
+        DatasetId::all().into_iter().map(|id| (id, Self::paper_config(id).generate())).collect()
     }
 
     /// Generates all four quick datasets.
     pub fn generate_all_quick() -> Vec<(DatasetId, ContactTrace)> {
-        DatasetId::all()
-            .into_iter()
-            .map(|id| (id, Self::quick_config(id).generate()))
-            .collect()
+        DatasetId::all().into_iter().map(|id| (id, Self::quick_config(id).generate())).collect()
     }
 }
 
@@ -177,8 +171,10 @@ mod tests {
         assert_eq!(labels.len(), 4);
         assert_eq!(unique.len(), 4);
 
-        let seeds: Vec<u64> =
-            DatasetId::all().iter().map(|&d| SyntheticDataset::paper_config(d).config.seed).collect();
+        let seeds: Vec<u64> = DatasetId::all()
+            .iter()
+            .map(|&d| SyntheticDataset::paper_config(d).config.seed)
+            .collect();
         let mut s = seeds.clone();
         s.sort_unstable();
         s.dedup();

@@ -73,8 +73,7 @@ impl ConferenceTraceGenerator {
     fn draw_propensities<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         let c = &self.config;
         let floor = (c.min_node_rate / c.max_node_rate).max(1e-3);
-        let mut mobile: Vec<f64> =
-            (0..c.mobile_nodes).map(|_| rng.gen_range(floor..1.0)).collect();
+        let mut mobile: Vec<f64> = (0..c.mobile_nodes).map(|_| rng.gen_range(floor..1.0)).collect();
         // Stationary propensity is tied to the median mobile propensity so
         // booths are "typical" rather than extreme nodes.
         let median_mobile = if mobile.is_empty() {
@@ -85,7 +84,7 @@ impl ConferenceTraceGenerator {
             sorted[sorted.len() / 2]
         };
         let stationary_p = (median_mobile * c.stationary_rate_factor).min(1.0).max(floor);
-        mobile.extend(std::iter::repeat(stationary_p).take(c.stationary_nodes));
+        mobile.extend(std::iter::repeat_n(stationary_p, c.stationary_nodes));
         mobile
     }
 
@@ -107,10 +106,7 @@ impl ConferenceTraceGenerator {
         // Scale pairwise rates so the busiest node's total rate matches
         // max_node_rate (see the heterogeneous generator for the algebra).
         let total: f64 = propensities.iter().sum();
-        let max_unscaled = propensities
-            .iter()
-            .map(|&p| p * (total - p))
-            .fold(0.0_f64, f64::max);
+        let max_unscaled = propensities.iter().map(|&p| p * (total - p)).fold(0.0_f64, f64::max);
         let scale = c.max_node_rate / max_unscaled;
 
         let window = TimeWindow::new(0.0, c.window_seconds);
@@ -122,13 +118,10 @@ impl ConferenceTraceGenerator {
                 if pair_rate <= 0.0 {
                     continue;
                 }
-                let starts = thinned_poisson_process(
-                    &mut rng,
-                    pair_rate,
-                    c.window_seconds,
-                    max_mod,
-                    |t| self.config.activity.multiplier(t, self.config.window_seconds),
-                );
+                let starts =
+                    thinned_poisson_process(&mut rng, pair_rate, c.window_seconds, max_mod, |t| {
+                        self.config.activity.multiplier(t, self.config.window_seconds)
+                    });
                 for start in starts {
                     let duration =
                         lognormal_mean_cv(&mut rng, c.mean_contact_duration, c.contact_duration_cv);
@@ -211,11 +204,7 @@ mod tests {
         cfg.mobile_nodes = 50;
         let trace = ConferenceTraceGenerator::new(cfg).generate();
         let report = stationarity_report(&trace).unwrap();
-        assert!(
-            report.coefficient_of_variation < 0.6,
-            "cv = {}",
-            report.coefficient_of_variation
-        );
+        assert!(report.coefficient_of_variation < 0.6, "cv = {}", report.coefficient_of_variation);
     }
 
     #[test]
@@ -255,11 +244,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_min_rate_above_max_rate() {
-        let cfg = ConferenceConfig {
-            min_node_rate: 1.0,
-            max_node_rate: 0.5,
-            ..quick_config(1)
-        };
+        let cfg = ConferenceConfig { min_node_rate: 1.0, max_node_rate: 0.5, ..quick_config(1) };
         ConferenceTraceGenerator::new(cfg);
     }
 }

@@ -59,9 +59,7 @@ impl ActivityProfile {
     pub fn max_multiplier(&self) -> f64 {
         match self {
             ActivityProfile::Constant => 1.0,
-            ActivityProfile::Piecewise(factors) => {
-                factors.iter().copied().fold(1.0_f64, f64::max)
-            }
+            ActivityProfile::Piecewise(factors) => factors.iter().copied().fold(1.0_f64, f64::max),
             ActivityProfile::TailDropoff { final_fraction, .. } => final_fraction.max(1.0),
         }
     }

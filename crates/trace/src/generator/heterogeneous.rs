@@ -74,10 +74,7 @@ pub(crate) fn build_product_rate_trace<R: Rng + ?Sized>(
     let total: f64 = propensities.iter().sum();
     // Node i's total rate under scale c is c * p_i * (total - p_i); choose c
     // so the maximum over i equals max_node_rate.
-    let max_unscaled = propensities
-        .iter()
-        .map(|&p| p * (total - p))
-        .fold(0.0_f64, f64::max);
+    let max_unscaled = propensities.iter().map(|&p| p * (total - p)).fold(0.0_f64, f64::max);
     assert!(max_unscaled > 0.0, "propensities must not be all zero");
     let scale = max_node_rate / max_unscaled;
 

@@ -88,10 +88,7 @@ mod tests {
         // Expected contacts: N * λ * T / 2 (each contact counted once).
         let expected = config.nodes as f64 * config.node_contact_rate * config.window_seconds / 2.0;
         let got = trace.contact_count() as f64;
-        assert!(
-            (got - expected).abs() < 0.25 * expected,
-            "expected ≈ {expected}, got {got}"
-        );
+        assert!((got - expected).abs() < 0.25 * expected, "expected ≈ {expected}, got {got}");
     }
 
     #[test]
@@ -105,12 +102,8 @@ mod tests {
         };
         let trace = generate_homogeneous(&config);
         let rates = ContactRates::from_trace(&trace);
-        let mean_rate: f64 =
-            rates.rates().iter().sum::<f64>() / rates.node_count() as f64;
-        assert!(
-            (mean_rate - config.node_contact_rate).abs() < 0.004,
-            "mean rate {mean_rate}"
-        );
+        let mean_rate: f64 = rates.rates().iter().sum::<f64>() / rates.node_count() as f64;
+        assert!((mean_rate - config.node_contact_rate).abs() < 0.004, "mean rate {mean_rate}");
     }
 
     #[test]

@@ -163,8 +163,7 @@ mod tests {
         let horizon = 50_000.0;
         let full = poisson_process(&mut r, rate, horizon).len() as f64;
         let mut r = rng();
-        let thinned =
-            thinned_poisson_process(&mut r, rate, horizon, 1.0, |_| 0.5).len() as f64;
+        let thinned = thinned_poisson_process(&mut r, rate, horizon, 1.0, |_| 0.5).len() as f64;
         assert!((thinned / full - 0.5).abs() < 0.08, "ratio = {}", thinned / full);
     }
 

@@ -121,9 +121,8 @@ pub fn parse_trace(input: &str) -> Result<ContactTrace, ParseError> {
                     "stationary" => NodeClass::Stationary,
                     _ => return Err(ParseError::MalformedNodeLine { line: line_no }),
                 };
-                let label = fields.get(2).map(|s| s.to_string()).unwrap_or_else(|| {
-                    format!("node-{id:03}")
-                });
+                let label =
+                    fields.get(2).map(|s| s.to_string()).unwrap_or_else(|| format!("node-{id:03}"));
                 declared.push((id, class, label));
             }
             // Other comments are ignored.
@@ -133,16 +132,14 @@ pub fn parse_trace(input: &str) -> Result<ContactTrace, ParseError> {
         if fields.len() != 4 {
             return Err(ParseError::MalformedContactLine { line: line_no });
         }
-        let a: u32 =
-            fields[0].parse().map_err(|_| ParseError::MalformedNumber {
-                line: line_no,
-                token: fields[0].to_string(),
-            })?;
-        let b: u32 =
-            fields[1].parse().map_err(|_| ParseError::MalformedNumber {
-                line: line_no,
-                token: fields[1].to_string(),
-            })?;
+        let a: u32 = fields[0].parse().map_err(|_| ParseError::MalformedNumber {
+            line: line_no,
+            token: fields[0].to_string(),
+        })?;
+        let b: u32 = fields[1].parse().map_err(|_| ParseError::MalformedNumber {
+            line: line_no,
+            token: fields[1].to_string(),
+        })?;
         let start = parse_f64(fields[2], line_no)?;
         let end = parse_f64(fields[3], line_no)?;
         raw_contacts.push((a, b, start, end));
@@ -171,18 +168,13 @@ pub fn parse_trace(input: &str) -> Result<ContactTrace, ParseError> {
 
     // Infer the window if not declared.
     let window = window.unwrap_or_else(|| {
-        let end = raw_contacts
-            .iter()
-            .map(|&(_, _, _, e)| e)
-            .fold(1.0_f64, f64::max);
+        let end = raw_contacts.iter().map(|&(_, _, _, e)| e).fold(1.0_f64, f64::max);
         TimeWindow::new(0.0, end.max(1.0))
     });
 
     let contacts: Result<Vec<Contact>, _> = raw_contacts
         .iter()
-        .map(|&(a, b, s, e)| {
-            Contact::new(external_to_internal[&a], external_to_internal[&b], s, e)
-        })
+        .map(|&(a, b, s, e)| Contact::new(external_to_internal[&a], external_to_internal[&b], s, e))
         .collect();
     let contacts = contacts.map_err(|e| ParseError::Trace(e.to_string()))?;
 
@@ -191,9 +183,7 @@ pub fn parse_trace(input: &str) -> Result<ContactTrace, ParseError> {
 }
 
 fn parse_f64(token: &str, line: usize) -> Result<f64, ParseError> {
-    token
-        .parse::<f64>()
-        .map_err(|_| ParseError::MalformedNumber { line, token: token.to_string() })
+    token.parse::<f64>().map_err(|_| ParseError::MalformedNumber { line, token: token.to_string() })
 }
 
 /// Serializes a trace to the text format accepted by [`parse_trace`].
@@ -201,11 +191,7 @@ pub fn write_trace(trace: &ContactTrace) -> String {
     let mut out = String::new();
     out.push_str("# psn-trace v1\n");
     out.push_str(&format!("# name: {}\n", trace.name()));
-    out.push_str(&format!(
-        "# window: {} {}\n",
-        trace.window().start,
-        trace.window().end
-    ));
+    out.push_str(&format!("# window: {} {}\n", trace.window().start, trace.window().end));
     for node in trace.nodes().iter() {
         out.push_str(&format!("# node: {} {} {}\n", node.id.0, node.class, node.label));
     }

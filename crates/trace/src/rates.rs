@@ -67,11 +67,8 @@ impl ContactRates {
         }
         let window_seconds = trace.window().duration();
         let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / window_seconds).collect();
-        let median_rate = if rates.is_empty() {
-            0.0
-        } else {
-            median(&rates).expect("non-empty, finite rates")
-        };
+        let median_rate =
+            if rates.is_empty() { 0.0 } else { median(&rates).expect("non-empty, finite rates") };
         Self { counts, rates, median_rate, window_seconds }
     }
 
@@ -159,11 +156,8 @@ impl ContactRates {
         if max <= 0.0 {
             return None;
         }
-        let sup = cdf
-            .samples()
-            .iter()
-            .map(|&x| (cdf.eval(x) - x / max).abs())
-            .fold(0.0_f64, f64::max);
+        let sup =
+            cdf.samples().iter().map(|&x| (cdf.eval(x) - x / max).abs()).fold(0.0_f64, f64::max);
         Some(sup)
     }
 }
@@ -267,10 +261,7 @@ mod tests {
     #[test]
     fn median_split_classifies_half_in_half_out() {
         // Node 0: 3 contacts, node 1: 2, node 2: 1, node 3: 0 -> median between 1 and 2.
-        let trace = trace_with(
-            vec![(0, 1, 0.0, 1.0), (0, 1, 2.0, 3.0), (0, 2, 4.0, 5.0)],
-            4,
-        );
+        let trace = trace_with(vec![(0, 1, 0.0, 1.0), (0, 1, 2.0, 3.0), (0, 2, 4.0, 5.0)], 4);
         let rates = ContactRates::from_trace(&trace);
         assert_eq!(rates.classify(NodeId(0)), RateClass::In);
         assert_eq!(rates.classify(NodeId(1)), RateClass::In);
@@ -334,7 +325,12 @@ mod tests {
     #[test]
     fn intercontact_gaps_per_pair() {
         let trace = trace_with(
-            vec![(0, 1, 0.0, 10.0), (0, 1, 30.0, 40.0), (0, 1, 100.0 - 1.0, 99.5), (1, 2, 5.0, 6.0)],
+            vec![
+                (0, 1, 0.0, 10.0),
+                (0, 1, 30.0, 40.0),
+                (0, 1, 100.0 - 1.0, 99.5),
+                (1, 2, 5.0, 6.0),
+            ],
             3,
         );
         // third contact above: start 99.0 end 99.5 (note ordering fixed below)

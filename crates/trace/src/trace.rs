@@ -200,11 +200,8 @@ impl ContactTrace {
     ///
     /// The paper extracts four 3-hour windows from multi-day logs this way.
     pub fn slice(&self, sub: TimeWindow, name: impl Into<String>) -> ContactTrace {
-        let mut out = ContactTrace::new(
-            name,
-            self.nodes.clone(),
-            TimeWindow::new(0.0, sub.duration()),
-        );
+        let mut out =
+            ContactTrace::new(name, self.nodes.clone(), TimeWindow::new(0.0, sub.duration()));
         for c in &self.contacts {
             if c.start >= sub.start && c.start < sub.end {
                 let shifted = Contact {

@@ -15,7 +15,9 @@ use psn::report;
 use psn_analytic::{mean_paths, variance_paths};
 
 fn main() {
-    println!("validating the homogeneous path-count model (this runs a stochastic simulation)...\n");
+    println!(
+        "validating the homogeneous path-count model (this runs a stochastic simulation)...\n"
+    );
     let validation = run_model_validation(40);
     println!("{}", report::render_model_validation(&validation));
 

@@ -47,7 +47,9 @@ fn main() {
         );
     }
     if let Some(r) = study.t1_te_correlation {
-        println!("Pearson correlation between T1 and TE: {r:.3} (the paper finds no clear relationship)");
+        println!(
+            "Pearson correlation between T1 and TE: {r:.3} (the paper finds no clear relationship)"
+        );
     }
 
     println!("\nper pair type (Fig. 8):");

@@ -23,10 +23,7 @@ fn main() {
 
     let study = run_forwarding_study(profile, dataset);
 
-    println!(
-        "{} messages per run, {} runs\n",
-        study.messages_per_run, study.runs
-    );
+    println!("{} messages per run, {} runs\n", study.messages_per_run, study.runs);
     println!("algorithm              success-rate   avg-delay");
     for (kind, success, delay) in study.delay_vs_success() {
         println!(
@@ -40,7 +37,9 @@ fn main() {
         "\nsuccess-rate spread across the five non-epidemic algorithms: {:.3}",
         study.non_epidemic_success_spread()
     );
-    println!("(the paper's observation: algorithms with very different strategies perform similarly)");
+    println!(
+        "(the paper's observation: algorithms with very different strategies perform similarly)"
+    );
 
     println!("\n{}", report::render_pairtype_performance(&study));
 }

@@ -112,11 +112,7 @@ fn heterogeneous_traces_have_longer_optimal_paths_than_homogeneous_ones() {
 fn two_class_predictions_follow_the_papers_ordering() {
     let validation = run_model_validation(5);
     let find = |class: PairClass| {
-        validation
-            .two_class
-            .iter()
-            .find(|p| p.class == class)
-            .expect("all classes predicted")
+        validation.two_class.iter().find(|p| p.class == class).expect("all classes predicted")
     };
     assert!(find(PairClass::OutIn).expected_t1 > find(PairClass::InIn).expected_t1);
     assert!(find(PairClass::InOut).expected_te > find(PairClass::InIn).expected_te);
@@ -130,6 +126,7 @@ fn closed_form_mean_is_consistent_with_growth_rate() {
     let lambda = 0.01;
     let mean0 = 1.0 / 98.0;
     let doubling = (2.0_f64).ln() / lambda;
-    let ratio = mean_paths(mean0, lambda, 3.0 * doubling) / mean_paths(mean0, lambda, 2.0 * doubling);
+    let ratio =
+        mean_paths(mean0, lambda, 3.0 * doubling) / mean_paths(mean0, lambda, 2.0 * doubling);
     assert!((ratio - 2.0).abs() < 1e-9);
 }

@@ -35,16 +35,10 @@ fn epidemic_upper_bounds_every_algorithm() {
         let metrics = AlgorithmMetrics::from_result(&result);
         success.push((kind, metrics.success_rate));
     }
-    let epidemic = success
-        .iter()
-        .find(|(k, _)| *k == AlgorithmKind::Epidemic)
-        .expect("epidemic simulated")
-        .1;
+    let epidemic =
+        success.iter().find(|(k, _)| *k == AlgorithmKind::Epidemic).expect("epidemic simulated").1;
     for (kind, rate) in &success {
-        assert!(
-            epidemic >= *rate - 1e-9,
-            "epidemic ({epidemic}) should dominate {kind} ({rate})"
-        );
+        assert!(epidemic >= *rate - 1e-9, "epidemic ({epidemic}) should dominate {kind} ({rate})");
     }
     assert!(epidemic > 0.4, "epidemic success rate {epidemic} unexpectedly low");
 }

@@ -123,10 +123,7 @@ fn denser_contact_traces_deliver_more_messages() {
     let fraction_delivered = |trace: &ContactTrace| {
         let graph = SpaceTimeGraph::build_default(trace);
         let msgs = messages(trace, 15);
-        let delivered = msgs
-            .iter()
-            .filter(|m| epidemic_delivery_time(&graph, m).is_some())
-            .count();
+        let delivered = msgs.iter().filter(|m| epidemic_delivery_time(&graph, m).is_some()).count();
         delivered as f64 / msgs.len() as f64
     };
     assert!(fraction_delivered(&dense) >= fraction_delivered(&sparse));

@@ -1,0 +1,293 @@
+//! Offline stand-in for the subset of the `criterion` API the workspace
+//! benches use.
+//!
+//! crates.io is unreachable in this build environment, so the bench targets
+//! link against this vendored harness instead. It keeps the familiar macro
+//! surface (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `black_box`) and measures wall-clock time
+//! with `std::time::Instant`:
+//!
+//! * each `bench_function` collects `sample_size` samples (default 10);
+//! * each sample runs the measured routine for at least
+//!   [`TARGET_SAMPLE_TIME`] (3 ms under `--quick`, 30 ms otherwise) and
+//!   records the mean per-iteration time;
+//! * results are printed criterion-style (`group/bench  time: [min median
+//!   max]`) and appended as JSON lines to
+//!   `target/psn-bench/<bench-binary>.jsonl` for archival (see
+//!   `BENCH_*.json` at the repo root).
+//!
+//! Unknown CLI arguments (cargo passes `--bench`; users may pass filters)
+//! are treated as substring filters on the full `group/bench` id, matching
+//! criterion's behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Minimum measured time per sample in normal mode.
+pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(30);
+/// Minimum measured time per sample under `--quick`.
+pub const QUICK_SAMPLE_TIME: Duration = Duration::from_millis(3);
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hint, accepted for API compatibility (the vendored harness
+/// re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filters: Vec<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" => {}
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        if std::env::var("PSN_BENCH_QUICK").is_ok() {
+            quick = true;
+        }
+        Self { filters, quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn sample_time(&self) -> Duration {
+        if self.quick {
+            QUICK_SAMPLE_TIME
+        } else {
+            TARGET_SAMPLE_TIME
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&id) {
+            return self;
+        }
+        let samples = if self.criterion.quick { self.sample_size.min(3) } else { self.sample_size };
+        let mut bencher = Bencher { sample_time: self.criterion.sample_time(), nanos: Vec::new() };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        report(&id, &bencher.nanos);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement driver, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_time: Duration,
+    nanos: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a loop until the sample time target is
+    /// reached; records the mean per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Loop in growing batches until the sample-time target is reached;
+        // no separate warmup call, so multi-second routines cost one run.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.sample_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.nanos.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.sample_time {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.nanos.push(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(id: &str, nanos: &[f64]) {
+    let mut sorted = nanos.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let median = if sorted.is_empty() {
+        0.0
+    } else {
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    };
+    println!(
+        "{id:<55} time:   [{} {} {}]",
+        format_nanos(min),
+        format_nanos(median),
+        format_nanos(max)
+    );
+    append_jsonl(id, min, median, max);
+}
+
+fn append_jsonl(id: &str, min: f64, median: f64, max: f64) {
+    let Ok(exe) = std::env::current_exe() else { return };
+    let stem = exe
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    // target/<profile>/deps/<bench>-<hash> -> target/psn-bench/<bench>.jsonl
+    let Some(target_dir) = exe.ancestors().nth(3) else { return };
+    let dir = target_dir.join("psn-bench");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let stem = stem.rsplit_once('-').map(|(name, _)| name.to_string()).unwrap_or(stem);
+    let line = format!(
+        "{{\"bench\":\"{id}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}}}\n"
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(format!("{stem}.jsonl")))
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut criterion = Criterion { filters: Vec::new(), quick: true };
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(2).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut criterion = Criterion { filters: vec!["only_this".to_string()], quick: true };
+        let mut group = criterion.benchmark_group("g");
+        // Would run forever if not filtered out (sample time never reached
+        // by a panicking routine); filtering means the closure is not called.
+        group.bench_function("other", |_b| panic!("should not run"));
+        group.finish();
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("µs"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+        assert!(format_nanos(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of `proptest` the workspace tests use.
+//!
+//! crates.io is unreachable in this build environment, so this vendored
+//! crate supplies the `proptest! { #[test] fn name(x in strategy, ..) }`
+//! macro, `prop_assert!` / `prop_assert_eq!`, range and tuple strategies,
+//! and `proptest::collection::vec`. Cases are generated deterministically
+//! (seed derived from the test name) so failures reproduce; shrinking is
+//! not implemented — the failing inputs are printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Number of random cases per property, overridable via `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+/// Derives a per-test RNG from the property name, deterministically.
+pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32))
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample_value(rng), self.1.sample_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample_value(rng), self.1.sample_value(rng), self.2.sample_value(rng))
+        }
+    }
+
+    /// A constant-value strategy, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a vector strategy, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "vec strategy needs a non-empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*` sites expect.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property-level condition; formatted like `assert!` (shrinkless
+/// stand-in: failures abort the case immediately with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts property-level equality, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// The `proptest!` test-declaration macro: each contained function is run
+/// for [`cases`] deterministic random cases; the sampled arguments are
+/// printed on panic so failures reproduce.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unused_mut)]
+        fn $name() {
+            for case in 0..$crate::cases() {
+                let mut rng = $crate::rng_for(stringify!($name), case);
+                let mut inputs = String::new();
+                $(
+                    let sampled =
+                        $crate::strategy::Strategy::sample_value(&($strategy), &mut rng);
+                    inputs.push_str(&format!("{} = {:?}; ", stringify!($arg), &sampled));
+                    let $arg = sampled;
+                )+
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = result {
+                    eprintln!("proptest case {case} failed with inputs: {inputs}");
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            x in 0u32..10,
+            y in -1.0f64..1.0,
+            xs in crate::collection::vec(0.0f64..5.0, 1..20),
+            pair in (0usize..4, 1.0f64..2.0),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| (0.0..5.0).contains(v)));
+            prop_assert!(pair.0 < 4 && (1.0..2.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn mut_bindings_are_allowed(mut xs in crate::collection::vec(-1e3f64..1e3, 1..50)) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn cases_default() {
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(super::cases(), 64);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! supplies the two marker traits the workspace derives everywhere, plus the
+//! derive-macro re-exports (`serde::Serialize` names both the trait and the
+//! derive, exactly like the real facade with the `derive` feature).
+//!
+//! Nothing in the workspace performs serde-based (de)serialization at
+//! runtime — JSON emitted by the figure binaries is hand-rendered — so the
+//! traits carry no methods. Swapping in the real serde later only requires
+//! deleting `vendor/` and pointing the workspace at the registry.
+
+#![forbid(unsafe_code)]
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal derive that emits marker-trait impls for
+//! the [`serde`] facade crate next door. No serialization logic is generated
+//! — nothing in the workspace serializes through serde at runtime; the
+//! derives exist so the public types advertise the trait bounds downstream
+//! users expect.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a `#[derive(..)]` is attached to: the
+/// identifier following the first `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive target must be a struct or enum");
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive target must be a struct or enum");
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}
