@@ -34,6 +34,7 @@ fn bench_fig9_to_13_forwarding_study(c: &mut Criterion) {
                 &trace,
                 workload.clone(),
                 1,
+                0,
             ))
         });
     });

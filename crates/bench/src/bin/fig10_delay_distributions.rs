@@ -3,14 +3,14 @@
 
 use psn::experiments::forwarding::run_forwarding_study;
 use psn::report;
-use psn_bench::{print_header, profile_from_env};
+use psn_bench::{print_header, profile_from_env, threads_from_env};
 use psn_trace::DatasetId;
 
 fn main() {
     let profile = profile_from_env();
     print_header("Figure 10 — delay distributions", profile);
     for dataset in [DatasetId::Infocom06Morning, DatasetId::Conext06Morning] {
-        let study = run_forwarding_study(profile, dataset);
+        let study = run_forwarding_study(profile, dataset, threads_from_env());
         println!("{}", report::render_delay_distributions(&study));
     }
 }

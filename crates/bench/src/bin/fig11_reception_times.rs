@@ -3,12 +3,12 @@
 
 use psn::experiments::forwarding::run_forwarding_study;
 use psn::report;
-use psn_bench::{print_header, profile_from_env};
+use psn_bench::{print_header, profile_from_env, threads_from_env};
 use psn_trace::DatasetId;
 
 fn main() {
     let profile = profile_from_env();
     print_header("Figure 11 — cumulative message receptions", profile);
-    let study = run_forwarding_study(profile, DatasetId::Infocom06Morning);
+    let study = run_forwarding_study(profile, DatasetId::Infocom06Morning, threads_from_env());
     println!("{}", report::render_reception_times(&study));
 }

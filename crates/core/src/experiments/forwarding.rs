@@ -12,9 +12,10 @@
 //!   (Fig. 13).
 
 use psn_forwarding::{
-    standard_algorithms, AlgorithmKind, AlgorithmMetrics, MessageOutcome, PairTypeMetrics,
-    Simulator, SimulatorConfig,
+    standard_algorithms, AlgorithmKind, AlgorithmMetrics, ForwardingAlgorithm, MessageOutcome,
+    PairTypeMetrics, Simulator, SimulatorConfig,
 };
+use psn_spacetime::Message;
 use psn_spacetime::{MessageGenerator, MessageWorkloadConfig};
 use psn_stats::BinnedSeries;
 use psn_trace::{ContactRates, ContactTrace, DatasetId};
@@ -87,23 +88,30 @@ impl ForwardingStudy {
     }
 }
 
-/// Runs the forwarding study on one dataset at the given profile.
-pub fn run_forwarding_study(profile: ExperimentProfile, dataset: DatasetId) -> ForwardingStudy {
+/// Runs the forwarding study on one dataset at the given profile, using
+/// `threads` simulator worker threads (`0` = one per available core).
+pub fn run_forwarding_study(
+    profile: ExperimentProfile,
+    dataset: DatasetId,
+    threads: usize,
+) -> ForwardingStudy {
     let trace = profile.dataset(dataset).generate();
     let workload = profile.workload(trace.node_count());
-    run_forwarding_study_on(dataset, &trace, workload, profile.simulation_runs())
+    run_forwarding_study_on(dataset, &trace, workload, profile.simulation_runs(), threads)
 }
 
 /// Runs the forwarding study on an explicit trace and workload — the entry
-/// point used by tests and ablation benches.
+/// point used by tests and ablation benches. `threads` is the simulator
+/// worker count (`0` = one per available core); it never affects results.
 pub fn run_forwarding_study_on(
     dataset: DatasetId,
     trace: &ContactTrace,
     workload: MessageWorkloadConfig,
     runs: usize,
+    threads: usize,
 ) -> ForwardingStudy {
     assert!(runs >= 1, "need at least one simulation run");
-    let simulator = Simulator::new(trace, SimulatorConfig::default());
+    let simulator = Simulator::new(trace, SimulatorConfig { threads, ..Default::default() });
     let rates = ContactRates::from_trace(trace);
     let generator = MessageGenerator::new(workload);
 
@@ -113,13 +121,28 @@ pub fn run_forwarding_study_on(
         (0..runs as u64).map(|run| generator.poisson_messages(run)).collect();
     let messages_per_run = message_sets.first().map(|m| m.len()).unwrap_or(0);
 
-    let algorithms = standard_algorithms()
-        .into_iter()
-        .map(|(kind, algorithm)| {
+    // All algorithm × run combinations share the simulator's precomputed
+    // history timeline and are sharded across the worker threads in one
+    // `run_many` batch.
+    let algorithm_instances = standard_algorithms();
+    let jobs: Vec<(&dyn ForwardingAlgorithm, &[Message])> = algorithm_instances
+        .iter()
+        .flat_map(|(_, algorithm)| {
+            message_sets.iter().map(move |messages| {
+                (algorithm.as_ref() as &dyn ForwardingAlgorithm, messages.as_slice())
+            })
+        })
+        .collect();
+    let mut results = simulator.run_many(&jobs).into_iter();
+
+    let window_start = trace.window().start;
+    let algorithms = algorithm_instances
+        .iter()
+        .map(|(kind, _)| {
             let mut per_run_metrics = Vec::with_capacity(runs);
             let mut first_outcomes: Option<Vec<MessageOutcome>> = None;
-            for messages in &message_sets {
-                let result = simulator.run(algorithm.as_ref(), messages);
+            for _ in 0..runs {
+                let result = results.next().expect("one result per algorithm × run job");
                 per_run_metrics.push(AlgorithmMetrics::from_result(&result));
                 if first_outcomes.is_none() {
                     first_outcomes = Some(result.outcomes);
@@ -130,20 +153,23 @@ pub fn run_forwarding_study_on(
                 AlgorithmMetrics::average_over_runs(&per_run_metrics).expect("at least one run");
             let by_pair_type = PairTypeMetrics::from_outcomes(kind.label(), &outcomes, &rates);
 
-            // Fig. 11: cumulative deliveries over the trace window. The
-            // range extends one bin past the window end because deliveries
-            // in the final slot are timestamped at the slot's end, which
-            // coincides with the window boundary.
+            // Fig. 11: cumulative deliveries over the trace window, binned
+            // by time *since the window start* — delivery timestamps are
+            // absolute, so they must be shifted into the `[0, duration)`
+            // bin range or every delivery in a nonzero-start trace is
+            // silently dropped. The range extends one bin past the window
+            // end because deliveries in the final slot are timestamped at
+            // the slot's end, which coincides with the window boundary.
             let mut reception_series =
                 BinnedSeries::new(0.0, trace.window().duration() + 60.0, 60.0)
                     .expect("trace windows are non-empty");
             for outcome in &outcomes {
                 if let Some(t) = outcome.delivered_at {
-                    reception_series.record(t);
+                    reception_series.record(t - window_start);
                 }
             }
 
-            AlgorithmStudy { kind, metrics, by_pair_type, reception_series, outcomes }
+            AlgorithmStudy { kind: *kind, metrics, by_pair_type, reception_series, outcomes }
         })
         .collect();
 
@@ -167,7 +193,7 @@ mod tests {
             mean_interarrival: 20.0,
             seed: 3,
         };
-        run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 2)
+        run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 2, 0)
     }
 
     #[test]
@@ -237,6 +263,55 @@ mod tests {
         for algo in &study.algorithms {
             let total: f64 = algo.reception_series.total();
             assert_eq!(total as usize, algo.outcomes.iter().filter(|o| o.delivered()).count());
+        }
+    }
+
+    #[test]
+    fn reception_series_handles_nonzero_window_start() {
+        // Regression test: delivery times are absolute, so a trace window
+        // starting well after t = 0 (here 36000 s — later than the series'
+        // whole bin range) produced reception series that silently dropped
+        // every delivery before the `t - window.start` fix.
+        use psn_trace::contact::Contact;
+        use psn_trace::node::{NodeClass, NodeId, NodeRegistry};
+        use psn_trace::trace::{ContactTrace, TimeWindow};
+
+        let start = 36000.0;
+        let mut reg = NodeRegistry::new();
+        for _ in 0..4 {
+            reg.add(NodeClass::Mobile);
+        }
+        let contacts = vec![
+            Contact::new(NodeId(0), NodeId(1), start + 15.0, start + 40.0).unwrap(),
+            Contact::new(NodeId(1), NodeId(2), start + 65.0, start + 90.0).unwrap(),
+            Contact::new(NodeId(2), NodeId(3), start + 115.0, start + 140.0).unwrap(),
+            Contact::new(NodeId(0), NodeId(3), start + 165.0, start + 190.0).unwrap(),
+        ];
+        let trace = ContactTrace::from_contacts(
+            "offset-window",
+            reg,
+            TimeWindow::new(start, start + 600.0),
+            contacts,
+        )
+        .unwrap();
+        let workload = MessageWorkloadConfig {
+            nodes: trace.node_count(),
+            generation_horizon: 300.0,
+            mean_interarrival: 30.0,
+            seed: 11,
+        };
+        let study = run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 1, 0);
+        let epidemic = study.get(AlgorithmKind::Epidemic);
+        let delivered = epidemic.outcomes.iter().filter(|o| o.delivered()).count();
+        assert!(delivered > 0, "epidemic should deliver something on this trace");
+        for algo in &study.algorithms {
+            let total: f64 = algo.reception_series.total();
+            assert_eq!(
+                total as usize,
+                algo.outcomes.iter().filter(|o| o.delivered()).count(),
+                "{}: deliveries must land inside the series bin range",
+                algo.kind
+            );
         }
     }
 

@@ -14,6 +14,7 @@
 //! The inputs are the near-optimal sample paths retained by the explosion
 //! study (or any collection of [`Path`]s) plus the per-node contact rates.
 
+use psn_forwarding::MessageOutcome;
 use psn_spacetime::Path;
 use psn_stats::{BoxPlot, ConfidenceInterval, Summary};
 use psn_trace::ContactRates;
@@ -57,6 +58,19 @@ impl HopRateStudy {
             0.5
         })
     }
+}
+
+/// Runs the per-hop analysis over the paths *actually taken* by a
+/// forwarding algorithm — the delivered-copy hop paths the simulator
+/// reconstructs per message. This is the forwarding-side counterpart of the
+/// enumeration-based Fig. 14/15 input: undelivered messages contribute
+/// nothing.
+pub fn run_hop_rate_study_on_outcomes(
+    outcomes: &[MessageOutcome],
+    rates: &ContactRates,
+) -> HopRateStudy {
+    let paths: Vec<Path> = outcomes.iter().filter_map(|o| o.path.clone()).collect();
+    run_hop_rate_study(&paths, rates)
 }
 
 /// Computes the per-hop statistics from near-optimal paths and per-node
@@ -207,6 +221,28 @@ mod tests {
         assert!(study.rate_ratio_per_hop.is_empty());
         assert_eq!(study.first_hop_uphill_fraction(), None);
         assert!(study.rates_increase_over_first_hops(3));
+    }
+
+    #[test]
+    fn outcomes_feed_delivered_paths_only() {
+        use psn_forwarding::MessageOutcome;
+        use psn_spacetime::Message;
+
+        let rates = rates();
+        let delivered = MessageOutcome {
+            message: Message::new(nid(1), nid(3), 0.0),
+            delivered_at: Some(20.0),
+            path: Some(path(&[1, 2, 3])),
+        };
+        let lost = MessageOutcome {
+            message: Message::new(nid(0), nid(3), 0.0),
+            delivered_at: None,
+            path: None,
+        };
+        let study = run_hop_rate_study_on_outcomes(&[delivered.clone(), lost], &rates);
+        assert_eq!(study.paths, 1);
+        let direct = run_hop_rate_study(&[path(&[1, 2, 3])], &rates);
+        assert_eq!(study.mean_rate_per_hop.len(), direct.mean_rate_per_hop.len());
     }
 
     #[test]

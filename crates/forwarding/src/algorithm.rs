@@ -8,14 +8,19 @@
 
 use psn_trace::{NodeId, Seconds};
 
-use crate::history::ContactHistory;
+use crate::history::ContactKnowledge;
 use crate::oracle::TraceOracle;
 
 /// Read-only view of the simulation state offered to forwarding decisions.
+///
+/// `history` is a trait object so the same algorithm code runs against
+/// either the mutable [`crate::history::ContactHistory`] replay (reference
+/// engine) or a read-only [`crate::timeline::HistoryView`] into the shared
+/// precomputed timeline (parallel engine).
 #[derive(Debug)]
 pub struct ForwardingContext<'a> {
     /// Contact history observed so far (recent/complete past knowledge).
-    pub history: &'a ContactHistory,
+    pub history: &'a dyn ContactKnowledge,
     /// Whole-trace oracle (future knowledge); only oracle-based algorithms
     /// consult it.
     pub oracle: &'a TraceOracle,
@@ -45,11 +50,64 @@ pub trait ForwardingAlgorithm: Send + Sync {
         peer: NodeId,
         destination: NodeId,
     ) -> bool;
+
+    /// Optional utility decomposition of the forwarding rule.
+    ///
+    /// Five of the paper's six algorithms are *utility comparisons*: they
+    /// forward from `holder` to `peer` iff `utility(peer) >
+    /// utility(holder)` (strictly — ties keep the message). Exposing the
+    /// per-node utility lets the parallel engine compute it once per node
+    /// instead of calling [`should_forward`](Self::should_forward) per
+    /// (edge, direction, sweep pass), and cache it across messages; the
+    /// resulting decisions are bit-identical, which the engine's
+    /// differential tests pin down.
+    ///
+    /// Contract for implementors (the engine relies on every point):
+    ///
+    /// * return uniformly `Some` (for every input) or uniformly `None`;
+    /// * the value must not depend on `ctx.now`;
+    /// * if [`destination_aware`](Self::destination_aware) is `true`, the
+    ///   value may depend on the mutable contact history *only* through the
+    ///   `(node, destination)` pair statistics
+    ///   ([`last_contact_with`](crate::history::ContactKnowledge::last_contact_with),
+    ///   [`contacts_with`](crate::history::ContactKnowledge::contacts_with))
+    ///   plus immutable oracle data — so it can only change in slots where
+    ///   `node` and `destination` are in contact, which is what lets the
+    ///   engine maintain it incrementally per message;
+    /// * if `destination_aware` is `false`, the value must ignore
+    ///   `destination` entirely, but may then use any per-node history
+    ///   statistic (the engine recomputes it per slot and shares it across
+    ///   messages instead);
+    /// * `utility(peer) > utility(holder)` must decide exactly like
+    ///   `should_forward`.
+    ///
+    /// The default returns `None`: the engine then calls `should_forward`
+    /// for every decision (Epidemic does this — "always forward" is not a
+    /// strict comparison, and is trivial anyway).
+    fn copy_utility(
+        &self,
+        _ctx: &ForwardingContext<'_>,
+        _node: NodeId,
+        _destination: NodeId,
+    ) -> Option<f64> {
+        None
+    }
+
+    /// True if [`copy_utility`](Self::copy_utility) never depends on the
+    /// mutable contact history — only on oracle/trace data — so its value
+    /// for a `(node, destination)` pair is constant over the whole
+    /// simulation. The engine then fills each utility table once (per job
+    /// or per message) instead of refreshing it per slot. Only meaningful
+    /// when `copy_utility` returns `Some`.
+    fn utility_is_static(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::ContactHistory;
 
     /// A trivial always-forward rule used to exercise the trait object
     /// machinery.

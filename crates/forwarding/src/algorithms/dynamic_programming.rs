@@ -42,6 +42,23 @@ impl ForwardingAlgorithm for DynamicProgramming {
             (false, _) => false,
         }
     }
+
+    /// The utility is the negated minimum expected delay: unreachable
+    /// destinations (`+∞` cost) map to `-∞`, so a node with any route beats
+    /// one with none and two routeless nodes tie — exactly the rule above.
+    /// Static over the simulation (pure oracle data).
+    fn copy_utility(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        node: NodeId,
+        destination: NodeId,
+    ) -> Option<f64> {
+        Some(-ctx.oracle.shortest_expected_delay(node, destination))
+    }
+
+    fn utility_is_static(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

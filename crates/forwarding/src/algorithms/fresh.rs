@@ -40,6 +40,18 @@ impl ForwardingAlgorithm for Fresh {
             (None, _) => false,
         }
     }
+
+    /// FRESH's utility is the last encounter time with the destination;
+    /// "never met" maps to `-∞` so any real encounter beats it and two
+    /// never-met nodes tie (no forward) — exactly the rule above.
+    fn copy_utility(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        node: NodeId,
+        destination: NodeId,
+    ) -> Option<f64> {
+        Some(ctx.history.last_contact_with(node, destination).unwrap_or(f64::NEG_INFINITY))
+    }
 }
 
 #[cfg(test)]
@@ -68,8 +80,8 @@ mod tests {
         let mut history = ContactHistory::new(4);
         // Destination is node 3. Holder 0 met it at t=10, peer 1 at t=50,
         // peer 2 never.
-        history.record_contact(nid(0), nid(3), 10.0);
-        history.record_contact(nid(1), nid(3), 50.0);
+        history.record_contact(nid(0), nid(3), 1, 10.0);
+        history.record_contact(nid(1), nid(3), 5, 50.0);
         let oracle = oracle(4);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 60.0 };
         let algo = Fresh;
@@ -83,8 +95,8 @@ mod tests {
     #[test]
     fn equal_recency_does_not_forward() {
         let mut history = ContactHistory::new(3);
-        history.record_contact(nid(0), nid(2), 30.0);
-        history.record_contact(nid(1), nid(2), 30.0);
+        history.record_contact(nid(0), nid(2), 3, 30.0);
+        history.record_contact(nid(1), nid(2), 3, 30.0);
         let oracle = oracle(3);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 40.0 };
         assert!(!Fresh.should_forward(&ctx, nid(0), nid(1), nid(2)));

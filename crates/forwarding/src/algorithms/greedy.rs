@@ -33,6 +33,18 @@ impl ForwardingAlgorithm for Greedy {
         ctx.history.contacts_with(peer, destination)
             > ctx.history.contacts_with(holder, destination)
     }
+
+    /// Greedy's utility is the encounter count with the destination
+    /// (encounter counts stay far below 2⁵³, so the `f64` comparison is
+    /// exact).
+    fn copy_utility(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        node: NodeId,
+        destination: NodeId,
+    ) -> Option<f64> {
+        Some(ctx.history.contacts_with(node, destination) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -60,9 +72,9 @@ mod tests {
     fn forwards_to_more_frequent_contacts_of_destination() {
         let mut history = ContactHistory::new(4);
         // Destination 3: peer 1 met it twice, holder 0 once, peer 2 never.
-        history.record_contact(nid(0), nid(3), 10.0);
-        history.record_contact(nid(1), nid(3), 20.0);
-        history.record_contact(nid(1), nid(3), 40.0);
+        history.record_contact(nid(0), nid(3), 1, 10.0);
+        history.record_contact(nid(1), nid(3), 2, 20.0);
+        history.record_contact(nid(1), nid(3), 4, 40.0);
         let oracle = oracle(4);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 50.0 };
         assert!(Greedy.should_forward(&ctx, nid(0), nid(1), nid(3)));
@@ -76,9 +88,9 @@ mod tests {
         // now. Greedy prefers the higher count (where FRESH would prefer the
         // fresher contact).
         let mut history = ContactHistory::new(3);
-        history.record_contact(nid(1), nid(2), 5.0);
-        history.record_contact(nid(1), nid(2), 6.0);
-        history.record_contact(nid(0), nid(2), 90.0);
+        history.record_contact(nid(1), nid(2), 0, 5.0);
+        history.record_contact(nid(1), nid(2), 2, 25.0);
+        history.record_contact(nid(0), nid(2), 9, 90.0);
         let oracle = oracle(3);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 91.0 };
         assert!(Greedy.should_forward(&ctx, nid(0), nid(1), nid(2)));

@@ -32,6 +32,17 @@ impl ForwardingAlgorithm for GreedyOnline {
     ) -> bool {
         ctx.history.total_contacts(peer) > ctx.history.total_contacts(holder)
     }
+
+    /// Greedy Online's utility is the node's total encounter count so far —
+    /// destination independent, so the engine shares it across messages.
+    fn copy_utility(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        node: NodeId,
+        _destination: NodeId,
+    ) -> Option<f64> {
+        Some(ctx.history.total_contacts(node) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -58,9 +69,9 @@ mod tests {
     #[test]
     fn forwards_toward_busier_nodes_so_far() {
         let mut history = ContactHistory::new(4);
-        history.record_contact(nid(1), nid(2), 1.0);
-        history.record_contact(nid(1), nid(3), 2.0);
-        history.record_contact(nid(0), nid(2), 3.0);
+        history.record_contact(nid(1), nid(2), 0, 1.0);
+        history.record_contact(nid(1), nid(3), 0, 2.0);
+        history.record_contact(nid(0), nid(2), 0, 3.0);
         // Totals so far: node0=1, node1=2, node2=2, node3=1.
         let oracle = oracle(4);
         let ctx = ForwardingContext { history: &history, oracle: &oracle, now: 5.0 };

@@ -35,6 +35,21 @@ impl ForwardingAlgorithm for GreedyTotal {
     ) -> bool {
         ctx.oracle.total_contacts(peer) > ctx.oracle.total_contacts(holder)
     }
+
+    /// Greedy Total's utility is the whole-trace contact count from the
+    /// oracle — static over the simulation and destination independent.
+    fn copy_utility(
+        &self,
+        ctx: &ForwardingContext<'_>,
+        node: NodeId,
+        _destination: NodeId,
+    ) -> Option<f64> {
+        Some(ctx.oracle.total_contacts(node) as f64)
+    }
+
+    fn utility_is_static(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

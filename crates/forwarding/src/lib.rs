@@ -26,6 +26,17 @@
 //! [`metrics`] computes the success rate and average delay of §4.1 plus the
 //! per-pair-type breakdowns of Fig. 13, and [`pairtype`] classifies messages
 //! by the contact-rate class of their endpoints.
+//!
+//! The simulator has two engines producing bit-identical outcomes: the
+//! batched parallel engine ([`simulator::Simulator::run`] /
+//! [`simulator::Simulator::run_many`]), which shares one precomputed
+//! read-only [`timeline::HistoryTimeline`] across all algorithm × run ×
+//! message-batch workers and evaluates utility-representable algorithms via
+//! [`algorithm::ForwardingAlgorithm::copy_utility`] tables, and the retained
+//! serial sweep ([`simulator::Simulator::run_reference`]) that replays a
+//! mutable [`history::ContactHistory`] — the behavioural baseline the
+//! differential tests pin the parallel engine to. See the [`simulator`]
+//! module docs for the design.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +48,13 @@ pub mod metrics;
 pub mod oracle;
 pub mod pairtype;
 pub mod simulator;
+pub mod timeline;
 
 pub use algorithm::{ForwardingAlgorithm, ForwardingContext};
 pub use algorithms::{standard_algorithms, AlgorithmKind};
-pub use history::ContactHistory;
+pub use history::{ContactHistory, ContactKnowledge};
 pub use metrics::{AlgorithmMetrics, MessageOutcome, PairTypeMetrics};
 pub use oracle::TraceOracle;
 pub use pairtype::{classify_message, PairType};
 pub use simulator::{SimulationResult, Simulator, SimulatorConfig};
+pub use timeline::{HistoryTimeline, HistoryView};

@@ -16,7 +16,7 @@ use crate::pairtype::{classify_message, PairType};
 use crate::simulator::SimulationResult;
 
 /// Outcome of simulating a single message under one algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MessageOutcome {
     /// The message.
     pub message: Message,
@@ -81,15 +81,23 @@ impl AlgorithmMetrics {
 
     /// Averages the success rate and delay over several independent runs of
     /// the same algorithm (the paper averages over 10 simulation runs).
+    ///
+    /// The success rate is weighted by each run's message count — i.e. it is
+    /// total delivered over total messages — so it stays consistent with the
+    /// summed `delivered` / `messages` fields when runs have unequal message
+    /// counts. (An unweighted mean of per-run rates would let a tiny run
+    /// swing the aggregate as much as a large one.)
     pub fn average_over_runs(runs: &[AlgorithmMetrics]) -> Option<AlgorithmMetrics> {
         let first = runs.first()?;
-        let success_rate = runs.iter().map(|r| r.success_rate).sum::<f64>() / runs.len() as f64;
+        let messages: usize = runs.iter().map(|r| r.messages).sum();
+        let delivered: usize = runs.iter().map(|r| r.delivered).sum();
+        let success_rate = if messages == 0 { 0.0 } else { delivered as f64 / messages as f64 };
         let delays: Vec<Seconds> = runs.iter().flat_map(|r| r.delays.iter().copied()).collect();
         let average_delay = Summary::from_slice(&delays).mean();
         Some(AlgorithmMetrics {
             algorithm: first.algorithm.clone(),
-            messages: runs.iter().map(|r| r.messages).sum(),
-            delivered: runs.iter().map(|r| r.delivered).sum(),
+            messages,
+            delivered,
             success_rate,
             average_delay,
             delays,
@@ -212,6 +220,32 @@ mod tests {
         assert_eq!(avg.messages, 4);
         assert_eq!(avg.delivered, 3);
         assert!(AlgorithmMetrics::average_over_runs(&[]).is_none());
+    }
+
+    #[test]
+    fn averaging_weights_unequal_run_sizes_by_messages() {
+        // Run 1: 4 messages, 1 delivered. Run 2: 1 message, delivered.
+        // The aggregate must be 2/5 = 0.4 (consistent with the summed
+        // counters), not the unweighted mean (0.25 + 1.0) / 2 = 0.625.
+        let run1 = AlgorithmMetrics::from_outcomes(
+            "A",
+            &[
+                outcome(0, 1, 0.0, Some(100.0)),
+                outcome(1, 2, 0.0, None),
+                outcome(2, 3, 0.0, None),
+                outcome(3, 0, 0.0, None),
+            ],
+        );
+        let run2 = AlgorithmMetrics::from_outcomes("A", &[outcome(0, 1, 0.0, Some(200.0))]);
+        let avg = AlgorithmMetrics::average_over_runs(&[run1, run2]).unwrap();
+        assert_eq!(avg.messages, 5);
+        assert_eq!(avg.delivered, 2);
+        assert!((avg.success_rate - 0.4).abs() < 1e-12, "got {}", avg.success_rate);
+        assert_eq!(avg.success_rate, avg.delivered as f64 / avg.messages as f64);
+        // Empty runs do not divide by zero.
+        let empty = AlgorithmMetrics::from_outcomes("A", &[]);
+        let avg_empty = AlgorithmMetrics::average_over_runs(&[empty]).unwrap();
+        assert_eq!(avg_empty.success_rate, 0.0);
     }
 
     #[test]

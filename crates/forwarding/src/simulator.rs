@@ -19,6 +19,38 @@
 //! Besides delivery times the simulator records, per message, the hop path
 //! along which the *first delivered copy* travelled, which the experiments
 //! use for the per-hop contact-rate analyses (Figs. 12, 14, 15).
+//!
+//! # Engines
+//!
+//! Two engines produce bit-identical [`MessageOutcome`]s (pinned by
+//! differential tests):
+//!
+//! * [`Simulator::run`] / [`Simulator::run_many`] — the **batched parallel
+//!   engine**. The key observation is that contact history depends only on
+//!   the trace, so it is precomputed once as a shared read-only
+//!   [`HistoryTimeline`]; message copy-state is per message, so every
+//!   message simulates independently against the timeline, the
+//!   [`TraceOracle`] and the precomputed per-slot edge lists
+//!   ([`SpaceTimeGraph::edges`]). Work is sharded across
+//!   `std::thread::scope` workers via an `AtomicUsize` work queue over
+//!   (job × message-chunk) items; each worker walks only
+//!   [`SpaceTimeGraph::busy_slots`] from the message's creation slot and
+//!   stops at delivery, so delivered and not-yet-created messages cost
+//!   nothing.
+//! * [`Simulator::run_reference`] — the original serial sweep retained as
+//!   the behavioural baseline: one mutable [`ContactHistory`] advanced slot
+//!   by slot, an `O(n)` adjacency rescan per slot and a global
+//!   `O(messages × edges)` fixpoint sweep. Kept for differential testing
+//!   and as the benchmark baseline, mirroring
+//!   `PathEnumerator::enumerate_reference` from the enumeration engine.
+//!
+//! The engines agree because a message's copy-state evolves under a
+//! deterministic function of (its own state, the slot's edge list in
+//! normalized order, the read-only context): sweeping one message to its own
+//! fixpoint visits exactly the same (edge, direction) decision sequence as
+//! sweeping all messages to the global fixpoint.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psn_spacetime::{Message, Path, SpaceTimeGraph};
 use psn_trace::{ContactTrace, NodeId, Seconds};
@@ -27,17 +59,22 @@ use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
 use crate::history::ContactHistory;
 use crate::metrics::MessageOutcome;
 use crate::oracle::TraceOracle;
+use crate::timeline::HistoryTimeline;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulatorConfig {
     /// Slot length in seconds (the paper's Δ = 10 s).
     pub delta: Seconds,
+    /// Worker threads for the parallel engine; `0` (the default) uses one
+    /// thread per available core. The thread count never affects results —
+    /// only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SimulatorConfig {
     fn default() -> Self {
-        Self { delta: 10.0 }
+        Self { delta: 10.0, threads: 0 }
     }
 }
 
@@ -83,6 +120,79 @@ impl MessageState {
             active: false,
         }
     }
+
+    /// Clears the state for reuse by the next message in a worker's batch.
+    fn reset(&mut self) {
+        self.holders.fill(false);
+        self.received_from.fill(None);
+        self.delivered_at = None;
+        self.delivered_by = None;
+        self.active = false;
+    }
+}
+
+/// How the parallel engine evaluates forwarding decisions for one job,
+/// derived once per job from [`ForwardingAlgorithm::copy_utility`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecisionMode {
+    /// No utility decomposition: call `should_forward` per decision.
+    Direct,
+    /// Destination-unaware utilities: computed per slot on first visit and
+    /// shared across every message of the job a worker processes. With
+    /// `is_static` (utilities never consult the history) one table serves
+    /// every slot of the job.
+    SharedUtility {
+        /// See [`ForwardingAlgorithm::utility_is_static`].
+        is_static: bool,
+    },
+    /// Destination-aware utilities: initialized per message at its first
+    /// busy slot, then refreshed only for nodes that contact the
+    /// destination (the `copy_utility` contract guarantees nothing else can
+    /// change them). With `is_static` the per-slot refresh is skipped
+    /// entirely.
+    PerMessageUtility {
+        /// See [`ForwardingAlgorithm::utility_is_static`].
+        is_static: bool,
+    },
+}
+
+/// Reusable per-worker buffers: the message copy-state, the holder list,
+/// the per-message utility vector and the per-(job, slot) shared utility
+/// cache.
+struct WorkerScratch {
+    state: MessageState,
+    /// Nodes currently holding a copy, in acquisition order — scanned to
+    /// skip slots where no holder has a contact.
+    holder_list: Vec<NodeId>,
+    utilities: Vec<f64>,
+    /// Which job the shared caches below belong to (`usize::MAX` = none).
+    shared_job: usize,
+    shared_slots: Vec<Option<Box<[f64]>>>,
+    /// Single job-wide table for static destination-unaware utilities.
+    static_utils: Option<Box<[f64]>>,
+}
+
+impl WorkerScratch {
+    fn new(node_count: usize, slot_count: usize) -> Self {
+        Self {
+            state: MessageState::new(node_count),
+            holder_list: Vec::with_capacity(node_count),
+            utilities: vec![0.0; node_count],
+            shared_job: usize::MAX,
+            shared_slots: vec![None; slot_count],
+            static_utils: None,
+        }
+    }
+
+    /// Rebinds the shared caches to `job`, clearing them if the worker
+    /// switched jobs (work items are job-major, so this is rare).
+    fn bind_job(&mut self, job: usize) {
+        if self.shared_job != job {
+            self.shared_job = job;
+            self.shared_slots.iter_mut().for_each(|s| *s = None);
+            self.static_utils = None;
+        }
+    }
 }
 
 /// The slot-based trace-driven simulator.
@@ -91,17 +201,19 @@ pub struct Simulator<'a> {
     trace: &'a ContactTrace,
     graph: SpaceTimeGraph,
     oracle: TraceOracle,
+    timeline: HistoryTimeline,
     config: SimulatorConfig,
 }
 
 impl<'a> Simulator<'a> {
-    /// Builds a simulator for a trace, precomputing the space-time graph and
-    /// the whole-trace oracle.
+    /// Builds a simulator for a trace, precomputing the space-time graph,
+    /// the whole-trace oracle and the shared history timeline.
     pub fn new(trace: &'a ContactTrace, config: SimulatorConfig) -> Self {
         assert!(config.delta > 0.0, "slot length must be positive");
         let graph = SpaceTimeGraph::build(trace, config.delta);
         let oracle = TraceOracle::from_trace(trace);
-        Self { trace, graph, oracle, config }
+        let timeline = HistoryTimeline::build(&graph);
+        Self { trace, graph, oracle, timeline, config }
     }
 
     /// Builds a simulator with the default Δ = 10 s.
@@ -120,13 +232,333 @@ impl<'a> Simulator<'a> {
         &self.oracle
     }
 
+    /// The precomputed, read-only contact-history timeline shared by all
+    /// parallel simulations over this trace.
+    pub fn timeline(&self) -> &HistoryTimeline {
+        &self.timeline
+    }
+
     /// The simulator configuration.
     pub fn config(&self) -> &SimulatorConfig {
         &self.config
     }
 
-    /// Runs `algorithm` over `messages` and returns per-message outcomes.
+    /// The number of worker threads the parallel engine will use.
+    pub fn threads(&self) -> usize {
+        if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Runs `algorithm` over `messages` with the parallel engine and returns
+    /// per-message outcomes.
     pub fn run(
+        &self,
+        algorithm: &dyn ForwardingAlgorithm,
+        messages: &[Message],
+    ) -> SimulationResult {
+        self.run_many(&[(algorithm, messages)]).pop().expect("one job yields one result")
+    }
+
+    /// Runs a batch of independent `(algorithm, message set)` jobs — e.g.
+    /// every algorithm × run combination of a study — sharding (job ×
+    /// message-chunk) work items across the configured worker threads.
+    /// Returns one result per job, in input order, bit-identical to running
+    /// [`Simulator::run_reference`] on each job separately.
+    pub fn run_many(
+        &self,
+        jobs: &[(&dyn ForwardingAlgorithm, &[Message])],
+    ) -> Vec<SimulationResult> {
+        let threads = self.threads();
+        let total_messages: usize = jobs.iter().map(|(_, m)| m.len()).sum();
+
+        // Chunked work items balance wildly varying per-message cost (an
+        // undeliverable out-out message sweeps every slot; an in-in message
+        // delivers almost immediately) without per-message queue traffic.
+        let chunk = total_messages.div_ceil((threads * 8).max(1)).clamp(16, 1024);
+        let mut items: Vec<(usize, usize, usize)> = Vec::new();
+        for (job_idx, (_, messages)) in jobs.iter().enumerate() {
+            let mut start = 0;
+            while start < messages.len() {
+                let end = (start + chunk).min(messages.len());
+                items.push((job_idx, start, end));
+                start = end;
+            }
+        }
+
+        // One decision mode per job, derived from the algorithm's utility
+        // decomposition (see [`ForwardingAlgorithm::copy_utility`]).
+        let modes: Vec<DecisionMode> =
+            jobs.iter().map(|(algorithm, _)| self.decision_mode(*algorithm)).collect();
+
+        let mut outcomes: Vec<Vec<Option<MessageOutcome>>> =
+            jobs.iter().map(|(_, m)| vec![None; m.len()]).collect();
+
+        let process_item = |scratch: &mut WorkerScratch,
+                            (job_idx, start, end): (usize, usize, usize)|
+         -> Vec<MessageOutcome> {
+            let (algorithm, messages) = jobs[job_idx];
+            scratch.bind_job(job_idx);
+            messages[start..end]
+                .iter()
+                .map(|m| self.simulate_message(algorithm, modes[job_idx], m, scratch))
+                .collect()
+        };
+
+        if threads <= 1 || items.len() <= 1 {
+            let mut scratch = WorkerScratch::new(self.trace.node_count(), self.graph.slot_count());
+            for &item in &items {
+                let (job_idx, start, _) = item;
+                for (offset, outcome) in process_item(&mut scratch, item).into_iter().enumerate() {
+                    outcomes[job_idx][start + offset] = Some(outcome);
+                }
+            }
+        } else {
+            // The `AtomicUsize` work-queue pattern proven in the explosion
+            // study driver: workers claim items off a fetch-add counter and
+            // accumulate into per-worker vectors, so the hot loop takes no
+            // locks; results are merged after the join.
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, usize, Vec<MessageOutcome>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut scratch = WorkerScratch::new(
+                                    self.trace.node_count(),
+                                    self.graph.slot_count(),
+                                );
+                                let mut local = Vec::new();
+                                loop {
+                                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&item) = items.get(idx) else {
+                                        break;
+                                    };
+                                    let (job_idx, start, _) = item;
+                                    local.push((job_idx, start, process_item(&mut scratch, item)));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("simulation workers do not panic"))
+                        .collect()
+                });
+            for (job_idx, start, batch) in per_worker.into_iter().flatten() {
+                for (offset, outcome) in batch.into_iter().enumerate() {
+                    outcomes[job_idx][start + offset] = Some(outcome);
+                }
+            }
+        }
+
+        jobs.iter()
+            .zip(outcomes)
+            .map(|((algorithm, _), job_outcomes)| SimulationResult {
+                algorithm: algorithm.name().to_string(),
+                outcomes: job_outcomes
+                    .into_iter()
+                    .map(|o| o.expect("every message chunk was simulated"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Derives how decisions of `algorithm` are evaluated, by probing
+    /// [`ForwardingAlgorithm::copy_utility`] (whose contract requires a
+    /// uniform `Some`/`None` answer).
+    fn decision_mode(&self, algorithm: &dyn ForwardingAlgorithm) -> DecisionMode {
+        if self.trace.node_count() == 0 || self.graph.slot_count() == 0 {
+            return DecisionMode::Direct;
+        }
+        let view = self.timeline.at_slot(0);
+        let ctx = ForwardingContext {
+            history: &view,
+            oracle: &self.oracle,
+            now: self.graph.slot_end_time(0),
+        };
+        let probe = NodeId(0);
+        if algorithm.copy_utility(&ctx, probe, probe).is_none() {
+            DecisionMode::Direct
+        } else if algorithm.destination_aware() {
+            DecisionMode::PerMessageUtility { is_static: algorithm.utility_is_static() }
+        } else {
+            DecisionMode::SharedUtility { is_static: algorithm.utility_is_static() }
+        }
+    }
+
+    /// Simulates one message to its per-slot fixpoint against the shared
+    /// timeline. Visits only busy slots from the creation slot onward and
+    /// stops at delivery.
+    fn simulate_message(
+        &self,
+        algorithm: &dyn ForwardingAlgorithm,
+        mode: DecisionMode,
+        message: &Message,
+        scratch: &mut WorkerScratch,
+    ) -> MessageOutcome {
+        let WorkerScratch { state, holder_list, utilities, shared_slots, static_utils, .. } =
+            scratch;
+        let n = self.trace.node_count();
+        state.reset();
+        state.holders[message.source.index()] = true;
+        holder_list.clear();
+        holder_list.push(message.source);
+        let creation_slot = self.graph.slot_of_time(message.created_at);
+        let busy = self.graph.busy_slots();
+        let first_busy = busy.partition_point(|&s| s < creation_slot);
+        let destination = message.destination;
+        let mut utilities_ready = false;
+
+        'slots: for &slot in &busy[first_busy..] {
+            let slot_time = self.graph.slot_end_time(slot);
+            let view = self.timeline.at_slot(slot);
+            let ctx = ForwardingContext { history: &view, oracle: &self.oracle, now: slot_time };
+
+            // Incremental per-message utility refresh. This must run for
+            // *every* busy slot once the table is initialized — even slots
+            // the sweep below skips — or a destination contact in a skipped
+            // slot would leave stale utilities behind. Static utilities
+            // never change, so they skip the refresh entirely.
+            if mode == (DecisionMode::PerMessageUtility { is_static: false }) && utilities_ready {
+                for &peer in self.graph.neighbors(slot, destination) {
+                    utilities[peer.index()] = algorithm
+                        .copy_utility(&ctx, peer, destination)
+                        .expect("copy_utility is uniformly Some");
+                }
+            }
+
+            // If no holder has a contact this slot, nothing can move and no
+            // delivery can happen: every edge endpoint is a contact-having
+            // node, so `holders[from]` would fail for every direction. The
+            // reference engine pays a full sweep to discover this; here it
+            // is an O(holders) check.
+            if !holder_list.iter().any(|&h| self.graph.has_contacts(slot, h)) {
+                continue;
+            }
+
+            let edges = self.graph.edges(slot);
+
+            // Resolve this slot's utility table (if the algorithm has one);
+            // `None` falls back to per-decision `should_forward` calls.
+            let utility: Option<&[f64]> = match mode {
+                DecisionMode::Direct => None,
+                DecisionMode::SharedUtility { is_static: true } => {
+                    // Static and destination independent: one table serves
+                    // the whole job.
+                    if static_utils.is_none() {
+                        let utils: Box<[f64]> = (0..n as u32)
+                            .map(|v| {
+                                algorithm
+                                    .copy_utility(&ctx, NodeId(v), destination)
+                                    .expect("copy_utility is uniformly Some")
+                            })
+                            .collect();
+                        *static_utils = Some(utils);
+                    }
+                    static_utils.as_deref()
+                }
+                DecisionMode::SharedUtility { is_static: false } => {
+                    // Destination independent: fill once per (job, slot),
+                    // reuse for every message of the job this worker sees.
+                    if shared_slots[slot].is_none() {
+                        let utils: Box<[f64]> = (0..n as u32)
+                            .map(|v| {
+                                algorithm
+                                    .copy_utility(&ctx, NodeId(v), destination)
+                                    .expect("copy_utility is uniformly Some")
+                            })
+                            .collect();
+                        shared_slots[slot] = Some(utils);
+                    }
+                    shared_slots[slot].as_deref()
+                }
+                DecisionMode::PerMessageUtility { .. } => {
+                    if !utilities_ready {
+                        // First swept slot: full fill covers all history up
+                        // to and including this slot.
+                        for v in 0..n as u32 {
+                            utilities[v as usize] = algorithm
+                                .copy_utility(&ctx, NodeId(v), destination)
+                                .expect("copy_utility is uniformly Some");
+                        }
+                        utilities_ready = true;
+                    }
+                    Some(&utilities[..])
+                }
+            };
+
+            // Utility tables make an exact actionability precheck possible:
+            // the sweep can move a copy (or deliver) iff some holder has a
+            // neighbor that is the destination or a strictly-higher-utility
+            // non-holder. If not, the whole fixpoint sweep is a no-op — the
+            // reference engine pays a full edge scan to find that out, this
+            // engine pays O(Σ deg(holder)).
+            if let Some(u) = utility {
+                let actionable = holder_list.iter().any(|&h| {
+                    self.graph.neighbors(slot, h).iter().any(|&nb| {
+                        nb == destination
+                            || (!state.holders[nb.index()] && u[nb.index()] > u[h.index()])
+                    })
+                });
+                if !actionable {
+                    continue;
+                }
+            }
+
+            // Sweep the slot's edges (in the same normalized order the
+            // reference engine scans them) until no copy moves.
+            loop {
+                let mut changed = false;
+                for &(a, b) in edges {
+                    if state.delivered_at.is_some() {
+                        break;
+                    }
+                    for (from, to) in [(a, b), (b, a)] {
+                        if !state.holders[from.index()] {
+                            continue;
+                        }
+                        if to == destination {
+                            state.delivered_at = Some(slot_time);
+                            state.delivered_by = Some(from);
+                            break;
+                        }
+                        if state.holders[to.index()] {
+                            continue;
+                        }
+                        let forward = match utility {
+                            Some(u) => u[to.index()] > u[from.index()],
+                            None => algorithm.should_forward(&ctx, from, to, destination),
+                        };
+                        if forward {
+                            state.holders[to.index()] = true;
+                            state.received_from[to.index()] = Some((from, slot_time));
+                            holder_list.push(to);
+                            changed = true;
+                        }
+                    }
+                }
+                if state.delivered_at.is_some() {
+                    break 'slots;
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        self.outcome_for(message, state)
+    }
+
+    /// Runs `algorithm` over `messages` with the retained serial reference
+    /// engine: a mutable [`ContactHistory`] replay with a per-slot adjacency
+    /// rescan and a global fixpoint sweep over all messages. Slow but
+    /// direct; the parallel engine is pinned to its outcomes by differential
+    /// tests.
+    pub fn run_reference(
         &self,
         algorithm: &dyn ForwardingAlgorithm,
         messages: &[Message],
@@ -170,7 +602,7 @@ impl<'a> Simulator<'a> {
                 for &b in self.graph.neighbors(slot, a) {
                     if a.0 < b.0 {
                         edges.push((a, b));
-                        history.record_contact(a, b, slot_time);
+                        history.record_contact(a, b, slot, slot_time);
                     }
                 }
             }
@@ -265,6 +697,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use crate::algorithms::{Epidemic, Fresh, GreedyTotal};
+    use crate::standard_algorithms;
     use psn_spacetime::epidemic_delivery_time;
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeRegistry};
@@ -275,6 +708,14 @@ mod tests {
     }
 
     fn trace_from(contacts: Vec<(u32, u32, f64, f64)>, nodes: usize, end: f64) -> ContactTrace {
+        trace_in_window(contacts, nodes, TimeWindow::new(0.0, end))
+    }
+
+    fn trace_in_window(
+        contacts: Vec<(u32, u32, f64, f64)>,
+        nodes: usize,
+        window: TimeWindow,
+    ) -> ContactTrace {
         let mut reg = NodeRegistry::new();
         for _ in 0..nodes {
             reg.add(NodeClass::Mobile);
@@ -283,7 +724,7 @@ mod tests {
             .into_iter()
             .map(|(a, b, s, e)| Contact::new(nid(a), nid(b), s, e).unwrap())
             .collect();
-        ContactTrace::from_contacts("sim-test", reg, TimeWindow::new(0.0, end), cs).unwrap()
+        ContactTrace::from_contacts("sim-test", reg, window, cs).unwrap()
     }
 
     #[test]
@@ -421,6 +862,148 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive_delta() {
         let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 10.0);
-        Simulator::new(&trace, SimulatorConfig { delta: 0.0 });
+        Simulator::new(&trace, SimulatorConfig { delta: 0.0, threads: 0 });
+    }
+
+    // ------------------------------------------------------------------
+    // Differential property tests: the parallel engine must reproduce the
+    // retained serial reference engine bit-for-bit — for every algorithm,
+    // on random traces, including nonzero window starts and forced
+    // multi-thread sharding.
+    // ------------------------------------------------------------------
+
+    /// Deterministic pseudo-random trace over `[window.start, window.end]`:
+    /// uniform endpoints and start times, mixed short/long durations so
+    /// contacts both fit in one slot and span several.
+    fn random_trace(
+        seed: u64,
+        nodes: usize,
+        contact_count: usize,
+        window: TimeWindow,
+    ) -> ContactTrace {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span = window.end - window.start;
+        let mut contacts = Vec::with_capacity(contact_count);
+        for _ in 0..contact_count {
+            let a = rng.gen_range(0..nodes as u32);
+            let mut b = rng.gen_range(0..nodes as u32);
+            while b == a {
+                b = rng.gen_range(0..nodes as u32);
+            }
+            let start = window.start + rng.gen_range(0.0..span * 0.9);
+            let duration = rng.gen_range(1.0..span * 0.2);
+            contacts.push((a, b, start, (start + duration).min(window.end)));
+        }
+        trace_in_window(contacts, nodes, window)
+    }
+
+    /// Deterministic pseudo-random message population with creation times
+    /// across (and slightly beyond) the window.
+    fn random_messages(seed: u64, nodes: usize, count: usize, window: TimeWindow) -> Vec<Message> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let span = window.end - window.start;
+        (0..count)
+            .map(|_| {
+                let src = rng.gen_range(0..nodes as u32);
+                let mut dst = rng.gen_range(0..nodes as u32);
+                while dst == src {
+                    dst = rng.gen_range(0..nodes as u32);
+                }
+                let created = window.start + rng.gen_range(0.0..span);
+                Message::new(nid(src), nid(dst), created)
+            })
+            .collect()
+    }
+
+    fn assert_engines_agree(sim: &Simulator<'_>, messages: &[Message]) {
+        let algorithms = standard_algorithms();
+        let jobs: Vec<(&dyn ForwardingAlgorithm, &[Message])> =
+            algorithms.iter().map(|(_, a)| (a.as_ref(), messages)).collect();
+        let parallel = sim.run_many(&jobs);
+        for ((kind, algorithm), parallel_result) in algorithms.iter().zip(&parallel) {
+            let reference = sim.run_reference(algorithm.as_ref(), messages);
+            assert_eq!(reference.algorithm, parallel_result.algorithm);
+            assert_eq!(
+                reference.outcomes.len(),
+                parallel_result.outcomes.len(),
+                "{kind}: outcome counts differ"
+            );
+            for (i, (r, p)) in reference.outcomes.iter().zip(&parallel_result.outcomes).enumerate()
+            {
+                assert_eq!(r, p, "{kind}: outcome {i} differs for {}", r.message);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_reference_on_random_traces() {
+        for seed in 0..6u64 {
+            let nodes = 5 + (seed as usize % 8);
+            let window = TimeWindow::new(0.0, 500.0);
+            let trace = random_trace(seed, nodes, 30 + 5 * seed as usize, window);
+            let sim = Simulator::with_default_config(&trace);
+            let messages = random_messages(seed, nodes, 14, window);
+            assert_engines_agree(&sim, &messages);
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_reference_with_nonzero_window_start() {
+        // Same bug family as PR 1's `slot_of_time` fix: everything must keep
+        // lining up when the trace window does not begin at t = 0.
+        for seed in 50..55u64 {
+            let nodes = 6 + (seed as usize % 5);
+            let window = TimeWindow::new(7200.0, 7800.0);
+            let trace = random_trace(seed, nodes, 40, window);
+            let sim = Simulator::with_default_config(&trace);
+            let messages = random_messages(seed, nodes, 12, window);
+            assert_engines_agree(&sim, &messages);
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_invariant_to_thread_count_and_chunking() {
+        let window = TimeWindow::new(300.0, 900.0);
+        let trace = random_trace(99, 10, 60, window);
+        let messages = random_messages(99, 10, 40, window);
+        let algorithms = standard_algorithms();
+        let baseline = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads: 1 });
+        for threads in [2usize, 3, 7] {
+            let sim = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads });
+            assert_eq!(sim.threads(), threads);
+            for (kind, algorithm) in &algorithms {
+                let serial = baseline.run(algorithm.as_ref(), &messages);
+                let sharded = sim.run(algorithm.as_ref(), &messages);
+                for (r, p) in serial.outcomes.iter().zip(&sharded.outcomes) {
+                    assert_eq!(r, p, "{kind} with {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_shards_algorithm_by_run_jobs() {
+        let window = TimeWindow::new(0.0, 600.0);
+        let trace = random_trace(7, 9, 45, window);
+        let sim = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads: 4 });
+        let algorithms = standard_algorithms();
+        let message_sets: Vec<Vec<Message>> =
+            (0..3u64).map(|run| random_messages(run, 9, 10, window)).collect();
+        // Flatten algorithm × run jobs like the study driver does.
+        let jobs: Vec<(&dyn ForwardingAlgorithm, &[Message])> = algorithms
+            .iter()
+            .flat_map(|(_, a)| message_sets.iter().map(move |m| (a.as_ref() as _, m.as_slice())))
+            .collect();
+        let results = sim.run_many(&jobs);
+        assert_eq!(results.len(), algorithms.len() * message_sets.len());
+        for ((algorithm, messages), result) in jobs.iter().zip(&results) {
+            assert_eq!(result.algorithm, algorithm.name());
+            let reference = sim.run_reference(*algorithm, messages);
+            assert_eq!(reference.outcomes, result.outcomes);
+        }
     }
 }

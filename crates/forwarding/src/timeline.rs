@@ -1,0 +1,334 @@
+//! Precomputed, shareable contact history.
+//!
+//! [`crate::history::ContactHistory`] is a *mutable* replay: the serial
+//! reference simulator advances it slot by slot, so every (algorithm × run)
+//! combination pays for its own replay and nothing can run concurrently.
+//! But the history depends only on the trace — not on the algorithm, the
+//! messages or the run — so the whole evolution can be computed **once** per
+//! trace and then shared by reference across every simulation.
+//!
+//! [`HistoryTimeline`] stores that evolution as per-pair and per-node event
+//! arrays (cumulative encounter counts keyed by slot). A [`HistoryView`] is
+//! a `Copy` handle pinning the timeline to one slot; it answers the same
+//! queries as a `ContactHistory` that was advanced through that slot —
+//! bit-identically, which the differential tests below pin down:
+//!
+//! * `last_contact_with` — binary search for the latest contact slot ≤ the
+//!   view's slot; the recency timestamp is that slot's end time, exactly
+//!   what the replay records;
+//! * `contacts_with` / `total_contacts` — the cumulative *encounter* count
+//!   at that slot (a contact spanning several consecutive slots is one
+//!   encounter; see the history module docs).
+//!
+//! Lookups are `O(log c)` in the number of contact slots of one pair (or
+//! one node), versus `O(1)` for the mutable arrays — in exchange the
+//! structure is immutable, `Sync`, built once, and costs `O(contact-slot
+//! incidences)` memory rather than `O(n²)` per concurrent simulation.
+
+use psn_spacetime::SpaceTimeGraph;
+use psn_trace::{NodeId, Seconds};
+
+use crate::history::ContactKnowledge;
+
+/// Sentinel for "this pair never meets anywhere in the trace".
+const NO_PAIR: u32 = u32::MAX;
+
+/// One per-pair history event: the pair is in contact during `slot`, and
+/// `encounters` distinct encounters have begun up to and including it.
+#[derive(Debug, Clone, Copy)]
+struct PairEvent {
+    slot: u32,
+    encounters: u32,
+}
+
+/// One per-node history event: at `slot` the node's cumulative encounter
+/// count (over all peers) rises to `encounters`.
+#[derive(Debug, Clone, Copy)]
+struct NodeEvent {
+    slot: u32,
+    encounters: u64,
+}
+
+/// The full, read-only evolution of contact history over a trace.
+///
+/// Built once per trace from the [`SpaceTimeGraph`] (which already carries
+/// the deduplicated per-slot edge lists) and shared by reference across all
+/// algorithm × run × message-batch workers of the parallel simulator.
+#[derive(Debug, Clone)]
+pub struct HistoryTimeline {
+    node_count: usize,
+    /// [`SpaceTimeGraph::slot_end_time`] per slot, captured at build time so
+    /// recency timestamps come from the one authoritative slot-time
+    /// convention (the PR 1 nonzero-window-start fix lives there) instead of
+    /// a re-derived formula that could drift.
+    slot_end_times: Vec<Seconds>,
+    /// Dense symmetric pair → event-list index map (`NO_PAIR` = never meet).
+    /// `O(n²)` words; for the paper's sub-thousand-node traces this is the
+    /// fastest lookup and a few MB at worst.
+    pair_index: Vec<u32>,
+    /// Per meeting pair: every contact slot with its cumulative encounter
+    /// count, ascending by slot.
+    pair_events: Vec<Vec<PairEvent>>,
+    /// Per node: the slots where its cumulative encounter count changes.
+    node_events: Vec<Vec<NodeEvent>>,
+}
+
+impl HistoryTimeline {
+    /// Precomputes the history evolution for a trace's space-time graph.
+    pub fn build(graph: &SpaceTimeGraph) -> Self {
+        let n = graph.node_count();
+        let mut pair_index = vec![NO_PAIR; n * n];
+        let mut pair_events: Vec<Vec<PairEvent>> = Vec::new();
+        let mut node_events: Vec<Vec<NodeEvent>> = vec![Vec::new(); n];
+
+        for &slot in graph.busy_slots() {
+            let slot32 = u32::try_from(slot).expect("slot index fits in u32");
+            for &(a, b) in graph.edges(slot) {
+                let key = a.index() * n + b.index();
+                let pair = if pair_index[key] == NO_PAIR {
+                    let id = pair_events.len() as u32;
+                    pair_index[key] = id;
+                    pair_index[b.index() * n + a.index()] = id;
+                    pair_events.push(Vec::new());
+                    id
+                } else {
+                    pair_index[key]
+                };
+                let events = &mut pair_events[pair as usize];
+                // Same contiguity rule as `ContactHistory::record_contact`:
+                // an encounter continues while the pair stays in contact in
+                // consecutive slots.
+                let (new_encounter, previous_count) = match events.last() {
+                    Some(last) => (last.slot + 1 != slot32, last.encounters),
+                    None => (true, 0),
+                };
+                events.push(PairEvent {
+                    slot: slot32,
+                    encounters: previous_count + u32::from(new_encounter),
+                });
+                if new_encounter {
+                    for node in [a, b] {
+                        let list = &mut node_events[node.index()];
+                        match list.last_mut() {
+                            Some(last) if last.slot == slot32 => last.encounters += 1,
+                            _ => {
+                                let base = list.last().map_or(0, |e| e.encounters);
+                                list.push(NodeEvent { slot: slot32, encounters: base + 1 });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            node_count: n,
+            slot_end_times: (0..graph.slot_count()).map(|s| graph.slot_end_time(s)).collect(),
+            pair_index,
+            pair_events,
+            node_events,
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// A read-only view of the history as of the *end* of `slot` — i.e.
+    /// including the contacts of `slot` itself, matching the reference
+    /// simulator, which records a slot's contacts before making that slot's
+    /// forwarding decisions.
+    pub fn at_slot(&self, slot: usize) -> HistoryView<'_> {
+        HistoryView { timeline: self, slot: u32::try_from(slot).expect("slot index fits in u32") }
+    }
+
+    /// The absolute end time of `slot` — the timestamp the replay assigns
+    /// to contacts observed during it ([`SpaceTimeGraph::slot_end_time`],
+    /// captured at build time).
+    fn slot_end_time(&self, slot: u32) -> Seconds {
+        self.slot_end_times[slot as usize]
+    }
+
+    fn pair_events_for(&self, a: NodeId, b: NodeId) -> Option<&[PairEvent]> {
+        let id = *self.pair_index.get(a.index() * self.node_count + b.index())?;
+        if id == NO_PAIR {
+            return None;
+        }
+        Some(&self.pair_events[id as usize])
+    }
+}
+
+/// [`HistoryTimeline`] pinned to one slot: the [`ContactKnowledge`] the
+/// parallel simulator hands to forwarding decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryView<'a> {
+    timeline: &'a HistoryTimeline,
+    slot: u32,
+}
+
+/// Index of the last event with `slot ≤ limit`, if any, over an
+/// event list sorted ascending by slot.
+fn latest_at<T>(events: &[T], slot_of: impl Fn(&T) -> u32, limit: u32) -> Option<&T> {
+    let idx = events.partition_point(|e| slot_of(e) <= limit);
+    idx.checked_sub(1).map(|i| &events[i])
+}
+
+impl ContactKnowledge for HistoryView<'_> {
+    fn last_contact_with(&self, node: NodeId, peer: NodeId) -> Option<Seconds> {
+        let events = self.timeline.pair_events_for(node, peer)?;
+        latest_at(events, |e| e.slot, self.slot).map(|e| self.timeline.slot_end_time(e.slot))
+    }
+
+    fn contacts_with(&self, node: NodeId, peer: NodeId) -> u64 {
+        let Some(events) = self.timeline.pair_events_for(node, peer) else {
+            return 0;
+        };
+        latest_at(events, |e| e.slot, self.slot).map_or(0, |e| e.encounters as u64)
+    }
+
+    fn total_contacts(&self, node: NodeId) -> u64 {
+        let events = &self.timeline.node_events[node.index()];
+        latest_at(events, |e| e.slot, self.slot).map_or(0, |e| e.encounters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ContactHistory;
+    use psn_trace::contact::Contact;
+    use psn_trace::node::{NodeClass, NodeRegistry};
+    use psn_trace::trace::{ContactTrace, TimeWindow};
+
+    fn nid(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn trace_from(
+        contacts: Vec<(u32, u32, f64, f64)>,
+        nodes: usize,
+        window: TimeWindow,
+    ) -> ContactTrace {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..nodes {
+            reg.add(NodeClass::Mobile);
+        }
+        let cs = contacts
+            .into_iter()
+            .map(|(a, b, s, e)| Contact::new(nid(a), nid(b), s, e).unwrap())
+            .collect();
+        ContactTrace::from_contacts("timeline-test", reg, window, cs).unwrap()
+    }
+
+    /// Replays a `ContactHistory` over the graph's slots and checks every
+    /// query of every (node, peer) pair against the timeline view after
+    /// every slot — the timeline must be indistinguishable from the replay.
+    fn assert_matches_replay(graph: &SpaceTimeGraph) {
+        let n = graph.node_count();
+        let timeline = HistoryTimeline::build(graph);
+        assert_eq!(timeline.node_count(), n);
+        let mut history = ContactHistory::new(n);
+        for slot in 0..graph.slot_count() {
+            let time = graph.slot_end_time(slot);
+            for &(a, b) in graph.edges(slot) {
+                history.record_contact(a, b, slot, time);
+            }
+            let view = timeline.at_slot(slot);
+            for a in 0..n as u32 {
+                let a = nid(a);
+                assert_eq!(
+                    view.total_contacts(a),
+                    history.total_contacts(a),
+                    "slot {slot}: total_contacts({a:?})"
+                );
+                for b in 0..n as u32 {
+                    let b = nid(b);
+                    assert_eq!(
+                        view.last_contact_with(a, b),
+                        history.last_contact_with(a, b),
+                        "slot {slot}: last_contact_with({a:?}, {b:?})"
+                    );
+                    assert_eq!(
+                        view.contacts_with(a, b),
+                        history.contacts_with(a, b),
+                        "slot {slot}: contacts_with({a:?}, {b:?})"
+                    );
+                    assert_eq!(
+                        view.encounter_age(a, b, time),
+                        history.encounter_age(a, b, time),
+                        "slot {slot}: encounter_age({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_matches_replay_on_handcrafted_trace() {
+        let trace = trace_from(
+            vec![
+                (0, 1, 1.0, 35.0),  // spans slots 0..=3: one encounter
+                (0, 2, 5.0, 8.0),   // slot 0
+                (0, 2, 41.0, 44.0), // slot 4: second encounter of 0-2
+                (1, 3, 22.0, 28.0), // slot 2
+                (1, 3, 31.0, 39.0), // slots 3 (contiguous with slot 2: same encounter)
+                (2, 3, 95.0, 99.0), // slot 9
+            ],
+            5,
+            TimeWindow::new(0.0, 100.0),
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_matches_replay(&graph);
+    }
+
+    #[test]
+    fn timeline_matches_replay_with_nonzero_window_start() {
+        let trace = trace_from(
+            vec![
+                (0, 1, 1005.0, 1008.0),
+                (1, 2, 1012.0, 1047.0),
+                (0, 2, 1051.0, 1053.0),
+                (0, 1, 1071.0, 1074.0),
+            ],
+            3,
+            TimeWindow::new(1000.0, 1080.0),
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_matches_replay(&graph);
+    }
+
+    #[test]
+    fn timeline_matches_replay_on_random_traces() {
+        use psn_trace::{DatasetId, SyntheticDataset};
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 14;
+        ds.config.stationary_nodes = 3;
+        ds.config.window_seconds = 600.0;
+        let trace = ds.generate();
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_matches_replay(&graph);
+    }
+
+    #[test]
+    fn views_at_increasing_slots_are_monotone() {
+        let trace = trace_from(
+            vec![(0, 1, 1.0, 4.0), (0, 1, 21.0, 24.0), (0, 1, 41.0, 44.0)],
+            2,
+            TimeWindow::new(0.0, 60.0),
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let timeline = HistoryTimeline::build(&graph);
+        let counts: Vec<u64> = (0..graph.slot_count())
+            .map(|s| timeline.at_slot(s).contacts_with(nid(0), nid(1)))
+            .collect();
+        assert_eq!(counts, vec![1, 1, 2, 2, 3, 3]);
+        // Before any contact the view knows nothing.
+        let empty_trace = trace_from(vec![(0, 1, 31.0, 34.0)], 2, TimeWindow::new(0.0, 60.0));
+        let g2 = SpaceTimeGraph::build_default(&empty_trace);
+        let t2 = HistoryTimeline::build(&g2);
+        assert_eq!(t2.at_slot(0).last_contact_with(nid(0), nid(1)), None);
+        assert_eq!(t2.at_slot(0).total_contacts(nid(0)), 0);
+        assert_eq!(t2.at_slot(3).last_contact_with(nid(0), nid(1)), Some(40.0));
+    }
+}

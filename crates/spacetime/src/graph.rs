@@ -39,8 +39,11 @@ struct Slot {
     /// Connected-component label per node under zero-weight edges. Isolated
     /// nodes get a unique singleton label.
     component: Vec<u32>,
-    /// Number of contact edges in this slot.
-    edge_count: usize,
+    /// The slot's contact edges, normalized to `(low, high)` node order and
+    /// sorted lexicographically — the order a full ascending adjacency scan
+    /// would produce, so edge-driven consumers (the forwarding simulator)
+    /// replay contacts in exactly the same sequence.
+    edges: Vec<(NodeId, NodeId)>,
     /// Nodes with at least one contact this slot, ascending.
     active: Vec<NodeId>,
     /// Active nodes grouped by component label; each group ascending.
@@ -51,7 +54,7 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(adjacency: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
+    fn new(adjacency: Vec<Vec<NodeId>>, edges: Vec<(NodeId, NodeId)>) -> Self {
         let component = components_of(&adjacency);
         let n = adjacency.len();
         let active: Vec<NodeId> =
@@ -78,7 +81,7 @@ impl Slot {
             cursors[label] += 1;
         }
 
-        Self { adjacency, component, edge_count, active, members, spans }
+        Self { adjacency, component, edges, active, members, spans }
     }
 }
 
@@ -88,6 +91,8 @@ pub struct SpaceTimeGraph {
     delta: Seconds,
     node_count: usize,
     slots: Vec<Slot>,
+    /// Indices of slots with at least one contact edge, ascending.
+    busy_slots: Vec<usize>,
     window_start: Seconds,
     window_end: Seconds,
 }
@@ -119,11 +124,16 @@ impl SpaceTimeGraph {
             }
         }
 
-        let slots = slot_edges
+        let slots: Vec<Slot> = slot_edges
             .into_iter()
             .map(|mut edges| {
-                edges.sort_unstable_by_key(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)));
-                edges.dedup_by_key(|&mut (a, b)| (a.0.min(b.0), a.0.max(b.0)));
+                for edge in &mut edges {
+                    if edge.0 .0 > edge.1 .0 {
+                        *edge = (edge.1, edge.0);
+                    }
+                }
+                edges.sort_unstable();
+                edges.dedup();
                 let mut adjacency = vec![Vec::new(); node_count];
                 for &(a, b) in &edges {
                     adjacency[a.index()].push(b);
@@ -133,11 +143,20 @@ impl SpaceTimeGraph {
                     list.sort_unstable();
                     list.dedup();
                 }
-                Slot::new(adjacency, edges.len())
+                Slot::new(adjacency, edges)
             })
             .collect();
+        let busy_slots =
+            slots.iter().enumerate().filter(|(_, s)| !s.edges.is_empty()).map(|(i, _)| i).collect();
 
-        Self { delta, node_count, slots, window_start: window.start, window_end: window.end }
+        Self {
+            delta,
+            node_count,
+            slots,
+            busy_slots,
+            window_start: window.start,
+            window_end: window.end,
+        }
     }
 
     /// Builds the graph with the paper's Δ = 10 s.
@@ -249,13 +268,30 @@ impl SpaceTimeGraph {
 
     /// Number of contact edges in slot `s`.
     pub fn edge_count(&self, s: usize) -> usize {
-        self.slots[s].edge_count
+        self.slots[s].edges.len()
+    }
+
+    /// The contact edges of slot `s`, normalized to `(low, high)` node order
+    /// and sorted lexicographically — the same sequence an ascending scan of
+    /// every node's (sorted) neighbor list yields, so consumers that replay
+    /// edges in order are deterministic and match the historical full-scan
+    /// behaviour of the forwarding simulator.
+    pub fn edges(&self, s: usize) -> &[(NodeId, NodeId)] {
+        &self.slots[s].edges
+    }
+
+    /// Indices of slots containing at least one contact edge, ascending.
+    /// Slot-driven replay loops (forwarding, history construction) iterate
+    /// these instead of every slot, so empty stretches of the trace cost
+    /// nothing.
+    pub fn busy_slots(&self) -> &[usize] {
+        &self.busy_slots
     }
 
     /// Total number of (contact, slot) incidences — a measure of graph size
     /// used by the benchmarks.
     pub fn total_edges(&self) -> usize {
-        self.slots.iter().map(|s| s.edge_count).sum()
+        self.slots.iter().map(|s| s.edges.len()).sum()
     }
 }
 
@@ -494,6 +530,76 @@ mod tests {
         assert_eq!(g.active_nodes(0), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         // The allocating compatibility API agrees with the slices.
         assert_eq!(g.component_members(0, NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn slot_edges_are_normalized_sorted_and_match_adjacency_scan_order() {
+        let mut reg = NodeRegistry::new();
+        for _ in 0..5 {
+            reg.add(NodeClass::Mobile);
+        }
+        // Contacts given in reversed node order and shuffled time order.
+        let trace = ContactTrace::from_contacts(
+            "edges",
+            reg,
+            TimeWindow::new(0.0, 20.0),
+            vec![
+                Contact::new(NodeId(4), NodeId(1), 1.0, 2.0).unwrap(),
+                Contact::new(NodeId(3), NodeId(0), 3.0, 4.0).unwrap(),
+                Contact::new(NodeId(1), NodeId(0), 5.0, 6.0).unwrap(),
+                Contact::new(NodeId(0), NodeId(1), 7.0, 8.0).unwrap(), // duplicate pair
+                Contact::new(NodeId(2), NodeId(4), 12.0, 13.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(
+            g.edges(0),
+            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))]
+        );
+        assert_eq!(g.edges(1), &[(NodeId(2), NodeId(4))]);
+        // The edge list reproduces the ascending full-adjacency scan.
+        for s in 0..g.slot_count() {
+            let mut scanned = Vec::new();
+            for a in 0..g.node_count() as u32 {
+                let a = NodeId(a);
+                for &b in g.neighbors(s, a) {
+                    if a.0 < b.0 {
+                        scanned.push((a, b));
+                    }
+                }
+            }
+            assert_eq!(g.edges(s), scanned.as_slice(), "slot {s}");
+            assert_eq!(g.edge_count(s), scanned.len());
+        }
+    }
+
+    #[test]
+    fn busy_slots_index_skips_empty_slots() {
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeClass::Mobile);
+        reg.add(NodeClass::Mobile);
+        let trace = ContactTrace::from_contacts(
+            "busy",
+            reg,
+            TimeWindow::new(0.0, 100.0),
+            vec![
+                Contact::new(NodeId(0), NodeId(1), 5.0, 8.0).unwrap(),
+                Contact::new(NodeId(0), NodeId(1), 71.0, 75.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let g = SpaceTimeGraph::build_default(&trace);
+        assert_eq!(g.busy_slots(), &[0, 7]);
+        for (s, _) in g.busy_slots().iter().map(|&s| (s, ())) {
+            assert!(g.edge_count(s) > 0);
+        }
+        let empty = ContactTrace::new(
+            "no-contacts",
+            NodeRegistry::with_counts(2, 0),
+            TimeWindow::new(0.0, 50.0),
+        );
+        assert!(SpaceTimeGraph::build_default(&empty).busy_slots().is_empty());
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn main() {
     let dataset = DatasetId::Conext06Morning;
     println!("running the forwarding study on {dataset} (quick profile)...\n");
 
-    let study = run_forwarding_study(profile, dataset);
+    let study = run_forwarding_study(profile, dataset, 0);
 
     println!("{} messages per run, {} runs\n", study.messages_per_run, study.runs);
     println!("algorithm              success-rate   avg-delay");

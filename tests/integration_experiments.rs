@@ -79,7 +79,7 @@ fn figures_9_10_11_13_forwarding_study_renders() {
         mean_interarrival: 20.0,
         seed: 11,
     };
-    let study = run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 1);
+    let study = run_forwarding_study_on(DatasetId::Infocom06Morning, &trace, workload, 1, 0);
 
     let fig9 = report::render_delay_vs_success(&study);
     assert!(fig9.contains("Figure 9"));
