@@ -1,14 +1,8 @@
-//! Regenerates Figure 1: total contacts per one-minute bin for each of the
-//! four datasets.
-
-use psn::experiments::activity::run_activity_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env};
+//! Legacy shim for Figure 1: contact time series for each of the four datasets.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig01` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 1 — contact time series", profile);
-    for report_data in run_activity_study(profile) {
-        println!("{}", report::render_activity(&report_data));
-    }
+    psn_bench::run_preset_main("fig01_contact_timeseries");
 }

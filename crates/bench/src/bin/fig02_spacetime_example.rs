@@ -1,58 +1,8 @@
-//! Regenerates Figure 2: the three-node example space-time graph, printed
-//! as per-slot adjacency so the structure can be checked by eye.
-
-use psn::prelude::*;
-use psn_bench::{print_header, profile_from_env};
-use psn_trace::contact::Contact;
-use psn_trace::node::{NodeClass, NodeRegistry};
-use psn_trace::trace::TimeWindow;
+//! Legacy shim for Figure 2: the three-node example space-time graph.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig02` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 2 — example space-time graph", profile);
-
-    // The paper's example: nodes 1 and 2 in contact during the first slot,
-    // all three nodes in contact during the second slot (Δ = 10 s).
-    let mut registry = NodeRegistry::new();
-    for _ in 0..3 {
-        registry.add(NodeClass::Mobile);
-    }
-    let contacts = vec![
-        Contact::new(NodeId(0), NodeId(1), 0.0, 5.0).unwrap(),
-        Contact::new(NodeId(0), NodeId(1), 11.0, 19.0).unwrap(),
-        Contact::new(NodeId(0), NodeId(2), 12.0, 18.0).unwrap(),
-        Contact::new(NodeId(1), NodeId(2), 13.0, 17.0).unwrap(),
-    ];
-    let trace = ContactTrace::from_contacts(
-        "figure2-example",
-        registry,
-        TimeWindow::new(0.0, 20.0),
-        contacts,
-    )
-    .unwrap();
-    let graph = SpaceTimeGraph::build_default(&trace);
-
-    println!("delta = {} s, slots = {}", graph.delta(), graph.slot_count());
-    for slot in 0..graph.slot_count() {
-        println!("slot {slot} (ends at t = {:.0} s):", graph.slot_end_time(slot));
-        for node in 0..graph.node_count() as u32 {
-            let neighbors: Vec<String> =
-                graph.neighbors(slot, NodeId(node)).iter().map(|n| n.to_string()).collect();
-            println!(
-                "  n{node}: zero-weight edges to [{}], wait edge to (n{node}, slot {})",
-                neighbors.join(", "),
-                slot + 1
-            );
-        }
-    }
-
-    // And the resulting optimal path of the paper's narrative: a message
-    // from node 1 (our n0) to node 3 (our n2) created at t = 0 crosses in
-    // the second slot.
-    let message = Message::new(NodeId(0), NodeId(2), 0.0);
-    println!(
-        "\noptimal delivery time for {}: {:?} s",
-        message,
-        epidemic_delivery_time(&graph, &message)
-    );
+    psn_bench::run_preset_main("fig02_spacetime_example");
 }

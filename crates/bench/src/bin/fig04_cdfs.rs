@@ -1,17 +1,8 @@
-//! Regenerates Figure 4: CDFs of optimal path duration (a) and time to
-//! explosion (b) for the Infocom'06 morning and afternoon datasets.
-
-use psn::experiments::explosion::run_explosion_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 4: optimal-duration and time-to-explosion CDFs.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig04` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    let threads = threads_from_env();
-    print_header("Figure 4 — optimal duration and time-to-explosion CDFs", profile);
-    for dataset in [DatasetId::Infocom06Morning, DatasetId::Infocom06Afternoon] {
-        let study = run_explosion_study(profile, dataset, threads);
-        println!("{}", report::render_explosion_cdfs(&study));
-    }
+    psn_bench::run_preset_main("fig04_cdfs");
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 5: the scatter of optimal path duration vs time to
-//! explosion for the Infocom'06 morning dataset.
-
-use psn::experiments::explosion::run_explosion_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 5: the T1-vs-TE scatter.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig05` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 5 — T1 vs TE scatter", profile);
-    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    println!("{}", report::render_explosion_scatter(&study));
+    psn_bench::run_preset_main("fig05_scatter");
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 6: the histogram of path arrivals since the first
-//! delivery for messages whose time to explosion is at least 150 seconds.
-
-use psn::experiments::explosion::run_explosion_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 6: path-arrival growth for slow explosions.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig06` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 6 — path-arrival growth for slow explosions", profile);
-    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    println!("{}", report::render_explosion_growth(&study));
+    psn_bench::run_preset_main("fig06_growth");
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 7: the CDF of per-node contact counts for each
-//! dataset (the "approximately uniform" heterogeneity observation).
-
-use psn::experiments::activity::run_activity_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env};
+//! Legacy shim for Figure 7: per-node contact-count CDFs.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig07` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 7 — per-node contact-count CDFs", profile);
-    for report_data in run_activity_study(profile) {
-        println!("{}", report::render_contact_cdf(&report_data));
-    }
+    psn_bench::run_preset_main("fig07_contact_cdf");
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 8: the Figure 5 scatter split into the four
-//! source/destination pair types (in-in, in-out, out-in, out-out).
-
-use psn::experiments::explosion::run_explosion_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 8: the scatter split by pair type.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig08` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 8 — pair-type scatter", profile);
-    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    println!("{}", report::render_pairtype_scatter(&study));
+    psn_bench::run_preset_main("fig08_pairtype_scatter");
 }

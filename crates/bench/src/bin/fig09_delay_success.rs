@@ -1,16 +1,8 @@
-//! Regenerates Figure 9: average delay vs success rate for the six
-//! forwarding algorithms on all four datasets.
-
-use psn::experiments::forwarding::run_forwarding_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 9: average delay vs success rate per algorithm.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig09` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 9 — average delay vs success rate", profile);
-    for dataset in DatasetId::all() {
-        let study = run_forwarding_study(profile, dataset, threads_from_env());
-        println!("{}", report::render_delay_vs_success(&study));
-    }
+    psn_bench::run_preset_main("fig09_delay_success");
 }

@@ -1,16 +1,8 @@
-//! Regenerates Figure 10: full delay distributions per algorithm for the
-//! Infocom'06 and CoNEXT'06 morning datasets.
-
-use psn::experiments::forwarding::run_forwarding_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 10: full delay distributions per algorithm.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig10` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 10 — delay distributions", profile);
-    for dataset in [DatasetId::Infocom06Morning, DatasetId::Conext06Morning] {
-        let study = run_forwarding_study(profile, dataset, threads_from_env());
-        println!("{}", report::render_delay_distributions(&study));
-    }
+    psn_bench::run_preset_main("fig10_delay_distributions");
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 11: cumulative message reception times, the check
-//! that delivery is not concentrated in bursts.
-
-use psn::experiments::forwarding::run_forwarding_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 11: cumulative message reception times.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig11` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 11 — cumulative message receptions", profile);
-    let study = run_forwarding_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    println!("{}", report::render_reception_times(&study));
+    psn_bench::run_preset_main("fig11_reception_times");
 }

@@ -1,28 +1,8 @@
-//! Regenerates Figure 12: for a handful of individual messages, the burst
-//! structure of valid-path arrivals and the arrival time of each forwarding
-//! algorithm's chosen path.
-
-use psn::experiments::paths_taken::run_paths_taken;
-use psn::prelude::*;
-use psn::report;
-use psn_bench::{print_header, profile_from_env};
+//! Legacy shim for Figure 12: paths taken by forwarding algorithms.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig12` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 12 — paths taken by forwarding algorithms", profile);
-
-    let dataset = profile.dataset(DatasetId::Infocom06Morning);
-    let trace = dataset.generate();
-    let generator = MessageGenerator::new(MessageWorkloadConfig {
-        nodes: trace.node_count(),
-        generation_horizon: trace.window().duration() * 2.0 / 3.0,
-        mean_interarrival: 4.0,
-        seed: 88,
-    });
-    // A few representative messages (the paper shows two).
-    let messages = generator.uniform_messages(4);
-    let cases = run_paths_taken(&trace, &messages, profile.enumeration_config());
-    for case in &cases {
-        println!("{}", report::render_paths_taken(case));
-    }
+    psn_bench::run_preset_main("fig12_paths_taken");
 }

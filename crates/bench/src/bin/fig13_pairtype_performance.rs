@@ -1,14 +1,8 @@
-//! Regenerates Figure 13: average delay and success rate broken down by
-//! source/destination pair type for each forwarding algorithm.
-
-use psn::experiments::forwarding::run_forwarding_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 13: performance by source/destination pair type.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig13` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 13 — performance by pair type", profile);
-    let study = run_forwarding_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    println!("{}", report::render_pairtype_performance(&study));
+    psn_bench::run_preset_main("fig13_pairtype_performance");
 }

@@ -1,30 +1,8 @@
-//! Regenerates Figure 14: the mean contact rate of the node at each hop of
-//! near-optimal paths, with 99% confidence intervals — plus, as a
-//! forwarding-side counterpart, the same analysis over the paths the six
-//! forwarding algorithms *actually took* (the delivered-copy hop paths the
-//! simulator reconstructs).
-
-use psn::experiments::forwarding::run_forwarding_study;
-use psn::experiments::hop_rates::{run_hop_rate_study, run_hop_rate_study_on_outcomes};
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 14: mean contact rate per hop of near-optimal and taken paths.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig14` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 14 — mean contact rate per hop", profile);
-    let study = psn::experiments::explosion::run_explosion_study(
-        profile,
-        DatasetId::Infocom06Morning,
-        threads_from_env(),
-    );
-    let hop_study = run_hop_rate_study(&study.sample_paths, &study.rates);
-    println!("{}", report::render_hop_rates(&hop_study));
-
-    let forwarding = run_forwarding_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    for algo in &forwarding.algorithms {
-        println!("## taken by {}", algo.kind);
-        let taken = run_hop_rate_study_on_outcomes(&algo.outcomes, &forwarding.rates);
-        println!("{}", report::render_hop_rates(&taken));
-    }
+    psn_bench::run_preset_main("fig14_hop_rates");
 }

@@ -1,16 +1,8 @@
-//! Regenerates Figure 15: box plots of the contact-rate ratio between
-//! consecutive hops of near-optimal paths.
-
-use psn::experiments::explosion::run_explosion_study;
-use psn::experiments::hop_rates::run_hop_rate_study;
-use psn::report;
-use psn_bench::{print_header, profile_from_env, threads_from_env};
-use psn_trace::DatasetId;
+//! Legacy shim for Figure 15: rate-ratio box plots between consecutive hops.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset fig15` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Figure 15 — rate ratios between consecutive hops", profile);
-    let study = run_explosion_study(profile, DatasetId::Infocom06Morning, threads_from_env());
-    let hop_study = run_hop_rate_study(&study.sample_paths, &study.rates);
-    println!("{}", report::render_rate_ratios(&hop_study));
+    psn_bench::run_preset_main("fig15_rate_ratios");
 }

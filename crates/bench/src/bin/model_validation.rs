@@ -1,19 +1,8 @@
-//! Regenerates the §5.1 model-validation table: closed form vs ODE vs
-//! stochastic simulation of the homogeneous path-count model, plus the §5.2
-//! two-class predictions.
-
-use psn::experiments::model::run_model_validation;
-use psn::prelude::ExperimentProfile;
-use psn::report;
-use psn_bench::{print_header, profile_from_env};
+//! Legacy shim for Section 5.1: the analytic model validation table.
+//!
+//! The experiment now lives in the study pipeline; this binary forwards to
+//! `psn-study run --preset model` and prints byte-identical output.
 
 fn main() {
-    let profile = profile_from_env();
-    print_header("Section 5.1 — analytic model validation", profile);
-    let replications = match profile {
-        ExperimentProfile::Paper => 200,
-        ExperimentProfile::Quick => 30,
-    };
-    let validation = run_model_validation(replications);
-    println!("{}", report::render_model_validation(&validation));
+    psn_bench::run_preset_main("model_validation");
 }

@@ -1,0 +1,262 @@
+//! `psn-study` — the config-driven study runner.
+//!
+//! One CLI replaces the fifteen hardcoded figure binaries:
+//!
+//! ```text
+//! psn-study run --preset fig09                          # regenerate a paper figure
+//! psn-study run --config scenarios/community_conference.toml --study forwarding
+//! psn-study run --config a.toml --config b.toml --study explosion --seeds 1,2,3
+//! psn-study run --study model                           # scenario-less study
+//! psn-study plan --config a.toml --study forwarding     # show the plan, run nothing
+//! psn-study describe --config scenarios/scaled_1k.toml  # generate + summarise a scenario
+//! psn-study list                                        # presets, studies, families
+//! ```
+//!
+//! `--profile quick|paper` and `--threads N` override the `PSN_PROFILE` and
+//! `PSN_THREADS` environment variables. Scenario config files are TOML or
+//! JSON (see `scenarios/` and the `psn_trace::scenario` module docs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use psn::study::preset::{render_header, PresetId};
+use psn::study::{run_study, StudyId, StudyParams, StudyScenario, StudySpec};
+use psn::ExperimentProfile;
+use psn_bench::{profile_from_env, threads_from_env};
+use psn_trace::{NodeId, ScenarioConfig};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     psn-study run --preset <name> [--profile quick|paper] [--threads N]\n  \
+     psn-study run --config <file>... --study <name> [--seeds a,b,c] [--profile ...] [--threads N]\n  \
+     \u{20}             [--k <path budget>] [--messages N] [--runs N]\n  \
+     psn-study plan --config <file>... --study <name> [--seeds a,b,c]\n  \
+     psn-study describe --config <file>...\n  \
+     psn-study list\n\
+     run `psn-study list` for the registered presets, studies and scenario families"
+}
+
+struct Args {
+    preset: Option<String>,
+    configs: Vec<PathBuf>,
+    study: Option<String>,
+    seeds: Vec<u64>,
+    profile: ExperimentProfile,
+    threads: usize,
+    k: Option<usize>,
+    messages: Option<usize>,
+    runs: Option<usize>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let command = argv.next().ok_or_else(|| usage().to_string())?;
+    let mut args = Args {
+        preset: None,
+        configs: Vec::new(),
+        study: None,
+        seeds: Vec::new(),
+        profile: profile_from_env(),
+        threads: threads_from_env(),
+        k: None,
+        messages: None,
+        runs: None,
+    };
+    let next_value = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--preset" => args.preset = Some(next_value(&mut argv, "--preset")?),
+            "--config" => args.configs.push(PathBuf::from(next_value(&mut argv, "--config")?)),
+            "--study" => args.study = Some(next_value(&mut argv, "--study")?),
+            "--seeds" => {
+                for part in next_value(&mut argv, "--seeds")?.split(',') {
+                    let seed = part
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("--seeds: invalid seed {part:?}"))?;
+                    args.seeds.push(seed);
+                }
+            }
+            "--profile" => {
+                args.profile = match next_value(&mut argv, "--profile")?.as_str() {
+                    "quick" => ExperimentProfile::Quick,
+                    "paper" => ExperimentProfile::Paper,
+                    other => return Err(format!("--profile: expected quick|paper, got {other:?}")),
+                }
+            }
+            "--threads" => {
+                args.threads = next_value(&mut argv, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads: expected a number".to_string())?
+            }
+            "--k" => {
+                args.k = Some(
+                    next_value(&mut argv, "--k")?
+                        .parse()
+                        .map_err(|_| "--k: expected a number".to_string())?,
+                )
+            }
+            "--messages" => {
+                args.messages = Some(
+                    next_value(&mut argv, "--messages")?
+                        .parse()
+                        .map_err(|_| "--messages: expected a number".to_string())?,
+                )
+            }
+            "--runs" => {
+                args.runs = Some(
+                    next_value(&mut argv, "--runs")?
+                        .parse()
+                        .map_err(|_| "--runs: expected a number".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok((command, args))
+}
+
+fn load_scenarios(configs: &[PathBuf]) -> Result<Vec<StudyScenario>, String> {
+    let loaded = configs
+        .iter()
+        .map(|path| ScenarioConfig::from_path(path).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    // Reject duplicate names up front (report sections are keyed by name).
+    let set = psn_trace::ScenarioSet::new(loaded).map_err(|e| e.to_string())?;
+    Ok(set.scenarios().iter().cloned().map(StudyScenario::from).collect())
+}
+
+fn build_spec(args: &Args) -> Result<StudySpec, String> {
+    let study_name =
+        args.study.as_deref().ok_or("--study is required when running from --config files")?;
+    let study = StudyId::parse(study_name).ok_or_else(|| {
+        let names: Vec<&str> = StudyId::all().iter().map(|s| s.name()).collect();
+        format!("unknown study {study_name:?} (registered: {})", names.join(", "))
+    })?;
+    let scenarios = load_scenarios(&args.configs)?;
+    let mut params = StudyParams::for_profile(args.profile).with_threads(args.threads);
+    if let Some(k) = args.k {
+        if k == 0 {
+            return Err("--k must be at least 1".into());
+        }
+        // Override the per-node path budget (and its derived caps) — large
+        // scenarios want much smaller k than the paper's 98-node datasets.
+        params.enumeration = psn::prelude::EnumerationConfig::quick(k);
+        params.explosion_threshold = params.explosion_threshold.min(50 * k);
+    }
+    if let Some(messages) = args.messages {
+        params.enumeration_messages = messages;
+        params.paths_taken_messages = messages;
+    }
+    if let Some(runs) = args.runs {
+        params.simulation_runs = runs.max(1);
+    }
+    Ok(StudySpec::new(study, scenarios, params).with_extra_seeds(args.seeds.clone()))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    if let Some(name) = &args.preset {
+        let preset = PresetId::parse(name).ok_or_else(|| {
+            let names: Vec<&str> = PresetId::all().iter().map(|p| p.name()).collect();
+            format!("unknown preset {name:?} (registered: {})", names.join(", "))
+        })?;
+        print!("{}", preset.render(args.profile, args.threads));
+        return Ok(());
+    }
+    let spec = build_spec(args)?;
+    let plan = spec.plan().map_err(|e| e.to_string())?;
+    let title = format!("study {} ({} scenarios)", plan.study, plan.runs.len());
+    print!("{}", render_header(&title, args.profile));
+    print!("{}", run_study(&plan).render());
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let plan = spec.plan().map_err(|e| e.to_string())?;
+    print!("{}", plan.describe());
+    Ok(())
+}
+
+fn cmd_describe(args: &Args) -> Result<(), String> {
+    if args.configs.is_empty() {
+        return Err("describe needs at least one --config".into());
+    }
+    for scenario in load_scenarios(&args.configs)? {
+        let config = &scenario.config;
+        println!("scenario: {} ({})", scenario.label, config.kind());
+        println!("  nodes: {}", config.node_count());
+        println!("  window: {:.0} s", config.window_seconds());
+        println!("  seed: {}", config.seed());
+        let trace = config.generate();
+        println!("  contacts: {}", trace.contact_count());
+        println!("  mean contacts per node: {:.1}", trace.mean_contacts_per_node());
+        println!("  aggregate contact rate: {:.3} /s", trace.aggregate_contact_rate());
+        // Busiest node via the per-node contact index (O(1) per lookup
+        // after the one-off build).
+        let busiest =
+            (0..trace.node_count() as u32).map(|n| (trace.contact_count_of(NodeId(n)), n)).max();
+        if let Some((count, node)) = busiest {
+            println!("  busiest node: n{node} ({count} contacts)");
+        }
+        if let ScenarioConfig::Community(c) = config {
+            if let Some(frac) = psn_trace::generator::community::intra_community_fraction(c, &trace)
+            {
+                println!("  intra-community contact fraction: {frac:.3}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("presets (run with `psn-study run --preset <name>`):");
+    for preset in PresetId::all() {
+        println!(
+            "  {:<8} {} [was: {}]",
+            preset.name(),
+            preset.figure_title(),
+            preset.binary_name()
+        );
+    }
+    println!("\nstudies (run with `psn-study run --config <file> --study <name>`):");
+    for study in StudyId::all() {
+        println!("  {:<12} {}", study.name(), study.description());
+    }
+    println!("\nscenario families (the `kind` field of a config file):");
+    for kind in ScenarioConfig::kinds() {
+        println!("  {kind}");
+    }
+    println!("\nprofiles: quick (default), paper — via --profile or PSN_PROFILE");
+    println!("threads: --threads or PSN_THREADS (0 = one per core; never changes results)");
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    let (command, args) = match parse_args(argv) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args),
+        "plan" => cmd_plan(&args),
+        "describe" => cmd_describe(&args),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

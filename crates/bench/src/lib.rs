@@ -1,23 +1,35 @@
-//! Shared plumbing for the figure-regeneration binaries and Criterion
-//! benchmarks.
+//! Shared plumbing for the `psn-study` CLI, the figure preset shims and the
+//! Criterion benchmarks.
 //!
-//! Every binary in `src/bin/` regenerates the data behind one figure of the
-//! paper (see DESIGN.md for the experiment index). They all honour the
-//! `PSN_PROFILE` environment variable:
+//! The experiment entry point is the **`psn-study` binary** (see DESIGN.md
+//! for the experiment index):
 //!
-//! * `PSN_PROFILE=paper` — the paper's scale (98 nodes, 3-hour traces,
-//!   k = 2000, one message every 4 seconds for two hours, 10 runs). Slow;
-//!   use a release build.
-//! * `PSN_PROFILE=quick` (default) — reduced scale with the same structure,
-//!   finishing in seconds to a few minutes.
+//! * `psn-study run --preset fig09` — regenerate one paper figure;
+//! * `psn-study run --config scenarios/community_conference.toml --study
+//!   forwarding` — run a named study over any scenario config file;
+//! * `psn-study list` — presets, studies and scenario families;
+//! * `psn-study describe --config <file>` — generate a scenario and print
+//!   its summary statistics.
 //!
-//! The binaries print plain-text/CSV series to stdout; redirect them to a
-//! file to archive a run (EXPERIMENTS.md quotes such runs).
+//! The legacy `fig*` binaries still exist as thin shims forwarding to the
+//! matching preset, so archived invocations keep working. Everything
+//! honours two environment variables:
+//!
+//! * `PSN_PROFILE` — `paper` (98 nodes, 3-hour traces, k = 2000, one
+//!   message every 4 seconds for two hours, 10 runs; slow, use a release
+//!   build) or `quick` (default; reduced scale with the same structure);
+//! * `PSN_THREADS` — worker threads for path enumeration and the
+//!   forwarding simulator (default: one per available core). Thread count
+//!   never changes results, only wall-clock time.
+//!
+//! Outputs are plain-text/CSV series on stdout; redirect to a file to
+//! archive a run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use psn::prelude::*;
+use psn::study::preset::{render_header, PresetId};
 
 /// Reads the experiment profile from the `PSN_PROFILE` environment variable
 /// (`paper` or `quick`, default `quick`).
@@ -28,7 +40,8 @@ pub fn profile_from_env() -> ExperimentProfile {
     }
 }
 
-/// Number of worker threads to use for per-message path enumeration.
+/// Number of worker threads to use for per-message path enumeration and
+/// the forwarding simulator (`PSN_THREADS`, default: one per core).
 pub fn threads_from_env() -> usize {
     std::env::var("PSN_THREADS")
         .ok()
@@ -39,15 +52,16 @@ pub fn threads_from_env() -> usize {
 /// Prints a standard header identifying the figure, dataset scale and
 /// profile so archived outputs are self-describing.
 pub fn print_header(figure: &str, profile: ExperimentProfile) {
-    println!("# PSN path-diversity reproduction — {figure}");
-    println!(
-        "# profile: {}",
-        match profile {
-            ExperimentProfile::Paper => "paper (98 nodes, 3-hour traces)",
-            ExperimentProfile::Quick =>
-                "quick (reduced scale; set PSN_PROFILE=paper for full scale)",
-        }
-    );
+    print!("{}", render_header(figure, profile));
+}
+
+/// The entry point of the legacy figure shims: renders the named preset at
+/// the environment-selected profile and thread count, byte-identical to the
+/// pre-refactor binary of the same name.
+pub fn run_preset_main(name: &str) {
+    let preset = PresetId::parse(name)
+        .unwrap_or_else(|| panic!("unknown preset {name:?} (see `psn-study list`)"));
+    print!("{}", preset.render(profile_from_env(), threads_from_env()));
 }
 
 #[cfg(test)]
@@ -65,5 +79,12 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn every_preset_name_resolves() {
+        for preset in PresetId::all() {
+            assert!(PresetId::parse(preset.binary_name()).is_some());
+        }
     }
 }

@@ -10,8 +10,8 @@ use crate::config::ExperimentProfile;
 /// The activity data for one dataset.
 #[derive(Debug, Clone)]
 pub struct ActivityReport {
-    /// Which dataset this report describes.
-    pub dataset: DatasetId,
+    /// Label of the scenario this report describes.
+    pub scenario: String,
     /// Total contacts per one-minute bin (Fig. 1 series).
     pub per_minute: BinnedSeries,
     /// Coefficient of variation of the per-minute counts (stationarity
@@ -50,13 +50,13 @@ pub fn run_activity_study(profile: ExperimentProfile) -> Vec<ActivityReport> {
 }
 
 /// Builds the activity report for one already-generated trace.
-pub fn activity_report(dataset: DatasetId, trace: &ContactTrace) -> ActivityReport {
+pub fn activity_report(scenario: impl Into<String>, trace: &ContactTrace) -> ActivityReport {
     let per_minute = contact_timeseries(trace);
     let stationarity =
         stationarity_report(trace).expect("generated datasets always contain contacts");
     let rates = ContactRates::from_trace(trace);
     ActivityReport {
-        dataset,
+        scenario: scenario.into(),
         per_minute,
         coefficient_of_variation: stationarity.coefficient_of_variation,
         tail_ratio: stationarity.tail_ratio,
@@ -74,14 +74,14 @@ mod tests {
         let reports = run_activity_study(ExperimentProfile::Quick);
         assert_eq!(reports.len(), 4);
         for report in &reports {
-            assert!(report.per_minute.total() > 0.0, "{:?}", report.dataset);
+            assert!(report.per_minute.total() > 0.0, "{:?}", report.scenario);
             assert!(!report.contact_count_cdf.is_empty());
             // The synthetic traces keep the paper's roughly uniform
             // contact-count distribution.
             assert!(
                 report.uniformity_ks < 0.35,
                 "{:?}: ks = {}",
-                report.dataset,
+                report.scenario,
                 report.uniformity_ks
             );
         }
@@ -90,8 +90,9 @@ mod tests {
     #[test]
     fn afternoon_datasets_show_stronger_tail_dropoff() {
         let reports = run_activity_study(ExperimentProfile::Quick);
-        let get =
-            |id: DatasetId| reports.iter().find(|r| r.dataset == id).expect("present").tail_ratio;
+        let get = |id: DatasetId| {
+            reports.iter().find(|r| r.scenario == id.label()).expect("present").tail_ratio
+        };
         assert!(
             get(DatasetId::Infocom06Afternoon) < get(DatasetId::Infocom06Morning),
             "afternoon should drop off more than morning"

@@ -39,8 +39,9 @@ pub struct PairTypeScatter {
 /// The complete result of the path-explosion study on one dataset.
 #[derive(Debug)]
 pub struct ExplosionStudy {
-    /// The dataset analysed.
-    pub dataset: DatasetId,
+    /// Label of the scenario analysed (a dataset label like
+    /// "Infocom06 9-12" or any [`psn_trace::ScenarioConfig`] name).
+    pub scenario: String,
     /// Explosion threshold used (2000 at paper scale).
     pub explosion_threshold: usize,
     /// Aggregated per-message profiles.
@@ -109,7 +110,7 @@ pub fn run_explosion_study(
 /// point used by tests and by ablation benchmarks that vary Δ, k or the
 /// trace generator.
 pub fn run_explosion_study_on(
-    dataset: DatasetId,
+    scenario: impl Into<String>,
     trace: &ContactTrace,
     messages: &[Message],
     enumeration: EnumerationConfig,
@@ -202,7 +203,7 @@ pub fn run_explosion_study_on(
     };
 
     ExplosionStudy {
-        dataset,
+        scenario: scenario.into(),
         explosion_threshold,
         summary,
         by_pair_type: by_type,

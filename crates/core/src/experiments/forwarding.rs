@@ -42,8 +42,9 @@ pub struct AlgorithmStudy {
 /// The complete forwarding study for one dataset.
 #[derive(Debug)]
 pub struct ForwardingStudy {
-    /// The dataset simulated.
-    pub dataset: DatasetId,
+    /// Label of the scenario simulated (a dataset label like
+    /// "Infocom06 9-12" or any [`psn_trace::ScenarioConfig`] name).
+    pub scenario: String,
     /// Number of messages per run.
     pub messages_per_run: usize,
     /// Number of independent runs averaged.
@@ -104,7 +105,7 @@ pub fn run_forwarding_study(
 /// point used by tests and ablation benches. `threads` is the simulator
 /// worker count (`0` = one per available core); it never affects results.
 pub fn run_forwarding_study_on(
-    dataset: DatasetId,
+    scenario: impl Into<String>,
     trace: &ContactTrace,
     workload: MessageWorkloadConfig,
     runs: usize,
@@ -173,7 +174,7 @@ pub fn run_forwarding_study_on(
         })
         .collect();
 
-    ForwardingStudy { dataset, messages_per_run, runs, algorithms, rates }
+    ForwardingStudy { scenario: scenario.into(), messages_per_run, runs, algorithms, rates }
 }
 
 #[cfg(test)]

@@ -10,8 +10,10 @@
 //! | [`model`] | §5.1 | agreement between the jump process, the ODE limit and the closed forms |
 //!
 //! Every driver takes an [`crate::ExperimentProfile`] so the same code path
-//! serves the integration tests (quick) and the figure-regeneration binaries
-//! (paper scale).
+//! serves the integration tests (quick) and the paper-scale figure presets.
+//! The drivers are scenario-agnostic: each `run_*_on` entry point takes an
+//! explicit trace plus a section label, and the [`crate::study`] pipeline
+//! feeds any [`psn_trace::ScenarioConfig`] through them.
 
 pub mod activity;
 pub mod explosion;

@@ -19,7 +19,12 @@
 //!   re-exported from [`psn_forwarding`];
 //! * **experiment drivers** ([`experiments`]) that regenerate the data
 //!   behind every figure in the paper's evaluation, and plain-text/CSV
-//!   renderers for them ([`report`]).
+//!   renderers for them ([`report`]);
+//! * the **study pipeline** ([`study`]): `StudySpec` → `StudyPlan` →
+//!   `StudyReport`, a registry of named studies that run over any
+//!   declarative [`psn_trace::ScenarioConfig`] (community-structured,
+//!   scaled populations, …), plus the figure presets the `psn-study` CLI
+//!   and the golden-file tests are built on.
 //!
 //! ## Quick start
 //!
@@ -41,8 +46,9 @@
 //! ```
 //!
 //! The `examples/` directory contains runnable end-to-end scenarios and the
-//! `psn-bench` crate regenerates every figure (see DESIGN.md for the
-//! experiment index).
+//! `psn-bench` crate's `psn-study` CLI regenerates every figure from a
+//! preset or any scenario config file (see DESIGN.md for the experiment
+//! index).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,8 +56,10 @@
 pub mod config;
 pub mod experiments;
 pub mod report;
+pub mod study;
 
 pub use config::ExperimentProfile;
+pub use study::{StudyId, StudyPlan, StudyReport, StudySpec};
 
 /// Convenient re-exports of the most commonly used types across the
 /// workspace.

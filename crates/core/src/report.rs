@@ -37,7 +37,7 @@ pub fn render_cdf(name: &str, cdf: &Ecdf, max_points: usize) -> String {
 pub fn render_activity(report: &ActivityReport) -> String {
     let mut out = format!(
         "# Figure 1 — total contacts per minute, {} (cv={:.3}, tail ratio={:.3})\n",
-        report.dataset, report.coefficient_of_variation, report.tail_ratio
+        report.scenario, report.coefficient_of_variation, report.tail_ratio
     );
     out.push_str("minute,contacts\n");
     for (t, c) in report.per_minute.series() {
@@ -50,7 +50,7 @@ pub fn render_activity(report: &ActivityReport) -> String {
 pub fn render_contact_cdf(report: &ActivityReport) -> String {
     let mut out = format!(
         "# Figure 7 — per-node contact count CDF, {} (KS distance to uniform = {:.3})\n",
-        report.dataset, report.uniformity_ks
+        report.scenario, report.uniformity_ks
     );
     out.push_str(&render_cdf("contact counts", &report.contact_count_cdf, 120));
     out
@@ -60,7 +60,7 @@ pub fn render_contact_cdf(report: &ActivityReport) -> String {
 pub fn render_explosion_cdfs(study: &ExplosionStudy) -> String {
     let mut out = format!(
         "# Figure 4 — {} ({} messages, threshold {} paths)\n",
-        study.dataset,
+        study.scenario,
         study.summary.len(),
         study.explosion_threshold
     );
@@ -84,7 +84,7 @@ pub fn render_explosion_cdfs(study: &ExplosionStudy) -> String {
 /// Renders the Fig. 5 scatter of optimal duration vs time to explosion.
 pub fn render_explosion_scatter(study: &ExplosionStudy) -> String {
     let mut out =
-        format!("# Figure 5 — optimal path duration vs time to explosion, {}\n", study.dataset);
+        format!("# Figure 5 — optimal path duration vs time to explosion, {}\n", study.scenario);
     if let Some(r) = study.t1_te_correlation {
         let _ = writeln!(out, "# Pearson correlation: {r:.3}");
     }
@@ -99,7 +99,7 @@ pub fn render_explosion_scatter(study: &ExplosionStudy) -> String {
 pub fn render_explosion_growth(study: &ExplosionStudy) -> String {
     let mut out = format!(
         "# Figure 6 — path arrivals since T1 for messages with TE >= {} s, {}\n",
-        study.slow_te_cutoff, study.dataset
+        study.slow_te_cutoff, study.scenario
     );
     match &study.slow_growth_histogram {
         Some(h) => {
@@ -117,7 +117,7 @@ pub fn render_explosion_growth(study: &ExplosionStudy) -> String {
 pub fn render_pairtype_scatter(study: &ExplosionStudy) -> String {
     let mut out = format!(
         "# Figure 8 — optimal duration vs time to explosion by pair type, {}\n",
-        study.dataset
+        study.scenario
     );
     for panel in &study.by_pair_type {
         let _ = writeln!(out, "## {} ({} messages)", panel.pair_type, panel.points.len());
@@ -133,7 +133,7 @@ pub fn render_pairtype_scatter(study: &ExplosionStudy) -> String {
 pub fn render_delay_vs_success(study: &ForwardingStudy) -> String {
     let mut out = format!(
         "# Figure 9 — average delay vs success rate, {} ({} messages x {} runs)\n",
-        study.dataset, study.messages_per_run, study.runs
+        study.scenario, study.messages_per_run, study.runs
     );
     out.push_str("algorithm,success_rate,average_delay_s\n");
     for (kind, success, delay) in study.delay_vs_success() {
@@ -150,7 +150,7 @@ pub fn render_delay_vs_success(study: &ForwardingStudy) -> String {
 
 /// Renders the Fig. 10 delay distributions for one dataset.
 pub fn render_delay_distributions(study: &ForwardingStudy) -> String {
-    let mut out = format!("# Figure 10 — delay distributions, {}\n", study.dataset);
+    let mut out = format!("# Figure 10 — delay distributions, {}\n", study.scenario);
     for algo in &study.algorithms {
         match algo.metrics.delay_cdf() {
             Some(cdf) => {
@@ -167,7 +167,7 @@ pub fn render_delay_distributions(study: &ForwardingStudy) -> String {
 
 /// Renders the Fig. 11 cumulative reception series (per algorithm).
 pub fn render_reception_times(study: &ForwardingStudy) -> String {
-    let mut out = format!("# Figure 11 — cumulative message receptions, {}\n", study.dataset);
+    let mut out = format!("# Figure 11 — cumulative message receptions, {}\n", study.scenario);
     for algo in &study.algorithms {
         let _ = writeln!(out, "## {}", algo.kind);
         out.push_str("minute,cumulative_deliveries\n");
@@ -197,7 +197,7 @@ pub fn render_paths_taken(case: &PathsTakenCase) -> String {
 /// Renders the Fig. 13 pair-type performance breakdown for one dataset.
 pub fn render_pairtype_performance(study: &ForwardingStudy) -> String {
     let mut out =
-        format!("# Figure 13 — performance by source-destination pair type, {}\n", study.dataset);
+        format!("# Figure 13 — performance by source-destination pair type, {}\n", study.scenario);
     out.push_str("algorithm,pair_type,success_rate,average_delay_s\n");
     for algo in &study.algorithms {
         for pair_type in PairType::all() {

@@ -1,0 +1,838 @@
+//! The declarative study pipeline: `StudySpec` → `StudyPlan` → `StudyReport`.
+//!
+//! The original experiment layer was fifteen hand-rolled `fig*` binaries,
+//! each hardwired to [`psn_trace::SyntheticDataset`]. This module replaces
+//! that with a three-stage pipeline any scenario can flow through:
+//!
+//! 1. **[`StudySpec`]** — what to run: one named study from the registry
+//!    ([`StudyId`]), a list of scenarios (any
+//!    [`psn_trace::ScenarioConfig`] family — the paper's conference
+//!    stand-ins, community-structured mobility, 1000+-node scaled
+//!    populations, …), optional seed replications, the views to render and
+//!    the numeric parameters ([`StudyParams`], usually derived from an
+//!    [`ExperimentProfile`]).
+//! 2. **[`StudyPlan`]** — the spec resolved into concrete runs: seeds
+//!    expanded, views validated against the study, scenario labels made
+//!    unique. Planning is cheap and infallible once constructed, so a plan
+//!    can be inspected (`psn-study plan` style tooling) before paying for
+//!    generation and simulation.
+//! 3. **[`StudyReport`]** — the executed result: one rendered section per
+//!    (run, view), concatenated by [`StudyReport::render`] into exactly the
+//!    plain-text/CSV stream the old binaries printed. The figure presets in
+//!    [`preset`] are golden-file-tested against the pre-refactor binaries'
+//!    byte-for-byte output.
+//!
+//! Execution reuses the parallel engines underneath: path enumeration
+//! fans message enumeration out over `threads` workers, and the forwarding
+//! simulator shards (algorithm × run × message-chunk) jobs over its worker
+//! pool. The trace for each planned run is generated **once** and shared by
+//! every view that needs it (the old `fig14` binary regenerated the same
+//! trace twice; the pipeline does not).
+
+pub mod preset;
+
+use psn_spacetime::{EnumerationConfig, MessageGenerator, MessageWorkloadConfig};
+use psn_trace::{ScenarioConfig, Seconds};
+
+use crate::config::ExperimentProfile;
+use crate::experiments::activity::{activity_report, ActivityReport};
+use crate::experiments::explosion::{run_explosion_study_on, ExplosionStudy};
+use crate::experiments::forwarding::{run_forwarding_study_on, ForwardingStudy};
+use crate::experiments::hop_rates::{
+    run_hop_rate_study, run_hop_rate_study_on_outcomes, HopRateStudy,
+};
+use crate::experiments::model::run_model_validation;
+use crate::experiments::paths_taken::run_paths_taken;
+use crate::report;
+
+/// The registry of named studies — one per experiment family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StudyId {
+    /// Contact activity over time and per-node contact-count CDFs
+    /// (Figs. 1 and 7).
+    Activity,
+    /// Path enumeration and the path-explosion profile (Figs. 4, 5, 6, 8).
+    Explosion,
+    /// The six forwarding algorithms over a message workload
+    /// (Figs. 9, 10, 11, 13).
+    Forwarding,
+    /// Per-message path-arrival bursts vs the paths algorithms actually
+    /// took (Fig. 12).
+    PathsTaken,
+    /// Per-hop contact-rate progression of near-optimal and taken paths
+    /// (Figs. 14, 15).
+    HopRates,
+    /// Analytic-model validation (§5.1/§5.2); runs no scenario.
+    Model,
+}
+
+impl StudyId {
+    /// Every registered study.
+    pub fn all() -> [StudyId; 6] {
+        [
+            StudyId::Activity,
+            StudyId::Explosion,
+            StudyId::Forwarding,
+            StudyId::PathsTaken,
+            StudyId::HopRates,
+            StudyId::Model,
+        ]
+    }
+
+    /// The CLI name of the study.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StudyId::Activity => "activity",
+            StudyId::Explosion => "explosion",
+            StudyId::Forwarding => "forwarding",
+            StudyId::PathsTaken => "paths-taken",
+            StudyId::HopRates => "hop-rates",
+            StudyId::Model => "model",
+        }
+    }
+
+    /// Parses a CLI study name.
+    pub fn parse(name: &str) -> Option<StudyId> {
+        StudyId::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// One-line description for `psn-study list`.
+    pub fn description(&self) -> &'static str {
+        match self {
+            StudyId::Activity => "contact time series and per-node contact-count CDFs (Figs. 1, 7)",
+            StudyId::Explosion => "path enumeration and explosion profiles (Figs. 4, 5, 6, 8)",
+            StudyId::Forwarding => {
+                "six forwarding algorithms over a workload (Figs. 9, 10, 11, 13)"
+            }
+            StudyId::PathsTaken => "path-arrival bursts vs paths algorithms took (Fig. 12)",
+            StudyId::HopRates => "per-hop contact-rate progression (Figs. 14, 15)",
+            StudyId::Model => "analytic model validation, no scenario needed (§5.1/§5.2)",
+        }
+    }
+
+    /// The views this study can render, in default rendering order.
+    pub fn views(&self) -> Vec<StudyView> {
+        match self {
+            StudyId::Activity => vec![StudyView::ActivityTimeseries, StudyView::ContactCountCdf],
+            StudyId::Explosion => vec![
+                StudyView::ExplosionCdfs,
+                StudyView::ExplosionScatter,
+                StudyView::ExplosionGrowth,
+                StudyView::ExplosionPairTypes,
+            ],
+            StudyId::Forwarding => vec![
+                StudyView::DelayVsSuccess,
+                StudyView::DelayDistributions,
+                StudyView::ReceptionTimes,
+                StudyView::PairTypePerformance,
+            ],
+            StudyId::PathsTaken => vec![StudyView::PathsTaken],
+            StudyId::HopRates => {
+                vec![StudyView::HopRateProgression, StudyView::HopRatesTaken, StudyView::RateRatios]
+            }
+            StudyId::Model => vec![StudyView::ModelValidation],
+        }
+    }
+}
+
+impl std::fmt::Display for StudyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One renderable output series of a study (roughly, one figure panel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StudyView {
+    /// Fig. 1: contacts per minute.
+    ActivityTimeseries,
+    /// Fig. 7: per-node contact-count CDF.
+    ContactCountCdf,
+    /// Fig. 4: optimal-duration and time-to-explosion CDFs.
+    ExplosionCdfs,
+    /// Fig. 5: `(T₁, TE)` scatter.
+    ExplosionScatter,
+    /// Fig. 6: path-arrival growth for slow explosions.
+    ExplosionGrowth,
+    /// Fig. 8: scatter split by pair type.
+    ExplosionPairTypes,
+    /// Fig. 9: success rate vs average delay per algorithm.
+    DelayVsSuccess,
+    /// Fig. 10: full delay distributions per algorithm.
+    DelayDistributions,
+    /// Fig. 11: cumulative receptions over time.
+    ReceptionTimes,
+    /// Fig. 13: performance by source/destination pair type.
+    PairTypePerformance,
+    /// Fig. 12: arrival bursts and each algorithm's chosen-path arrival.
+    PathsTaken,
+    /// Fig. 14: mean contact rate per hop of near-optimal paths.
+    HopRateProgression,
+    /// Fig. 14 (lower half): the same analysis over paths each algorithm
+    /// actually took.
+    HopRatesTaken,
+    /// Fig. 15: rate-ratio box plots between consecutive hops.
+    RateRatios,
+    /// §5.1/§5.2 analytic-model agreement table.
+    ModelValidation,
+}
+
+impl StudyView {
+    /// The study that produces this view.
+    pub fn study(&self) -> StudyId {
+        match self {
+            StudyView::ActivityTimeseries | StudyView::ContactCountCdf => StudyId::Activity,
+            StudyView::ExplosionCdfs
+            | StudyView::ExplosionScatter
+            | StudyView::ExplosionGrowth
+            | StudyView::ExplosionPairTypes => StudyId::Explosion,
+            StudyView::DelayVsSuccess
+            | StudyView::DelayDistributions
+            | StudyView::ReceptionTimes
+            | StudyView::PairTypePerformance => StudyId::Forwarding,
+            StudyView::PathsTaken => StudyId::PathsTaken,
+            StudyView::HopRateProgression | StudyView::HopRatesTaken | StudyView::RateRatios => {
+                StudyId::HopRates
+            }
+            StudyView::ModelValidation => StudyId::Model,
+        }
+    }
+
+    fn needs_explosion(&self) -> bool {
+        matches!(
+            self,
+            StudyView::ExplosionCdfs
+                | StudyView::ExplosionScatter
+                | StudyView::ExplosionGrowth
+                | StudyView::ExplosionPairTypes
+                | StudyView::HopRateProgression
+                | StudyView::RateRatios
+        )
+    }
+
+    fn needs_forwarding(&self) -> bool {
+        matches!(
+            self,
+            StudyView::DelayVsSuccess
+                | StudyView::DelayDistributions
+                | StudyView::ReceptionTimes
+                | StudyView::PairTypePerformance
+                | StudyView::HopRatesTaken
+        )
+    }
+}
+
+/// Numeric parameters of a study run, usually derived from an
+/// [`ExperimentProfile`] and then tweaked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyParams {
+    /// Worker threads for enumeration and simulation (`0` = one per core).
+    pub threads: usize,
+    /// Path-enumeration configuration (k, caps, Δ).
+    pub enumeration: EnumerationConfig,
+    /// The explosion threshold n defining `Tₙ`.
+    pub explosion_threshold: usize,
+    /// Number of uniformly drawn messages for the explosion study.
+    pub enumeration_messages: usize,
+    /// Seed of the explosion study's message workload.
+    pub enumeration_message_seed: u64,
+    /// Forwarding workload: absolute generation horizon in seconds, or
+    /// `None` to use two thirds of the scenario's window. Either way the
+    /// horizon is capped at two thirds of the window, so a profile-derived
+    /// horizon (7200 s at paper scale) never generates messages that a
+    /// shorter-window scenario could not possibly deliver. The paper
+    /// datasets sit exactly at the cap, so preset outputs are unaffected.
+    pub workload_horizon: Option<Seconds>,
+    /// Forwarding workload: mean message inter-arrival time.
+    pub workload_interarrival: Seconds,
+    /// Forwarding workload: RNG seed.
+    pub workload_seed: u64,
+    /// Independent simulation runs to average over.
+    pub simulation_runs: usize,
+    /// Number of individual messages for the paths-taken study.
+    pub paths_taken_messages: usize,
+    /// Seed of the paths-taken message workload.
+    pub paths_taken_seed: u64,
+    /// Replications for the analytic-model validation.
+    pub model_replications: usize,
+}
+
+impl StudyParams {
+    /// The parameters the pre-refactor figure binaries used at `profile`
+    /// scale (the golden-file tests pin presets built from these).
+    pub fn for_profile(profile: ExperimentProfile) -> Self {
+        let workload = profile.workload(2);
+        Self {
+            threads: 0,
+            enumeration: profile.enumeration_config(),
+            explosion_threshold: profile.explosion_threshold(),
+            enumeration_messages: profile.enumeration_messages(),
+            enumeration_message_seed: 0xEC0,
+            workload_horizon: Some(workload.generation_horizon),
+            workload_interarrival: workload.mean_interarrival,
+            workload_seed: workload.seed,
+            simulation_runs: profile.simulation_runs(),
+            paths_taken_messages: 4,
+            paths_taken_seed: 88,
+            model_replications: match profile {
+                ExperimentProfile::Paper => 200,
+                ExperimentProfile::Quick => 30,
+            },
+        }
+    }
+
+    /// Returns the parameters with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The forwarding workload for a scenario with `nodes` nodes over
+    /// `window_seconds`.
+    fn forwarding_workload(&self, nodes: usize, window_seconds: Seconds) -> MessageWorkloadConfig {
+        let cap = (window_seconds * 2.0 / 3.0).max(1.0);
+        MessageWorkloadConfig {
+            nodes,
+            generation_horizon: self.workload_horizon.map_or(cap, |h| h.min(cap)),
+            mean_interarrival: self.workload_interarrival,
+            seed: self.workload_seed,
+        }
+    }
+}
+
+/// One scenario entry of a spec: the generator configuration plus the label
+/// report sections carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyScenario {
+    /// Section label (a dataset label like "Infocom06 9-12" for the paper
+    /// presets, or the scenario name for config-driven runs).
+    pub label: String,
+    /// The generator configuration.
+    pub config: ScenarioConfig,
+}
+
+impl From<ScenarioConfig> for StudyScenario {
+    fn from(config: ScenarioConfig) -> Self {
+        Self { label: config.name(), config }
+    }
+}
+
+impl StudyScenario {
+    /// The paper dataset `id` at `profile` scale, labelled the way the
+    /// figures label it.
+    pub fn dataset(id: psn_trace::DatasetId, profile: ExperimentProfile) -> Self {
+        Self { label: id.label().to_string(), config: profile.dataset(id).into() }
+    }
+}
+
+/// A declarative description of one study invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudySpec {
+    /// Which study to run.
+    pub study: StudyId,
+    /// The scenarios to run it over (empty is valid only for
+    /// [`StudyId::Model`]).
+    pub scenarios: Vec<StudyScenario>,
+    /// Extra generator seeds: every scenario is re-run once per listed seed
+    /// (in addition to its configured seed) as an independent replication.
+    pub extra_seeds: Vec<u64>,
+    /// The views to render; empty means every view of the study.
+    pub views: Vec<StudyView>,
+    /// Numeric parameters.
+    pub params: StudyParams,
+}
+
+/// Errors detected while resolving a [`StudySpec`] into a [`StudyPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyPlanError {
+    message: String,
+}
+
+impl std::fmt::Display for StudyPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "study plan error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StudyPlanError {}
+
+impl StudySpec {
+    /// Creates a spec running every view of `study` over `scenarios`.
+    pub fn new(study: StudyId, scenarios: Vec<StudyScenario>, params: StudyParams) -> Self {
+        Self { study, scenarios, extra_seeds: Vec::new(), views: Vec::new(), params }
+    }
+
+    /// Restricts the spec to specific views.
+    pub fn with_views(mut self, views: Vec<StudyView>) -> Self {
+        self.views = views;
+        self
+    }
+
+    /// Adds seed replications.
+    pub fn with_extra_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.extra_seeds = seeds;
+        self
+    }
+
+    /// Resolves the spec into a concrete plan: expands seed replications,
+    /// validates views against the study, and checks labels are unique.
+    pub fn plan(&self) -> Result<StudyPlan, StudyPlanError> {
+        let views = if self.views.is_empty() { self.study.views() } else { self.views.clone() };
+        for view in &views {
+            if view.study() != self.study {
+                return Err(StudyPlanError {
+                    message: format!(
+                        "view {view:?} belongs to study {}, not {}",
+                        view.study(),
+                        self.study
+                    ),
+                });
+            }
+        }
+        if self.scenarios.is_empty() && self.study != StudyId::Model {
+            return Err(StudyPlanError {
+                message: format!("study {} needs at least one scenario", self.study),
+            });
+        }
+
+        let mut runs = Vec::new();
+        for scenario in &self.scenarios {
+            runs.push(PlannedRun {
+                label: scenario.label.clone(),
+                config: scenario.config.clone(),
+            });
+            for &seed in &self.extra_seeds {
+                runs.push(PlannedRun {
+                    label: format!("{} (seed {seed})", scenario.label),
+                    config: scenario.config.with_seed(seed),
+                });
+            }
+        }
+        let mut labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
+        labels.sort_unstable();
+        if let Some(w) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(StudyPlanError { message: format!("duplicate scenario label {:?}", w[0]) });
+        }
+
+        Ok(StudyPlan { study: self.study, runs, views, params: self.params.clone() })
+    }
+}
+
+/// One concrete trace-generation + analysis run of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedRun {
+    /// Section label.
+    pub label: String,
+    /// The resolved scenario configuration (seed replication applied).
+    pub config: ScenarioConfig,
+}
+
+/// A resolved, validated study plan — the unit [`run_study`] executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyPlan {
+    /// Which study runs.
+    pub study: StudyId,
+    /// The concrete runs, in report order.
+    pub runs: Vec<PlannedRun>,
+    /// The views rendered per run, in report order.
+    pub views: Vec<StudyView>,
+    /// Numeric parameters.
+    pub params: StudyParams,
+}
+
+impl StudyPlan {
+    /// A human-readable summary of what will run (for `psn-study` dry
+    /// output and logging).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("study: {}\n", self.study);
+        let _ = writeln!(out, "views: {:?}", self.views);
+        let _ = writeln!(out, "threads: {} (0 = one per core)", self.params.threads);
+        for run in &self.runs {
+            let _ = writeln!(
+                out,
+                "run: {:?} — {} ({} nodes, {:.0} s window, seed {})",
+                run.label,
+                run.config.kind(),
+                run.config.node_count(),
+                run.config.window_seconds(),
+                run.config.seed()
+            );
+        }
+        out
+    }
+}
+
+/// One rendered section of a report: the exact bytes this (run, view) pair
+/// contributes to the output stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudySection {
+    /// The run's label (empty for scenario-less studies).
+    pub scenario: String,
+    /// The view rendered.
+    pub view: StudyView,
+    /// Rendered text, trailing newline included.
+    pub body: String,
+}
+
+/// The executed result of a [`StudyPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    /// The study that ran.
+    pub study: StudyId,
+    /// One section per (run, view), in plan order.
+    pub sections: Vec<StudySection>,
+}
+
+impl StudyReport {
+    /// Concatenates the section bodies — the byte stream the pre-refactor
+    /// binaries printed after their header.
+    pub fn render(&self) -> String {
+        self.sections.iter().map(|s| s.body.as_str()).collect()
+    }
+
+    /// The sections belonging to one scenario label.
+    pub fn sections_for(&self, scenario: &str) -> Vec<&StudySection> {
+        self.sections.iter().filter(|s| s.scenario == scenario).collect()
+    }
+}
+
+/// Per-run engine outputs, computed once and shared across views.
+struct RunOutputs {
+    explosion: Option<ExplosionStudy>,
+    forwarding: Option<ForwardingStudy>,
+    activity: Option<ActivityReport>,
+    hop_rates: Option<HopRateStudy>,
+}
+
+/// Executes a plan: generates each run's trace once, feeds it through the
+/// engines the requested views need, and renders the sections.
+pub fn run_study(plan: &StudyPlan) -> StudyReport {
+    let mut sections = Vec::new();
+
+    if plan.study == StudyId::Model {
+        let validation = run_model_validation(plan.params.model_replications);
+        sections.push(StudySection {
+            scenario: String::new(),
+            view: StudyView::ModelValidation,
+            body: format!("{}\n", report::render_model_validation(&validation)),
+        });
+        return StudyReport { study: plan.study, sections };
+    }
+
+    let needs_explosion = plan.views.iter().any(StudyView::needs_explosion);
+    let needs_forwarding = plan.views.iter().any(StudyView::needs_forwarding);
+    let needs_activity = plan
+        .views
+        .iter()
+        .any(|v| matches!(v, StudyView::ActivityTimeseries | StudyView::ContactCountCdf));
+    let needs_hop_rates = plan
+        .views
+        .iter()
+        .any(|v| matches!(v, StudyView::HopRateProgression | StudyView::RateRatios));
+
+    for run in &plan.runs {
+        let trace = run.config.generate();
+        let p = &plan.params;
+
+        let mut outputs =
+            RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
+        if needs_explosion {
+            let generator = MessageGenerator::new(MessageWorkloadConfig {
+                nodes: trace.node_count(),
+                generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
+                mean_interarrival: 4.0,
+                seed: p.enumeration_message_seed,
+            });
+            let messages = generator.uniform_messages(p.enumeration_messages);
+            outputs.explosion = Some(run_explosion_study_on(
+                run.label.clone(),
+                &trace,
+                &messages,
+                p.enumeration.clone(),
+                p.explosion_threshold,
+                p.threads,
+            ));
+        }
+        if needs_forwarding {
+            let workload = p.forwarding_workload(trace.node_count(), trace.window().duration());
+            outputs.forwarding = Some(run_forwarding_study_on(
+                run.label.clone(),
+                &trace,
+                workload,
+                p.simulation_runs,
+                p.threads,
+            ));
+        }
+        if needs_activity {
+            outputs.activity = Some(activity_report(run.label.clone(), &trace));
+        }
+        if needs_hop_rates {
+            let study = outputs.explosion.as_ref().expect("hop-rate views imply explosion");
+            outputs.hop_rates = Some(run_hop_rate_study(&study.sample_paths, &study.rates));
+        }
+
+        for &view in &plan.views {
+            let body = match view {
+                StudyView::ActivityTimeseries => {
+                    let report_data = outputs.activity.as_ref().expect("activity precomputed");
+                    format!("{}\n", report::render_activity(report_data))
+                }
+                StudyView::ContactCountCdf => {
+                    let report_data = outputs.activity.as_ref().expect("activity precomputed");
+                    format!("{}\n", report::render_contact_cdf(report_data))
+                }
+                StudyView::ExplosionCdfs => {
+                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
+                    format!("{}\n", report::render_explosion_cdfs(study))
+                }
+                StudyView::ExplosionScatter => {
+                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
+                    format!("{}\n", report::render_explosion_scatter(study))
+                }
+                StudyView::ExplosionGrowth => {
+                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
+                    format!("{}\n", report::render_explosion_growth(study))
+                }
+                StudyView::ExplosionPairTypes => {
+                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
+                    format!("{}\n", report::render_pairtype_scatter(study))
+                }
+                StudyView::DelayVsSuccess => {
+                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                    format!("{}\n", report::render_delay_vs_success(study))
+                }
+                StudyView::DelayDistributions => {
+                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                    format!("{}\n", report::render_delay_distributions(study))
+                }
+                StudyView::ReceptionTimes => {
+                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                    format!("{}\n", report::render_reception_times(study))
+                }
+                StudyView::PairTypePerformance => {
+                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                    format!("{}\n", report::render_pairtype_performance(study))
+                }
+                StudyView::PathsTaken => {
+                    let generator = MessageGenerator::new(MessageWorkloadConfig {
+                        nodes: trace.node_count(),
+                        generation_horizon: trace.window().duration() * 2.0 / 3.0,
+                        mean_interarrival: 4.0,
+                        seed: p.paths_taken_seed,
+                    });
+                    let messages = generator.uniform_messages(p.paths_taken_messages);
+                    let cases = run_paths_taken(&trace, &messages, p.enumeration.clone());
+                    cases
+                        .iter()
+                        .map(|case| format!("{}\n", report::render_paths_taken(case)))
+                        .collect()
+                }
+                StudyView::HopRateProgression => {
+                    let hop_study = outputs.hop_rates.as_ref().expect("hop rates precomputed");
+                    format!("{}\n", report::render_hop_rates(hop_study))
+                }
+                StudyView::HopRatesTaken => {
+                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                    study
+                        .algorithms
+                        .iter()
+                        .map(|algo| {
+                            let taken =
+                                run_hop_rate_study_on_outcomes(&algo.outcomes, &study.rates);
+                            format!(
+                                "## taken by {}\n{}\n",
+                                algo.kind,
+                                report::render_hop_rates(&taken)
+                            )
+                        })
+                        .collect()
+                }
+                StudyView::RateRatios => {
+                    let hop_study = outputs.hop_rates.as_ref().expect("hop rates precomputed");
+                    format!("{}\n", report::render_rate_ratios(hop_study))
+                }
+                StudyView::ModelValidation => {
+                    unreachable!("model views are rejected for scenario studies by plan()")
+                }
+            };
+            sections.push(StudySection { scenario: run.label.clone(), view, body });
+        }
+    }
+
+    StudyReport { study: plan.study, sections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::generator::{CommunityConfig, ScaledConfig};
+    use psn_trace::{DatasetId, ScenarioConfig};
+
+    fn quick_params() -> StudyParams {
+        // Deliberately tiny so the pipeline tests stay fast; structure, not
+        // scale, is under test.
+        let mut p = StudyParams::for_profile(ExperimentProfile::Quick);
+        p.enumeration = EnumerationConfig::quick(30);
+        p.explosion_threshold = 30;
+        p.enumeration_messages = 8;
+        p.simulation_runs = 1;
+        p.workload_horizon = Some(600.0);
+        p.workload_interarrival = 30.0;
+        p.paths_taken_messages = 2;
+        p.model_replications = 5;
+        p.threads = 2;
+        p
+    }
+
+    fn small_scenario(seed: u64) -> StudyScenario {
+        StudyScenario::from(ScenarioConfig::Community(CommunityConfig {
+            name: format!("pipeline-community-{seed}"),
+            communities: 3,
+            nodes_per_community: 6,
+            window_seconds: 900.0,
+            max_node_rate: 0.05,
+            intra_inter_ratio: 5.0,
+            mean_contact_duration: 60.0,
+            contact_duration_cv: 0.5,
+            seed,
+        }))
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for study in StudyId::all() {
+            assert_eq!(StudyId::parse(study.name()), Some(study));
+            assert!(!study.description().is_empty());
+            assert!(!study.views().is_empty());
+            for view in study.views() {
+                assert_eq!(view.study(), study);
+            }
+        }
+        assert_eq!(StudyId::parse("unknown"), None);
+    }
+
+    #[test]
+    fn plan_validates_views_and_scenarios() {
+        let spec = StudySpec::new(StudyId::Explosion, vec![small_scenario(1)], quick_params())
+            .with_views(vec![StudyView::DelayVsSuccess]);
+        let err = spec.plan().expect_err("forwarding view under explosion study");
+        assert!(err.to_string().contains("belongs to study"), "{err}");
+
+        let spec = StudySpec::new(StudyId::Explosion, vec![], quick_params());
+        let err = spec.plan().expect_err("no scenarios");
+        assert!(err.to_string().contains("at least one scenario"), "{err}");
+
+        // Model runs without scenarios.
+        let spec = StudySpec::new(StudyId::Model, vec![], quick_params());
+        assert!(spec.plan().is_ok());
+    }
+
+    #[test]
+    fn plan_expands_extra_seeds_into_unique_runs() {
+        let spec = StudySpec::new(StudyId::Activity, vec![small_scenario(1)], quick_params())
+            .with_extra_seeds(vec![7, 8]);
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.runs.len(), 3);
+        assert_eq!(plan.runs[0].config.seed(), 1);
+        assert_eq!(plan.runs[1].config.seed(), 7);
+        assert_eq!(plan.runs[2].config.seed(), 8);
+        let describe = plan.describe();
+        assert!(describe.contains("activity"), "{describe}");
+        assert!(describe.contains("seed 7"), "{describe}");
+
+        let duplicate = StudySpec::new(
+            StudyId::Activity,
+            vec![small_scenario(1), small_scenario(1)],
+            quick_params(),
+        );
+        assert!(duplicate.plan().is_err(), "duplicate labels must be rejected");
+    }
+
+    #[test]
+    fn community_scenario_flows_through_explosion_study() {
+        let spec = StudySpec::new(StudyId::Explosion, vec![small_scenario(3)], quick_params())
+            .with_views(vec![StudyView::ExplosionCdfs]);
+        let report = run_study(&spec.plan().unwrap());
+        assert_eq!(report.sections.len(), 1);
+        let body = &report.sections[0].body;
+        assert!(body.contains("pipeline-community-3"), "{body}");
+        assert!(body.contains("Figure 4"), "{body}");
+        assert_eq!(report.sections_for("pipeline-community-3").len(), 1);
+    }
+
+    #[test]
+    fn forwarding_study_runs_scaled_scenario_end_to_end() {
+        let scenario = StudyScenario::from(ScenarioConfig::Scaled(ScaledConfig {
+            name: "pipeline-scaled".into(),
+            nodes: 80,
+            window_seconds: 700.0,
+            max_node_rate: 0.05,
+            min_node_rate: 0.001,
+            mean_contact_duration: 60.0,
+            seed: 5,
+        }));
+        let spec = StudySpec::new(StudyId::Forwarding, vec![scenario], quick_params())
+            .with_views(vec![StudyView::DelayVsSuccess]);
+        let report = run_study(&spec.plan().unwrap());
+        let body = &report.sections[0].body;
+        assert!(body.contains("Figure 9"), "{body}");
+        assert!(body.contains("Epidemic"), "{body}");
+    }
+
+    #[test]
+    fn forwarding_horizon_is_capped_to_the_scenario_window() {
+        let params = StudyParams::for_profile(ExperimentProfile::Paper);
+        // Paper datasets sit exactly at the cap: 7200 s over a 10800 s
+        // window — unchanged (preset byte parity depends on this).
+        assert_eq!(params.forwarding_workload(98, 10800.0).generation_horizon, 7200.0);
+        // A short-window scenario must not receive undeliverable messages
+        // generated after its window ends.
+        assert_eq!(params.forwarding_workload(1000, 3600.0).generation_horizon, 2400.0);
+        // No explicit horizon: two thirds of the window.
+        let adaptive = StudyParams { workload_horizon: None, ..params };
+        assert_eq!(adaptive.forwarding_workload(10, 900.0).generation_horizon, 600.0);
+    }
+
+    #[test]
+    fn model_study_needs_no_scenario() {
+        let spec = StudySpec::new(StudyId::Model, vec![], quick_params());
+        let report = run_study(&spec.plan().unwrap());
+        assert_eq!(report.sections.len(), 1);
+        assert!(report.sections[0].body.contains("model validation"));
+    }
+
+    #[test]
+    fn dataset_scenarios_reproduce_the_experiment_driver_output() {
+        // The pipeline's explosion section for a paper dataset must equal
+        // the direct driver's rendering — the property the figure presets
+        // and their golden tests build on.
+        let profile = ExperimentProfile::Quick;
+        let mut params = StudyParams::for_profile(profile).with_threads(2);
+        params.enumeration = EnumerationConfig::quick(40);
+        params.explosion_threshold = 40;
+        params.enumeration_messages = 10;
+        let scenario = StudyScenario::dataset(DatasetId::Conext06Morning, profile);
+        let spec = StudySpec::new(StudyId::Explosion, vec![scenario], params.clone())
+            .with_views(vec![StudyView::ExplosionCdfs]);
+        let report = run_study(&spec.plan().unwrap());
+
+        let trace = profile.dataset(DatasetId::Conext06Morning).generate();
+        let generator = MessageGenerator::new(MessageWorkloadConfig {
+            nodes: trace.node_count(),
+            generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
+            mean_interarrival: 4.0,
+            seed: 0xEC0,
+        });
+        let messages = generator.uniform_messages(10);
+        let direct = run_explosion_study_on(
+            DatasetId::Conext06Morning,
+            &trace,
+            &messages,
+            params.enumeration.clone(),
+            40,
+            2,
+        );
+        assert_eq!(report.render(), format!("{}\n", report::render_explosion_cdfs(&direct)));
+    }
+}

@@ -164,6 +164,30 @@ impl EnumerationResult {
     }
 }
 
+/// An unmaterialized arrival: a stored path that would extend to the inbox
+/// node this slot, plus the keys deciding whether it can survive the
+/// per-node k-selection.
+///
+/// Arrivals used to be materialized into the arena immediately, which made
+/// arena growth proportional to the *candidate* count — at 1000 nodes with
+/// near-complete contact components that is `holders × k × component` new
+/// entries per slot (tens of gigabytes per message). Keeping candidates as
+/// `(parent, depth, seq)` triples and pruning each inbox online to the `k`
+/// smallest `(depth, seq)` keys bounds arena growth to at most `k`
+/// materialized survivors per touched node per slot, and the final
+/// selection outcome is unchanged: the key order is exactly the order
+/// [`PathEnumerator`] selection uses for the arrival portion of the merge,
+/// so a pruned candidate could never have been selected.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalCandidate {
+    /// The stored path being extended.
+    parent: PathRef,
+    /// Hop depth of the would-be child (`depth(parent) + 1`).
+    depth: u32,
+    /// Per-slot arrival sequence number (the tie-break: earlier wins).
+    seq: u64,
+}
+
 /// Reusable per-message working memory of the arena engine.
 ///
 /// All allocations the enumerator needs — the path arena, the per-node
@@ -178,8 +202,11 @@ pub struct EnumerationScratch {
     arena: PathArena,
     /// Arena refs of in-flight paths per node, sorted shortest-first.
     stored: Vec<Vec<PathRef>>,
-    /// Arena refs arriving at each node within the current slot.
-    arrivals: Vec<Vec<PathRef>>,
+    /// Unmaterialized arrival candidates per node within the current slot,
+    /// pruned online to the `k` best so arena growth stays bounded.
+    arrivals: Vec<Vec<ArrivalCandidate>>,
+    /// Materialized arena refs of the surviving arrivals of one inbox.
+    arrival_refs: Vec<PathRef>,
     /// Nodes that can reach the destination via zero-weight edges this slot.
     near_destination: Vec<bool>,
     /// The nodes flagged in `near_destination`, for O(set) clearing.
@@ -278,6 +305,9 @@ impl<'a> PathEnumerator<'a> {
 
         let start_slot = graph.slot_of_time(message.created_at);
         let mut slots_processed = 0;
+        // Arrival tie-break counter: earlier candidates win equal-depth
+        // selections, reproducing the materialize-everything order exactly.
+        let mut candidate_seq: u64 = 0;
 
         'slots: for s in start_slot..graph.slot_count() {
             slots_processed += 1;
@@ -365,16 +395,30 @@ impl<'a> PathEnumerator<'a> {
                     let members = graph.component_slice(s, holder);
                     for i in 0..scratch.stored[holder_idx].len() {
                         let r = scratch.stored[holder_idx][i];
+                        let child_depth = scratch.arena.depth(r) + 1;
                         for &v in members {
                             if scratch.arena.contains(r, v) {
                                 continue;
                             }
-                            let extended = scratch.arena.extend(r, v, slot_time);
                             let inbox = &mut scratch.arrivals[v.index()];
                             if inbox.is_empty() {
                                 scratch.touched.push(v.0);
                             }
-                            inbox.push(extended);
+                            inbox.push(ArrivalCandidate {
+                                parent: r,
+                                depth: child_depth,
+                                seq: candidate_seq,
+                            });
+                            candidate_seq += 1;
+                            // Amortized-O(1) online pruning: once the inbox
+                            // doubles past k, keep only the k smallest
+                            // (depth, seq) keys — exactly the candidates
+                            // that could still survive this node's final
+                            // selection.
+                            if inbox.len() >= 2 * k {
+                                inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
+                                inbox.truncate(k);
+                            }
                         }
                     }
                 }
@@ -392,10 +436,30 @@ impl<'a> PathEnumerator<'a> {
                 scratch.touched.sort_unstable();
                 for t in 0..scratch.touched.len() {
                     let idx = scratch.touched[t] as usize;
+                    // Final candidate selection for this inbox, then
+                    // materialize only the survivors into the arena, in
+                    // arrival order (seq), so the merge below sees the same
+                    // relative order the unbounded engine produced.
+                    let inbox = &mut scratch.arrivals[idx];
+                    if inbox.len() > k {
+                        inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
+                        inbox.truncate(k);
+                    }
+                    inbox.sort_unstable_by_key(|c| c.seq);
+                    scratch.arrival_refs.clear();
+                    for i in 0..scratch.arrivals[idx].len() {
+                        let c = scratch.arrivals[idx][i];
+                        scratch.arrival_refs.push(scratch.arena.extend(
+                            c.parent,
+                            NodeId(scratch.touched[t]),
+                            slot_time,
+                        ));
+                    }
+                    scratch.arrivals[idx].clear();
                     Self::keep_k_shortest(
                         &scratch.arena,
                         &mut scratch.stored[idx],
-                        &mut scratch.arrivals[idx],
+                        &mut scratch.arrival_refs,
                         &mut scratch.merge_buf,
                         k,
                     );

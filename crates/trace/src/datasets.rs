@@ -17,7 +17,7 @@
 //! Two sizes are provided:
 //!
 //! * [`SyntheticDataset::paper_config`] — full 98-node, 3-hour windows used
-//!   by the figure-regeneration binaries;
+//!   by the paper-scale figure presets of the `psn-study` CLI;
 //! * [`SyntheticDataset::quick_config`] — reduced populations and windows
 //!   (same structure) used by integration tests and the quick benchmark
 //!   profile so the workspace stays fast to validate.
@@ -67,6 +67,14 @@ impl DatasetId {
 impl std::fmt::Display for DatasetId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.label())
+    }
+}
+
+impl From<DatasetId> for String {
+    /// A dataset id converts into the scenario label the experiment layer
+    /// keys its report sections by.
+    fn from(id: DatasetId) -> String {
+        id.label().to_string()
     }
 }
 

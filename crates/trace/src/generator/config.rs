@@ -125,6 +125,92 @@ impl Default for HeterogeneousConfig {
     }
 }
 
+/// Configuration for the community-structured generator: equal-size node
+/// communities with an intra/inter contact-rate ratio (see
+/// [`super::community`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityConfig {
+    /// Human-readable name of the generated dataset.
+    pub name: String,
+    /// Number of communities.
+    pub communities: usize,
+    /// Nodes per community (total population = `communities ×
+    /// nodes_per_community`).
+    pub nodes_per_community: usize,
+    /// Observation window length in seconds.
+    pub window_seconds: Seconds,
+    /// Maximum per-node contact rate (contacts per second).
+    pub max_node_rate: f64,
+    /// Ratio of intra-community to inter-community pairwise contact rates;
+    /// `1` is uniform mixing, large values produce tight communities
+    /// bridged by rare cross-community contacts.
+    pub intra_inter_ratio: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration: Seconds,
+    /// Coefficient of variation of contact durations.
+    pub contact_duration_cv: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CommunityConfig {
+    /// Total number of nodes across all communities.
+    pub fn total_nodes(&self) -> usize {
+        self.communities * self.nodes_per_community
+    }
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic-community".to_string(),
+            communities: 4,
+            nodes_per_community: 25,
+            window_seconds: 3.0 * 3600.0,
+            max_node_rate: 0.045,
+            intra_inter_ratio: 8.0,
+            mean_contact_duration: 120.0,
+            contact_duration_cv: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Configuration for the scaled-population generator: 500–5000 nodes with
+/// the paper's per-node rate structure preserved via propensity scaling
+/// (see [`super::scaled`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaledConfig {
+    /// Human-readable name of the generated dataset.
+    pub name: String,
+    /// Number of nodes (intended range: 500–5000; any `≥ 2` works).
+    pub nodes: usize,
+    /// Observation window length in seconds.
+    pub window_seconds: Seconds,
+    /// Maximum per-node contact rate, preserved as the population grows.
+    pub max_node_rate: f64,
+    /// Minimum per-node contact rate (floor keeping every node reachable).
+    pub min_node_rate: f64,
+    /// Mean contact duration in seconds.
+    pub mean_contact_duration: Seconds,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaledConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic-scaled-1k".to_string(),
+            nodes: 1000,
+            window_seconds: 3600.0,
+            max_node_rate: 0.045,
+            min_node_rate: 0.0006,
+            mean_contact_duration: 120.0,
+            seed: 1,
+        }
+    }
+}
+
 /// Full conference-trace configuration: the stand-in for the iMote datasets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConferenceConfig {

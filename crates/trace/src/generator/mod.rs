@@ -18,18 +18,37 @@
 //!    re-samples continuous co-location intervals at the iMotes' 120-second
 //!    inquiry granularity ([`scan`]).
 //!
+//! Two further families extend the paper's setting along the scenario axes
+//! related work identifies as decisive for forwarding performance:
+//!
+//! 5. **Community structure** — nodes partitioned into communities with a
+//!    configurable intra/inter contact-rate ratio ([`community`]);
+//! 6. **Scaled populations** — 500–5000 nodes with the per-node rate
+//!    structure preserved via propensity scaling, generated in
+//!    `O(contacts · log N)` by sampling the aggregate superposition process
+//!    ([`scaled`]).
+//!
 //! All generators are deterministic given a seed, so every experiment and
-//! benchmark in the workspace is reproducible.
+//! benchmark in the workspace is reproducible. The [`crate::scenario`]
+//! module unifies every family behind one declarative, TOML/JSON-loadable
+//! [`crate::scenario::ScenarioConfig`] type.
 
+pub mod community;
 pub mod conference;
 pub mod config;
 pub mod heterogeneous;
 pub mod homogeneous;
 pub mod sampling;
+pub mod scaled;
 pub mod scan;
 
+pub use community::generate_community;
 pub use conference::ConferenceTraceGenerator;
-pub use config::{ActivityProfile, ConferenceConfig, HeterogeneousConfig, HomogeneousConfig};
+pub use config::{
+    ActivityProfile, CommunityConfig, ConferenceConfig, HeterogeneousConfig, HomogeneousConfig,
+    ScaledConfig,
+};
 pub use heterogeneous::generate_heterogeneous;
 pub use homogeneous::generate_homogeneous;
+pub use scaled::generate_scaled;
 pub use scan::apply_inquiry_scan;

@@ -45,12 +45,14 @@ pub mod generator;
 pub mod node;
 pub mod parser;
 pub mod rates;
+pub mod scenario;
 pub mod trace;
 
 pub use contact::Contact;
 pub use datasets::{DatasetId, SyntheticDataset};
 pub use node::{NodeClass, NodeId, NodeRegistry};
 pub use rates::{ContactRates, RateClass};
+pub use scenario::{ScenarioConfig, ScenarioError, ScenarioSet};
 pub use trace::{ContactTrace, TimeWindow, TraceError};
 
 /// Simulation time in seconds, measured from the start of the observation

@@ -85,18 +85,46 @@ impl From<ContactError> for TraceError {
 
 /// A complete contact trace: node registry, observation window and a
 /// time-sorted list of contacts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ContactTrace {
     name: String,
     nodes: NodeRegistry,
     window: TimeWindow,
     contacts: Vec<Contact>,
+    /// Lazily built per-node index into `contacts` (positions, ascending,
+    /// so per-node iteration preserves time order). Built on first use by
+    /// [`ContactTrace::contacts_of`] / [`ContactTrace::contact_count_of`]
+    /// and invalidated by every mutation; excluded from equality because it
+    /// is derived state.
+    node_index: std::sync::OnceLock<Vec<Vec<u32>>>,
+    /// True while `contacts` is known to be in start-time order — cleared
+    /// by an out-of-order [`ContactTrace::push`], restored by
+    /// [`ContactTrace::sort`] — so range queries can pick the binary-search
+    /// fast path without ever being wrong on unsorted traces. Derived
+    /// state, excluded from equality.
+    sorted: bool,
+}
+
+impl PartialEq for ContactTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.nodes == other.nodes
+            && self.window == other.window
+            && self.contacts == other.contacts
+    }
 }
 
 impl ContactTrace {
     /// Creates an empty trace over the given window.
     pub fn new(name: impl Into<String>, nodes: NodeRegistry, window: TimeWindow) -> Self {
-        Self { name: name.into(), nodes, window, contacts: Vec::new() }
+        Self {
+            name: name.into(),
+            nodes,
+            window,
+            contacts: Vec::new(),
+            node_index: std::sync::OnceLock::new(),
+            sorted: true,
+        }
     }
 
     /// Builds a trace from a contact list, validating every record and
@@ -132,7 +160,13 @@ impl ContactTrace {
         // Contacts may extend slightly past the window end (a contact in
         // progress when logging stopped); clamp rather than reject.
         let clamped_end = c.end.min(self.window.end);
+        if let Some(last) = self.contacts.last() {
+            if last.start > c.start {
+                self.sorted = false;
+            }
+        }
         self.contacts.push(Contact { end: clamped_end, ..c });
+        self.node_index = std::sync::OnceLock::new();
         Ok(())
     }
 
@@ -147,6 +181,8 @@ impl ContactTrace {
                 .then(x.a.cmp(&y.a))
                 .then(x.b.cmp(&y.b))
         });
+        self.node_index = std::sync::OnceLock::new();
+        self.sorted = true;
     }
 
     /// Human-readable trace name (e.g. `synthetic-infocom06-0912`).
@@ -184,14 +220,60 @@ impl ContactTrace {
         self.contacts.is_empty()
     }
 
-    /// Contacts involving a given node, in time order.
-    pub fn contacts_of(&self, node: NodeId) -> Vec<Contact> {
-        self.contacts.iter().copied().filter(|c| c.involves(node)).collect()
+    /// The per-node contact index: for every node, the positions of its
+    /// contacts in [`ContactTrace::contacts`], ascending.
+    ///
+    /// Built lazily on first use and cached (`OnceLock`), so the first
+    /// per-node query costs one pass over the contact list and every later
+    /// one is a direct lookup; mutations (`push`, `sort`) invalidate it.
+    fn node_index(&self) -> &[Vec<u32>] {
+        self.node_index.get_or_init(|| {
+            let mut index: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
+            for (pos, c) in self.contacts.iter().enumerate() {
+                let pos = u32::try_from(pos).expect("contact count fits in u32");
+                index[c.a.index()].push(pos);
+                index[c.b.index()].push(pos);
+            }
+            index
+        })
     }
 
-    /// Contacts whose interval overlaps `[t0, t1)`.
-    pub fn contacts_overlapping(&self, t0: Seconds, t1: Seconds) -> Vec<Contact> {
-        self.contacts.iter().copied().filter(|c| c.overlaps(t0, t1)).collect()
+    /// Contacts involving a given node, in the trace's contact order
+    /// (time order once the trace is sorted).
+    ///
+    /// Served from the lazily built per-node index: no allocation and no
+    /// full-trace scan per call (beyond the one-off index build).
+    pub fn contacts_of(&self, node: NodeId) -> impl Iterator<Item = Contact> + '_ {
+        let positions: &[u32] =
+            self.node_index().get(node.index()).map(Vec::as_slice).unwrap_or(&[]);
+        positions.iter().map(|&pos| self.contacts[pos as usize])
+    }
+
+    /// Number of contacts involving a given node (`O(1)` after the index
+    /// is built).
+    pub fn contact_count_of(&self, node: NodeId) -> usize {
+        self.node_index().get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// Contacts whose interval overlaps `[t0, t1)`, in contact order.
+    ///
+    /// On a sorted trace (any trace built through
+    /// [`ContactTrace::from_contacts`] or the generators) the scan stops at
+    /// the first contact starting at or after `t1` instead of walking the
+    /// whole list; unsorted traces fall back to a full scan.
+    pub fn contacts_overlapping(
+        &self,
+        t0: Seconds,
+        t1: Seconds,
+    ) -> impl Iterator<Item = Contact> + '_ {
+        // When sorted by start time, everything from the first start ≥ t1
+        // onwards cannot overlap.
+        let cutoff = if self.sorted {
+            self.contacts.partition_point(|c| c.start < t1)
+        } else {
+            self.contacts.len()
+        };
+        self.contacts[..cutoff].iter().copied().filter(move |c| c.overlaps(t0, t1))
     }
 
     /// Returns a new trace restricted to contacts starting inside
@@ -314,9 +396,45 @@ mod tests {
             vec![contact(0, 1, 0.0, 1.0), contact(1, 2, 2.0, 3.0), contact(0, 2, 4.0, 5.0)],
         )
         .unwrap();
-        assert_eq!(trace.contacts_of(NodeId(0)).len(), 2);
-        assert_eq!(trace.contacts_of(NodeId(1)).len(), 2);
-        assert_eq!(trace.contacts_of(NodeId(2)).len(), 2);
+        assert_eq!(trace.contacts_of(NodeId(0)).count(), 2);
+        assert_eq!(trace.contacts_of(NodeId(1)).count(), 2);
+        assert_eq!(trace.contacts_of(NodeId(2)).count(), 2);
+        assert_eq!(trace.contact_count_of(NodeId(0)), 2);
+        assert_eq!(trace.contact_count_of(NodeId(42)), 0);
+        // Per-node iteration preserves time order and endpoints.
+        let of_one: Vec<Contact> = trace.contacts_of(NodeId(1)).collect();
+        assert_eq!(of_one[0].start, 0.0);
+        assert_eq!(of_one[1].start, 2.0);
+        assert!(of_one.iter().all(|c| c.involves(NodeId(1))));
+    }
+
+    #[test]
+    fn contacts_overlapping_is_correct_on_unsorted_traces() {
+        // Regression: the sorted fast path must not drop overlaps when
+        // contacts were pushed out of start-time order without sort().
+        let mut trace = ContactTrace::new("t", registry(3), TimeWindow::new(0.0, 100.0));
+        trace.push(contact(0, 1, 50.0, 60.0)).unwrap();
+        trace.push(contact(0, 2, 5.0, 10.0)).unwrap();
+        assert_eq!(trace.contacts_overlapping(4.0, 11.0).count(), 1);
+        assert_eq!(trace.contacts_overlapping(0.0, 100.0).count(), 2);
+        trace.sort();
+        assert_eq!(trace.contacts_overlapping(4.0, 11.0).count(), 1);
+    }
+
+    #[test]
+    fn node_index_is_invalidated_by_mutation() {
+        let mut trace = ContactTrace::from_contacts(
+            "t",
+            registry(3),
+            TimeWindow::new(0.0, 100.0),
+            vec![contact(0, 1, 0.0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(trace.contact_count_of(NodeId(2)), 0);
+        trace.push(contact(1, 2, 2.0, 3.0)).unwrap();
+        trace.sort();
+        assert_eq!(trace.contact_count_of(NodeId(2)), 1);
+        assert_eq!(trace.contact_count_of(NodeId(1)), 2);
     }
 
     #[test]
@@ -328,9 +446,9 @@ mod tests {
             vec![contact(0, 1, 0.0, 10.0), contact(1, 2, 20.0, 30.0)],
         )
         .unwrap();
-        assert_eq!(trace.contacts_overlapping(5.0, 15.0).len(), 1);
-        assert_eq!(trace.contacts_overlapping(0.0, 100.0).len(), 2);
-        assert_eq!(trace.contacts_overlapping(50.0, 60.0).len(), 0);
+        assert_eq!(trace.contacts_overlapping(5.0, 15.0).count(), 1);
+        assert_eq!(trace.contacts_overlapping(0.0, 100.0).count(), 2);
+        assert_eq!(trace.contacts_overlapping(50.0, 60.0).count(), 0);
     }
 
     #[test]

@@ -136,6 +136,6 @@ fn figures_14_15_hop_rates_render() {
 fn activity_report_reflects_trace_identity() {
     let trace = small_trace();
     let report_struct = activity_report(DatasetId::Infocom06Morning, &trace);
-    assert_eq!(report_struct.dataset, DatasetId::Infocom06Morning);
+    assert_eq!(report_struct.scenario, DatasetId::Infocom06Morning.label());
     assert!(report_struct.per_minute.total() > 0.0);
 }
