@@ -5,47 +5,62 @@
 //! ```text
 //! psn-study run --preset fig09                          # regenerate a paper figure
 //! psn-study run --config scenarios/community_conference.toml --study forwarding
-//! psn-study run --config a.toml --config b.toml --study explosion --seeds 1,2,3
+//! psn-study run --config a.toml --study forwarding --views delay-vs-success
+//! psn-study run --config a.toml --study explosion --format json --out results/
 //! psn-study run --study model                           # scenario-less study
+//! psn-study sweep --config scenarios/sweep_community_2x2.toml --format json
 //! psn-study plan --config a.toml --study forwarding     # show the plan, run nothing
 //! psn-study describe --config scenarios/scaled_1k.toml  # generate + summarise a scenario
-//! psn-study list                                        # presets, studies, families
+//! psn-study list                                        # presets, studies, views, families
 //! ```
 //!
-//! `--profile quick|paper` and `--threads N` override the `PSN_PROFILE` and
-//! `PSN_THREADS` environment variables. Scenario config files are TOML or
-//! JSON (see `scenarios/` and the `psn_trace::scenario` module docs).
+//! Reports are **typed** (`psn::report::ReportDoc`); `--format text|json|csv`
+//! picks the rendering backend and `--out <dir>` writes the artifacts to
+//! disk instead of stdout (CSV emits one file per table). `--profile
+//! quick|paper` and `--threads N` override the `PSN_PROFILE` and
+//! `PSN_THREADS` environment variables. Scenario and sweep config files are
+//! TOML or JSON (see `scenarios/` and the `psn_trace::scenario` /
+//! `psn_trace::sweep` module docs).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use psn::report::{ReportDoc, ReportFormat};
 use psn::study::preset::{render_header, PresetId};
-use psn::study::{run_study, StudyId, StudyParams, StudyScenario, StudySpec};
+use psn::study::sweep::{run_sweep, SweepSpec};
+use psn::study::{parse_views, run_study, StudyId, StudyParams, StudyScenario, StudySpec};
 use psn::ExperimentProfile;
 use psn_bench::{profile_from_env, threads_from_env};
-use psn_trace::{NodeId, ScenarioConfig};
+use psn_trace::{NodeId, ScenarioConfig, ScenarioSweep};
 
 fn usage() -> &'static str {
     "usage:\n  \
-     psn-study run --preset <name> [--profile quick|paper] [--threads N]\n  \
-     psn-study run --config <file>... --study <name> [--seeds a,b,c] [--profile ...] [--threads N]\n  \
-     \u{20}             [--k <path budget>] [--messages N] [--runs N]\n  \
+     psn-study run --preset <name> [--profile quick|paper] [--threads N] [--format text|json|csv] [--out DIR]\n  \
+     psn-study run --config <file>... --study <name> [--views a,b] [--seeds a,b,c] [--profile ...] [--threads N]\n  \
+     \u{20}             [--k <path budget>] [--messages N] [--runs N] [--format text|json|csv] [--out DIR] [--dry]\n  \
+     psn-study sweep --config <sweep file> [--study <name>] [--views a,b] [--seeds a,b,c] [--profile ...]\n  \
+     \u{20}             [--threads N] [--k ...] [--messages N] [--runs N] [--format text|json|csv] [--out DIR]\n  \
+     psn-study sweep --config <sweep file> --dry              (show the resolved cells, run nothing)\n  \
      psn-study plan --config <file>... --study <name> [--seeds a,b,c]\n  \
      psn-study describe --config <file>...\n  \
      psn-study list\n\
-     run `psn-study list` for the registered presets, studies and scenario families"
+     run `psn-study list` for the registered presets, studies, views and scenario families"
 }
 
 struct Args {
     preset: Option<String>,
     configs: Vec<PathBuf>,
     study: Option<String>,
+    views: Option<String>,
     seeds: Vec<u64>,
     profile: ExperimentProfile,
     threads: usize,
     k: Option<usize>,
     messages: Option<usize>,
     runs: Option<usize>,
+    format: ReportFormat,
+    out: Option<PathBuf>,
+    dry: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -54,12 +69,16 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         preset: None,
         configs: Vec::new(),
         study: None,
+        views: None,
         seeds: Vec::new(),
         profile: profile_from_env(),
         threads: threads_from_env(),
         k: None,
         messages: None,
         runs: None,
+        format: ReportFormat::Text,
+        out: None,
+        dry: false,
     };
     let next_value = |argv: &mut std::env::Args, flag: &str| {
         argv.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -69,6 +88,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--preset" => args.preset = Some(next_value(&mut argv, "--preset")?),
             "--config" => args.configs.push(PathBuf::from(next_value(&mut argv, "--config")?)),
             "--study" => args.study = Some(next_value(&mut argv, "--study")?),
+            "--views" => args.views = Some(next_value(&mut argv, "--views")?),
             "--seeds" => {
                 for part in next_value(&mut argv, "--seeds")?.split(',') {
                     let seed = part
@@ -111,6 +131,15 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                         .map_err(|_| "--runs: expected a number".to_string())?,
                 )
             }
+            "--format" => {
+                let name = next_value(&mut argv, "--format")?;
+                args.format = ReportFormat::parse(&name).ok_or_else(|| {
+                    let names: Vec<&str> = ReportFormat::all().iter().map(|f| f.name()).collect();
+                    format!("--format: expected one of {}, got {name:?}", names.join("|"))
+                })?;
+            }
+            "--out" => args.out = Some(PathBuf::from(next_value(&mut argv, "--out")?)),
+            "--dry" => args.dry = true,
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -127,14 +156,14 @@ fn load_scenarios(configs: &[PathBuf]) -> Result<Vec<StudyScenario>, String> {
     Ok(set.scenarios().iter().cloned().map(StudyScenario::from).collect())
 }
 
-fn build_spec(args: &Args) -> Result<StudySpec, String> {
-    let study_name =
-        args.study.as_deref().ok_or("--study is required when running from --config files")?;
-    let study = StudyId::parse(study_name).ok_or_else(|| {
+fn parse_study(name: &str) -> Result<StudyId, String> {
+    StudyId::parse(name).ok_or_else(|| {
         let names: Vec<&str> = StudyId::all().iter().map(|s| s.name()).collect();
-        format!("unknown study {study_name:?} (registered: {})", names.join(", "))
-    })?;
-    let scenarios = load_scenarios(&args.configs)?;
+        format!("unknown study {name:?} (registered: {})", names.join(", "))
+    })
+}
+
+fn build_params(args: &Args) -> Result<StudyParams, String> {
     let mut params = StudyParams::for_profile(args.profile).with_threads(args.threads);
     if let Some(k) = args.k {
         if k == 0 {
@@ -152,24 +181,174 @@ fn build_spec(args: &Args) -> Result<StudySpec, String> {
     if let Some(runs) = args.runs {
         params.simulation_runs = runs.max(1);
     }
-    Ok(StudySpec::new(study, scenarios, params).with_extra_seeds(args.seeds.clone()))
+    Ok(params)
+}
+
+fn build_spec(args: &Args) -> Result<StudySpec, String> {
+    let study_name =
+        args.study.as_deref().ok_or("--study is required when running from --config files")?;
+    let study = parse_study(study_name)?;
+    let scenarios = load_scenarios(&args.configs)?;
+    let params = build_params(args)?;
+    let mut spec = StudySpec::new(study, scenarios, params).with_extra_seeds(args.seeds.clone());
+    if let Some(views) = &args.views {
+        spec = spec.with_views(parse_views(study, views).map_err(|e| e.to_string())?);
+    }
+    Ok(spec)
+}
+
+fn build_sweep_spec(args: &Args) -> Result<SweepSpec, String> {
+    let config = match args.configs.as_slice() {
+        [one] => one,
+        [] => return Err("sweep needs exactly one --config <sweep file>".into()),
+        _ => return Err("sweep takes a single --config sweep file".into()),
+    };
+    let mut sweep = ScenarioSweep::from_path(config).map_err(|e| e.to_string())?;
+    let study_name = args
+        .study
+        .as_deref()
+        .or(sweep.study.as_deref())
+        .ok_or("sweep needs --study (or a `study` field in the sweep file)")?
+        .to_string();
+    let study = parse_study(&study_name)?;
+    if !args.seeds.is_empty() {
+        // CLI seeds override the file's replication list.
+        sweep.seeds = args.seeds.clone();
+    }
+    let params = build_params(args)?;
+    let views = match &args.views {
+        Some(views) => parse_views(study, views).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
+    Ok(SweepSpec { study, sweep, views, params })
+}
+
+/// Emits a rendered document: to stdout by default (CSV artifacts get
+/// `# == name ==` separators), or one file per artifact under `--out`.
+/// `text_header` is prepended to text output only — JSON/CSV must stay
+/// machine-parseable.
+fn emit(doc: &ReportDoc, args: &Args, text_header: Option<&str>) -> Result<(), String> {
+    let renderer = args.format.renderer();
+    let mut artifacts = renderer.render(doc);
+    if args.format == ReportFormat::Text {
+        if let (Some(header), Some(first)) = (text_header, artifacts.first_mut()) {
+            first.contents = format!("{header}{}", first.contents);
+        }
+    }
+    match &args.out {
+        None => {
+            let many = artifacts.len() > 1;
+            for artifact in &artifacts {
+                if many {
+                    println!("# == {} ==", artifact.filename);
+                }
+                print!("{}", artifact.contents);
+            }
+        }
+        Some(dir) => {
+            for artifact in &artifacts {
+                write_out(dir, &artifact.filename, &artifact.contents)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes one artifact-shaped file into `--out` (shared by the preset
+/// text path, which bypasses the typed renderers to stay golden-pinned).
+fn write_out(dir: &PathBuf, filename: &str, contents: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path: PathBuf = dir.join(filename);
+    std::fs::write(&path, contents).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some(name) = &args.preset {
+        // Presets are pinned invocations; flags that would alter the spec
+        // are rejected rather than silently ignored.
+        let incompatible = [
+            ("--config", !args.configs.is_empty()),
+            ("--study", args.study.is_some()),
+            ("--views", args.views.is_some()),
+            ("--seeds", !args.seeds.is_empty()),
+            ("--k", args.k.is_some()),
+            ("--messages", args.messages.is_some()),
+            ("--runs", args.runs.is_some()),
+        ];
+        if let Some((flag, _)) = incompatible.iter().find(|(_, given)| *given) {
+            return Err(format!(
+                "{flag} cannot be combined with --preset (presets pin the spec; \
+                 use `run --config … --study …` to customise)"
+            ));
+        }
         let preset = PresetId::parse(name).ok_or_else(|| {
             let names: Vec<&str> = PresetId::all().iter().map(|p| p.name()).collect();
             format!("unknown preset {name:?} (registered: {})", names.join(", "))
         })?;
-        print!("{}", preset.render(args.profile, args.threads));
-        return Ok(());
+        if args.dry {
+            return match preset.spec(args.profile, args.threads) {
+                Some(spec) => {
+                    print!("{}", spec.plan().map_err(|e| e.to_string())?.describe());
+                    Ok(())
+                }
+                None => {
+                    println!("preset {name} renders a hardcoded example; nothing to plan");
+                    Ok(())
+                }
+            };
+        }
+        if args.format == ReportFormat::Text {
+            // The golden-pinned path: header + preset body, byte-identical
+            // to the pre-refactor binary — with or without --out.
+            let contents = preset.render(args.profile, args.threads);
+            return match &args.out {
+                None => {
+                    print!("{contents}");
+                    Ok(())
+                }
+                Some(dir) => write_out(dir, "report.txt", &contents),
+            };
+        }
+        // Non-text formats go through the typed pipeline; Fig. 2 is the one
+        // preset with no study behind it.
+        let spec = preset.spec(args.profile, args.threads).ok_or_else(|| {
+            format!(
+                "preset {name:?} is a hardcoded example with no typed report; use --format text"
+            )
+        })?;
+        let plan = spec.plan().map_err(|e| e.to_string())?;
+        let report = run_study(&plan);
+        let header = render_header(preset.figure_title(), args.profile);
+        return emit(&report.doc, args, Some(&header));
     }
     let spec = build_spec(args)?;
     let plan = spec.plan().map_err(|e| e.to_string())?;
+    if args.dry {
+        print!("{}", plan.describe());
+        return Ok(());
+    }
+    let report = run_study(&plan);
     let title = format!("study {} ({} scenarios)", plan.study, plan.runs.len());
-    print!("{}", render_header(&title, args.profile));
-    print!("{}", run_study(&plan).render());
-    Ok(())
+    emit(&report.doc, args, Some(&render_header(&title, args.profile)))
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let spec = build_sweep_spec(args)?;
+    let plan = spec.plan().map_err(|e| e.to_string())?;
+    if args.dry {
+        print!("sweep: {} ({} cells)\n{}", spec.sweep.name, plan.cells.len(), plan.plan.describe());
+        return Ok(());
+    }
+    let report = run_sweep(&plan);
+    let title = format!(
+        "sweep {} — study {} over {} cells",
+        spec.sweep.name,
+        plan.plan.study,
+        plan.cells.len()
+    );
+    emit(&report.doc, args, Some(&render_header(&title, args.profile)))
 }
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
@@ -223,11 +402,17 @@ fn cmd_list() {
     println!("\nstudies (run with `psn-study run --config <file> --study <name>`):");
     for study in StudyId::all() {
         println!("  {:<12} {}", study.name(), study.description());
+        let views: Vec<&str> = study.views().iter().map(|v| v.name()).collect();
+        println!("  {:<12}   views: {}", "", views.join(", "));
     }
     println!("\nscenario families (the `kind` field of a config file):");
     for kind in ScenarioConfig::kinds() {
         println!("  {kind}");
     }
+    println!("\nsweeps: `psn-study sweep --config <file>` — a [base] scenario, [axes] value");
+    println!("  grids and optional seeds, crossed into one run per grid cell");
+    println!("\nformats: --format text (default; golden-pinned), json (psn-report/1), csv");
+    println!("  (one file per table); --out DIR writes files instead of stdout");
     println!("\nprofiles: quick (default), paper — via --profile or PSN_PROFILE");
     println!("threads: --threads or PSN_THREADS (0 = one per core; never changes results)");
 }
@@ -244,6 +429,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
         "plan" => cmd_plan(&args),
         "describe" => cmd_describe(&args),
         "list" => {

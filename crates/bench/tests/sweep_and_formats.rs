@@ -1,0 +1,87 @@
+//! End-to-end coverage of the typed-report acceptance criteria:
+//!
+//! * the shipped `scenarios/sweep_community_2x2.toml` grid resolves
+//!   through `SweepSpec -> StudyPlan` and `run_sweep` emits JSON that
+//!   parses back and covers **every** grid cell (what the CI sweep smoke
+//!   step checks from the CLI side);
+//! * preset documents render through every backend, and the JSON backend
+//!   round-trips a full preset report.
+
+use psn::report::{CsvRenderer, JsonRenderer, Renderer, ReportFormat, TextRenderer};
+use psn::study::preset::PresetId;
+use psn::study::sweep::{run_sweep, SweepSpec};
+use psn::study::{parse_views, run_study, StudyId, StudyParams};
+use psn::ExperimentProfile;
+use psn_trace::ScenarioSweep;
+
+fn repo_path(relative: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(relative)
+}
+
+#[test]
+fn shipped_sweep_config_covers_every_grid_cell_in_json() {
+    let sweep = ScenarioSweep::from_path(&repo_path("scenarios/sweep_community_2x2.toml"))
+        .expect("shipped sweep config parses");
+    assert_eq!(sweep.study.as_deref(), Some("activity"));
+    assert_eq!(sweep.cell_count(), 4, "a 2x2 grid with one seed");
+
+    let study = StudyId::parse(sweep.study.as_deref().unwrap()).expect("study resolves");
+    let spec = SweepSpec {
+        study,
+        sweep,
+        views: parse_views(study, "activity-timeseries").unwrap(),
+        params: StudyParams::for_profile(ExperimentProfile::Quick).with_threads(2),
+    };
+    let plan = spec.plan().expect("sweep resolves through the study plan machinery");
+    assert_eq!(plan.cells.len(), 4);
+    assert_eq!(plan.plan.runs.len(), 4);
+
+    let report = run_sweep(&plan);
+    let json = JsonRenderer.render_json(&report.doc);
+    let parsed = JsonRenderer.parse(&json).expect("emitted sweep json parses");
+    assert_eq!(parsed, report.doc, "sweep json round trip");
+
+    // Every grid cell appears both as a summary row and as body sections.
+    for cell in &plan.cells {
+        assert!(json.contains(&format!("\"{}\"", cell.label)), "cell {:?} in json", cell.label);
+        assert!(!parsed.sections_for(&cell.label).is_empty(), "cell {:?} sections", cell.label);
+    }
+    assert_eq!(parsed.sections[0].view, "sweep-summary");
+}
+
+#[test]
+fn shipped_forwarding_sweep_config_parses_and_expands() {
+    let sweep = ScenarioSweep::from_path(&repo_path("scenarios/sweep_forwarding_ratio.toml"))
+        .expect("shipped sweep config parses");
+    assert_eq!(sweep.study.as_deref(), Some("forwarding"));
+    // 4 ratios × 2 seeds; expansion validates every field assignment.
+    assert_eq!(sweep.expand().expect("axes are valid").len(), 8);
+}
+
+#[test]
+fn preset_reports_render_through_every_backend() {
+    // Fig. 4 exercises CDF series, notes and scalar blocks; quick profile
+    // keeps it cheap.
+    let spec = PresetId::Fig04.spec(ExperimentProfile::Quick, 2).expect("fig04 runs a study");
+    let report = run_study(&spec.plan().unwrap());
+
+    let text = TextRenderer.render(&report.doc);
+    assert_eq!(text.len(), 1);
+    assert!(text[0].contents.contains("Figure 4"));
+
+    let json = JsonRenderer.render(&report.doc);
+    assert_eq!(json.len(), 1);
+    let parsed = JsonRenderer.parse(&json[0].contents).expect("preset json parses");
+    assert_eq!(parsed, report.doc);
+
+    let csv = CsvRenderer.render(&report.doc);
+    assert!(csv.len() >= 2, "one file per table/series: {csv:?}");
+    let mut names: Vec<&str> = csv.iter().map(|a| a.filename.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), csv.len(), "artifact names are unique");
+
+    for format in ReportFormat::all() {
+        assert!(!format.renderer().render(&report.doc).is_empty());
+    }
+}

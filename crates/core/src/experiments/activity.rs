@@ -6,6 +6,7 @@ use psn_trace::binning::{contact_timeseries_per_minute, stationarity_report};
 use psn_trace::{ContactRates, ContactTrace, DatasetId};
 
 use crate::config::ExperimentProfile;
+use crate::report::{Block, Column, Scalar, Section, Series};
 
 /// The activity data for one dataset.
 #[derive(Debug, Clone)]
@@ -26,6 +27,40 @@ pub struct ActivityReport {
     /// uniform distribution on `[0, max]` (the paper's "approximately
     /// uniform" observation).
     pub uniformity_ks: f64,
+}
+
+impl ActivityReport {
+    /// The typed Fig. 1 section: contacts per minute, with the
+    /// stationarity diagnostics as machine-readable stats.
+    pub fn timeseries_section(&self) -> Section {
+        let points = self.per_minute.series().into_iter().map(|(t, c)| (t / 60.0, c)).collect();
+        Section::new()
+            .stat(Scalar::fixed("cv", self.coefficient_of_variation, 3))
+            .stat(Scalar::fixed("tail_ratio", self.tail_ratio, 3))
+            .block(Block::Title(format!(
+                "Figure 1 — total contacts per minute, {} (cv={:.3}, tail ratio={:.3})",
+                self.scenario, self.coefficient_of_variation, self.tail_ratio
+            )))
+            .block(Block::Series(Series::new(
+                "contacts per minute",
+                Column::fixed("minute", 0).with_unit("min"),
+                Column::display("contacts"),
+                points,
+            )))
+    }
+
+    /// The typed Fig. 7 section: the per-node contact-count CDF.
+    pub fn contact_cdf_section(&self) -> Section {
+        Section::new()
+            .stat(Scalar::fixed("uniformity_ks", self.uniformity_ks, 3))
+            .block(Block::Title(format!(
+                "Figure 7 — per-node contact count CDF, {} (KS distance to uniform = {:.3})",
+                self.scenario, self.uniformity_ks
+            )))
+            .block(Block::Series(
+                Series::from_ecdf("contact counts", &self.contact_count_cdf).downsample(120),
+            ))
+    }
 }
 
 /// Computes the Fig. 1 contact time series for one trace.

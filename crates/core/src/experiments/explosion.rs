@@ -24,6 +24,7 @@ use psn_stats::{correlation, Histogram};
 use psn_trace::{ContactRates, ContactTrace, DatasetId, Seconds};
 
 use crate::config::ExperimentProfile;
+use crate::report::{Block, Column, Scalar, Section, Series};
 use psn_forwarding::{classify_message, PairType};
 
 /// Scatter points `(optimal duration, time to explosion)` for one pair type
@@ -78,6 +79,107 @@ impl ExplosionStudy {
     pub fn fraction_te_below(&self, threshold: Seconds) -> Option<f64> {
         let cdf = self.summary.time_to_explosion_cdf()?;
         Some(cdf.eval(threshold))
+    }
+
+    fn scatter_columns() -> (Column, Column) {
+        (
+            Column::fixed("optimal_duration_s", 1).with_unit("s"),
+            Column::fixed("time_to_explosion_s", 1).with_unit("s"),
+        )
+    }
+
+    /// The typed Fig. 4 section: optimal-duration and time-to-explosion
+    /// CDFs plus the headline fractions the paper quotes.
+    pub fn cdfs_section(&self) -> Section {
+        let mut section = Section::new()
+            .stat(Scalar::display("messages", self.summary.len() as f64))
+            .stat(Scalar::fixed("delivery_fraction", self.summary.delivery_fraction(), 3))
+            .block(Block::Title(format!(
+                "Figure 4 — {} ({} messages, threshold {} paths)",
+                self.scenario,
+                self.summary.len(),
+                self.explosion_threshold
+            )));
+        section = match self.summary.optimal_duration_cdf() {
+            Some(cdf) => section.block(Block::Series(
+                Series::from_ecdf("optimal path duration (s)", &cdf).downsample(100),
+            )),
+            None => section.block(Block::Note("no message was delivered".into())),
+        };
+        section = match self.summary.time_to_explosion_cdf() {
+            Some(cdf) => section.block(Block::Series(
+                Series::from_ecdf("time to explosion (s)", &cdf).downsample(100),
+            )),
+            None => section.block(Block::Note("no message reached the explosion threshold".into())),
+        };
+        if let Some(f) = self.fraction_optimal_duration_above(1000.0) {
+            section = section.block(Block::Scalar(Scalar::fixed(
+                "fraction with optimal duration > 1000 s",
+                f,
+                3,
+            )));
+        }
+        if let Some(f) = self.fraction_te_below(150.0) {
+            section =
+                section.block(Block::Scalar(Scalar::fixed("fraction with TE <= 150 s", f, 3)));
+        }
+        section
+    }
+
+    /// The typed Fig. 5 section: the `(T₁, TE)` scatter.
+    pub fn scatter_section(&self) -> Section {
+        let mut section = Section::new().block(Block::Title(format!(
+            "Figure 5 — optimal path duration vs time to explosion, {}",
+            self.scenario
+        )));
+        if let Some(r) = self.t1_te_correlation {
+            section = section.block(Block::Scalar(Scalar::fixed("Pearson correlation", r, 3)));
+        }
+        let (x, y) = Self::scatter_columns();
+        section.block(Block::Series(Series::new("t1 vs te", x, y, self.summary.scatter_points())))
+    }
+
+    /// The typed Fig. 6 section: the slow-explosion growth histogram.
+    pub fn growth_section(&self) -> Section {
+        let section = Section::new().block(Block::Title(format!(
+            "Figure 6 — path arrivals since T1 for messages with TE >= {} s, {}",
+            self.slow_te_cutoff, self.scenario
+        )));
+        match &self.slow_growth_histogram {
+            Some(h) => section.block(Block::Series(Series::new(
+                "slow growth",
+                Column::fixed("seconds_since_T1", 0).with_unit("s"),
+                Column::fixed("paths", 0),
+                h.series(),
+            ))),
+            None => {
+                section.block(Block::Note("no message had a slow explosion at this scale".into()))
+            }
+        }
+    }
+
+    /// The typed Fig. 8 section: one scatter panel per pair type.
+    pub fn pair_type_section(&self) -> Section {
+        let mut section = Section::new().block(Block::Title(format!(
+            "Figure 8 — optimal duration vs time to explosion by pair type, {}",
+            self.scenario
+        )));
+        for panel in &self.by_pair_type {
+            let (x, y) = Self::scatter_columns();
+            section = section
+                .block(Block::Heading(format!(
+                    "{} ({} messages)",
+                    panel.pair_type,
+                    panel.points.len()
+                )))
+                .block(Block::Series(Series::new(
+                    panel.pair_type.to_string(),
+                    x,
+                    y,
+                    panel.points.clone(),
+                )));
+        }
+        section
     }
 }
 

@@ -13,7 +13,7 @@
 
 use psn_forwarding::{
     standard_algorithms, AlgorithmKind, AlgorithmMetrics, ForwardingAlgorithm, MessageOutcome,
-    PairTypeMetrics, Simulator, SimulatorConfig,
+    PairType, PairTypeMetrics, Simulator, SimulatorConfig,
 };
 use psn_spacetime::Message;
 use psn_spacetime::{MessageGenerator, MessageWorkloadConfig};
@@ -21,6 +21,7 @@ use psn_stats::BinnedSeries;
 use psn_trace::{ContactRates, ContactTrace, DatasetId};
 
 use crate::config::ExperimentProfile;
+use crate::report::{Block, CellValue, Column, Scalar, Section, Series, Table};
 
 /// Results for one algorithm on one dataset.
 #[derive(Debug, Clone)]
@@ -86,6 +87,118 @@ impl ForwardingStudy {
         let max = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
+    }
+
+    /// The typed Fig. 9 section: success rate vs average delay per
+    /// algorithm, with per-algorithm success rates as machine-readable
+    /// stats (the columns scenario sweeps aggregate).
+    pub fn delay_vs_success_section(&self) -> Section {
+        let mut table = Table::new(
+            "delay_vs_success",
+            vec![
+                Column::text("algorithm"),
+                Column::fixed("success_rate", 3),
+                Column::fixed("average_delay_s", 1).with_unit("s"),
+            ],
+        );
+        for (kind, success, delay) in self.delay_vs_success() {
+            table.push_row(vec![
+                CellValue::Text(kind.to_string()),
+                CellValue::Float(success),
+                CellValue::opt_float(delay),
+            ]);
+        }
+        let mut section = Section::new();
+        for algo in &self.algorithms {
+            section = section.stat(Scalar::fixed(
+                format!("success[{}]", algo.kind),
+                algo.metrics.success_rate,
+                3,
+            ));
+        }
+        section
+            .block(Block::Title(format!(
+                "Figure 9 — average delay vs success rate, {} ({} messages x {} runs)",
+                self.scenario, self.messages_per_run, self.runs
+            )))
+            .block(Block::Table(table))
+            .block(Block::Scalar(Scalar::fixed(
+                "success-rate spread across non-epidemic algorithms",
+                self.non_epidemic_success_spread(),
+                3,
+            )))
+    }
+
+    /// The typed Fig. 10 section: one delay CDF per algorithm.
+    pub fn delay_distributions_section(&self) -> Section {
+        let mut section = Section::new()
+            .block(Block::Title(format!("Figure 10 — delay distributions, {}", self.scenario)));
+        for algo in &self.algorithms {
+            section = match algo.metrics.delay_cdf() {
+                Some(cdf) => section
+                    .block(Block::Heading(algo.kind.to_string()))
+                    .block(Block::Series(Series::from_ecdf("delay (s)", &cdf).downsample(60))),
+                None => section.block(Block::Heading(format!("{} — no deliveries", algo.kind))),
+            };
+        }
+        section
+    }
+
+    /// The typed Fig. 11 section: cumulative receptions over time per
+    /// algorithm.
+    pub fn reception_times_section(&self) -> Section {
+        let mut section = Section::new().block(Block::Title(format!(
+            "Figure 11 — cumulative message receptions, {}",
+            self.scenario
+        )));
+        for algo in &self.algorithms {
+            let points = algo
+                .reception_series
+                .cumulative()
+                .into_iter()
+                .map(|(t, c)| (t / 60.0, c))
+                .collect();
+            section = section.block(Block::Heading(algo.kind.to_string())).block(Block::Series(
+                Series::new(
+                    "cumulative receptions",
+                    Column::fixed("minute", 0).with_unit("min"),
+                    Column::fixed("cumulative_deliveries", 0),
+                    points,
+                ),
+            ));
+        }
+        section
+    }
+
+    /// The typed Fig. 13 section: success rate and delay per
+    /// source-destination pair type.
+    pub fn pair_type_section(&self) -> Section {
+        let mut table = Table::new(
+            "pair_type_performance",
+            vec![
+                Column::text("algorithm"),
+                Column::text("pair_type"),
+                Column::fixed("success_rate", 3),
+                Column::fixed("average_delay_s", 1).with_unit("s"),
+            ],
+        );
+        for algo in &self.algorithms {
+            for pair_type in PairType::all() {
+                let metrics = algo.by_pair_type.get(pair_type);
+                table.push_row(vec![
+                    CellValue::Text(algo.kind.to_string()),
+                    CellValue::Text(pair_type.to_string()),
+                    CellValue::Float(metrics.success_rate),
+                    CellValue::opt_float(metrics.average_delay),
+                ]);
+            }
+        }
+        Section::new()
+            .block(Block::Title(format!(
+                "Figure 13 — performance by source-destination pair type, {}",
+                self.scenario
+            )))
+            .block(Block::Table(table))
     }
 }
 

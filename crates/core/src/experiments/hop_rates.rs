@@ -19,6 +19,8 @@ use psn_spacetime::Path;
 use psn_stats::{BoxPlot, ConfidenceInterval, Summary};
 use psn_trace::ContactRates;
 
+use crate::report::{Block, CellValue, Column, Scalar, Section, Table, TableStyle};
+
 /// The per-hop rate statistics for a collection of near-optimal paths.
 #[derive(Debug, Clone)]
 pub struct HopRateStudy {
@@ -57,6 +59,92 @@ impl HopRateStudy {
         } else {
             0.5
         })
+    }
+
+    /// The typed Fig. 14 section: mean contact rate per hop with 99%
+    /// confidence intervals.
+    pub fn mean_rate_section(&self) -> Section {
+        let mut table = Table::new(
+            "mean_rate_per_hop",
+            vec![
+                Column::int("hop"),
+                Column::fixed("mean_rate", 5).with_unit("contacts/s"),
+                Column::fixed("ci_low", 5).with_unit("contacts/s"),
+                Column::fixed("ci_high", 5).with_unit("contacts/s"),
+            ],
+        );
+        for (hop, mean, ci) in &self.mean_rate_per_hop {
+            let (lo, hi) = match ci {
+                Some(ci) => (CellValue::Float(ci.low()), CellValue::Float(ci.high())),
+                None => (CellValue::Missing, CellValue::Missing),
+            };
+            table.push_row(vec![CellValue::Int(*hop as u64), CellValue::Float(*mean), lo, hi]);
+        }
+        Section::new()
+            .stat(Scalar::display("paths", self.paths as f64))
+            .block(Block::Title(format!(
+                "Figure 14 — mean contact rate per hop ({} paths)",
+                self.paths
+            )))
+            .block(Block::Table(table))
+    }
+
+    /// [`HopRateStudy::mean_rate_section`] prefixed with the
+    /// `## taken by <algorithm>` heading the Fig. 14 lower half uses for
+    /// paths a forwarding algorithm actually took. The `paths` stat is
+    /// qualified with the algorithm so per-algorithm counts stay distinct
+    /// in sweep summaries (plain `paths` would collide across sections).
+    pub fn taken_by_section(&self, algorithm: &str) -> Section {
+        let mut section = self.mean_rate_section();
+        section.blocks.insert(0, Block::Heading(format!("taken by {algorithm}")));
+        for stat in &mut section.stats {
+            if stat.name == "paths" {
+                stat.name = format!("paths[{algorithm}]");
+            }
+        }
+        section
+    }
+
+    /// The typed Fig. 15 section: rate-ratio box plots between
+    /// consecutive hops.
+    pub fn rate_ratio_section(&self) -> Section {
+        let mut table = Table::new(
+            "rate_ratio_per_hop",
+            vec![
+                Column::text("hop_pair"),
+                Column::int("n"),
+                Column::fixed("min", 3),
+                Column::fixed("q1", 3),
+                Column::fixed("med", 3),
+                Column::fixed("q3", 3),
+                Column::fixed("max", 3),
+                Column::fixed("whisker_low", 3),
+                Column::fixed("whisker_high", 3),
+                Column::int("outliers"),
+            ],
+        )
+        .with_style(TableStyle::BoxPlotLines);
+        for (label, bp) in &self.rate_ratio_per_hop {
+            table.push_row(vec![
+                CellValue::Text(label.clone()),
+                CellValue::Int(bp.count as u64),
+                CellValue::Float(bp.min),
+                CellValue::Float(bp.q1),
+                CellValue::Float(bp.median),
+                CellValue::Float(bp.q3),
+                CellValue::Float(bp.max),
+                CellValue::Float(bp.whisker_low),
+                CellValue::Float(bp.whisker_high),
+                CellValue::Int(bp.outliers.len() as u64),
+            ]);
+        }
+        Section::new()
+            .stat(Scalar::display("paths", self.paths as f64))
+            .block(Block::Title(format!(
+                "Figure 15 — contact-rate ratios between consecutive hops ({} paths)",
+                self.paths
+            )))
+            .block(Block::Table(table))
     }
 }
 

@@ -16,6 +16,8 @@ use psn_analytic::{
     TwoClassModel, TwoClassPrediction,
 };
 
+use crate::report::{Block, CellValue, Column, Section, Table};
+
 /// Agreement measurements for one (N, λ) configuration.
 #[derive(Debug, Clone)]
 pub struct ModelAgreement {
@@ -55,6 +57,56 @@ pub struct ModelValidation {
     pub agreements: Vec<ModelAgreement>,
     /// Two-class predictions for a representative in/out rate split.
     pub two_class: Vec<TwoClassPrediction>,
+}
+
+impl ModelValidation {
+    /// The typed §5.1/§5.2 section: the three-implementation agreement
+    /// table and the two-class predictions.
+    pub fn section(&self) -> Section {
+        let mut agreement = Table::new(
+            "model_agreement",
+            vec![
+                Column::int("nodes"),
+                Column::display("lambda").with_unit("contacts/s"),
+                Column::fixed("horizon_s", 0).with_unit("s"),
+                Column::fixed("closed_form_mean", 4),
+                Column::fixed("simulated_mean", 4),
+                Column::fixed("ode_mean", 4),
+                Column::fixed("density_error", 4),
+            ],
+        );
+        for a in &self.agreements {
+            agreement.push_row(vec![
+                CellValue::Int(a.nodes as u64),
+                CellValue::Float(a.lambda),
+                CellValue::Float(a.horizon),
+                CellValue::Float(a.closed_form_mean),
+                CellValue::Float(a.simulated_mean),
+                CellValue::Float(a.ode_mean),
+                CellValue::Float(a.density_error),
+            ]);
+        }
+        let mut two_class = Table::new(
+            "two_class_predictions",
+            vec![
+                Column::text("pair_class"),
+                Column::fixed("expected_T1_s", 0).with_unit("s"),
+                Column::fixed("expected_TE_s", 0).with_unit("s"),
+            ],
+        );
+        for p in &self.two_class {
+            two_class.push_row(vec![
+                CellValue::Text(p.class.to_string()),
+                CellValue::Float(p.expected_t1),
+                CellValue::Float(p.expected_te),
+            ]);
+        }
+        Section::new()
+            .block(Block::Title("Section 5.1 — analytic model validation".into()))
+            .block(Block::Table(agreement))
+            .block(Block::Note("Section 5.2 — two-class (in/out) model predictions".into()))
+            .block(Block::Table(two_class))
+    }
 }
 
 /// Runs the model validation over a small grid of configurations.

@@ -10,6 +10,8 @@ use psn_forwarding::{standard_algorithms, AlgorithmKind, Simulator, SimulatorCon
 use psn_spacetime::{EnumerationConfig, Message, PathEnumerator, SpaceTimeGraph};
 use psn_trace::{ContactTrace, Seconds};
 
+use crate::report::{Block, CellValue, Column, Section, Table};
+
 /// Fig. 12 data for one message.
 #[derive(Debug, Clone)]
 pub struct PathsTakenCase {
@@ -34,6 +36,36 @@ impl PathsTakenCase {
     /// seconds of the optimal arrival — the qualitative claim of Fig. 12.
     pub fn all_deliveries_within(&self, window: Seconds) -> bool {
         self.algorithm_arrivals.iter().filter_map(|(_, t)| *t).all(|t| t <= window + 1e-9)
+    }
+
+    /// The typed Fig. 12 section for this message: the path-arrival burst
+    /// table and each algorithm's chosen-path arrival offset.
+    pub fn section(&self) -> Section {
+        let mut bursts = Table::new(
+            "arrival_bursts",
+            vec![
+                Column::fixed("seconds_since_T1", 0).with_unit("s"),
+                Column::int("arriving_paths"),
+            ],
+        );
+        for &(t, count) in &self.arrival_bursts {
+            bursts.push_row(vec![CellValue::Float(t), CellValue::Int(count as u64)]);
+        }
+        let mut arrivals = Table::new(
+            "algorithm_arrivals",
+            vec![Column::text("algorithm"), Column::fixed("arrival_offset_s", 0).with_unit("s")],
+        );
+        for (kind, arrival) in &self.algorithm_arrivals {
+            arrivals
+                .push_row(vec![CellValue::Text(kind.to_string()), CellValue::opt_float(*arrival)]);
+        }
+        Section::new()
+            .block(Block::Title(format!(
+                "Figure 12 — paths taken by forwarding algorithms, message {}",
+                self.message
+            )))
+            .block(Block::Table(bursts))
+            .block(Block::Table(arrivals))
     }
 }
 

@@ -18,13 +18,16 @@
 //! * a trace-driven forwarding simulator with the paper's six algorithms —
 //!   re-exported from [`psn_forwarding`];
 //! * **experiment drivers** ([`experiments`]) that regenerate the data
-//!   behind every figure in the paper's evaluation, and plain-text/CSV
-//!   renderers for them ([`report`]);
+//!   behind every figure in the paper's evaluation as **typed sections**;
+//! * the **typed report model** ([`report`]): `ReportDoc`s of schema'd
+//!   tables, series and scalars with pluggable renderers — golden-pinned
+//!   text, parseable JSON, per-table CSV;
 //! * the **study pipeline** ([`study`]): `StudySpec` → `StudyPlan` →
 //!   `StudyReport`, a registry of named studies that run over any
 //!   declarative [`psn_trace::ScenarioConfig`] (community-structured,
-//!   scaled populations, …), plus the figure presets the `psn-study` CLI
-//!   and the golden-file tests are built on.
+//!   scaled populations, …), first-class scenario sweeps
+//!   ([`study::sweep`]), plus the figure presets the `psn-study` CLI and
+//!   the golden-file tests are built on.
 //!
 //! ## Quick start
 //!
@@ -59,7 +62,9 @@ pub mod report;
 pub mod study;
 
 pub use config::ExperimentProfile;
-pub use study::{StudyId, StudyPlan, StudyReport, StudySpec};
+pub use report::{ReportDoc, ReportFormat};
+pub use study::sweep::{run_sweep, SweepPlan, SweepReport, SweepSpec};
+pub use study::{StudyId, StudyPlan, StudyReport, StudySpec, StudyView};
 
 /// Convenient re-exports of the most commonly used types across the
 /// workspace.

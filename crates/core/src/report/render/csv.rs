@@ -1,0 +1,211 @@
+//! The CSV backend: one file per table or series, plus a per-section stats
+//! file.
+//!
+//! File names are deterministic:
+//! `NN-<scenario>-<view>[-<heading>]-<name>.csv`, where `NN` is the global
+//! artifact ordinal (guaranteeing uniqueness), the middle parts are slugs
+//! of the section tags, `heading` is the innermost `##` heading preceding
+//! the block (e.g. the algorithm of a per-algorithm delay CDF), and `name`
+//! is the table/series name. A section's typed scalars ([`Section::stats`]
+//! plus scalar blocks) are collected into one `…-stats.csv` with
+//! `name,value,unit` rows.
+//!
+//! Cell values are formatted exactly like the text backend (per-column
+//! [`NumberFormat`]); missing cells are empty fields; fields containing
+//! commas, quotes or newlines are quoted per RFC 4180.
+
+use crate::report::model::{slug, Block, ReportDoc, Series, Table};
+use crate::report::render::{Artifact, Renderer};
+
+/// The CSV renderer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvRenderer;
+
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+fn table_contents(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table.columns.iter().map(|c| csv_field(&c.name)).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&table.columns)
+            .map(|(cell, column)| match cell {
+                crate::report::model::CellValue::Missing => String::new(),
+                other => csv_field(&other.render(column.format)),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn series_contents(series: &Series) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{},{}\n", csv_field(&series.x.name), csv_field(&series.y.name)));
+    for &(x, y) in &series.points {
+        out.push_str(&format!("{},{}\n", series.x.format.format(x), series.y.format.format(y)));
+    }
+    out
+}
+
+impl CsvRenderer {
+    fn filename(ordinal: usize, width: usize, parts: &[&str]) -> String {
+        let mut name = format!("{ordinal:0width$}");
+        for part in parts {
+            if !part.is_empty() {
+                name.push('-');
+                name.push_str(&slug(part));
+            }
+        }
+        name.push_str(".csv");
+        name
+    }
+}
+
+impl Renderer for CsvRenderer {
+    fn format_name(&self) -> &'static str {
+        "csv"
+    }
+
+    fn render(&self, doc: &ReportDoc) -> Vec<Artifact> {
+        // Collect name parts + contents first; the ordinal prefix width is
+        // sized to the final count so lexicographic file order always
+        // matches document order (a fixed two-digit pad would interleave
+        // `100-…` before `99-…` on large sweeps).
+        let mut entries: Vec<(Vec<String>, String)> = Vec::new();
+        for section in &doc.sections {
+            let mut heading = String::new();
+            let tag = |name: &str, heading: &str| {
+                vec![
+                    section.scenario.clone(),
+                    section.view.clone(),
+                    heading.to_string(),
+                    name.to_string(),
+                ]
+            };
+            for block in &section.blocks {
+                match block {
+                    Block::Heading(text) => heading = text.clone(),
+                    Block::Table(table) => {
+                        entries.push((tag(&table.name, &heading), table_contents(table)))
+                    }
+                    Block::Series(series) => {
+                        entries.push((tag(&series.name, &heading), series_contents(series)))
+                    }
+                    Block::Title(_) | Block::Note(_) | Block::Scalar(_) => {}
+                }
+            }
+            let scalars = section.scalars();
+            if !scalars.is_empty() {
+                let mut contents = String::from("name,value,unit\n");
+                for scalar in scalars {
+                    contents.push_str(&format!(
+                        "{},{},{}\n",
+                        csv_field(&scalar.name),
+                        scalar.render_value(),
+                        csv_field(scalar.unit.as_deref().unwrap_or("")),
+                    ));
+                }
+                entries.push((tag("stats", ""), contents));
+            }
+        }
+        let width = entries.len().saturating_sub(1).to_string().len().max(2);
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(ordinal, (parts, contents))| Artifact {
+                filename: {
+                    let parts: Vec<&str> = parts.iter().map(String::as_str).collect();
+                    CsvRenderer::filename(ordinal, width, &parts)
+                },
+                contents,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::model::{CellValue, Column, Scalar, Section};
+
+    #[test]
+    fn one_file_per_table_with_deterministic_unique_names() {
+        let mut table = Table::new("bursts", vec![Column::fixed("t", 0), Column::int("paths")]);
+        table.push_row(vec![CellValue::Float(12.4), CellValue::Int(3)]);
+        let series = Series::new(
+            "delay (s)",
+            Column::fixed("minute", 0),
+            Column::display("count"),
+            vec![(1.0, 2.0)],
+        );
+        let doc = ReportDoc {
+            study: "s".into(),
+            sections: vec![Section {
+                scenario: "Infocom06 9-12".into(),
+                view: "paths-taken".into(),
+                run: None,
+                stats: vec![Scalar::fixed("cv", 0.5, 3)],
+                blocks: vec![
+                    Block::Table(table.clone()),
+                    Block::Heading("Epidemic".into()),
+                    Block::Series(series.clone()),
+                    Block::Heading("Fresh".into()),
+                    Block::Series(series),
+                ],
+            }],
+        };
+        let artifacts = CsvRenderer.render(&doc);
+        let names: Vec<&str> = artifacts.iter().map(|a| a.filename.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "00-infocom06-9-12-paths-taken-bursts.csv",
+                "01-infocom06-9-12-paths-taken-epidemic-delay-s.csv",
+                "02-infocom06-9-12-paths-taken-fresh-delay-s.csv",
+                "03-infocom06-9-12-paths-taken-stats.csv",
+            ]
+        );
+        assert_eq!(artifacts[0].contents, "t,paths\n12,3\n");
+        assert_eq!(artifacts[3].contents, "name,value,unit\ncv,0.500,\n");
+    }
+
+    #[test]
+    fn ordinal_width_grows_with_the_artifact_count() {
+        let mut table = Table::new("t", vec![Column::int("x")]);
+        table.push_row(vec![CellValue::Int(1)]);
+        let doc = ReportDoc {
+            study: "s".into(),
+            sections: (0..120).map(|_| Section::new().block(Block::Table(table.clone()))).collect(),
+        };
+        let artifacts = CsvRenderer.render(&doc);
+        assert_eq!(artifacts.len(), 120);
+        assert!(artifacts[0].filename.starts_with("000-"), "{}", artifacts[0].filename);
+        assert!(artifacts[119].filename.starts_with("119-"), "{}", artifacts[119].filename);
+        let mut sorted: Vec<&str> = artifacts.iter().map(|a| a.filename.as_str()).collect();
+        sorted.sort_unstable();
+        assert!(
+            sorted.iter().zip(&artifacts).all(|(name, a)| *name == a.filename),
+            "lexicographic order must match document order"
+        );
+    }
+
+    #[test]
+    fn fields_with_commas_and_quotes_are_quoted() {
+        let mut table = Table::new("t", vec![Column::text("label, with comma")]);
+        table.push_row(vec![CellValue::Text("say \"hi\"".into())]);
+        table.push_row(vec![CellValue::Missing]);
+        let contents = table_contents(&table);
+        assert_eq!(contents, "\"label, with comma\"\n\"say \"\"hi\"\"\"\n\n");
+    }
+}

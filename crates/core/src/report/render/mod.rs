@@ -1,0 +1,93 @@
+//! Pluggable report renderers.
+//!
+//! A renderer turns a [`ReportDoc`](crate::report::model::ReportDoc) into
+//! one or more named [`Artifact`]s:
+//!
+//! * [`TextRenderer`] — the historical plain-text/CSV stream, pinned
+//!   byte-for-byte to the golden preset captures;
+//! * [`JsonRenderer`] — the `psn-report/1` schema, with a parser for
+//!   round-tripping;
+//! * [`CsvRenderer`] — one `.csv` file per table/series plus per-section
+//!   stats files.
+
+pub mod csv;
+pub mod json;
+pub mod text;
+
+pub use csv::CsvRenderer;
+pub use json::{JsonRenderer, ReportJsonError};
+pub use text::TextRenderer;
+
+use crate::report::model::ReportDoc;
+
+/// One named output file produced by a renderer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name (relative; no directories).
+    pub filename: String,
+    /// File contents.
+    pub contents: String,
+}
+
+/// A pluggable rendering backend.
+pub trait Renderer {
+    /// The CLI name of the format (`text`, `json`, `csv`).
+    fn format_name(&self) -> &'static str;
+    /// Renders the document into one or more artifacts.
+    fn render(&self, doc: &ReportDoc) -> Vec<Artifact>;
+}
+
+/// The registered output formats of the `psn-study` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Plain text (golden-pinned legacy stream).
+    Text,
+    /// The `psn-report/1` JSON schema.
+    Json,
+    /// One CSV file per table.
+    Csv,
+}
+
+impl ReportFormat {
+    /// Every format, in CLI listing order.
+    pub fn all() -> [ReportFormat; 3] {
+        [ReportFormat::Text, ReportFormat::Json, ReportFormat::Csv]
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReportFormat::Text => "text",
+            ReportFormat::Json => "json",
+            ReportFormat::Csv => "csv",
+        }
+    }
+
+    /// Parses a CLI format name.
+    pub fn parse(name: &str) -> Option<ReportFormat> {
+        ReportFormat::all().into_iter().find(|f| f.name() == name)
+    }
+
+    /// Instantiates the renderer backend for this format.
+    pub fn renderer(&self) -> Box<dyn Renderer> {
+        match self {
+            ReportFormat::Text => Box::new(TextRenderer),
+            ReportFormat::Json => Box::new(JsonRenderer),
+            ReportFormat::Csv => Box::new(CsvRenderer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_round_trip_and_build_renderers() {
+        for format in ReportFormat::all() {
+            assert_eq!(ReportFormat::parse(format.name()), Some(format));
+            assert_eq!(format.renderer().format_name(), format.name());
+        }
+        assert_eq!(ReportFormat::parse("yaml"), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The plain-text backend — byte-for-byte compatible with the historical
+//! `render_*` string renderers.
+//!
+//! The layout contract (pinned by the golden preset tests in `psn-bench`):
+//!
+//! * [`Block::Title`] and [`Block::Note`] render as `# text`;
+//! * [`Block::Heading`] renders as `## text`;
+//! * [`Block::Scalar`] renders as `# name: value`;
+//! * CSV-style tables render a header row of column names followed by one
+//!   comma-joined row per entry, each cell formatted by its column's
+//!   [`NumberFormat`]; missing cells render `-`;
+//! * [`TableStyle::BoxPlotLines`] tables render the Fig. 15 per-row line
+//!   `label: n=… min=… q1=… med=… q3=… max=… whiskers=[…,…] outliers=…`;
+//! * series render an optional `# name: N samples` caption, then the
+//!   `x,y` header and the points;
+//! * [`Section::stats`] are **not** printed — the section title embeds
+//!   them for display; and
+//! * sections of a document are separated by one blank line (every legacy
+//!   section body ended with one).
+
+use std::fmt::Write as _;
+
+use crate::report::model::{Block, ReportDoc, Section, Series, Table, TableStyle};
+use crate::report::render::{Artifact, Renderer};
+
+/// The plain-text renderer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextRenderer;
+
+impl TextRenderer {
+    /// Renders a whole document: the sections in order, each followed by a
+    /// blank separator line.
+    pub fn render_text(&self, doc: &ReportDoc) -> String {
+        doc.sections.iter().map(|s| format!("{}\n", self.render_section(s))).collect()
+    }
+
+    /// Renders one section (no trailing blank line) — exactly the string
+    /// the legacy per-view renderer returned.
+    pub fn render_section(&self, section: &Section) -> String {
+        let mut out = String::new();
+        for block in &section.blocks {
+            match block {
+                Block::Title(text) | Block::Note(text) => {
+                    let _ = writeln!(out, "# {text}");
+                }
+                Block::Heading(text) => {
+                    let _ = writeln!(out, "## {text}");
+                }
+                Block::Scalar(scalar) => {
+                    let _ = writeln!(out, "# {}: {}", scalar.name, scalar.render_value());
+                }
+                Block::Table(table) => out.push_str(&self.render_table(table)),
+                Block::Series(series) => out.push_str(&self.render_series(series)),
+            }
+        }
+        out
+    }
+
+    /// Renders one table.
+    pub fn render_table(&self, table: &Table) -> String {
+        match table.style {
+            TableStyle::Csv => self.render_csv_table(table),
+            TableStyle::BoxPlotLines => self.render_boxplot_table(table),
+        }
+    }
+
+    fn render_csv_table(&self, table: &Table) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+        let _ = writeln!(out, "{}", names.join(","));
+        for row in &table.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&table.columns)
+                .map(|(cell, column)| cell.render(column.format))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    fn render_boxplot_table(&self, table: &Table) -> String {
+        // The line template needs the exact 10-column box-plot schema
+        // (label, n, min, q1, med, q3, max, whisker_low, whisker_high,
+        // outliers). Anything else — e.g. a hand-written document fed
+        // through `JsonRenderer::parse` — degrades to CSV layout rather
+        // than panicking on valid input.
+        if table.columns.len() != 10 {
+            return self.render_csv_table(table);
+        }
+        let mut out = String::new();
+        for row in &table.rows {
+            let c: Vec<String> = row
+                .iter()
+                .zip(&table.columns)
+                .map(|(cell, column)| cell.render(column.format))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{}: n={} min={} q1={} med={} q3={} max={} whiskers=[{},{}] outliers={}",
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7], c[8], c[9]
+            );
+        }
+        out
+    }
+
+    /// Renders one series (caption, header, points).
+    pub fn render_series(&self, series: &Series) -> String {
+        let mut out = String::new();
+        if let Some(samples) = series.samples {
+            let _ = writeln!(out, "# {}: {} samples", series.name, samples);
+        }
+        let _ = writeln!(out, "{},{}", series.x.name, series.y.name);
+        for &(x, y) in &series.points {
+            let _ = writeln!(out, "{},{}", series.x.format.format(x), series.y.format.format(y));
+        }
+        out
+    }
+}
+
+impl Renderer for TextRenderer {
+    fn format_name(&self) -> &'static str {
+        "text"
+    }
+
+    fn render(&self, doc: &ReportDoc) -> Vec<Artifact> {
+        vec![Artifact { filename: "report.txt".to_string(), contents: self.render_text(doc) }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::model::{CellValue, Column, Scalar};
+    use psn_stats::BoxPlot;
+
+    #[test]
+    fn blocks_render_the_legacy_layout() {
+        let mut table =
+            Table::new("t", vec![Column::text("algorithm"), Column::fixed("success_rate", 3)]);
+        table.push_row(vec![CellValue::Text("Epidemic".into()), CellValue::Float(0.75)]);
+        table.push_row(vec![CellValue::Text("Fresh".into()), CellValue::Missing]);
+        let section = Section::new()
+            .stat(Scalar::fixed("hidden", 1.0, 3))
+            .block(Block::Title("Figure 9 — example".into()))
+            .block(Block::Table(table))
+            .block(Block::Scalar(Scalar::fixed("spread", 0.125, 3)))
+            .block(Block::Heading("sub".into()))
+            .block(Block::Note("a note".into()));
+        let text = TextRenderer.render_section(&section);
+        assert_eq!(
+            text,
+            "# Figure 9 — example\nalgorithm,success_rate\nEpidemic,0.750\nFresh,-\n\
+             # spread: 0.125\n## sub\n# a note\n"
+        );
+    }
+
+    #[test]
+    fn boxplot_rows_match_the_legacy_render_line() {
+        let samples = [0.5, 1.0, 1.5, 2.0, 4.0];
+        let bp = BoxPlot::new(&samples).unwrap();
+        let columns = vec![
+            Column::text("hop_pair"),
+            Column::int("n"),
+            Column::fixed("min", 3),
+            Column::fixed("q1", 3),
+            Column::fixed("med", 3),
+            Column::fixed("q3", 3),
+            Column::fixed("max", 3),
+            Column::fixed("whisker_low", 3),
+            Column::fixed("whisker_high", 3),
+            Column::int("outliers"),
+        ];
+        let mut table = Table::new("ratios", columns).with_style(TableStyle::BoxPlotLines);
+        table.push_row(vec![
+            CellValue::Text("1/0".into()),
+            CellValue::Int(bp.count as u64),
+            CellValue::Float(bp.min),
+            CellValue::Float(bp.q1),
+            CellValue::Float(bp.median),
+            CellValue::Float(bp.q3),
+            CellValue::Float(bp.max),
+            CellValue::Float(bp.whisker_low),
+            CellValue::Float(bp.whisker_high),
+            CellValue::Int(bp.outliers.len() as u64),
+        ]);
+        let text = TextRenderer.render_table(&table);
+        assert_eq!(text, format!("1/0: {}\n", bp.render_line()));
+    }
+
+    #[test]
+    fn malformed_boxplot_tables_degrade_to_csv_instead_of_panicking() {
+        let mut table = Table::new("t", vec![Column::text("a"), Column::int("b")])
+            .with_style(TableStyle::BoxPlotLines);
+        table.push_row(vec![CellValue::Text("x".into()), CellValue::Int(1)]);
+        assert_eq!(TextRenderer.render_table(&table), "a,b\nx,1\n");
+    }
+
+    #[test]
+    fn documents_separate_sections_with_blank_lines() {
+        let doc = ReportDoc {
+            study: "s".into(),
+            sections: vec![
+                Section::new().block(Block::Note("one".into())),
+                Section::new().block(Block::Note("two".into())),
+            ],
+        };
+        assert_eq!(TextRenderer.render_text(&doc), "# one\n\n# two\n\n");
+    }
+}

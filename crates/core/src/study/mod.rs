@@ -16,20 +16,32 @@
 //!    unique. Planning is cheap and infallible once constructed, so a plan
 //!    can be inspected (`psn-study plan` style tooling) before paying for
 //!    generation and simulation.
-//! 3. **[`StudyReport`]** — the executed result: one rendered section per
-//!    (run, view), concatenated by [`StudyReport::render`] into exactly the
-//!    plain-text/CSV stream the old binaries printed. The figure presets in
-//!    [`preset`] are golden-file-tested against the pre-refactor binaries'
-//!    byte-for-byte output.
+//! 3. **[`StudyReport`]** — the executed result: a **typed**
+//!    [`ReportDoc`] of schema'd tables, series and scalars (one tagged
+//!    [`Section`] per run × view), renderable through any backend in
+//!    [`crate::report::render`]. [`StudyReport::render`] uses the text
+//!    backend and reproduces exactly the plain-text/CSV stream the old
+//!    binaries printed; the figure presets in [`preset`] are
+//!    golden-file-tested against the pre-refactor binaries' byte-for-byte
+//!    output.
 //!
-//! Execution reuses the parallel engines underneath: path enumeration
-//! fans message enumeration out over `threads` workers, and the forwarding
-//! simulator shards (algorithm × run × message-chunk) jobs over its worker
-//! pool. The trace for each planned run is generated **once** and shared by
-//! every view that needs it (the old `fig14` binary regenerated the same
-//! trace twice; the pipeline does not).
+//! Scenario sweeps — grids over scenario parameters crossed with seeds —
+//! are first-class specs in [`sweep`], resolving through the same
+//! `StudySpec -> StudyPlan` machinery.
+//!
+//! Execution is parallel at every level: the per-run loop shards
+//! (scenario × seed) cells over an `AtomicUsize` work queue, and inside a
+//! run path enumeration fans message enumeration out over its worker pool
+//! while the forwarding simulator shards (algorithm × run × message-chunk)
+//! jobs. Worker counts never change results (pinned by differential
+//! property tests in `psn-spacetime` / `psn-forwarding`). The trace for
+//! each planned run is generated **once** and shared by every view that
+//! needs it.
 
 pub mod preset;
+pub mod sweep;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psn_spacetime::{EnumerationConfig, MessageGenerator, MessageWorkloadConfig};
 use psn_trace::{ScenarioConfig, Seconds};
@@ -43,7 +55,7 @@ use crate::experiments::hop_rates::{
 };
 use crate::experiments::model::run_model_validation;
 use crate::experiments::paths_taken::run_paths_taken;
-use crate::report;
+use crate::report::{Artifact, Renderer, ReportDoc, RunMeta, Section, TextRenderer};
 
 /// The registry of named studies — one per experiment family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,6 +190,54 @@ pub enum StudyView {
 }
 
 impl StudyView {
+    /// Every view, in study/default order.
+    pub fn all() -> [StudyView; 15] {
+        [
+            StudyView::ActivityTimeseries,
+            StudyView::ContactCountCdf,
+            StudyView::ExplosionCdfs,
+            StudyView::ExplosionScatter,
+            StudyView::ExplosionGrowth,
+            StudyView::ExplosionPairTypes,
+            StudyView::DelayVsSuccess,
+            StudyView::DelayDistributions,
+            StudyView::ReceptionTimes,
+            StudyView::PairTypePerformance,
+            StudyView::PathsTaken,
+            StudyView::HopRateProgression,
+            StudyView::HopRatesTaken,
+            StudyView::RateRatios,
+            StudyView::ModelValidation,
+        ]
+    }
+
+    /// The CLI slug of the view (used by `--views` and as the section tag
+    /// in typed reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StudyView::ActivityTimeseries => "activity-timeseries",
+            StudyView::ContactCountCdf => "contact-count-cdf",
+            StudyView::ExplosionCdfs => "explosion-cdfs",
+            StudyView::ExplosionScatter => "explosion-scatter",
+            StudyView::ExplosionGrowth => "explosion-growth",
+            StudyView::ExplosionPairTypes => "explosion-pair-types",
+            StudyView::DelayVsSuccess => "delay-vs-success",
+            StudyView::DelayDistributions => "delay-distributions",
+            StudyView::ReceptionTimes => "reception-times",
+            StudyView::PairTypePerformance => "pair-type-performance",
+            StudyView::PathsTaken => "paths-taken",
+            StudyView::HopRateProgression => "hop-rate-progression",
+            StudyView::HopRatesTaken => "hop-rates-taken",
+            StudyView::RateRatios => "rate-ratios",
+            StudyView::ModelValidation => "model-validation",
+        }
+    }
+
+    /// Parses a view slug.
+    pub fn parse(name: &str) -> Option<StudyView> {
+        StudyView::all().into_iter().find(|v| v.name() == name)
+    }
+
     /// The study that produces this view.
     pub fn study(&self) -> StudyId {
         match self {
@@ -222,11 +282,54 @@ impl StudyView {
     }
 }
 
+/// Parses a comma-separated list of view slugs, validated against the
+/// study's registered views. Unknown or foreign views produce an error
+/// listing the valid names — the `--views` CLI contract.
+pub fn parse_views(study: StudyId, list: &str) -> Result<Vec<StudyView>, StudyPlanError> {
+    let valid = study.views();
+    let valid_names = || valid.iter().map(|v| v.name()).collect::<Vec<_>>().join(", ");
+    let mut views = Vec::new();
+    for raw in list.split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match StudyView::parse(name) {
+            Some(view) if valid.contains(&view) => {
+                if !views.contains(&view) {
+                    views.push(view);
+                }
+            }
+            Some(view) => {
+                return Err(StudyPlanError::new(format!(
+                    "view {name:?} belongs to study {}, not {study} (valid views: {})",
+                    view.study(),
+                    valid_names()
+                )))
+            }
+            None => {
+                return Err(StudyPlanError::new(format!(
+                    "unknown view {name:?} for study {study} (valid views: {})",
+                    valid_names()
+                )))
+            }
+        }
+    }
+    if views.is_empty() {
+        return Err(StudyPlanError::new(format!(
+            "no views selected (valid views for {study}: {})",
+            valid_names()
+        )));
+    }
+    Ok(views)
+}
+
 /// Numeric parameters of a study run, usually derived from an
 /// [`ExperimentProfile`] and then tweaked.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyParams {
-    /// Worker threads for enumeration and simulation (`0` = one per core).
+    /// Worker threads shared by the per-run loop, path enumeration and the
+    /// forwarding simulator (`0` = one per core). Never changes results.
     pub threads: usize,
     /// Path-enumeration configuration (k, caps, Δ).
     pub enumeration: EnumerationConfig,
@@ -348,6 +451,12 @@ pub struct StudyPlanError {
     message: String,
 }
 
+impl StudyPlanError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
 impl std::fmt::Display for StudyPlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "study plan error: {}", self.message)
@@ -377,22 +486,28 @@ impl StudySpec {
     /// Resolves the spec into a concrete plan: expands seed replications,
     /// validates views against the study, and checks labels are unique.
     pub fn plan(&self) -> Result<StudyPlan, StudyPlanError> {
-        let views = if self.views.is_empty() { self.study.views() } else { self.views.clone() };
+        let mut views = if self.views.is_empty() { self.study.views() } else { self.views.clone() };
+        // A repeated view would duplicate sections and work.
+        let mut seen = Vec::with_capacity(views.len());
+        views.retain(|v| {
+            let fresh = !seen.contains(v);
+            seen.push(*v);
+            fresh
+        });
         for view in &views {
             if view.study() != self.study {
-                return Err(StudyPlanError {
-                    message: format!(
-                        "view {view:?} belongs to study {}, not {}",
-                        view.study(),
-                        self.study
-                    ),
-                });
+                return Err(StudyPlanError::new(format!(
+                    "view {view:?} belongs to study {}, not {}",
+                    view.study(),
+                    self.study
+                )));
             }
         }
         if self.scenarios.is_empty() && self.study != StudyId::Model {
-            return Err(StudyPlanError {
-                message: format!("study {} needs at least one scenario", self.study),
-            });
+            return Err(StudyPlanError::new(format!(
+                "study {} needs at least one scenario",
+                self.study
+            )));
         }
 
         let mut runs = Vec::new();
@@ -411,7 +526,7 @@ impl StudySpec {
         let mut labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
         labels.sort_unstable();
         if let Some(w) = labels.windows(2).find(|w| w[0] == w[1]) {
-            return Err(StudyPlanError { message: format!("duplicate scenario label {:?}", w[0]) });
+            return Err(StudyPlanError::new(format!("duplicate scenario label {:?}", w[0])));
         }
 
         Ok(StudyPlan { study: self.study, runs, views, params: self.params.clone() })
@@ -446,7 +561,8 @@ impl StudyPlan {
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!("study: {}\n", self.study);
-        let _ = writeln!(out, "views: {:?}", self.views);
+        let views: Vec<&str> = self.views.iter().map(|v| v.name()).collect();
+        let _ = writeln!(out, "views: [{}]", views.join(", "));
         let _ = writeln!(out, "threads: {} (0 = one per core)", self.params.threads);
         for run in &self.runs {
             let _ = writeln!(
@@ -463,37 +579,32 @@ impl StudyPlan {
     }
 }
 
-/// One rendered section of a report: the exact bytes this (run, view) pair
-/// contributes to the output stream.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StudySection {
-    /// The run's label (empty for scenario-less studies).
-    pub scenario: String,
-    /// The view rendered.
-    pub view: StudyView,
-    /// Rendered text, trailing newline included.
-    pub body: String,
-}
-
-/// The executed result of a [`StudyPlan`].
+/// The executed result of a [`StudyPlan`]: a typed report document plus
+/// the study tag.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyReport {
     /// The study that ran.
     pub study: StudyId,
-    /// One section per (run, view), in plan order.
-    pub sections: Vec<StudySection>,
+    /// The typed report: one tagged section per (run, view) — or several,
+    /// for views that emit one section per case/algorithm — in plan order.
+    pub doc: ReportDoc,
 }
 
 impl StudyReport {
-    /// Concatenates the section bodies — the byte stream the pre-refactor
-    /// binaries printed after their header.
+    /// Renders the report through the text backend — the exact byte stream
+    /// the pre-refactor binaries printed after their header.
     pub fn render(&self) -> String {
-        self.sections.iter().map(|s| s.body.as_str()).collect()
+        TextRenderer.render_text(&self.doc)
+    }
+
+    /// Renders the report through any backend.
+    pub fn render_with(&self, renderer: &dyn Renderer) -> Vec<Artifact> {
+        renderer.render(&self.doc)
     }
 
     /// The sections belonging to one scenario label.
-    pub fn sections_for(&self, scenario: &str) -> Vec<&StudySection> {
-        self.sections.iter().filter(|s| s.scenario == scenario).collect()
+    pub fn sections_for(&self, scenario: &str) -> Vec<&Section> {
+        self.doc.sections_for(scenario)
     }
 }
 
@@ -505,20 +616,32 @@ struct RunOutputs {
     hop_rates: Option<HopRateStudy>,
 }
 
-/// Executes a plan: generates each run's trace once, feeds it through the
-/// engines the requested views need, and renders the sections.
-pub fn run_study(plan: &StudyPlan) -> StudyReport {
-    let mut sections = Vec::new();
-
-    if plan.study == StudyId::Model {
-        let validation = run_model_validation(plan.params.model_replications);
-        sections.push(StudySection {
-            scenario: String::new(),
-            view: StudyView::ModelValidation,
-            body: format!("{}\n", report::render_model_validation(&validation)),
-        });
-        return StudyReport { study: plan.study, sections };
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
     }
+}
+
+/// Tags a built section with its run, view and generator metadata.
+fn tag(mut section: Section, run: &PlannedRun, view: StudyView) -> Section {
+    section.scenario = run.label.clone();
+    section.view = view.name().to_string();
+    section.run = Some(RunMeta {
+        scenario_kind: run.config.kind().to_string(),
+        seed: run.config.seed(),
+        nodes: run.config.node_count(),
+        window_seconds: run.config.window_seconds(),
+    });
+    section
+}
+
+/// Executes one planned run with `threads` engine workers and builds its
+/// typed sections in view order.
+fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
+    let p = &plan.params;
+    let trace = run.config.generate();
 
     let needs_explosion = plan.views.iter().any(StudyView::needs_explosion);
     let needs_forwarding = plan.views.iter().any(StudyView::needs_forwarding);
@@ -531,141 +654,193 @@ pub fn run_study(plan: &StudyPlan) -> StudyReport {
         .iter()
         .any(|v| matches!(v, StudyView::HopRateProgression | StudyView::RateRatios));
 
-    for run in &plan.runs {
-        let trace = run.config.generate();
-        let p = &plan.params;
-
-        let mut outputs =
-            RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
-        if needs_explosion {
-            let generator = MessageGenerator::new(MessageWorkloadConfig {
-                nodes: trace.node_count(),
-                generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
-                mean_interarrival: 4.0,
-                seed: p.enumeration_message_seed,
-            });
-            let messages = generator.uniform_messages(p.enumeration_messages);
-            outputs.explosion = Some(run_explosion_study_on(
-                run.label.clone(),
-                &trace,
-                &messages,
-                p.enumeration.clone(),
-                p.explosion_threshold,
-                p.threads,
-            ));
-        }
-        if needs_forwarding {
-            let workload = p.forwarding_workload(trace.node_count(), trace.window().duration());
-            outputs.forwarding = Some(run_forwarding_study_on(
-                run.label.clone(),
-                &trace,
-                workload,
-                p.simulation_runs,
-                p.threads,
-            ));
-        }
-        if needs_activity {
-            outputs.activity = Some(activity_report(run.label.clone(), &trace));
-        }
-        if needs_hop_rates {
-            let study = outputs.explosion.as_ref().expect("hop-rate views imply explosion");
-            outputs.hop_rates = Some(run_hop_rate_study(&study.sample_paths, &study.rates));
-        }
-
-        for &view in &plan.views {
-            let body = match view {
-                StudyView::ActivityTimeseries => {
-                    let report_data = outputs.activity.as_ref().expect("activity precomputed");
-                    format!("{}\n", report::render_activity(report_data))
-                }
-                StudyView::ContactCountCdf => {
-                    let report_data = outputs.activity.as_ref().expect("activity precomputed");
-                    format!("{}\n", report::render_contact_cdf(report_data))
-                }
-                StudyView::ExplosionCdfs => {
-                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
-                    format!("{}\n", report::render_explosion_cdfs(study))
-                }
-                StudyView::ExplosionScatter => {
-                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
-                    format!("{}\n", report::render_explosion_scatter(study))
-                }
-                StudyView::ExplosionGrowth => {
-                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
-                    format!("{}\n", report::render_explosion_growth(study))
-                }
-                StudyView::ExplosionPairTypes => {
-                    let study = outputs.explosion.as_ref().expect("explosion precomputed");
-                    format!("{}\n", report::render_pairtype_scatter(study))
-                }
-                StudyView::DelayVsSuccess => {
-                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
-                    format!("{}\n", report::render_delay_vs_success(study))
-                }
-                StudyView::DelayDistributions => {
-                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
-                    format!("{}\n", report::render_delay_distributions(study))
-                }
-                StudyView::ReceptionTimes => {
-                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
-                    format!("{}\n", report::render_reception_times(study))
-                }
-                StudyView::PairTypePerformance => {
-                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
-                    format!("{}\n", report::render_pairtype_performance(study))
-                }
-                StudyView::PathsTaken => {
-                    let generator = MessageGenerator::new(MessageWorkloadConfig {
-                        nodes: trace.node_count(),
-                        generation_horizon: trace.window().duration() * 2.0 / 3.0,
-                        mean_interarrival: 4.0,
-                        seed: p.paths_taken_seed,
-                    });
-                    let messages = generator.uniform_messages(p.paths_taken_messages);
-                    let cases = run_paths_taken(&trace, &messages, p.enumeration.clone());
-                    cases
-                        .iter()
-                        .map(|case| format!("{}\n", report::render_paths_taken(case)))
-                        .collect()
-                }
-                StudyView::HopRateProgression => {
-                    let hop_study = outputs.hop_rates.as_ref().expect("hop rates precomputed");
-                    format!("{}\n", report::render_hop_rates(hop_study))
-                }
-                StudyView::HopRatesTaken => {
-                    let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
-                    study
-                        .algorithms
-                        .iter()
-                        .map(|algo| {
-                            let taken =
-                                run_hop_rate_study_on_outcomes(&algo.outcomes, &study.rates);
-                            format!(
-                                "## taken by {}\n{}\n",
-                                algo.kind,
-                                report::render_hop_rates(&taken)
-                            )
-                        })
-                        .collect()
-                }
-                StudyView::RateRatios => {
-                    let hop_study = outputs.hop_rates.as_ref().expect("hop rates precomputed");
-                    format!("{}\n", report::render_rate_ratios(hop_study))
-                }
-                StudyView::ModelValidation => {
-                    unreachable!("model views are rejected for scenario studies by plan()")
-                }
-            };
-            sections.push(StudySection { scenario: run.label.clone(), view, body });
-        }
+    let mut outputs =
+        RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
+    if needs_explosion {
+        let generator = MessageGenerator::new(MessageWorkloadConfig {
+            nodes: trace.node_count(),
+            generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
+            mean_interarrival: 4.0,
+            seed: p.enumeration_message_seed,
+        });
+        let messages = generator.uniform_messages(p.enumeration_messages);
+        outputs.explosion = Some(run_explosion_study_on(
+            run.label.clone(),
+            &trace,
+            &messages,
+            p.enumeration.clone(),
+            p.explosion_threshold,
+            threads,
+        ));
+    }
+    if needs_forwarding {
+        let workload = p.forwarding_workload(trace.node_count(), trace.window().duration());
+        outputs.forwarding = Some(run_forwarding_study_on(
+            run.label.clone(),
+            &trace,
+            workload,
+            p.simulation_runs,
+            threads,
+        ));
+    }
+    if needs_activity {
+        outputs.activity = Some(activity_report(run.label.clone(), &trace));
+    }
+    if needs_hop_rates {
+        let study = outputs.explosion.as_ref().expect("hop-rate views imply explosion");
+        outputs.hop_rates = Some(run_hop_rate_study(&study.sample_paths, &study.rates));
     }
 
-    StudyReport { study: plan.study, sections }
+    let mut sections = Vec::new();
+    for &view in &plan.views {
+        let built: Vec<Section> = match view {
+            StudyView::ActivityTimeseries => {
+                vec![outputs.activity.as_ref().expect("activity precomputed").timeseries_section()]
+            }
+            StudyView::ContactCountCdf => {
+                vec![outputs.activity.as_ref().expect("activity precomputed").contact_cdf_section()]
+            }
+            StudyView::ExplosionCdfs => {
+                vec![outputs.explosion.as_ref().expect("explosion precomputed").cdfs_section()]
+            }
+            StudyView::ExplosionScatter => {
+                vec![outputs.explosion.as_ref().expect("explosion precomputed").scatter_section()]
+            }
+            StudyView::ExplosionGrowth => {
+                vec![outputs.explosion.as_ref().expect("explosion precomputed").growth_section()]
+            }
+            StudyView::ExplosionPairTypes => {
+                vec![outputs.explosion.as_ref().expect("explosion precomputed").pair_type_section()]
+            }
+            StudyView::DelayVsSuccess => vec![outputs
+                .forwarding
+                .as_ref()
+                .expect("forwarding precomputed")
+                .delay_vs_success_section()],
+            StudyView::DelayDistributions => vec![outputs
+                .forwarding
+                .as_ref()
+                .expect("forwarding precomputed")
+                .delay_distributions_section()],
+            StudyView::ReceptionTimes => vec![outputs
+                .forwarding
+                .as_ref()
+                .expect("forwarding precomputed")
+                .reception_times_section()],
+            StudyView::PairTypePerformance => vec![outputs
+                .forwarding
+                .as_ref()
+                .expect("forwarding precomputed")
+                .pair_type_section()],
+            StudyView::PathsTaken => {
+                let generator = MessageGenerator::new(MessageWorkloadConfig {
+                    nodes: trace.node_count(),
+                    generation_horizon: trace.window().duration() * 2.0 / 3.0,
+                    mean_interarrival: 4.0,
+                    seed: p.paths_taken_seed,
+                });
+                let messages = generator.uniform_messages(p.paths_taken_messages);
+                let cases = run_paths_taken(&trace, &messages, p.enumeration.clone());
+                cases.iter().map(|case| case.section()).collect()
+            }
+            StudyView::HopRateProgression => {
+                vec![outputs.hop_rates.as_ref().expect("hop rates precomputed").mean_rate_section()]
+            }
+            StudyView::HopRatesTaken => {
+                let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                study
+                    .algorithms
+                    .iter()
+                    .map(|algo| {
+                        run_hop_rate_study_on_outcomes(&algo.outcomes, &study.rates)
+                            .taken_by_section(algo.kind.label())
+                    })
+                    .collect()
+            }
+            StudyView::RateRatios => {
+                vec![outputs
+                    .hop_rates
+                    .as_ref()
+                    .expect("hop rates precomputed")
+                    .rate_ratio_section()]
+            }
+            StudyView::ModelValidation => {
+                unreachable!("model views are rejected for scenario studies by plan()")
+            }
+        };
+        sections.extend(built.into_iter().map(|s| tag(s, run, view)));
+    }
+    sections
+}
+
+/// Executes a plan: runs the (scenario × seed) cells in parallel over an
+/// `AtomicUsize` work queue honoring `params.threads`, generates each
+/// run's trace once, feeds it through the engines the requested views
+/// need, and assembles the typed report. Worker counts never change the
+/// result.
+pub fn run_study(plan: &StudyPlan) -> StudyReport {
+    let mut doc = ReportDoc::new(plan.study.name());
+
+    if plan.study == StudyId::Model {
+        let validation = run_model_validation(plan.params.model_replications);
+        let mut section = validation.section();
+        section.view = StudyView::ModelValidation.name().to_string();
+        doc.sections.push(section);
+        return StudyReport { study: plan.study, doc };
+    }
+
+    let total_threads = resolve_threads(plan.params.threads);
+    let workers = total_threads.min(plan.runs.len()).max(1);
+    if workers <= 1 {
+        for run in &plan.runs {
+            doc.sections.extend(run_one(plan, run, plan.params.threads));
+        }
+        return StudyReport { study: plan.study, doc };
+    }
+
+    // Shard the runs over `workers` threads via a lock-free fetch-add
+    // queue (per-run cost varies wildly between scenarios, so static
+    // chunking would imbalance); the engine thread budget inside each run
+    // shrinks so the total stays at `threads`, with the division
+    // remainder spread over the first workers so no requested thread sits
+    // idle (engine thread counts never change results). Per-worker result
+    // vectors are merged in run order after the join, keeping output
+    // identical to the serial loop.
+    let extra_threads = total_threads % workers;
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let mut per_worker: Vec<Vec<(usize, Vec<Section>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let inner_threads = total_threads / workers + usize::from(worker < extra_threads);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= plan.runs.len() {
+                            break;
+                        }
+                        local.push((idx, run_one(plan, &plan.runs[idx], inner_threads)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("study workers do not panic")).collect()
+    });
+    let mut collected: Vec<(usize, Vec<Section>)> =
+        per_worker.iter_mut().flat_map(std::mem::take).collect();
+    collected.sort_by_key(|(idx, _)| *idx);
+    for (_, sections) in collected {
+        doc.sections.extend(sections);
+    }
+    StudyReport { study: plan.study, doc }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::JsonRenderer;
     use psn_trace::generator::{CommunityConfig, ScaledConfig};
     use psn_trace::{DatasetId, ScenarioConfig};
 
@@ -699,6 +874,23 @@ mod tests {
         }))
     }
 
+    /// Like [`small_scenario`] but dense enough that *every* seed produces
+    /// contacts, and with a window long enough for the activity study's
+    /// 30-minute tail diagnostic.
+    fn dense_scenario(seed: u64) -> StudyScenario {
+        StudyScenario::from(ScenarioConfig::Community(CommunityConfig {
+            name: format!("pipeline-dense-{seed}"),
+            communities: 2,
+            nodes_per_community: 8,
+            window_seconds: 2400.0,
+            max_node_rate: 0.2,
+            intra_inter_ratio: 4.0,
+            mean_contact_duration: 40.0,
+            contact_duration_cv: 0.5,
+            seed,
+        }))
+    }
+
     #[test]
     fn registry_names_round_trip() {
         for study in StudyId::all() {
@@ -710,6 +902,30 @@ mod tests {
             }
         }
         assert_eq!(StudyId::parse("unknown"), None);
+        for view in StudyView::all() {
+            assert_eq!(StudyView::parse(view.name()), Some(view));
+        }
+        assert_eq!(StudyView::parse("unknown"), None);
+    }
+
+    #[test]
+    fn parse_views_validates_against_the_study() {
+        let views = parse_views(StudyId::Forwarding, "delay-vs-success, reception-times").unwrap();
+        assert_eq!(views, vec![StudyView::DelayVsSuccess, StudyView::ReceptionTimes]);
+
+        // Repeats collapse instead of duplicating sections and work.
+        let views = parse_views(StudyId::Forwarding, "delay-vs-success,delay-vs-success").unwrap();
+        assert_eq!(views, vec![StudyView::DelayVsSuccess]);
+
+        let err = parse_views(StudyId::Forwarding, "no-such-view").unwrap_err();
+        assert!(err.to_string().contains("unknown view"), "{err}");
+        assert!(err.to_string().contains("delay-vs-success"), "listing valid names: {err}");
+
+        let err = parse_views(StudyId::Forwarding, "explosion-cdfs").unwrap_err();
+        assert!(err.to_string().contains("belongs to study explosion"), "{err}");
+
+        let err = parse_views(StudyId::Forwarding, " , ").unwrap_err();
+        assert!(err.to_string().contains("no views selected"), "{err}");
     }
 
     #[test]
@@ -740,6 +956,7 @@ mod tests {
         let describe = plan.describe();
         assert!(describe.contains("activity"), "{describe}");
         assert!(describe.contains("seed 7"), "{describe}");
+        assert!(describe.contains("activity-timeseries"), "{describe}");
 
         let duplicate = StudySpec::new(
             StudyId::Activity,
@@ -754,8 +971,15 @@ mod tests {
         let spec = StudySpec::new(StudyId::Explosion, vec![small_scenario(3)], quick_params())
             .with_views(vec![StudyView::ExplosionCdfs]);
         let report = run_study(&spec.plan().unwrap());
-        assert_eq!(report.sections.len(), 1);
-        let body = &report.sections[0].body;
+        assert_eq!(report.doc.sections.len(), 1);
+        let section = &report.doc.sections[0];
+        assert_eq!(section.scenario, "pipeline-community-3");
+        assert_eq!(section.view, "explosion-cdfs");
+        let run = section.run.as_ref().expect("scenario sections carry run metadata");
+        assert_eq!(run.scenario_kind, "community");
+        assert_eq!(run.seed, 3);
+        assert_eq!(run.nodes, 18);
+        let body = report.render();
         assert!(body.contains("pipeline-community-3"), "{body}");
         assert!(body.contains("Figure 4"), "{body}");
         assert_eq!(report.sections_for("pipeline-community-3").len(), 1);
@@ -775,7 +999,7 @@ mod tests {
         let spec = StudySpec::new(StudyId::Forwarding, vec![scenario], quick_params())
             .with_views(vec![StudyView::DelayVsSuccess]);
         let report = run_study(&spec.plan().unwrap());
-        let body = &report.sections[0].body;
+        let body = report.render();
         assert!(body.contains("Figure 9"), "{body}");
         assert!(body.contains("Epidemic"), "{body}");
     }
@@ -798,8 +1022,9 @@ mod tests {
     fn model_study_needs_no_scenario() {
         let spec = StudySpec::new(StudyId::Model, vec![], quick_params());
         let report = run_study(&spec.plan().unwrap());
-        assert_eq!(report.sections.len(), 1);
-        assert!(report.sections[0].body.contains("model validation"));
+        assert_eq!(report.doc.sections.len(), 1);
+        assert_eq!(report.doc.sections[0].view, "model-validation");
+        assert!(report.render().contains("model validation"));
     }
 
     #[test]
@@ -833,6 +1058,42 @@ mod tests {
             40,
             2,
         );
-        assert_eq!(report.render(), format!("{}\n", report::render_explosion_cdfs(&direct)));
+        assert_eq!(report.render(), format!("{}\n", crate::report::render_explosion_cdfs(&direct)));
+    }
+
+    #[test]
+    fn parallel_run_loop_matches_the_serial_order() {
+        // Three (scenario × seed) cells through the work-queue path (threads
+        // 4 → 3 workers) must produce the identical document as the serial
+        // path (threads 1).
+        let scenarios = vec![dense_scenario(1), dense_scenario(2)];
+        let serial_spec =
+            StudySpec::new(StudyId::Activity, scenarios.clone(), quick_params().with_threads(1))
+                .with_extra_seeds(vec![9]);
+        let parallel_spec =
+            StudySpec::new(StudyId::Activity, scenarios, quick_params().with_threads(4))
+                .with_extra_seeds(vec![9]);
+        let serial = run_study(&serial_spec.plan().unwrap());
+        let parallel = run_study(&parallel_spec.plan().unwrap());
+        assert_eq!(serial.doc, parallel.doc);
+        assert_eq!(serial.doc.sections.len(), 4 * 2);
+    }
+
+    #[test]
+    fn every_study_round_trips_through_json() {
+        // serialize → parse → compare, for each of the six studies at tiny
+        // scale: the JSON schema carries the full typed model.
+        let params = quick_params();
+        for study in StudyId::all() {
+            let scenarios = if study == StudyId::Model { vec![] } else { vec![dense_scenario(11)] };
+            let spec = StudySpec::new(study, scenarios, params.clone());
+            let report = run_study(&spec.plan().unwrap());
+            assert!(!report.doc.sections.is_empty(), "{study}: no sections");
+            let json = JsonRenderer.render_json(&report.doc);
+            let parsed = JsonRenderer.parse(&json).unwrap_or_else(|e| {
+                panic!("{study}: emitted json must parse: {e}");
+            });
+            assert_eq!(parsed, report.doc, "{study}: json round trip");
+        }
     }
 }

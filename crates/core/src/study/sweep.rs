@@ -1,0 +1,308 @@
+//! First-class scenario sweeps over the study pipeline.
+//!
+//! A [`SweepSpec`] binds a [`psn_trace::ScenarioSweep`] — a grid over
+//! scenario parameters crossed with seeds — to one registered study, a
+//! view subset and numeric [`StudyParams`]. It resolves through the
+//! existing `StudySpec -> StudyPlan` machinery ([`SweepSpec::plan`]): every
+//! grid cell becomes one planned run with a unique label, so execution
+//! inherits the pipeline's parallel per-run work queue and its
+//! thread-count-independence guarantees.
+//!
+//! [`run_sweep`] produces a [`SweepReport`]: the per-cell typed sections
+//! of the underlying study prefixed with a **sweep summary section** whose
+//! table has one row per grid cell — the axis assignments, the seed, and
+//! every typed scalar statistic the cell's sections report (activity cv,
+//! per-algorithm success rates, explosion fractions, …). The summary is
+//! plain report content, so any renderer emits it: comparative curves like
+//! Fashandi et al.'s rate-allocation-over-path-count plots or Gan et al.'s
+//! mobility-heterogeneity sweeps fall out of `psn-study sweep --format
+//! json|csv` without re-parsing text.
+
+use psn_trace::{ScenarioSweep, SweepCell};
+
+use crate::report::{Block, CellValue, Column, NumberFormat, ReportDoc, Scalar, Section, Table};
+use crate::study::{
+    run_study, StudyId, StudyParams, StudyPlan, StudyPlanError, StudyScenario, StudySpec, StudyView,
+};
+
+/// A declarative sweep invocation: the scenario grid plus the study to run
+/// over every cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The study every cell runs.
+    pub study: StudyId,
+    /// The scenario grid.
+    pub sweep: ScenarioSweep,
+    /// The views to render per cell; empty means every view of the study.
+    pub views: Vec<StudyView>,
+    /// Numeric parameters shared by every cell.
+    pub params: StudyParams,
+}
+
+/// A resolved sweep: the grid cells plus the study plan that runs them
+/// (cell `i` corresponds to `plan.runs[i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// The expanded grid cells, in run order.
+    pub cells: Vec<SweepCell>,
+    /// The axis field names, in grid order.
+    pub axes: Vec<String>,
+    /// The underlying study plan.
+    pub plan: StudyPlan,
+}
+
+impl SweepSpec {
+    /// Resolves the sweep: expands the grid, then plans the study over the
+    /// cells exactly like any multi-scenario spec.
+    pub fn plan(&self) -> Result<SweepPlan, StudyPlanError> {
+        if self.study == StudyId::Model {
+            return Err(StudyPlanError::new(
+                "the model study runs no scenario and cannot be swept",
+            ));
+        }
+        let cells = self
+            .sweep
+            .expand()
+            .map_err(|e| StudyPlanError::new(format!("sweep {:?}: {e}", self.sweep.name)))?;
+        let scenarios = cells
+            .iter()
+            .map(|cell| StudyScenario { label: cell.label.clone(), config: cell.config.clone() })
+            .collect();
+        let plan = StudySpec::new(self.study, scenarios, self.params.clone())
+            .with_views(self.views.clone())
+            .plan()?;
+        let axes = self.sweep.axes.iter().map(|a| a.field.clone()).collect();
+        Ok(SweepPlan { cells, axes, plan })
+    }
+}
+
+/// The executed result of a sweep: one typed document whose first section
+/// is the per-cell summary table, followed by every cell's study sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The study that ran per cell.
+    pub study: StudyId,
+    /// The typed report (summary section first).
+    pub doc: ReportDoc,
+}
+
+/// Executes a resolved sweep and assembles the summary document.
+pub fn run_sweep(sweep_plan: &SweepPlan) -> SweepReport {
+    let report = run_study(&sweep_plan.plan);
+    let summary = summary_section(sweep_plan, &report.doc);
+
+    let mut doc = ReportDoc::new(format!("{}-sweep", sweep_plan.plan.study.name()));
+    doc.sections.push(summary);
+    doc.sections.extend(report.doc.sections);
+    SweepReport { study: sweep_plan.plan.study, doc }
+}
+
+/// Builds the per-cell summary: `cell, <axes…>, seed, scenario` plus one
+/// column per distinct scalar statistic reported by the cells' sections
+/// (first-appearance order; cells missing a statistic get a missing
+/// cell). Stats are keyed by name: if a cell reports the same name twice,
+/// the first value wins — section builders qualify names (e.g.
+/// `paths[Epidemic]`, `success[Fresh]`) where per-section values differ.
+fn summary_section(sweep_plan: &SweepPlan, doc: &ReportDoc) -> Section {
+    // Discover the stat columns.
+    let mut stat_names: Vec<(String, NumberFormat, Option<String>)> = Vec::new();
+    let mut per_cell_stats: Vec<Vec<(String, f64)>> = Vec::new();
+    for cell in &sweep_plan.cells {
+        let mut stats = Vec::new();
+        for section in doc.sections_for(&cell.label) {
+            for scalar in section.scalars() {
+                if !stats.iter().any(|(name, _)| name == &scalar.name) {
+                    stats.push((scalar.name.clone(), scalar.value));
+                    if !stat_names.iter().any(|(name, _, _)| name == &scalar.name) {
+                        stat_names.push((scalar.name.clone(), scalar.format, scalar.unit.clone()));
+                    }
+                }
+            }
+        }
+        per_cell_stats.push(stats);
+    }
+
+    let mut columns = vec![Column::int("cell")];
+    for axis in &sweep_plan.axes {
+        columns.push(Column::display(axis.clone()));
+    }
+    columns.push(Column::int("seed"));
+    columns.push(Column::text("scenario"));
+    for (name, format, unit) in &stat_names {
+        columns.push(Column { name: name.clone(), unit: unit.clone(), format: *format });
+    }
+
+    let mut table = Table::new("sweep_cells", columns);
+    for (index, cell) in sweep_plan.cells.iter().enumerate() {
+        let mut row = vec![CellValue::Int(index as u64)];
+        for axis in &sweep_plan.axes {
+            let value = cell
+                .assignments
+                .iter()
+                .find(|(field, _)| field == axis)
+                .map(|(_, value)| *value)
+                .expect("every cell assigns every axis");
+            row.push(CellValue::Float(value));
+        }
+        row.push(CellValue::Int(cell.seed.unwrap_or_else(|| cell.config.seed())));
+        row.push(CellValue::Text(cell.label.clone()));
+        let stats = &per_cell_stats[index];
+        for (name, _, _) in &stat_names {
+            let value = stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+            row.push(CellValue::opt_float(value));
+        }
+        table.push_row(row);
+    }
+
+    let mut section = Section::new()
+        .stat(Scalar::display("cells", sweep_plan.cells.len() as f64))
+        .block(Block::Title(format!(
+            "Sweep summary — {} over {} cells ({} axes: {})",
+            sweep_plan.plan.study,
+            sweep_plan.cells.len(),
+            sweep_plan.axes.len(),
+            if sweep_plan.axes.is_empty() {
+                "none".to_string()
+            } else {
+                sweep_plan.axes.join(", ")
+            }
+        )))
+        .block(Block::Table(table));
+    section.view = "sweep-summary".to_string();
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentProfile;
+    use crate::report::{CsvRenderer, JsonRenderer, Renderer, TextRenderer};
+    use psn_spacetime::EnumerationConfig;
+    use psn_trace::generator::config::CommunityConfig;
+    use psn_trace::{ScenarioConfig, SweepAxis};
+
+    fn tiny_params() -> StudyParams {
+        let mut p = StudyParams::for_profile(ExperimentProfile::Quick);
+        p.enumeration = EnumerationConfig::quick(20);
+        p.explosion_threshold = 20;
+        p.enumeration_messages = 4;
+        p.simulation_runs = 1;
+        p.workload_horizon = Some(400.0);
+        p.workload_interarrival = 40.0;
+        p.paths_taken_messages = 1;
+        p.model_replications = 3;
+        p.threads = 2;
+        p
+    }
+
+    fn base() -> ScenarioConfig {
+        ScenarioConfig::Community(CommunityConfig {
+            name: "sweep-base".into(),
+            communities: 2,
+            nodes_per_community: 6,
+            window_seconds: 2400.0,
+            max_node_rate: 0.2,
+            intra_inter_ratio: 4.0,
+            mean_contact_duration: 60.0,
+            contact_duration_cv: 0.5,
+            seed: 5,
+        })
+    }
+
+    fn grid_spec(study: StudyId, views: Vec<StudyView>) -> SweepSpec {
+        SweepSpec {
+            study,
+            sweep: ScenarioSweep {
+                name: "grid".into(),
+                study: None,
+                base: base(),
+                axes: vec![
+                    SweepAxis { field: "intra_inter_ratio".into(), values: vec![2.0, 8.0] },
+                    SweepAxis { field: "nodes_per_community".into(), values: vec![4.0, 8.0] },
+                ],
+                seeds: vec![],
+            },
+            views,
+            params: tiny_params(),
+        }
+    }
+
+    #[test]
+    fn sweeps_resolve_through_the_study_plan_machinery() {
+        let spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.plan.runs.len(), 4);
+        for (cell, run) in plan.cells.iter().zip(&plan.plan.runs) {
+            assert_eq!(cell.label, run.label);
+            assert_eq!(cell.config, run.config);
+        }
+        assert_eq!(plan.axes, vec!["intra_inter_ratio", "nodes_per_community"]);
+    }
+
+    #[test]
+    fn model_and_invalid_axes_are_rejected() {
+        let spec = grid_spec(StudyId::Model, vec![]);
+        assert!(spec.plan().unwrap_err().to_string().contains("cannot be swept"));
+
+        let mut spec = grid_spec(StudyId::Activity, vec![]);
+        spec.sweep.axes[0].field = "bogus".into();
+        let err = spec.plan().unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn summary_covers_every_grid_cell_with_typed_stats() {
+        let spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
+        let plan = spec.plan().unwrap();
+        let report = run_sweep(&plan);
+
+        // Summary first, then one tagged section per cell.
+        assert_eq!(report.doc.sections.len(), 1 + 4);
+        let summary = &report.doc.sections[0];
+        assert_eq!(summary.view, "sweep-summary");
+        let Some(Block::Table(table)) = summary.blocks.get(1) else {
+            panic!("summary table expected, got {:?}", summary.blocks.get(1));
+        };
+        assert_eq!(table.rows.len(), 4, "one row per grid cell");
+        let names: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            &names[..5],
+            &["cell", "intra_inter_ratio", "nodes_per_community", "seed", "scenario"]
+        );
+        assert!(names.contains(&"cv"), "{names:?}");
+        assert!(names.contains(&"tail_ratio"), "{names:?}");
+
+        // Every cell label appears in both the summary rows and the body.
+        for cell in &plan.cells {
+            assert!(
+                table.rows.iter().any(|row| row.contains(&CellValue::Text(cell.label.clone()))),
+                "summary row for {:?}",
+                cell.label
+            );
+            assert!(!report.doc.sections_for(&cell.label).is_empty(), "{:?}", cell.label);
+        }
+
+        // The document renders through every backend; JSON round-trips.
+        let text = TextRenderer.render_text(&report.doc);
+        assert!(text.contains("Sweep summary — activity over 4 cells"), "{text}");
+        let json = JsonRenderer.render_json(&report.doc);
+        let parsed = JsonRenderer.parse(&json).expect("sweep json parses");
+        assert_eq!(parsed, report.doc);
+        assert!(!CsvRenderer.render(&report.doc).is_empty());
+    }
+
+    #[test]
+    fn forwarding_sweeps_expose_per_algorithm_success_columns() {
+        let mut spec = grid_spec(StudyId::Forwarding, vec![StudyView::DelayVsSuccess]);
+        spec.sweep.axes.truncate(1); // 2 cells keep the test quick
+        let report = run_sweep(&spec.plan().unwrap());
+        let Some(Block::Table(table)) = report.doc.sections[0].blocks.get(1) else {
+            panic!("summary table expected");
+        };
+        let names: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"success[Epidemic]"), "{names:?}");
+        assert!(names.contains(&"success-rate spread across non-epidemic algorithms"), "{names:?}");
+        assert_eq!(table.rows.len(), 2);
+    }
+}

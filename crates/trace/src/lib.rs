@@ -46,6 +46,7 @@ pub mod node;
 pub mod parser;
 pub mod rates;
 pub mod scenario;
+pub mod sweep;
 pub mod trace;
 
 pub use contact::Contact;
@@ -53,6 +54,7 @@ pub use datasets::{DatasetId, SyntheticDataset};
 pub use node::{NodeClass, NodeId, NodeRegistry};
 pub use rates::{ContactRates, RateClass};
 pub use scenario::{ScenarioConfig, ScenarioError, ScenarioSet};
+pub use sweep::{ScenarioSweep, SweepAxis, SweepCell};
 pub use trace::{ContactTrace, TimeWindow, TraceError};
 
 /// Simulation time in seconds, measured from the start of the observation

@@ -64,7 +64,7 @@ pub struct ScenarioError {
 }
 
 impl ScenarioError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         Self { message: message.into() }
     }
 }
@@ -229,7 +229,33 @@ impl ScenarioConfig {
         doc::write_json(&self.to_doc())
     }
 
-    fn from_doc(mut top: doc::Table) -> Result<Self, ScenarioError> {
+    /// Returns a copy with one named numeric field replaced — the hook
+    /// scenario sweeps use to walk a parameter grid. The assignment goes
+    /// through the config document model, so unknown fields, non-numeric
+    /// fields (`kind`, `name`) and fractional values for integer fields
+    /// are all rejected with the same errors a config file would produce.
+    pub fn with_field(&self, field: &str, value: f64) -> Result<Self, ScenarioError> {
+        let mut top = self.to_doc();
+        if !value.is_finite() {
+            return Err(ScenarioError::new(format!("field {field:?}: sweep value must be finite")));
+        }
+        let int_like = value.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&value);
+        let as_int = match top.get(field) {
+            Some(doc::Value::Int(_)) => int_like,
+            Some(_) => false,
+            // Unknown fields error in `from_doc` below either way; prefer
+            // the integer encoding so optional integer-valued fields parse.
+            None => int_like,
+        };
+        if as_int {
+            top.set_u64(field, value as u64);
+        } else {
+            top.set_f64(field, value);
+        }
+        Self::from_doc(top)
+    }
+
+    pub(crate) fn from_doc(mut top: doc::Table) -> Result<Self, ScenarioError> {
         let kind = top.take_string("kind")?;
         let scenario = match kind.as_str() {
             "conference" => {
@@ -319,7 +345,7 @@ impl ScenarioConfig {
         Ok(scenario)
     }
 
-    fn to_doc(&self) -> doc::Table {
+    pub(crate) fn to_doc(&self) -> doc::Table {
         let mut top = doc::Table::new("scenario");
         top.set_string("kind", self.kind());
         match self {
@@ -422,8 +448,9 @@ fn activity_to_table(activity: &ActivityProfile) -> doc::Table {
 
 /// The shared document model behind the TOML and JSON frontends: ordered
 /// key → value maps with one level of table nesting, exactly what flat
-/// generator configs need.
-mod doc {
+/// generator configs need. Crate-visible so the sweep-spec parser
+/// ([`crate::sweep`]) reuses the same frontends.
+pub(crate) mod doc {
     use super::ScenarioError;
     use std::collections::BTreeMap;
 
@@ -486,6 +513,24 @@ mod doc {
             v
         }
 
+        /// Looks a value up without consuming it.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.entries.get(key)
+        }
+
+        /// Drains every remaining entry in insertion order (used for
+        /// open-schema tables like a sweep's `[axes]`).
+        pub fn take_all(mut self) -> Vec<(String, Value)> {
+            let order = std::mem::take(&mut self.order);
+            order
+                .into_iter()
+                .map(|key| {
+                    let value = self.entries.remove(&key).expect("order tracks entries");
+                    (key, value)
+                })
+                .collect()
+        }
+
         fn missing(&self, key: &str) -> ScenarioError {
             ScenarioError::new(format!("{}: missing required field {key:?}", self.context))
         }
@@ -514,6 +559,34 @@ mod doc {
                 Some(Value::Str(s)) => Ok(s),
                 Some(v) => Err(self.type_error(key, "a string", &v)),
                 None => Ok(default),
+            }
+        }
+
+        pub fn take_string_opt(&mut self, key: &str) -> Result<Option<String>, ScenarioError> {
+            match self.take(key) {
+                Some(Value::Str(s)) => Ok(Some(s)),
+                Some(v) => Err(self.type_error(key, "a string", &v)),
+                None => Ok(None),
+            }
+        }
+
+        pub fn take_f64_array_or(
+            &mut self,
+            key: &str,
+            default: Vec<f64>,
+        ) -> Result<Vec<f64>, ScenarioError> {
+            match self.take(key) {
+                Some(Value::Arr(v)) => Ok(v),
+                Some(v) => Err(self.type_error(key, "an array of numbers", &v)),
+                None => Ok(default),
+            }
+        }
+
+        pub fn take_table(&mut self, key: &str) -> Result<Table, ScenarioError> {
+            match self.take(key) {
+                Some(Value::Table(t)) => Ok(t),
+                Some(v) => Err(self.type_error(key, "a table", &v)),
+                None => Err(self.missing(key)),
             }
         }
 
