@@ -1,0 +1,256 @@
+//! The on-disk artifact tier (`--cache DIR`).
+//!
+//! Layout under the cache root:
+//!
+//! ```text
+//! DIR/
+//!   FORMAT              "psn-artifact/1" — refuses to open other versions
+//!   traces/<fp>.psnt    binary trace artifacts (see [`crate::codec`])
+//!   results/<fp>.json   per-cell study results (psn-report/1 JSON)
+//!   results/<fp>.meta   canonical identity of the result (collision check)
+//! ```
+//!
+//! Files are named by fingerprint hex and written atomically (temp file +
+//! rename), so an interrupted sweep leaves either a complete artifact or
+//! none — a later `sweep --resume` run can trust whatever it finds. Loads
+//! fail soft: any decode error, identity mismatch on a trace, or missing
+//! sidecar is reported as a miss and the artifact is rebuilt and
+//! overwritten. An identity *sidecar* mismatch with a matching fingerprint
+//! would mean a 128-bit hash collision; the store escalates that loudly
+//! (see [`crate::store`]) instead of rebuilding forever.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use psn_trace::{ContactTrace, Fingerprint};
+
+use crate::codec;
+
+/// The version string stored in `DIR/FORMAT`. Covers the directory layout
+/// and the result-JSON envelope; the binary codec carries its own version
+/// byte per file.
+pub const LAYOUT_VERSION: &str = "psn-artifact/1";
+
+/// A cache directory holding persisted artifacts.
+#[derive(Debug)]
+pub struct DiskTier {
+    root: PathBuf,
+}
+
+/// What a result lookup found on disk.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DiskResult {
+    /// No artifact for this fingerprint.
+    Miss,
+    /// A complete artifact whose identity matches; the payload text.
+    Hit(String),
+    /// An artifact exists but belongs to a *different* identity — a hash
+    /// collision, which the caller must escalate.
+    Collision {
+        /// The identity recorded in the sidecar.
+        stored: String,
+    },
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a cache directory, refusing a directory
+    /// written by a different layout version.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        for sub in ["traces", "results"] {
+            std::fs::create_dir_all(root.join(sub))
+                .map_err(|e| format!("creating cache dir {}: {e}", root.display()))?;
+        }
+        let format_path = root.join("FORMAT");
+        match std::fs::read_to_string(&format_path) {
+            Ok(existing) => {
+                if existing.trim() != LAYOUT_VERSION {
+                    return Err(format!(
+                        "cache dir {} was written by {:?}, this build speaks {:?} — \
+                         clear the directory or point --cache elsewhere",
+                        root.display(),
+                        existing.trim(),
+                        LAYOUT_VERSION
+                    ));
+                }
+            }
+            Err(_) => {
+                write_atomic(&format_path, LAYOUT_VERSION.as_bytes())
+                    .map_err(|e| format!("writing {}: {e}", format_path.display()))?;
+            }
+        }
+        Ok(Self { root })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn trace_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join("traces").join(format!("{}.psnt", fp.to_hex()))
+    }
+
+    fn result_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join("results").join(format!("{}.json", fp.to_hex()))
+    }
+
+    fn result_meta_path(&self, fp: Fingerprint) -> PathBuf {
+        self.root.join("results").join(format!("{}.meta", fp.to_hex()))
+    }
+
+    /// Loads a trace artifact. `Ok(None)` is a miss (absent or
+    /// undecodable); an identity mismatch is returned as an error so the
+    /// store can escalate the collision.
+    pub fn load_trace(
+        &self,
+        fp: Fingerprint,
+        identity: &str,
+    ) -> Result<Option<ContactTrace>, String> {
+        let bytes = match std::fs::read(self.trace_path(fp)) {
+            Ok(bytes) => bytes,
+            Err(_) => return Ok(None),
+        };
+        match codec::decode_trace(&bytes, identity) {
+            Ok(trace) => Ok(Some(trace)),
+            Err(codec::CodecError::Identity { stored }) => Err(format!(
+                "fingerprint collision in {}: artifact {} belongs to {stored:?}",
+                self.root.display(),
+                fp.to_hex()
+            )),
+            // Truncated/stale files are misses; the caller rebuilds and
+            // overwrites.
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Persists a trace artifact (atomic; errors are reported, not fatal —
+    /// a cache that cannot write degrades to a smaller cache).
+    pub fn store_trace(
+        &self,
+        fp: Fingerprint,
+        identity: &str,
+        trace: &ContactTrace,
+    ) -> Result<(), String> {
+        let encoded = codec::encode_trace(trace, identity);
+        write_atomic(&self.trace_path(fp), &encoded)
+            .map_err(|e| format!("writing trace artifact {}: {e}", fp.to_hex()))
+    }
+
+    /// True if a complete result artifact exists for this fingerprint
+    /// (used by `sweep --resume` to report what will be skipped).
+    pub fn result_exists(&self, fp: Fingerprint) -> bool {
+        self.result_path(fp).is_file() && self.result_meta_path(fp).is_file()
+    }
+
+    /// Loads a result artifact's payload text, collision-checking the
+    /// identity sidecar.
+    pub fn load_result(&self, fp: Fingerprint, identity: &str) -> DiskResult {
+        let stored = match std::fs::read_to_string(self.result_meta_path(fp)) {
+            Ok(meta) => meta,
+            Err(_) => return DiskResult::Miss,
+        };
+        if stored != identity {
+            return DiskResult::Collision { stored };
+        }
+        match std::fs::read_to_string(self.result_path(fp)) {
+            Ok(text) => DiskResult::Hit(text),
+            Err(_) => DiskResult::Miss,
+        }
+    }
+
+    /// Persists a result artifact and its identity sidecar. The payload is
+    /// written before the sidecar, so a crash between the two leaves a
+    /// miss, never a sidecar pointing at nothing.
+    pub fn store_result(&self, fp: Fingerprint, identity: &str, text: &str) -> Result<(), String> {
+        write_atomic(&self.result_path(fp), text.as_bytes())
+            .map_err(|e| format!("writing result artifact {}: {e}", fp.to_hex()))?;
+        write_atomic(&self.result_meta_path(fp), identity.as_bytes())
+            .map_err(|e| format!("writing result sidecar {}: {e}", fp.to_hex()))
+    }
+}
+
+/// Writes a file atomically: temp file in the same directory, then rename.
+/// The temp name keeps the full target file name (so `<fp>.json` and
+/// `<fp>.meta` never share one) and the writer's pid (so concurrent
+/// processes sharing a cache directory never interleave writes through
+/// one temp file — last rename wins, each with complete bytes).
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other("artifact path has no file name"))?;
+    let tmp = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psn_trace::generator::config::CommunityConfig;
+    use psn_trace::ScenarioConfig;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("psn-artifact-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn traces_and_results_round_trip_through_the_tier() {
+        let dir = tempdir("roundtrip");
+        let tier = DiskTier::open(&dir).unwrap();
+        let config = ScenarioConfig::Community(CommunityConfig::default());
+        let fp = config.fingerprint();
+        let identity = config.canonical_identity();
+
+        assert_eq!(tier.load_trace(fp, &identity).unwrap(), None, "cold tier misses");
+        let trace = config.generate();
+        tier.store_trace(fp, &identity, &trace).unwrap();
+        assert_eq!(tier.load_trace(fp, &identity).unwrap(), Some(trace));
+
+        let rfp = Fingerprint(42);
+        assert_eq!(tier.load_result(rfp, "cell-id"), DiskResult::Miss);
+        assert!(!tier.result_exists(rfp));
+        tier.store_result(rfp, "cell-id", "{\"payload\": 1}").unwrap();
+        assert!(tier.result_exists(rfp));
+        assert_eq!(tier.load_result(rfp, "cell-id"), DiskResult::Hit("{\"payload\": 1}".into()));
+        assert_eq!(
+            tier.load_result(rfp, "other-id"),
+            DiskResult::Collision { stored: "cell-id".into() }
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layout_version_is_enforced_and_corruption_fails_soft() {
+        let dir = tempdir("version");
+        {
+            let tier = DiskTier::open(&dir).unwrap();
+            let config = ScenarioConfig::Community(CommunityConfig::default());
+            let identity = config.canonical_identity();
+            tier.store_trace(config.fingerprint(), &identity, &config.generate()).unwrap();
+
+            // Truncate the artifact: the load degrades to a miss.
+            let path = tier.trace_path(config.fingerprint());
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+            assert_eq!(tier.load_trace(config.fingerprint(), &identity).unwrap(), None);
+        }
+
+        // Reopening the same directory works; a foreign version is refused.
+        assert!(DiskTier::open(&dir).is_ok());
+        std::fs::write(dir.join("FORMAT"), "psn-artifact/999").unwrap();
+        let err = DiskTier::open(&dir).unwrap_err();
+        assert!(err.contains("psn-artifact/999"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,122 @@
+//! Artifact-cache benchmarks: the cost of a sweep cold vs warm.
+//!
+//! The workload is the shipped `scenarios/sweep_community_2x2.toml` grid —
+//! the same sweep the CI cache step runs twice through the CLI — plus a
+//! forwarding sweep over a `params.runs` axis (four cells sharing one
+//! scenario fingerprint, so the cold run itself already shares one
+//! trace/graph/timeline across cells).
+//!
+//! Three modes per sweep:
+//!
+//! * `cold` — a fresh in-memory store per iteration: every artifact and
+//!   every cell result is computed;
+//! * `warm_memory` — one shared store across iterations: cells are served
+//!   from the memory tier;
+//! * `warm_disk` — a pre-populated `--cache`-style directory with a fresh
+//!   store per iteration: cells are parsed back from disk (the
+//!   `sweep --resume` path).
+//!
+//! Results are archived in `BENCH_studycache.json` at the repo root.
+//! Smoke mode: `cargo bench --bench studycache -- --quick`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use psn::study::sweep::{run_sweep_with, SweepPlan, SweepSpec};
+use psn::study::{parse_views, ArtifactStore, StudyId, StudyParams};
+use psn::ExperimentProfile;
+use psn_trace::generator::config::CommunityConfig;
+use psn_trace::{ScenarioConfig, ScenarioSweep, SweepAxis};
+
+fn repo_path(relative: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(relative)
+}
+
+/// The CI cache-step workload: the shipped 2×2 community sweep.
+fn community_sweep_plan() -> SweepPlan {
+    let sweep = ScenarioSweep::from_path(&repo_path("scenarios/sweep_community_2x2.toml"))
+        .expect("shipped sweep config parses");
+    let study = StudyId::parse(sweep.study.as_deref().expect("study hint")).expect("study");
+    SweepSpec {
+        study,
+        sweep,
+        views: Vec::new(),
+        params: StudyParams::for_profile(ExperimentProfile::Quick),
+    }
+    .plan()
+    .expect("sweep resolves")
+}
+
+/// A forwarding sweep over `params.runs` — four cells, one scenario
+/// fingerprint, so even the cold run builds the trace/graph/timeline once.
+fn forwarding_params_sweep_plan() -> SweepPlan {
+    let base = ScenarioConfig::Community(CommunityConfig {
+        name: "bench-cache-community".into(),
+        communities: 3,
+        nodes_per_community: 10,
+        window_seconds: 2400.0,
+        max_node_rate: 0.1,
+        intra_inter_ratio: 5.0,
+        mean_contact_duration: 60.0,
+        contact_duration_cv: 0.8,
+        seed: 0xCAC4E,
+    });
+    let mut sweep = ScenarioSweep::new("bench-cache", base);
+    sweep.axes = vec![SweepAxis { field: "params.runs".into(), values: vec![1.0, 2.0, 3.0, 4.0] }];
+    SweepSpec {
+        study: StudyId::Forwarding,
+        sweep,
+        views: parse_views(StudyId::Forwarding, "delay-vs-success").expect("view"),
+        params: StudyParams::for_profile(ExperimentProfile::Quick),
+    }
+    .plan()
+    .expect("sweep resolves")
+}
+
+fn bench_sweep(c: &mut Criterion, tag: &str, plan: &SweepPlan) {
+    let mut group = c.benchmark_group(format!("studycache_{tag}"));
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let store = ArtifactStore::in_memory();
+            criterion::black_box(run_sweep_with(plan, &store).doc.sections.len())
+        });
+    });
+
+    let shared = ArtifactStore::in_memory();
+    let baseline = run_sweep_with(plan, &shared);
+    group.bench_function("warm_memory", |b| {
+        b.iter(|| {
+            let report = run_sweep_with(plan, &shared);
+            assert_eq!(report.doc, baseline.doc, "warm must be identical to cold");
+            criterion::black_box(report.cells_served_from_cache())
+        });
+    });
+
+    let dir =
+        std::env::temp_dir().join(format!("psn-studycache-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_sweep_with(plan, &ArtifactStore::with_disk(&dir).expect("cache dir"));
+    group.bench_function("warm_disk", |b| {
+        b.iter(|| {
+            // A fresh store per iteration models a restarted process: the
+            // memory tier is empty, everything is parsed back from disk.
+            let store = ArtifactStore::with_disk(&dir).expect("cache dir");
+            let report = run_sweep_with(plan, &store);
+            assert_eq!(report.doc, baseline.doc, "disk-warm must be identical to cold");
+            criterion::black_box(report.cells_served_from_cache())
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+fn bench_studycache(c: &mut Criterion) {
+    let community = community_sweep_plan();
+    bench_sweep(c, "community_2x2", &community);
+    let forwarding = forwarding_params_sweep_plan();
+    bench_sweep(c, "forwarding_params_runs", &forwarding);
+}
+
+criterion_group!(benches, bench_studycache);
+criterion_main!(benches);

@@ -27,8 +27,11 @@ use std::process::ExitCode;
 
 use psn::report::{ReportDoc, ReportFormat};
 use psn::study::preset::{render_header, PresetId};
-use psn::study::sweep::{run_sweep, SweepSpec};
-use psn::study::{parse_views, run_study, StudyId, StudyParams, StudyScenario, StudySpec};
+use psn::study::sweep::{run_sweep_with, SweepReport, SweepSpec};
+use psn::study::{
+    parse_views, planned_result_fingerprints, run_study_with, ArtifactStore, CacheSource, StudyId,
+    StudyParams, StudyScenario, StudySpec,
+};
 use psn::ExperimentProfile;
 use psn_bench::{profile_from_env, threads_from_env};
 use psn_trace::{NodeId, ScenarioConfig, ScenarioSweep};
@@ -38,12 +41,18 @@ fn usage() -> &'static str {
      psn-study run --preset <name> [--profile quick|paper] [--threads N] [--format text|json|csv] [--out DIR]\n  \
      psn-study run --config <file>... --study <name> [--views a,b] [--seeds a,b,c] [--profile ...] [--threads N]\n  \
      \u{20}             [--k <path budget>] [--messages N] [--runs N] [--format text|json|csv] [--out DIR] [--dry]\n  \
+     \u{20}             [--cache DIR] [--no-cache]\n  \
      psn-study sweep --config <sweep file> [--study <name>] [--views a,b] [--seeds a,b,c] [--profile ...]\n  \
      \u{20}             [--threads N] [--k ...] [--messages N] [--runs N] [--format text|json|csv] [--out DIR]\n  \
+     \u{20}             [--cache DIR] [--no-cache] [--resume]\n  \
      psn-study sweep --config <sweep file> --dry              (show the resolved cells, run nothing)\n  \
      psn-study plan --config <file>... --study <name> [--seeds a,b,c]\n  \
      psn-study describe --config <file>...\n  \
      psn-study list\n\
+     caching: --cache DIR persists traces and per-cell results (content-addressed; a rerun or an\n  \
+     \u{20}             interrupted sweep is served from the cache, bit-identically); --resume reports\n  \
+     \u{20}             up front how many sweep cells are already cached; --no-cache disables even\n  \
+     \u{20}             in-memory artifact sharing (measurement baseline)\n\
      run `psn-study list` for the registered presets, studies, views and scenario families"
 }
 
@@ -61,6 +70,9 @@ struct Args {
     format: ReportFormat,
     out: Option<PathBuf>,
     dry: bool,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    resume: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -79,6 +91,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         format: ReportFormat::Text,
         out: None,
         dry: false,
+        cache: None,
+        no_cache: false,
+        resume: false,
     };
     let next_value = |argv: &mut std::env::Args, flag: &str| {
         argv.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -140,6 +155,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--out" => args.out = Some(PathBuf::from(next_value(&mut argv, "--out")?)),
             "--dry" => args.dry = true,
+            "--cache" => args.cache = Some(PathBuf::from(next_value(&mut argv, "--cache")?)),
+            "--no-cache" => args.no_cache = true,
+            "--resume" => args.resume = true,
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -169,17 +187,13 @@ fn build_params(args: &Args) -> Result<StudyParams, String> {
         if k == 0 {
             return Err("--k must be at least 1".into());
         }
-        // Override the per-node path budget (and its derived caps) — large
-        // scenarios want much smaller k than the paper's 98-node datasets.
-        params.enumeration = psn::prelude::EnumerationConfig::quick(k);
-        params.explosion_threshold = params.explosion_threshold.min(50 * k);
+        params = params.with_k(k);
     }
     if let Some(messages) = args.messages {
-        params.enumeration_messages = messages;
-        params.paths_taken_messages = messages;
+        params = params.with_messages(messages);
     }
     if let Some(runs) = args.runs {
-        params.simulation_runs = runs.max(1);
+        params = params.with_runs(runs);
     }
     Ok(params)
 }
@@ -195,6 +209,34 @@ fn build_spec(args: &Args) -> Result<StudySpec, String> {
         spec = spec.with_views(parse_views(study, views).map_err(|e| e.to_string())?);
     }
     Ok(spec)
+}
+
+/// Builds the artifact store the command runs against: disk-backed under
+/// `--cache DIR`, pass-through under `--no-cache`, otherwise a private
+/// in-memory store (runs within the invocation still share artifacts).
+fn build_store(args: &Args) -> Result<ArtifactStore, String> {
+    match (&args.cache, args.no_cache) {
+        (Some(_), true) => Err("--cache and --no-cache are contradictory".into()),
+        (Some(dir), false) => ArtifactStore::with_disk(dir),
+        (None, true) => Ok(ArtifactStore::disabled()),
+        (None, false) => Ok(ArtifactStore::in_memory()),
+    }
+}
+
+/// Prints the sweep's per-cell cache provenance and store counters on
+/// stderr — deliberately *not* into the report, whose bytes must be
+/// identical between cold and warm runs.
+fn report_sweep_cache(report: &SweepReport, store: &ArtifactStore) {
+    let served = report.cells_served_from_cache();
+    let memory = report.cache.iter().filter(|c| c.source == CacheSource::Memory).count();
+    let disk = report.cache.iter().filter(|c| c.source == CacheSource::Disk).count();
+    let computed = report.cache.len() - served;
+    eprintln!(
+        "cache: {served}/{} cells served from cache ({memory} memory, {disk} disk), \
+         {computed} computed; store {}",
+        report.cache.len(),
+        store.stats().summary()
+    );
 }
 
 fn build_sweep_spec(args: &Args) -> Result<SweepSpec, String> {
@@ -319,7 +361,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             )
         })?;
         let plan = spec.plan().map_err(|e| e.to_string())?;
-        let report = run_study(&plan);
+        let store = build_store(args)?;
+        let report = run_study_with(&plan, &store);
+        report_run_cache(args, &report, &store);
         let header = render_header(preset.figure_title(), args.profile);
         return emit(&report.doc, args, Some(&header));
     }
@@ -329,9 +373,25 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         print!("{}", plan.describe());
         return Ok(());
     }
-    let report = run_study(&plan);
+    let store = build_store(args)?;
+    let report = run_study_with(&plan, &store);
+    report_run_cache(args, &report, &store);
     let title = format!("study {} ({} scenarios)", plan.study, plan.runs.len());
     emit(&report.doc, args, Some(&render_header(&title, args.profile)))
+}
+
+/// Prints the `run` command's cache provenance on stderr when a persistent
+/// cache is in play (both the preset and config-file paths).
+fn report_run_cache(args: &Args, report: &psn::StudyReport, store: &ArtifactStore) {
+    if args.cache.is_none() {
+        return;
+    }
+    let served = report.cache.iter().filter(|c| c.source.is_cached()).count();
+    eprintln!(
+        "cache: {served}/{} runs served from cache; store {}",
+        report.cache.len(),
+        store.stats().summary()
+    );
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -341,7 +401,26 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         print!("sweep: {} ({} cells)\n{}", spec.sweep.name, plan.cells.len(), plan.plan.describe());
         return Ok(());
     }
-    let report = run_sweep(&plan);
+    let store = build_store(args)?;
+    if args.resume {
+        // --resume is an explicit restart marker: it requires a disk cache
+        // and reports, before running, how much of the sweep is already
+        // persisted. (Serving completed cells from the cache is the
+        // default whenever --cache is given — results are
+        // content-addressed, so reuse is always safe.)
+        let Some(disk) = store.disk() else {
+            return Err("--resume needs --cache DIR (the interrupted sweep's cache)".into());
+        };
+        let cells = planned_result_fingerprints(&plan.plan);
+        let done = cells.iter().filter(|(_, fp)| disk.result_exists(*fp)).count();
+        eprintln!(
+            "resume: {done}/{} cells already cached in {}",
+            cells.len(),
+            disk.root().display()
+        );
+    }
+    let report = run_sweep_with(&plan, &store);
+    report_sweep_cache(&report, &store);
     let title = format!(
         "sweep {} — study {} over {} cells",
         spec.sweep.name,
@@ -413,6 +492,9 @@ fn cmd_list() {
     println!("  grids and optional seeds, crossed into one run per grid cell");
     println!("\nformats: --format text (default; golden-pinned), json (psn-report/1), csv");
     println!("  (one file per table); --out DIR writes files instead of stdout");
+    println!("\ncaching: --cache DIR persists traces + per-cell results keyed by a structural");
+    println!("  config hash; reruns and interrupted sweeps are served bit-identically from the");
+    println!("  cache (--resume reports progress up front); --no-cache disables all sharing");
     println!("\nprofiles: quick (default), paper — via --profile or PSN_PROFILE");
     println!("threads: --threads or PSN_THREADS (0 = one per core; never changes results)");
 }
@@ -427,6 +509,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.resume && command != "sweep" {
+        eprintln!("--resume applies to `sweep` only (restarting an interrupted sweep)");
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),

@@ -210,7 +210,9 @@ pub fn run_explosion_study(
 
 /// Runs the explosion study on an explicit trace and message set — the entry
 /// point used by tests and by ablation benchmarks that vary Δ, k or the
-/// trace generator.
+/// trace generator. Builds a private default-Δ space-time graph; callers
+/// that already hold a (possibly cached) graph for this trace should use
+/// [`run_explosion_study_on_graph`].
 pub fn run_explosion_study_on(
     scenario: impl Into<String>,
     trace: &ContactTrace,
@@ -220,6 +222,32 @@ pub fn run_explosion_study_on(
     threads: usize,
 ) -> ExplosionStudy {
     let graph = SpaceTimeGraph::build_default(trace);
+    run_explosion_study_on_graph(
+        scenario,
+        trace,
+        &graph,
+        messages,
+        enumeration,
+        explosion_threshold,
+        threads,
+    )
+}
+
+/// Runs the explosion study against an already-built space-time graph —
+/// the artifact-store path, where one graph is memoized per trace and
+/// shared across views, seeds and sweep cells. The graph must belong to
+/// `trace`; results are identical to [`run_explosion_study_on`] when it
+/// was built with the default Δ.
+pub fn run_explosion_study_on_graph(
+    scenario: impl Into<String>,
+    trace: &ContactTrace,
+    graph: &SpaceTimeGraph,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+    explosion_threshold: usize,
+    threads: usize,
+) -> ExplosionStudy {
+    assert_eq!(graph.node_count(), trace.node_count(), "graph belongs to a different trace");
     let rates = ContactRates::from_trace(trace);
     let threads = threads.max(1);
 
@@ -234,7 +262,7 @@ pub fn run_explosion_study_on(
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
-                        let enumerator = PathEnumerator::new(&graph, enumeration.clone());
+                        let enumerator = PathEnumerator::new(graph, enumeration.clone());
                         let mut scratch = psn_spacetime::EnumerationScratch::new();
                         let mut local = Vec::new();
                         loop {

@@ -217,6 +217,8 @@ pub fn run_forwarding_study(
 /// Runs the forwarding study on an explicit trace and workload — the entry
 /// point used by tests and ablation benches. `threads` is the simulator
 /// worker count (`0` = one per available core); it never affects results.
+/// Builds private graph/timeline structures; callers that already hold
+/// cached ones should use [`run_forwarding_study_shared`].
 pub fn run_forwarding_study_on(
     scenario: impl Into<String>,
     trace: &ContactTrace,
@@ -224,8 +226,41 @@ pub fn run_forwarding_study_on(
     runs: usize,
     threads: usize,
 ) -> ForwardingStudy {
-    assert!(runs >= 1, "need at least one simulation run");
     let simulator = Simulator::new(trace, SimulatorConfig { threads, ..Default::default() });
+    run_forwarding_study_with(scenario, trace, simulator, workload, runs)
+}
+
+/// Runs the forwarding study around an already-built space-time graph and
+/// history timeline — the artifact-store path, where both are memoized per
+/// trace and shared across views, seeds and sweep cells. Results are
+/// bit-identical to [`run_forwarding_study_on`] for parts built at the
+/// default Δ.
+pub fn run_forwarding_study_shared(
+    scenario: impl Into<String>,
+    trace: &ContactTrace,
+    graph: std::sync::Arc<psn_spacetime::SpaceTimeGraph>,
+    timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
+    workload: MessageWorkloadConfig,
+    runs: usize,
+    threads: usize,
+) -> ForwardingStudy {
+    let simulator = Simulator::from_parts(
+        trace,
+        graph,
+        timeline,
+        SimulatorConfig { threads, ..Default::default() },
+    );
+    run_forwarding_study_with(scenario, trace, simulator, workload, runs)
+}
+
+fn run_forwarding_study_with(
+    scenario: impl Into<String>,
+    trace: &ContactTrace,
+    simulator: Simulator<'_>,
+    workload: MessageWorkloadConfig,
+    runs: usize,
+) -> ForwardingStudy {
+    assert!(runs >= 1, "need at least one simulation run");
     let rates = ContactRates::from_trace(trace);
     let generator = MessageGenerator::new(workload);
 

@@ -70,14 +70,32 @@ impl PathsTakenCase {
 }
 
 /// Runs the Fig. 12 analysis for a set of messages over one trace.
+/// Builds private graph/timeline structures; callers that already hold
+/// cached ones should use [`run_paths_taken_shared`].
 pub fn run_paths_taken(
     trace: &ContactTrace,
     messages: &[Message],
     enumeration: EnumerationConfig,
 ) -> Vec<PathsTakenCase> {
-    let graph = SpaceTimeGraph::build_default(trace);
+    let graph = std::sync::Arc::new(SpaceTimeGraph::build_default(trace));
+    let timeline = std::sync::Arc::new(psn_forwarding::HistoryTimeline::build(&graph));
+    run_paths_taken_shared(trace, graph, timeline, messages, enumeration)
+}
+
+/// Runs the Fig. 12 analysis around an already-built default-Δ space-time
+/// graph and history timeline — the artifact-store path. The enumerator
+/// and the simulator share the one graph, so the analysis builds nothing
+/// per call; results are bit-identical to [`run_paths_taken`].
+pub fn run_paths_taken_shared(
+    trace: &ContactTrace,
+    graph: std::sync::Arc<SpaceTimeGraph>,
+    timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+) -> Vec<PathsTakenCase> {
     let enumerator = PathEnumerator::new(&graph, enumeration);
-    let simulator = Simulator::new(trace, SimulatorConfig::default());
+    let simulator =
+        Simulator::from_parts(trace, graph.clone(), timeline, SimulatorConfig::default());
     let algorithms = standard_algorithms();
     let mut scratch = psn_spacetime::EnumerationScratch::new();
 

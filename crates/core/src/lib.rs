@@ -63,8 +63,10 @@ pub mod study;
 
 pub use config::ExperimentProfile;
 pub use report::{ReportDoc, ReportFormat};
-pub use study::sweep::{run_sweep, SweepPlan, SweepReport, SweepSpec};
-pub use study::{StudyId, StudyPlan, StudyReport, StudySpec, StudyView};
+pub use study::sweep::{run_sweep, run_sweep_with, SweepPlan, SweepReport, SweepSpec};
+pub use study::{
+    ArtifactStore, CacheSource, StudyId, StudyPlan, StudyReport, StudySpec, StudyView,
+};
 
 /// Convenient re-exports of the most commonly used types across the
 /// workspace.

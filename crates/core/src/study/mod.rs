@@ -41,21 +41,26 @@
 pub mod preset;
 pub mod sweep;
 
+pub use psn_artifact::{ArtifactStore, CacheSource, StoreStats};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use psn_artifact::{ArtifactKey, ArtifactKind, BuiltArtifact};
 use psn_spacetime::{EnumerationConfig, MessageGenerator, MessageWorkloadConfig};
-use psn_trace::{ScenarioConfig, Seconds};
+use psn_trace::{FingerprintHasher, ScenarioConfig, Seconds};
 
 use crate::config::ExperimentProfile;
 use crate::experiments::activity::{activity_report, ActivityReport};
-use crate::experiments::explosion::{run_explosion_study_on, ExplosionStudy};
-use crate::experiments::forwarding::{run_forwarding_study_on, ForwardingStudy};
+use crate::experiments::explosion::{run_explosion_study_on_graph, ExplosionStudy};
+use crate::experiments::forwarding::{run_forwarding_study_shared, ForwardingStudy};
 use crate::experiments::hop_rates::{
     run_hop_rate_study, run_hop_rate_study_on_outcomes, HopRateStudy,
 };
 use crate::experiments::model::run_model_validation;
-use crate::experiments::paths_taken::run_paths_taken;
-use crate::report::{Artifact, Renderer, ReportDoc, RunMeta, Section, TextRenderer};
+use crate::experiments::paths_taken::run_paths_taken_shared;
+use crate::report::{
+    Artifact, Block, JsonRenderer, Renderer, ReportDoc, RunMeta, Section, TextRenderer,
+};
 
 /// The registry of named studies — one per experiment family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -390,6 +395,85 @@ impl StudyParams {
         self
     }
 
+    /// Replaces the per-node path budget `k` (and its derived caps) — the
+    /// semantics of the CLI's `--k` and of a `params.k` sweep axis. Large
+    /// scenarios want much smaller budgets than the paper's 98-node
+    /// datasets.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "the path budget k must be at least 1");
+        self.enumeration = EnumerationConfig::quick(k);
+        self.explosion_threshold = self.explosion_threshold.min(50 * k);
+        self
+    }
+
+    /// Replaces the message counts of the enumeration and paths-taken
+    /// workloads — the CLI's `--messages` / a `params.messages` axis.
+    pub fn with_messages(mut self, messages: usize) -> Self {
+        self.enumeration_messages = messages;
+        self.paths_taken_messages = messages;
+        self
+    }
+
+    /// Replaces the independent simulation-run count — the CLI's `--runs`
+    /// / a `params.runs` axis.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.simulation_runs = runs.max(1);
+        self
+    }
+
+    /// Feeds every **result-relevant** parameter into a fingerprint
+    /// hasher. `threads` is deliberately excluded: worker counts never
+    /// change results (pinned by differential tests), so they must not
+    /// split cache keys.
+    fn hash_into(&self, hasher: &mut FingerprintHasher) {
+        let e = &self.enumeration;
+        hasher.write_u64(e.k as u64);
+        match e.max_delivered_paths {
+            Some(v) => hasher.write_u64(v as u64),
+            None => hasher.write_none(),
+        }
+        hasher.write_u64(e.stored_path_limit as u64);
+        hasher.write_bool(e.enforce_first_preference);
+        hasher.write_u64(self.explosion_threshold as u64);
+        hasher.write_u64(self.enumeration_messages as u64);
+        hasher.write_u64(self.enumeration_message_seed);
+        match self.workload_horizon {
+            Some(v) => hasher.write_f64(v),
+            None => hasher.write_none(),
+        }
+        hasher.write_f64(self.workload_interarrival);
+        hasher.write_u64(self.workload_seed);
+        hasher.write_u64(self.simulation_runs as u64);
+        hasher.write_u64(self.paths_taken_messages as u64);
+        hasher.write_u64(self.paths_taken_seed);
+        hasher.write_u64(self.model_replications as u64);
+    }
+
+    /// Canonical rendering of the result-relevant parameters — the
+    /// human-readable half of the cell identity string (`threads`
+    /// excluded, matching [`StudyParams::hash_into`]).
+    fn identity(&self) -> String {
+        let e = &self.enumeration;
+        format!(
+            "k={} max_delivered={:?} stored={} first_pref={} te={} emsgs={} eseed={} \
+             horizon={:?} interarrival={:?} wseed={} runs={} ptmsgs={} ptseed={} reps={}",
+            e.k,
+            e.max_delivered_paths,
+            e.stored_path_limit,
+            e.enforce_first_preference,
+            self.explosion_threshold,
+            self.enumeration_messages,
+            self.enumeration_message_seed,
+            self.workload_horizon,
+            self.workload_interarrival,
+            self.workload_seed,
+            self.simulation_runs,
+            self.paths_taken_messages,
+            self.paths_taken_seed,
+            self.model_replications
+        )
+    }
+
     /// The forwarding workload for a scenario with `nodes` nodes over
     /// `window_seconds`.
     fn forwarding_workload(&self, nodes: usize, window_seconds: Seconds) -> MessageWorkloadConfig {
@@ -412,11 +496,15 @@ pub struct StudyScenario {
     pub label: String,
     /// The generator configuration.
     pub config: ScenarioConfig,
+    /// Per-run study-parameter overrides (`None` = the spec's shared
+    /// params). Set by `params.*` sweep axes, where cells vary k, message
+    /// counts or run counts over one shared scenario.
+    pub params: Option<StudyParams>,
 }
 
 impl From<ScenarioConfig> for StudyScenario {
     fn from(config: ScenarioConfig) -> Self {
-        Self { label: config.name(), config }
+        Self { label: config.name(), config, params: None }
     }
 }
 
@@ -424,7 +512,7 @@ impl StudyScenario {
     /// The paper dataset `id` at `profile` scale, labelled the way the
     /// figures label it.
     pub fn dataset(id: psn_trace::DatasetId, profile: ExperimentProfile) -> Self {
-        Self { label: id.label().to_string(), config: profile.dataset(id).into() }
+        Self { label: id.label().to_string(), config: profile.dataset(id).into(), params: None }
     }
 }
 
@@ -515,11 +603,13 @@ impl StudySpec {
             runs.push(PlannedRun {
                 label: scenario.label.clone(),
                 config: scenario.config.clone(),
+                params: scenario.params.clone(),
             });
             for &seed in &self.extra_seeds {
                 runs.push(PlannedRun {
                     label: format!("{} (seed {seed})", scenario.label),
                     config: scenario.config.with_seed(seed),
+                    params: scenario.params.clone(),
                 });
             }
         }
@@ -540,6 +630,16 @@ pub struct PlannedRun {
     pub label: String,
     /// The resolved scenario configuration (seed replication applied).
     pub config: ScenarioConfig,
+    /// Per-run study-parameter overrides (`None` = the plan's shared
+    /// params).
+    pub params: Option<StudyParams>,
+}
+
+impl PlannedRun {
+    /// The effective parameters of this run under `plan_params`.
+    pub fn effective_params<'a>(&'a self, plan_params: &'a StudyParams) -> &'a StudyParams {
+        self.params.as_ref().unwrap_or(plan_params)
+    }
 }
 
 /// A resolved, validated study plan — the unit [`run_study`] executes.
@@ -565,9 +665,18 @@ impl StudyPlan {
         let _ = writeln!(out, "views: [{}]", views.join(", "));
         let _ = writeln!(out, "threads: {} (0 = one per core)", self.params.threads);
         for run in &self.runs {
+            let p = run.effective_params(&self.params);
+            let overrides = if run.params.is_some() {
+                format!(
+                    ", params k={} messages={} runs={}",
+                    p.enumeration.k, p.enumeration_messages, p.simulation_runs
+                )
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "run: {:?} — {} ({} nodes, {:.0} s window, seed {})",
+                "run: {:?} — {} ({} nodes, {:.0} s window, seed {}{overrides})",
                 run.label,
                 run.config.kind(),
                 run.config.node_count(),
@@ -579,6 +688,16 @@ impl StudyPlan {
     }
 }
 
+/// Cache provenance of one executed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCache {
+    /// The run's section label.
+    pub label: String,
+    /// Where the run's sections came from: computed, or served from the
+    /// artifact store's memory/disk tier.
+    pub source: CacheSource,
+}
+
 /// The executed result of a [`StudyPlan`]: a typed report document plus
 /// the study tag.
 #[derive(Debug, Clone, PartialEq)]
@@ -588,6 +707,11 @@ pub struct StudyReport {
     /// The typed report: one tagged section per (run, view) — or several,
     /// for views that emit one section per case/algorithm — in plan order.
     pub doc: ReportDoc,
+    /// Per-run cache provenance, in plan order (empty for the model
+    /// study). Deliberately *outside* [`StudyReport::doc`]: cold and warm
+    /// runs must render byte-identical reports, so provenance can never be
+    /// report content.
+    pub cache: Vec<RunCache>,
 }
 
 impl StudyReport {
@@ -637,11 +761,129 @@ fn tag(mut section: Section, run: &PlannedRun, view: StudyView) -> Section {
     section
 }
 
-/// Executes one planned run with `threads` engine workers and builds its
-/// typed sections in view order.
-fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
-    let p = &plan.params;
-    let trace = run.config.generate();
+/// The content address of one run's result sections: everything that
+/// determines the bytes — study, views, section label, the scenario's
+/// structural fingerprint and the result-relevant parameters. Returns the
+/// key plus the canonical identity string stores compare on every hit to
+/// rule hash collisions out. Worker-thread counts are excluded on both
+/// sides (they never change results).
+fn cell_key(
+    study: StudyId,
+    views: &[StudyView],
+    run: &PlannedRun,
+    params: &StudyParams,
+) -> (ArtifactKey, String) {
+    let mut hasher = FingerprintHasher::new("psn-cell/1");
+    hasher.write_str(study.name());
+    for view in views {
+        hasher.write_str(view.name());
+    }
+    hasher.write_str(&run.label);
+    hasher.write_fingerprint(run.config.fingerprint());
+    params.hash_into(&mut hasher);
+    let view_names: Vec<&str> = views.iter().map(|v| v.name()).collect();
+    let identity = format!(
+        "study={} views=[{}] label={:?} params[{}] scenario={}",
+        study.name(),
+        view_names.join(","),
+        run.label,
+        params.identity(),
+        run.config.canonical_identity()
+    );
+    (ArtifactKey { kind: ArtifactKind::Result, fingerprint: hasher.finish() }, identity)
+}
+
+/// The result fingerprint of every planned run, in plan order — what
+/// `psn-study sweep --resume` checks against the disk tier to report, up
+/// front, how many cells an interrupted sweep already completed.
+pub fn planned_result_fingerprints(plan: &StudyPlan) -> Vec<(String, psn_trace::Fingerprint)> {
+    plan.runs
+        .iter()
+        .map(|run| {
+            let (key, _) =
+                cell_key(plan.study, &plan.views, run, run.effective_params(&plan.params));
+            (run.label.clone(), key.fingerprint)
+        })
+        .collect()
+}
+
+/// Rough byte weight of cached result sections, for the store's LRU
+/// budget. Counts the bulk carriers (table cells, series points, strings);
+/// exact allocator overhead does not matter at budget granularity.
+fn sections_approx_bytes(sections: &[Section]) -> usize {
+    let mut bytes = 0usize;
+    for section in sections {
+        bytes += 256 + section.scenario.len() + section.view.len();
+        bytes += section.stats.len() * 64;
+        for block in &section.blocks {
+            bytes += match block {
+                Block::Title(s) | Block::Heading(s) | Block::Note(s) => 32 + s.len(),
+                Block::Scalar(_) => 64,
+                Block::Table(t) => {
+                    128 + t.rows.len() * t.columns.len() * 24
+                        + t.columns.iter().map(|c| c.name.len()).sum::<usize>()
+                }
+                Block::Series(s) => 128 + s.points.len() * 16,
+            };
+        }
+    }
+    bytes
+}
+
+/// Executes one planned run, resolving its result through the artifact
+/// store: a memoized result (memory or disk tier) is served without
+/// touching the engines; otherwise the sections are computed — via
+/// store-shared trace/graph/timeline artifacts — then cached. Returns the
+/// provenance alongside the sections.
+fn run_one(
+    plan: &StudyPlan,
+    run: &PlannedRun,
+    threads: usize,
+    store: &ArtifactStore,
+) -> (CacheSource, Vec<Section>) {
+    let params = run.effective_params(&plan.params);
+    let (key, identity) = cell_key(plan.study, &plan.views, run, params);
+    let (sections, source) = store.get_or_build(key, &identity, || {
+        if let Some(text) = store.load_result_text(key.fingerprint, &identity) {
+            // `parse(render(doc)) == doc` holds for every study (the
+            // round-trip tests pin it), so disk-served sections are
+            // value-identical to the cold computation and re-render to the
+            // same bytes. A stale or truncated payload degrades to a
+            // rebuild.
+            if let Ok(doc) = JsonRenderer.parse(&text) {
+                return BuiltArtifact {
+                    bytes: text.len(),
+                    value: doc.sections,
+                    source: CacheSource::Disk,
+                };
+            }
+        }
+        let sections = compute_run_sections(plan, run, params, threads, store);
+        if store.disk().is_some() {
+            let mut doc = ReportDoc::new(plan.study.name());
+            doc.sections = sections.clone();
+            store.store_result_text(key.fingerprint, &identity, &JsonRenderer.render_json(&doc));
+        }
+        BuiltArtifact {
+            bytes: sections_approx_bytes(&sections),
+            value: sections,
+            source: CacheSource::Built,
+        }
+    });
+    (source, (*sections).clone())
+}
+
+/// Computes one run's typed sections with `threads` engine workers,
+/// resolving the trace, space-time graph and history timeline through the
+/// artifact store so every run over the same scenario shares them.
+fn compute_run_sections(
+    plan: &StudyPlan,
+    run: &PlannedRun,
+    p: &StudyParams,
+    threads: usize,
+    store: &ArtifactStore,
+) -> Vec<Section> {
+    let (trace, _) = store.scenario_trace(&run.config);
 
     let needs_explosion = plan.views.iter().any(StudyView::needs_explosion);
     let needs_forwarding = plan.views.iter().any(StudyView::needs_forwarding);
@@ -654,6 +896,18 @@ fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
         .iter()
         .any(|v| matches!(v, StudyView::HopRateProgression | StudyView::RateRatios));
 
+    let has_paths_taken = plan.views.contains(&StudyView::PathsTaken);
+    // The graph and timeline artifacts are resolved up front (not per
+    // engine): enumeration, the simulator and the paths-taken analysis all
+    // share the one default-Δ graph of this scenario, across every run,
+    // seed and sweep cell that shares its fingerprint.
+    let graph = (needs_explosion || needs_forwarding || has_paths_taken)
+        .then(|| store.spacetime_graph(&run.config, &trace, psn_spacetime::DEFAULT_DELTA).0);
+    let timeline = (needs_forwarding || has_paths_taken).then(|| {
+        let graph = graph.as_ref().expect("timeline consumers imply a graph");
+        store.history_timeline(&run.config, graph, psn_spacetime::DEFAULT_DELTA).0
+    });
+
     let mut outputs =
         RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
     if needs_explosion {
@@ -664,9 +918,10 @@ fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
             seed: p.enumeration_message_seed,
         });
         let messages = generator.uniform_messages(p.enumeration_messages);
-        outputs.explosion = Some(run_explosion_study_on(
+        outputs.explosion = Some(run_explosion_study_on_graph(
             run.label.clone(),
             &trace,
+            graph.as_ref().expect("explosion implies a graph"),
             &messages,
             p.enumeration.clone(),
             p.explosion_threshold,
@@ -675,9 +930,11 @@ fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
     }
     if needs_forwarding {
         let workload = p.forwarding_workload(trace.node_count(), trace.window().duration());
-        outputs.forwarding = Some(run_forwarding_study_on(
+        outputs.forwarding = Some(run_forwarding_study_shared(
             run.label.clone(),
             &trace,
+            graph.clone().expect("forwarding implies a graph"),
+            timeline.clone().expect("forwarding implies a timeline"),
             workload,
             p.simulation_runs,
             threads,
@@ -740,7 +997,13 @@ fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
                     seed: p.paths_taken_seed,
                 });
                 let messages = generator.uniform_messages(p.paths_taken_messages);
-                let cases = run_paths_taken(&trace, &messages, p.enumeration.clone());
+                let cases = run_paths_taken_shared(
+                    &trace,
+                    graph.clone().expect("paths-taken implies a graph"),
+                    timeline.clone().expect("paths-taken implies a timeline"),
+                    &messages,
+                    p.enumeration.clone(),
+                );
                 cases.iter().map(|case| case.section()).collect()
             }
             StudyView::HopRateProgression => {
@@ -773,12 +1036,23 @@ fn run_one(plan: &StudyPlan, run: &PlannedRun, threads: usize) -> Vec<Section> {
     sections
 }
 
-/// Executes a plan: runs the (scenario × seed) cells in parallel over an
-/// `AtomicUsize` work queue honoring `params.threads`, generates each
-/// run's trace once, feeds it through the engines the requested views
-/// need, and assembles the typed report. Worker counts never change the
-/// result.
+/// Executes a plan with a fresh, private in-memory artifact store — runs
+/// within the plan still share traces, graphs and timelines, but nothing
+/// persists past the call. See [`run_study_with`] for the shared-store /
+/// disk-backed path.
 pub fn run_study(plan: &StudyPlan) -> StudyReport {
+    run_study_with(plan, &ArtifactStore::in_memory())
+}
+
+/// Executes a plan against an artifact store: runs the (scenario × seed)
+/// cells in parallel over an `AtomicUsize` work queue honoring
+/// `params.threads`, resolves every run's trace/graph/timeline — and the
+/// run's whole result — through the store, and assembles the typed report.
+/// Runs whose result fingerprint is already cached are served without
+/// touching the engines; the report's `cache` field records each run's
+/// provenance. Worker counts and cache state never change the report
+/// (differential tests pin warm output bit-identical to cold).
+pub fn run_study_with(plan: &StudyPlan, store: &ArtifactStore) -> StudyReport {
     let mut doc = ReportDoc::new(plan.study.name());
 
     if plan.study == StudyId::Model {
@@ -786,16 +1060,19 @@ pub fn run_study(plan: &StudyPlan) -> StudyReport {
         let mut section = validation.section();
         section.view = StudyView::ModelValidation.name().to_string();
         doc.sections.push(section);
-        return StudyReport { study: plan.study, doc };
+        return StudyReport { study: plan.study, doc, cache: Vec::new() };
     }
 
     let total_threads = resolve_threads(plan.params.threads);
     let workers = total_threads.min(plan.runs.len()).max(1);
     if workers <= 1 {
+        let mut cache = Vec::with_capacity(plan.runs.len());
         for run in &plan.runs {
-            doc.sections.extend(run_one(plan, run, plan.params.threads));
+            let (source, sections) = run_one(plan, run, plan.params.threads, store);
+            cache.push(RunCache { label: run.label.clone(), source });
+            doc.sections.extend(sections);
         }
-        return StudyReport { study: plan.study, doc };
+        return StudyReport { study: plan.study, doc, cache };
     }
 
     // Shard the runs over `workers` threads via a lock-free fetch-add
@@ -805,41 +1082,50 @@ pub fn run_study(plan: &StudyPlan) -> StudyReport {
     // remainder spread over the first workers so no requested thread sits
     // idle (engine thread counts never change results). Per-worker result
     // vectors are merged in run order after the join, keeping output
-    // identical to the serial loop.
+    // identical to the serial loop. Workers share the artifact store:
+    // runs racing on one scenario block on its latch instead of building
+    // the trace twice.
     let extra_threads = total_threads % workers;
     let next = AtomicUsize::new(0);
     let next = &next;
-    let mut per_worker: Vec<Vec<(usize, Vec<Section>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|worker| {
-                let inner_threads = total_threads / workers + usize::from(worker < extra_threads);
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= plan.runs.len() {
-                            break;
+    let mut per_worker: Vec<Vec<(usize, CacheSource, Vec<Section>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let inner_threads =
+                        total_threads / workers + usize::from(worker < extra_threads);
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= plan.runs.len() {
+                                break;
+                            }
+                            let (source, sections) =
+                                run_one(plan, &plan.runs[idx], inner_threads, store);
+                            local.push((idx, source, sections));
                         }
-                        local.push((idx, run_one(plan, &plan.runs[idx], inner_threads)));
-                    }
-                    local
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("study workers do not panic")).collect()
-    });
-    let mut collected: Vec<(usize, Vec<Section>)> =
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("study workers do not panic")).collect()
+        });
+    let mut collected: Vec<(usize, CacheSource, Vec<Section>)> =
         per_worker.iter_mut().flat_map(std::mem::take).collect();
-    collected.sort_by_key(|(idx, _)| *idx);
-    for (_, sections) in collected {
+    collected.sort_by_key(|(idx, _, _)| *idx);
+    let mut cache = Vec::with_capacity(plan.runs.len());
+    for (idx, source, sections) in collected {
+        cache.push(RunCache { label: plan.runs[idx].label.clone(), source });
         doc.sections.extend(sections);
     }
-    StudyReport { study: plan.study, doc }
+    StudyReport { study: plan.study, doc, cache }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::explosion::run_explosion_study_on;
     use crate::report::JsonRenderer;
     use psn_trace::generator::{CommunityConfig, ScaledConfig};
     use psn_trace::{DatasetId, ScenarioConfig};
@@ -1077,6 +1363,86 @@ mod tests {
         let parallel = run_study(&parallel_spec.plan().unwrap());
         assert_eq!(serial.doc, parallel.doc);
         assert_eq!(serial.doc.sections.len(), 4 * 2);
+    }
+
+    #[test]
+    fn warm_store_serves_bit_identical_reports_for_every_study() {
+        // The caching contract: for each of the six studies, a warm run
+        // (shared store), a cold run (fresh store) and an uncached run
+        // (--no-cache semantics) produce the identical typed document —
+        // and therefore identical rendered bytes.
+        let params = quick_params();
+        let store = ArtifactStore::in_memory();
+        for study in StudyId::all() {
+            let scenarios = if study == StudyId::Model { vec![] } else { vec![dense_scenario(11)] };
+            let spec = StudySpec::new(study, scenarios, params.clone());
+            let plan = spec.plan().unwrap();
+            let cold = run_study_with(&plan, &store);
+            let warm = run_study_with(&plan, &store);
+            assert_eq!(cold.doc, warm.doc, "{study}: warm != cold");
+            assert_eq!(cold.render(), warm.render(), "{study}: rendered bytes differ");
+            let uncached = run_study_with(&plan, &ArtifactStore::disabled());
+            assert_eq!(cold.doc, uncached.doc, "{study}: uncached != cold");
+            if study != StudyId::Model {
+                assert!(
+                    cold.cache.iter().all(|c| c.source == CacheSource::Built),
+                    "{study}: first run must compute"
+                );
+                assert!(
+                    warm.cache.iter().all(|c| c.source == CacheSource::Memory),
+                    "{study}: second run must be served from memory"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_tier_serves_results_across_store_instances() {
+        let dir = std::env::temp_dir().join(format!("psn-study-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = StudySpec::new(StudyId::Forwarding, vec![dense_scenario(4)], quick_params())
+            .with_views(vec![StudyView::DelayVsSuccess]);
+        let plan = spec.plan().unwrap();
+
+        let cold = run_study_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        assert!(cold.cache.iter().all(|c| c.source == CacheSource::Built));
+
+        // A fresh store over the same directory — a restarted process —
+        // serves the whole run from disk, bit-identically.
+        let fresh = ArtifactStore::with_disk(&dir).unwrap();
+        let warm = run_study_with(&plan, &fresh);
+        assert!(warm.cache.iter().all(|c| c.source == CacheSource::Disk), "{:?}", warm.cache);
+        assert_eq!(cold.doc, warm.doc);
+        assert_eq!(cold.render(), warm.render());
+        assert_eq!(
+            fresh.stats().total_builds(),
+            0,
+            "a fully warm disk cache runs no engine at all: {:?}",
+            fresh.stats()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_counts_do_not_split_cache_keys() {
+        // `threads` never changes results, so a run at a different thread
+        // count must hit the same cached result.
+        let store = ArtifactStore::in_memory();
+        let serial = StudySpec::new(
+            StudyId::Activity,
+            vec![dense_scenario(7)],
+            quick_params().with_threads(1),
+        );
+        let parallel = StudySpec::new(
+            StudyId::Activity,
+            vec![dense_scenario(7)],
+            quick_params().with_threads(4),
+        );
+        let cold = run_study_with(&serial.plan().unwrap(), &store);
+        let warm = run_study_with(&parallel.plan().unwrap(), &store);
+        assert!(warm.cache.iter().all(|c| c.source == CacheSource::Memory), "{:?}", warm.cache);
+        assert_eq!(cold.doc, warm.doc);
     }
 
     #[test]

@@ -18,11 +18,14 @@
 //! mobility-heterogeneity sweeps fall out of `psn-study sweep --format
 //! json|csv` without re-parsing text.
 
+use psn_artifact::ArtifactStore;
+use psn_trace::sweep::PARAM_AXIS_PREFIX;
 use psn_trace::{ScenarioSweep, SweepCell};
 
 use crate::report::{Block, CellValue, Column, NumberFormat, ReportDoc, Scalar, Section, Table};
 use crate::study::{
-    run_study, StudyId, StudyParams, StudyPlan, StudyPlanError, StudyScenario, StudySpec, StudyView,
+    run_study_with, RunCache, StudyId, StudyParams, StudyPlan, StudyPlanError, StudyScenario,
+    StudySpec, StudyView,
 };
 
 /// A declarative sweep invocation: the scenario grid plus the study to run
@@ -66,14 +69,56 @@ impl SweepSpec {
             .map_err(|e| StudyPlanError::new(format!("sweep {:?}: {e}", self.sweep.name)))?;
         let scenarios = cells
             .iter()
-            .map(|cell| StudyScenario { label: cell.label.clone(), config: cell.config.clone() })
-            .collect();
+            .map(|cell| {
+                Ok(StudyScenario {
+                    label: cell.label.clone(),
+                    config: cell.config.clone(),
+                    params: apply_param_axes(&self.params, cell)?,
+                })
+            })
+            .collect::<Result<Vec<_>, StudyPlanError>>()?;
         let plan = StudySpec::new(self.study, scenarios, self.params.clone())
             .with_views(self.views.clone())
             .plan()?;
         let axes = self.sweep.axes.iter().map(|a| a.field.clone()).collect();
         Ok(SweepPlan { cells, axes, plan })
     }
+}
+
+/// Applies a cell's `params.*` axis assignments to the sweep's shared
+/// study parameters. `None` when the cell has no parameter axes (the
+/// common case: every cell then shares the plan-level params value).
+/// Unknown parameter names and non-integer values are plan errors, in the
+/// same voice as scenario-axis schema errors.
+fn apply_param_axes(
+    base: &StudyParams,
+    cell: &SweepCell,
+) -> Result<Option<StudyParams>, StudyPlanError> {
+    let mut params: Option<StudyParams> = None;
+    for (field, value) in &cell.assignments {
+        let Some(name) = field.strip_prefix(PARAM_AXIS_PREFIX) else { continue };
+        let as_count = || -> Result<usize, StudyPlanError> {
+            if value.fract() != 0.0 || *value < 1.0 || *value > u32::MAX as f64 {
+                return Err(StudyPlanError::new(format!(
+                    "sweep axis {field:?}: value {value} must be a positive integer"
+                )));
+            }
+            Ok(*value as usize)
+        };
+        let p = params.take().unwrap_or_else(|| base.clone());
+        params = Some(match name {
+            "k" => p.with_k(as_count()?),
+            "messages" => p.with_messages(as_count()?),
+            "runs" => p.with_runs(as_count()?),
+            _ => {
+                return Err(StudyPlanError::new(format!(
+                    "unknown study-parameter axis {field:?} \
+                     (supported: params.k, params.messages, params.runs)"
+                )))
+            }
+        });
+    }
+    Ok(params)
 }
 
 /// The executed result of a sweep: one typed document whose first section
@@ -84,17 +129,38 @@ pub struct SweepReport {
     pub study: StudyId,
     /// The typed report (summary section first).
     pub doc: ReportDoc,
+    /// Per-cell cache provenance, in cell order. Kept outside the
+    /// document so cold and warm sweeps render byte-identical reports;
+    /// the CLI surfaces it as a stderr summary.
+    pub cache: Vec<RunCache>,
 }
 
-/// Executes a resolved sweep and assembles the summary document.
+impl SweepReport {
+    /// How many cells were served from the artifact store (memory or
+    /// disk) rather than computed.
+    pub fn cells_served_from_cache(&self) -> usize {
+        self.cache.iter().filter(|c| c.source.is_cached()).count()
+    }
+}
+
+/// Executes a resolved sweep with a fresh, private in-memory artifact
+/// store (cells still share traces/graphs/timelines within the call).
 pub fn run_sweep(sweep_plan: &SweepPlan) -> SweepReport {
-    let report = run_study(&sweep_plan.plan);
+    run_sweep_with(sweep_plan, &ArtifactStore::in_memory())
+}
+
+/// Executes a resolved sweep against an artifact store and assembles the
+/// summary document. With a disk-backed store, cells whose result
+/// fingerprint is already cached are served without running any engine —
+/// an interrupted multi-thousand-cell sweep resumes from where it died.
+pub fn run_sweep_with(sweep_plan: &SweepPlan, store: &ArtifactStore) -> SweepReport {
+    let report = run_study_with(&sweep_plan.plan, store);
     let summary = summary_section(sweep_plan, &report.doc);
 
     let mut doc = ReportDoc::new(format!("{}-sweep", sweep_plan.plan.study.name()));
     doc.sections.push(summary);
     doc.sections.extend(report.doc.sections);
-    SweepReport { study: sweep_plan.plan.study, doc }
+    SweepReport { study: sweep_plan.plan.study, doc, cache: report.cache }
 }
 
 /// Builds the per-cell summary: `cell, <axes…>, seed, scenario` plus one
@@ -290,6 +356,129 @@ mod tests {
         let parsed = JsonRenderer.parse(&json).expect("sweep json parses");
         assert_eq!(parsed, report.doc);
         assert!(!CsvRenderer.render(&report.doc).is_empty());
+    }
+
+    #[test]
+    fn param_axes_flow_into_study_params() {
+        let mut spec = grid_spec(StudyId::Explosion, vec![StudyView::ExplosionCdfs]);
+        spec.sweep.axes = vec![
+            SweepAxis { field: "intra_inter_ratio".into(), values: vec![2.0, 8.0] },
+            SweepAxis { field: "params.k".into(), values: vec![5.0, 20.0] },
+        ];
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.plan.runs.len(), 4);
+        assert_eq!(plan.axes, vec!["intra_inter_ratio", "params.k"]);
+        for (cell, run) in plan.cells.iter().zip(&plan.plan.runs) {
+            let k = cell.assignments[1].1 as usize;
+            let params = run.params.as_ref().expect("params axis sets per-run overrides");
+            assert_eq!(params.enumeration.k, k, "{}", run.label);
+            assert!(run.label.contains("params.k="), "{}", run.label);
+            // The scenario itself is untouched by the params axis.
+            let ScenarioConfig::Community(c) = &run.config else { panic!("family preserved") };
+            assert_eq!(c.intra_inter_ratio, cell.assignments[0].1);
+        }
+        // Cells 0/1 share a scenario fingerprint (only k differs).
+        assert_eq!(plan.cells[0].config.fingerprint(), plan.cells[1].config.fingerprint());
+
+        // messages and runs axes map to their params too.
+        let mut spec = grid_spec(StudyId::Forwarding, vec![StudyView::DelayVsSuccess]);
+        spec.sweep.axes = vec![SweepAxis { field: "params.runs".into(), values: vec![1.0, 2.0] }];
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.plan.runs[1].params.as_ref().unwrap().simulation_runs, 2);
+        let mut spec = grid_spec(StudyId::Explosion, vec![StudyView::ExplosionCdfs]);
+        spec.sweep.axes =
+            vec![SweepAxis { field: "params.messages".into(), values: vec![2.0, 3.0] }];
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.plan.runs[1].params.as_ref().unwrap().enumeration_messages, 3);
+
+        // Unknown parameter names and non-integer values are plan errors.
+        let mut spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
+        spec.sweep.axes = vec![SweepAxis { field: "params.bogus".into(), values: vec![1.0] }];
+        let err = spec.plan().unwrap_err();
+        assert!(err.to_string().contains("params.bogus"), "{err}");
+        assert!(err.to_string().contains("params.k"), "error lists the supported axes: {err}");
+        let mut spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
+        spec.sweep.axes = vec![SweepAxis { field: "params.k".into(), values: vec![2.5] }];
+        let err = spec.plan().unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn cells_sharing_a_scenario_build_each_artifact_exactly_once() {
+        // Four cells varying only params.runs over one scenario: the trace,
+        // graph and timeline must each be built once for the whole sweep —
+        // including under the parallel per-run work queue.
+        let mut spec = grid_spec(StudyId::Forwarding, vec![StudyView::DelayVsSuccess]);
+        spec.sweep.axes =
+            vec![SweepAxis { field: "params.runs".into(), values: vec![1.0, 2.0, 3.0, 4.0] }];
+        spec.params.threads = 4;
+        let plan = spec.plan().unwrap();
+        let store = crate::study::ArtifactStore::in_memory();
+        let report = run_sweep_with(&plan, &store);
+        assert_eq!(report.cache.len(), 4);
+        assert_eq!(report.cells_served_from_cache(), 0, "distinct results per runs value");
+
+        let stats = store.stats();
+        use psn_artifact::ArtifactKind;
+        assert_eq!(stats.builds_of(ArtifactKind::Trace), 1, "{stats:?}");
+        assert_eq!(stats.builds_of(ArtifactKind::Graph), 1, "{stats:?}");
+        assert_eq!(stats.builds_of(ArtifactKind::Timeline), 1, "{stats:?}");
+        assert_eq!(stats.builds_of(ArtifactKind::Result), 4, "{stats:?}");
+
+        // The summary exposes the params axis as a column and the per-cell
+        // success stats differ across runs counts only through averaging.
+        let Some(Block::Table(table)) = report.doc.sections[0].blocks.get(1) else {
+            panic!("summary table expected");
+        };
+        let names: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"params.runs"), "{names:?}");
+    }
+
+    #[test]
+    fn interrupted_sweeps_resume_from_a_partial_disk_cache() {
+        use crate::study::{ArtifactStore, CacheSource};
+        let dir =
+            std::env::temp_dir().join(format!("psn-sweep-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
+        let plan = spec.plan().unwrap();
+        let cold = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        assert_eq!(cold.cells_served_from_cache(), 0);
+
+        // Simulate an interruption: delete one cell's persisted result
+        // (payload + sidecar), leaving a partially-populated cache.
+        let results = dir.join("results");
+        let mut stems: Vec<std::path::PathBuf> = std::fs::read_dir(&results)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        stems.sort();
+        assert_eq!(stems.len(), 4, "one persisted result per cell");
+        std::fs::remove_file(&stems[0]).unwrap();
+        std::fs::remove_file(stems[0].with_extension("meta")).unwrap();
+
+        // A fresh store over the same directory — a restarted process —
+        // completes the sweep: three cells from disk, one recomputed, and
+        // the report is bit-identical to the uninterrupted run.
+        let resumed = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        assert_eq!(resumed.cells_served_from_cache(), 3, "{:?}", resumed.cache);
+        assert_eq!(
+            resumed.cache.iter().filter(|c| c.source == CacheSource::Built).count(),
+            1,
+            "{:?}",
+            resumed.cache
+        );
+        assert_eq!(cold.doc, resumed.doc);
+
+        // A third run is fully cache-served.
+        let warm = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        assert_eq!(warm.cells_served_from_cache(), 4);
+        assert!(warm.cache.iter().all(|c| c.source == CacheSource::Disk));
+        assert_eq!(cold.doc, warm.doc);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -196,12 +196,17 @@ impl WorkerScratch {
 }
 
 /// The slot-based trace-driven simulator.
+///
+/// The graph and history timeline are held behind [`std::sync::Arc`] so a
+/// caching layer (the artifact store) can build them once per trace and
+/// share them across every simulator — and every study run — over that
+/// trace; [`Simulator::new`] builds private copies when nothing is shared.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     trace: &'a ContactTrace,
-    graph: SpaceTimeGraph,
+    graph: std::sync::Arc<SpaceTimeGraph>,
     oracle: TraceOracle,
-    timeline: HistoryTimeline,
+    timeline: std::sync::Arc<HistoryTimeline>,
     config: SimulatorConfig,
 }
 
@@ -210,9 +215,42 @@ impl<'a> Simulator<'a> {
     /// the whole-trace oracle and the shared history timeline.
     pub fn new(trace: &'a ContactTrace, config: SimulatorConfig) -> Self {
         assert!(config.delta > 0.0, "slot length must be positive");
-        let graph = SpaceTimeGraph::build(trace, config.delta);
+        let graph = std::sync::Arc::new(SpaceTimeGraph::build(trace, config.delta));
+        let timeline = std::sync::Arc::new(HistoryTimeline::build(&graph));
+        Self::from_parts(trace, graph, timeline, config)
+    }
+
+    /// Builds a simulator around an already-built graph and timeline —
+    /// the artifact-store path, where both are memoized per trace and
+    /// shared across studies, seeds and sweep cells. The parts must belong
+    /// to `trace` (same node count) and to each other, and the graph's
+    /// discretization must match `config.delta`; results are then
+    /// bit-identical to [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts are inconsistent with the trace or the
+    /// config — a mismatched cache key, never a data-dependent condition.
+    pub fn from_parts(
+        trace: &'a ContactTrace,
+        graph: std::sync::Arc<SpaceTimeGraph>,
+        timeline: std::sync::Arc<HistoryTimeline>,
+        config: SimulatorConfig,
+    ) -> Self {
+        assert!(config.delta > 0.0, "slot length must be positive");
+        assert!(
+            graph.delta() == config.delta,
+            "shared graph was discretized at Δ = {} but the simulator wants Δ = {}",
+            graph.delta(),
+            config.delta
+        );
+        assert_eq!(graph.node_count(), trace.node_count(), "graph belongs to a different trace");
+        assert_eq!(
+            timeline.node_count(),
+            trace.node_count(),
+            "timeline belongs to a different trace"
+        );
         let oracle = TraceOracle::from_trace(trace);
-        let timeline = HistoryTimeline::build(&graph);
         Self { trace, graph, oracle, timeline, config }
     }
 

@@ -135,6 +135,27 @@ impl HistoryTimeline {
         self.node_count
     }
 
+    /// Approximate resident size in bytes — the weight artifact stores use
+    /// for byte-budget accounting. Dominated by the dense `O(n²)`
+    /// pair-index map and the per-pair/per-node event lists.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slot_end_times.len() * std::mem::size_of::<Seconds>()
+            + self.pair_index.len() * std::mem::size_of::<u32>()
+            + self.pair_events.len() * std::mem::size_of::<Vec<PairEvent>>()
+            + self
+                .pair_events
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<PairEvent>())
+                .sum::<usize>()
+            + self.node_events.len() * std::mem::size_of::<Vec<NodeEvent>>()
+            + self
+                .node_events
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<NodeEvent>())
+                .sum::<usize>()
+    }
+
     /// A read-only view of the history as of the *end* of `slot` — i.e.
     /// including the contacts of `slot` itself, matching the reference
     /// simulator, which records a slot's contacts before making that slot's

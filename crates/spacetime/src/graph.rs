@@ -288,6 +288,29 @@ impl SpaceTimeGraph {
         &self.busy_slots
     }
 
+    /// Approximate resident size in bytes — the weight artifact stores use
+    /// for byte-budget accounting. Sums the per-slot adjacency, component,
+    /// edge and member structures; exact allocator overhead is not modelled
+    /// (eviction budgets only need the right order of magnitude).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>()
+            + self.busy_slots.len() * std::mem::size_of::<usize>()
+            + self.slots.len() * std::mem::size_of::<Slot>();
+        for slot in &self.slots {
+            bytes += slot.adjacency.len() * std::mem::size_of::<Vec<NodeId>>();
+            bytes += slot
+                .adjacency
+                .iter()
+                .map(|adj| adj.len() * std::mem::size_of::<NodeId>())
+                .sum::<usize>();
+            bytes += slot.component.len() * std::mem::size_of::<u32>();
+            bytes += slot.edges.len() * std::mem::size_of::<(NodeId, NodeId)>();
+            bytes += (slot.active.len() + slot.members.len()) * std::mem::size_of::<NodeId>();
+            bytes += slot.spans.len() * std::mem::size_of::<(u32, u32)>();
+        }
+        bytes
+    }
+
     /// Total number of (contact, slot) incidences — a measure of graph size
     /// used by the benchmarks.
     pub fn total_edges(&self) -> usize {

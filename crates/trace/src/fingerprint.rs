@@ -1,0 +1,289 @@
+//! Stable structural fingerprints for content-addressed artifacts.
+//!
+//! A [`Fingerprint`] is a 128-bit structural hash. The artifact layer
+//! (`psn-artifact`) keys memoized traces, space-time graphs, history
+//! timelines and per-cell study results by fingerprint, so the hash has to
+//! be **stable** in a way `std::hash::Hash` deliberately is not:
+//!
+//! * stable across processes and runs (no per-process seed);
+//! * stable across *spellings* of the same scenario — the TOML and JSON
+//!   encodings of one config, and any field ordering of either, must hash
+//!   identically. This falls out of hashing the parsed **config document
+//!   model** ([`crate::scenario`]'s table/value tree) with keys visited in
+//!   sorted order, rather than hashing source text;
+//! * sensitive to structure — every value is domain-tagged by type, and
+//!   tables/arrays carry begin/end markers, so `{a: {b: 1}}` and
+//!   `{a: 1, b: 1}` cannot collide by concatenation.
+//!
+//! The implementation is 128-bit FNV-1a. 128 bits makes accidental
+//! collisions astronomically unlikely, but the artifact store still
+//! *checks*: every store entry carries a canonical identity string that is
+//! compared on each hit, so a collision is detected loudly instead of
+//! silently serving the wrong artifact.
+//!
+//! # Example
+//!
+//! ```
+//! use psn_trace::ScenarioConfig;
+//!
+//! let toml = "kind = \"homogeneous\"\nnodes = 17\n";
+//! let json = "{\"nodes\": 17, \"kind\": \"homogeneous\"}";
+//! let a = ScenarioConfig::from_toml_str(toml).unwrap();
+//! let b = ScenarioConfig::from_json_str(json).unwrap();
+//! assert_eq!(a.fingerprint(), b.fingerprint());
+//! ```
+
+use crate::scenario::doc::{Table, Value};
+
+/// A 128-bit stable structural hash, printable as 32 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The fingerprint as a fixed-width lowercase hex string (32 chars) —
+    /// the on-disk artifact file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a fingerprint from its 32-digit hex form.
+    pub fn from_hex(text: &str) -> Option<Fingerprint> {
+        if text.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Fingerprint)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime (2^88 + 2^8 + 0x3b).
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Domain tags keeping differently-typed values from colliding by byte
+/// concatenation.
+mod tag {
+    pub const U64: u8 = 0x01;
+    pub const F64: u8 = 0x02;
+    pub const STR: u8 = 0x03;
+    pub const ARR_BEGIN: u8 = 0x04;
+    pub const ARR_END: u8 = 0x05;
+    pub const TABLE_BEGIN: u8 = 0x06;
+    pub const TABLE_END: u8 = 0x07;
+    pub const FINGERPRINT: u8 = 0x08;
+    pub const BOOL: u8 = 0x09;
+    pub const NONE: u8 = 0x0a;
+}
+
+/// An incremental, domain-tagged stable hasher.
+///
+/// Unlike `std::hash::Hasher` implementations, the byte stream fed into
+/// the state is fully specified (little-endian, length-prefixed strings,
+/// type tags), so fingerprints can be relied on across processes and
+/// releases — bump the domain string of the *caller* (e.g. `"psn-cell/2"`)
+/// when a semantic change must invalidate old keys.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    state: u128,
+}
+
+impl FingerprintHasher {
+    /// Creates a hasher seeded with a caller domain (e.g. `"psn-trace/1"`)
+    /// so fingerprints of different artifact kinds never collide.
+    pub fn new(domain: &str) -> Self {
+        let mut hasher = Self { state: FNV_OFFSET };
+        hasher.write_str(domain);
+        hasher
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.state = (self.state ^ u128::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds raw bytes (no tag, no length prefix — prefer the typed
+    /// writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Feeds an unsigned integer (tagged, little-endian).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_byte(tag::U64);
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds a float by exact bit pattern. This deliberately matches the
+    /// canonical identity string (shortest round-trip `{:?}` rendering):
+    /// distinct bit patterns of non-NaN floats always render distinctly —
+    /// including `-0.0` vs `0.0` — so a fingerprint can never agree while
+    /// the identity check disagrees (which the store would escalate as a
+    /// collision). NaN is rejected upstream by the config schema.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_byte(tag::F64);
+        self.write_bytes(&value.to_bits().to_le_bytes());
+    }
+
+    /// Feeds a boolean.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_byte(tag::BOOL);
+        self.write_byte(u8::from(value));
+    }
+
+    /// Feeds an explicit "absent" marker (for `Option` fields, so
+    /// `Some(0)` and `None` stay distinct).
+    pub fn write_none(&mut self) {
+        self.write_byte(tag::NONE);
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_byte(tag::STR);
+        self.write_bytes(&(value.len() as u64).to_le_bytes());
+        self.write_bytes(value.as_bytes());
+    }
+
+    /// Feeds another fingerprint — the composition hook (e.g. a graph key
+    /// is the trace fingerprint plus the discretization step).
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_byte(tag::FINGERPRINT);
+        self.write_bytes(&fp.0.to_le_bytes());
+    }
+
+    /// Finalizes the hash.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+fn hash_value(hasher: &mut FingerprintHasher, value: &Value) {
+    match value {
+        Value::Int(v) => hasher.write_u64(*v),
+        Value::Num(v) => hasher.write_f64(*v),
+        Value::Str(v) => hasher.write_str(v),
+        Value::Arr(items) => {
+            hasher.write_byte(tag::ARR_BEGIN);
+            hasher.write_bytes(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                hasher.write_f64(*item);
+            }
+            hasher.write_byte(tag::ARR_END);
+        }
+        Value::Table(t) => hash_table(hasher, t),
+    }
+}
+
+/// Hashes a config document table structurally: keys in sorted order
+/// (insertion/source order is presentation, not content), values typed and
+/// domain-tagged.
+pub(crate) fn hash_table(hasher: &mut FingerprintHasher, table: &Table) {
+    hasher.write_byte(tag::TABLE_BEGIN);
+    for (key, value) in table.entries_sorted() {
+        hasher.write_str(key);
+        hash_value(hasher, value);
+    }
+    hasher.write_byte(tag::TABLE_END);
+}
+
+/// Fingerprints a whole config document under a domain string.
+pub(crate) fn table_fingerprint(domain: &str, table: &Table) -> Fingerprint {
+    let mut hasher = FingerprintHasher::new(domain);
+    hash_table(&mut hasher, table);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::config::{CommunityConfig, ConferenceConfig};
+    use crate::ScenarioConfig;
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = Fingerprint(0x00ff_1234_5678_9abc_def0_1122_3344_5566);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[1..]), None);
+        assert_eq!(format!("{fp}"), hex);
+    }
+
+    #[test]
+    fn domains_separate_and_values_are_tagged() {
+        let a = FingerprintHasher::new("a").finish();
+        let b = FingerprintHasher::new("b").finish();
+        assert_ne!(a, b);
+
+        // An integer and a float with identical numeric value hash apart…
+        let mut h = FingerprintHasher::new("t");
+        h.write_u64(2);
+        let int2 = h.finish();
+        let mut h = FingerprintHasher::new("t");
+        h.write_f64(2.0);
+        let num2 = h.finish();
+        assert_ne!(int2, num2);
+
+        // …and -0.0 hashes apart from 0.0, mirroring the canonical
+        // identity rendering ("-0.0" vs "0.0"): the key and the identity
+        // check must always agree, or an equal key with an unequal
+        // identity would be escalated as a hash collision.
+        let mut h = FingerprintHasher::new("t");
+        h.write_f64(0.0);
+        let pos = h.finish();
+        let mut h = FingerprintHasher::new("t");
+        h.write_f64(-0.0);
+        assert_ne!(pos, h.finish());
+        assert_ne!(format!("{:?}", 0.0f64), format!("{:?}", -0.0f64));
+
+        // Strings are length-prefixed: ("ab", "c") != ("a", "bc").
+        let mut h = FingerprintHasher::new("t");
+        h.write_str("ab");
+        h.write_str("c");
+        let left = h.finish();
+        let mut h = FingerprintHasher::new("t");
+        h.write_str("a");
+        h.write_str("bc");
+        assert_ne!(left, h.finish());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_formats_and_field_order() {
+        let scenario = ScenarioConfig::Community(CommunityConfig::default());
+        let fp = scenario.fingerprint();
+
+        // TOML and JSON spellings of the same scenario share the key.
+        let from_toml = ScenarioConfig::from_toml_str(&scenario.to_toml_string()).unwrap();
+        let from_json = ScenarioConfig::from_json_str(&scenario.to_json_string()).unwrap();
+        assert_eq!(from_toml.fingerprint(), fp);
+        assert_eq!(from_json.fingerprint(), fp);
+
+        // Field ordering is presentation, not content: reverse the lines of
+        // the TOML document and the fingerprint is unchanged.
+        let toml = scenario.to_toml_string();
+        let reversed: String =
+            toml.lines().rev().map(|l| format!("{l}\n")).collect::<Vec<_>>().concat();
+        let shuffled = ScenarioConfig::from_toml_str(&reversed).unwrap();
+        assert_eq!(shuffled.fingerprint(), fp);
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_scenarios() {
+        let base = ScenarioConfig::Community(CommunityConfig::default());
+        let reseeded = base.with_seed(base.seed() ^ 1);
+        assert_ne!(base.fingerprint(), reseeded.fingerprint(), "seed is part of the key");
+
+        let wider = base.with_field("window_seconds", base.window_seconds() + 1.0).unwrap();
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+
+        let other_family = ScenarioConfig::Conference(ConferenceConfig::default());
+        assert_ne!(base.fingerprint(), other_family.fingerprint());
+    }
+}

@@ -41,6 +41,7 @@
 pub mod binning;
 pub mod contact;
 pub mod datasets;
+pub mod fingerprint;
 pub mod generator;
 pub mod node;
 pub mod parser;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use contact::Contact;
 pub use datasets::{DatasetId, SyntheticDataset};
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use node::{NodeClass, NodeId, NodeRegistry};
 pub use rates::{ContactRates, RateClass};
 pub use scenario::{ScenarioConfig, ScenarioError, ScenarioSet};

@@ -229,6 +229,23 @@ impl ScenarioConfig {
         doc::write_json(&self.to_doc())
     }
 
+    /// The stable structural fingerprint of this scenario — the
+    /// content-address under which the artifact layer memoizes the
+    /// generated trace and everything derived from it. Hashed over the
+    /// config document model, so every TOML/JSON spelling and field
+    /// ordering of the same scenario shares the key, and any semantic
+    /// difference (seed included) changes it.
+    pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        crate::fingerprint::table_fingerprint("psn-scenario/1", &self.to_doc())
+    }
+
+    /// A canonical serialized form of the scenario (its JSON document) —
+    /// the identity string artifact stores compare on every fingerprint
+    /// hit to rule hash collisions out.
+    pub fn canonical_identity(&self) -> String {
+        self.to_json_string()
+    }
+
     /// Returns a copy with one named numeric field replaced — the hook
     /// scenario sweeps use to walk a parameter grid. The assignment goes
     /// through the config document model, so unknown fields, non-numeric
@@ -516,6 +533,13 @@ pub(crate) mod doc {
         /// Looks a value up without consuming it.
         pub fn get(&self, key: &str) -> Option<&Value> {
             self.entries.get(key)
+        }
+
+        /// Iterates entries in sorted key order — the canonical traversal
+        /// the fingerprint module hashes, independent of insertion or
+        /// source order.
+        pub fn entries_sorted(&self) -> impl Iterator<Item = (&String, &Value)> {
+            self.entries.iter()
         }
 
         /// Drains every remaining entry in insertion order (used for

@@ -26,7 +26,16 @@
 //! [axes]                       # field = [values]
 //! intra_inter_ratio = [2.0, 8.0]
 //! nodes_per_community = [6, 12]
+//! params.k = [50, 200]         # a study-parameter axis, applied by the
+//!                              # study layer, not the scenario config
 //! ```
+//!
+//! Axes prefixed `params.` vary **study parameters** (`params.k`,
+//! `params.messages`, `params.runs`) instead of scenario fields: the
+//! scenario config is left untouched, so every cell along such an axis
+//! shares one scenario fingerprint and the artifact layer generates the
+//! trace (and the structures derived from it) exactly once for the whole
+//! axis.
 //!
 //! # Example
 //!
@@ -53,11 +62,28 @@ use crate::scenario::{doc, ScenarioConfig, ScenarioError};
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepAxis {
     /// The scenario config field to vary (e.g. `intra_inter_ratio`,
-    /// `nodes_per_community`, `max_node_rate`).
+    /// `nodes_per_community`, `max_node_rate`), or a study-parameter
+    /// axis prefixed with `params.` (e.g. `params.k`,
+    /// `params.messages`, `params.runs`). Study-parameter axes are
+    /// carried through to the study layer, which validates and applies
+    /// them; the scenario config is left untouched, so every cell along
+    /// such an axis shares one trace fingerprint — the artifact layer
+    /// then generates the trace exactly once for the whole axis.
     pub field: String,
     /// The grid values, in sweep order.
     pub values: Vec<f64>,
 }
+
+impl SweepAxis {
+    /// True if this axis varies a study parameter (`params.*`) rather
+    /// than a scenario config field.
+    pub fn is_param_axis(&self) -> bool {
+        self.field.starts_with(PARAM_AXIS_PREFIX)
+    }
+}
+
+/// The field prefix marking a study-parameter axis.
+pub const PARAM_AXIS_PREFIX: &str = "params.";
 
 /// A declarative scenario sweep: a base config, the axes to vary, and
 /// optional seed replications.
@@ -120,8 +146,11 @@ impl ScenarioSweep {
     ///
     /// # Errors
     ///
-    /// Rejects duplicate axis fields, empty or duplicate value lists, and
-    /// any assignment the scenario schema rejects (unknown field, integer
+    /// Rejects duplicate axis fields, empty value lists, values that are
+    /// numerically equal or would render identical cell labels (`0.1` vs
+    /// `0.10` parse to the same number; the error points this out so the
+    /// config spelling is fixable), duplicate seed replications, and any
+    /// assignment the scenario schema rejects (unknown field, integer
     /// field given a fractional value, …).
     pub fn expand(&self) -> Result<Vec<SweepCell>, ScenarioError> {
         for (i, axis) in self.axes.iter().enumerate() {
@@ -133,15 +162,30 @@ impl ScenarioSweep {
             }
             let mut sorted = axis.values.clone();
             sorted.sort_by(f64::total_cmp);
-            if sorted.windows(2).any(|w| w[0] == w[1]) {
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
                 return Err(ScenarioError::new(format!(
-                    "sweep axis {:?} lists a duplicate value",
-                    axis.field
+                    "sweep axis {:?} lists the value {} twice — two spellings of one number \
+                     (e.g. 0.1 and 0.10) would produce ambiguous, identically-labelled cells",
+                    axis.field,
+                    axis_value_label(w[0]),
                 )));
             }
             if self.axes[..i].iter().any(|other| other.field == axis.field) {
                 return Err(ScenarioError::new(format!("duplicate sweep axis {:?}", axis.field)));
             }
+            if axis.is_param_axis() && axis.field.len() == PARAM_AXIS_PREFIX.len() {
+                return Err(ScenarioError::new(
+                    "sweep axis \"params.\" names no parameter (expected e.g. params.k)",
+                ));
+            }
+        }
+        let mut sorted_seeds = self.seeds.clone();
+        sorted_seeds.sort_unstable();
+        if let Some(w) = sorted_seeds.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ScenarioError::new(format!(
+                "seed {} is listed twice — replications would collide in one cell label",
+                w[0]
+            )));
         }
 
         let mut cells = Vec::with_capacity(self.cell_count());
@@ -153,7 +197,12 @@ impl ScenarioSweep {
             let mut label = self.name.clone();
             for (axis, &index) in self.axes.iter().zip(&odometer) {
                 let value = axis.values[index];
-                config = config.with_field(&axis.field, value)?;
+                if !axis.is_param_axis() {
+                    // Study-parameter axes leave the scenario untouched;
+                    // the study layer applies them, and all cells along
+                    // the axis share one scenario fingerprint.
+                    config = config.with_field(&axis.field, value)?;
+                }
                 assignments.push((axis.field.clone(), value));
                 label.push_str(&format!(" {}={}", axis.field, axis_value_label(value)));
             }
@@ -174,6 +223,18 @@ impl ScenarioSweep {
             let mut pos = self.axes.len();
             loop {
                 if pos == 0 {
+                    // Backstop: whatever the axis/seed validation above
+                    // missed, two cells must never render the same label —
+                    // summary rows and report sections are keyed by it.
+                    let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+                    labels.sort_unstable();
+                    if let Some(w) = labels.windows(2).find(|w| w[0] == w[1]) {
+                        return Err(ScenarioError::new(format!(
+                            "two sweep cells render the identical label {:?} — axis values or \
+                             seeds that format identically must be disambiguated",
+                            w[0]
+                        )));
+                    }
                     return Ok(cells);
                 }
                 pos -= 1;
@@ -449,6 +510,65 @@ max_node_rate = [0.01, 0.05]
         let err = ScenarioSweep::from_toml_str("typo = 1\n[base]\nkind = \"homogeneous\"\n")
             .expect_err("unknown top-level field");
         assert!(err.to_string().contains("typo"), "{err}");
+    }
+
+    #[test]
+    fn ambiguous_labels_are_rejected_at_load_time() {
+        // Two spellings of one number parse to the same f64 and would
+        // render identical cell labels; the sweep must refuse to load.
+        let toml = r#"
+[base]
+kind = "heterogeneous"
+nodes = 10
+[axes]
+max_node_rate = [0.1, 0.10]
+"#;
+        let err = ScenarioSweep::from_toml_str(toml).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        assert!(err.to_string().contains("0.1"), "{err}");
+
+        // Duplicate seed replications collide in the `seed=` suffix.
+        let mut sweep = grid_sweep();
+        sweep.seeds = vec![1, 2, 1];
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("seed 1 is listed twice"), "{err}");
+    }
+
+    #[test]
+    fn param_axes_ride_along_without_touching_the_scenario() {
+        let toml = r#"
+[base]
+kind = "heterogeneous"
+nodes = 12
+[axes]
+max_node_rate = [0.01, 0.05]
+params.k = [50, 200]
+"#;
+        let sweep = ScenarioSweep::from_toml_str(toml).unwrap();
+        assert!(sweep.axes[1].is_param_axis());
+        assert!(!sweep.axes[0].is_param_axis());
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            // The scenario config carries the scenario axis only; the
+            // params axis lives in the assignments and the label.
+            assert_eq!(cell.assignments.len(), 2);
+            assert_eq!(cell.assignments[1].0, "params.k");
+            assert!(cell.label.contains("params.k="), "{}", cell.label);
+        }
+        // Cells along the params axis share the identical scenario config
+        // (and therefore its fingerprint).
+        assert_eq!(cells[0].config, cells[1].config);
+        assert_eq!(cells[0].config.fingerprint(), cells[1].config.fingerprint());
+        assert_ne!(cells[0].config, cells[2].config, "scenario axis still applies");
+
+        let err = ScenarioSweep {
+            axes: vec![SweepAxis { field: "params.".into(), values: vec![1.0] }],
+            ..grid_sweep()
+        }
+        .expand()
+        .unwrap_err();
+        assert!(err.to_string().contains("names no parameter"), "{err}");
     }
 
     #[test]

@@ -312,6 +312,19 @@ impl ContactTrace {
     pub fn aggregate_contact_rate(&self) -> f64 {
         self.contacts.len() as f64 / self.window.duration()
     }
+
+    /// Approximate resident size in bytes — the weight artifact stores use
+    /// for byte-budget accounting. Counts the contact list and the node
+    /// registry; the lazily built per-node index is charged as if built,
+    /// since a cached trace will almost always end up building it.
+    pub fn approx_bytes(&self) -> usize {
+        let contacts = self.contacts.len() * std::mem::size_of::<Contact>();
+        let index = self.contacts.len() * 2 * std::mem::size_of::<u32>()
+            + self.nodes.len() * std::mem::size_of::<Vec<u32>>();
+        let registry: usize =
+            self.nodes.iter().map(|n| std::mem::size_of_val(n) + n.label.len()).sum();
+        contacts + index + registry + self.name.len() + std::mem::size_of::<Self>()
+    }
 }
 
 #[cfg(test)]
