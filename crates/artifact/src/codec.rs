@@ -113,15 +113,18 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        let bytes = self.take(4)?.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let bytes = self.take(8)?.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let bytes = self.take(8)?.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(f64::from_le_bytes(bytes))
     }
 
     fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
@@ -139,6 +142,10 @@ impl<'a> Reader<'a> {
 /// Decodes a trace encoded by [`encode_trace`], verifying the embedded
 /// identity equals `expect_identity`.
 pub fn decode_trace(bytes: &[u8], expect_identity: &str) -> Result<ContactTrace, CodecError> {
+    let injected = psn_fault::enabled()
+        .then(|| psn_fault::inject_decode("codec.decode-trace", bytes))
+        .flatten();
+    let bytes = injected.as_deref().unwrap_or(bytes);
     let mut r = Reader { bytes, pos: 0 };
     if r.take(MAGIC.len())? != MAGIC {
         return Err(CodecError::Magic);
@@ -201,6 +208,8 @@ pub fn decode_trace(bytes: &[u8], expect_identity: &str) -> Result<ContactTrace,
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use psn_trace::generator::config::{CommunityConfig, ConferenceConfig};
     use psn_trace::ScenarioConfig;

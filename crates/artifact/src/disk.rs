@@ -8,83 +8,97 @@
 //!   traces/<fp>.psnt    binary trace artifacts (see [`crate::codec`])
 //!   results/<fp>.json   per-cell study results (psn-report/1 JSON)
 //!   results/<fp>.meta   canonical identity of the result (collision check)
+//!   corrupt/            quarantined artifacts (never read again)
 //! ```
 //!
 //! Files are named by fingerprint hex and written atomically (temp file +
 //! rename), so an interrupted sweep leaves either a complete artifact or
-//! none — a later `sweep --resume` run can trust whatever it finds. Loads
-//! fail soft: any decode error, identity mismatch on a trace, or missing
-//! sidecar is reported as a miss and the artifact is rebuilt and
-//! overwritten. An identity *sidecar* mismatch with a matching fingerprint
-//! would mean a 128-bit hash collision; the store escalates that loudly
-//! (see [`crate::store`]) instead of rebuilding forever.
+//! none — a later `sweep --resume` run can trust whatever it finds.
+//!
+//! The tier is **self-healing**: loads never fail the pipeline. A file
+//! that is corrupt, truncated, version-skewed or identity-mismatched is
+//! *quarantined* — moved into `corrupt/` with a stderr provenance line —
+//! and reported as a miss, so the caller rebuilds and overwrites it and
+//! the bad bytes are never read again (no rebuild-forever loop, and the
+//! evidence survives for a postmortem). Transient IO errors get a bounded
+//! retry with backoff before degrading to a miss (reads) or a warning
+//! (writes): a cache that cannot write is just a smaller cache.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use psn_trace::{ContactTrace, Fingerprint};
 
 use crate::codec;
+use crate::error::ArtifactError;
 
 /// The version string stored in `DIR/FORMAT`. Covers the directory layout
 /// and the result-JSON envelope; the binary codec carries its own version
 /// byte per file.
 pub const LAYOUT_VERSION: &str = "psn-artifact/1";
 
+/// IO attempts per operation (1 initial + retries) before giving up.
+const IO_ATTEMPTS: u32 = 3;
+
 /// A cache directory holding persisted artifacts.
 #[derive(Debug)]
 pub struct DiskTier {
     root: PathBuf,
-}
-
-/// What a result lookup found on disk.
-#[derive(Debug, PartialEq, Eq)]
-pub enum DiskResult {
-    /// No artifact for this fingerprint.
-    Miss,
-    /// A complete artifact whose identity matches; the payload text.
-    Hit(String),
-    /// An artifact exists but belongs to a *different* identity — a hash
-    /// collision, which the caller must escalate.
-    Collision {
-        /// The identity recorded in the sidecar.
-        stored: String,
-    },
+    quarantines: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl DiskTier {
     /// Opens (creating if needed) a cache directory, refusing a directory
     /// written by a different layout version.
-    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ArtifactError> {
         let root = root.into();
         for sub in ["traces", "results"] {
-            std::fs::create_dir_all(root.join(sub))
-                .map_err(|e| format!("creating cache dir {}: {e}", root.display()))?;
+            std::fs::create_dir_all(root.join(sub)).map_err(|e| ArtifactError::Cache {
+                path: root.clone(),
+                message: format!("creating {sub}/: {e}"),
+            })?;
         }
         let format_path = root.join("FORMAT");
         match std::fs::read_to_string(&format_path) {
             Ok(existing) => {
                 if existing.trim() != LAYOUT_VERSION {
-                    return Err(format!(
-                        "cache dir {} was written by {:?}, this build speaks {:?} — \
-                         clear the directory or point --cache elsewhere",
-                        root.display(),
-                        existing.trim(),
-                        LAYOUT_VERSION
-                    ));
+                    return Err(ArtifactError::Cache {
+                        path: root,
+                        message: format!(
+                            "written by {:?}, this build speaks {LAYOUT_VERSION:?} — \
+                             clear the directory or point --cache elsewhere",
+                            existing.trim(),
+                        ),
+                    });
                 }
             }
             Err(_) => {
-                write_atomic(&format_path, LAYOUT_VERSION.as_bytes())
-                    .map_err(|e| format!("writing {}: {e}", format_path.display()))?;
+                write_atomic(&format_path, LAYOUT_VERSION.as_bytes()).map_err(|e| {
+                    ArtifactError::Cache {
+                        path: root.clone(),
+                        message: format!("writing FORMAT: {e}"),
+                    }
+                })?;
             }
         }
-        Ok(Self { root })
+        Ok(Self { root, quarantines: AtomicU64::new(0), retries: AtomicU64::new(0) })
     }
 
     /// The cache root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Files quarantined into `corrupt/` by this tier so far.
+    pub fn quarantine_count(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// IO retries performed by this tier so far.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     fn trace_path(&self, fp: Fingerprint) -> PathBuf {
@@ -99,42 +113,112 @@ impl DiskTier {
         self.root.join("results").join(format!("{}.meta", fp.to_hex()))
     }
 
-    /// Loads a trace artifact. `Ok(None)` is a miss (absent or
-    /// undecodable); an identity mismatch is returned as an error so the
-    /// store can escalate the collision.
-    pub fn load_trace(
-        &self,
-        fp: Fingerprint,
-        identity: &str,
-    ) -> Result<Option<ContactTrace>, String> {
-        let bytes = match std::fs::read(self.trace_path(fp)) {
-            Ok(bytes) => bytes,
-            Err(_) => return Ok(None),
-        };
-        match codec::decode_trace(&bytes, identity) {
-            Ok(trace) => Ok(Some(trace)),
-            Err(codec::CodecError::Identity { stored }) => Err(format!(
-                "fingerprint collision in {}: artifact {} belongs to {stored:?}",
-                self.root.display(),
-                fp.to_hex()
-            )),
-            // Truncated/stale files are misses; the caller rebuilds and
-            // overwrites.
-            Err(_) => Ok(None),
+    /// Runs an IO operation with bounded retry and backoff. `NotFound` is
+    /// a legitimate miss, never retried.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut delay_ms = 1u64;
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+                Err(e) => {
+                    if attempt >= IO_ATTEMPTS {
+                        return Err(e);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                    delay_ms *= 4;
+                    attempt += 1;
+                }
+            }
         }
     }
 
-    /// Persists a trace artifact (atomic; errors are reported, not fatal —
-    /// a cache that cannot write degrades to a smaller cache).
+    /// Moves a bad artifact file into `corrupt/`, preserving its name, and
+    /// emits a provenance line on stderr. Failures to quarantine degrade
+    /// to deletion (the file must never be served again); failures to
+    /// delete are warned about and ignored — the next load will retry.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        let corrupt_dir = self.root.join("corrupt");
+        let _ = std::fs::create_dir_all(&corrupt_dir);
+        let dest = match path.file_name() {
+            Some(name) => corrupt_dir.join(name),
+            None => return,
+        };
+        match std::fs::rename(path, &dest) {
+            Ok(()) => {
+                self.quarantines.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "warning: quarantined corrupt artifact {} -> {} ({reason}); rebuilding",
+                    path.display(),
+                    dest.display()
+                );
+            }
+            Err(_) => match std::fs::remove_file(path) {
+                Ok(()) => {
+                    self.quarantines.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: removed corrupt artifact {} ({reason}); rebuilding",
+                        path.display()
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!(
+                    "warning: could not quarantine corrupt artifact {} ({reason}): {e}",
+                    path.display()
+                ),
+            },
+        }
+    }
+
+    /// Loads a trace artifact. `None` is a miss — absent, unreadable after
+    /// retry, or quarantined. This load never fails the pipeline: any
+    /// decode error (truncation, corruption, version skew, identity
+    /// mismatch) quarantines the file and reports a miss so the caller
+    /// rebuilds it.
+    pub fn load_trace(&self, fp: Fingerprint, identity: &str) -> Option<ContactTrace> {
+        let path = self.trace_path(fp);
+        let bytes = match self.with_retry(|| {
+            let mut bytes = std::fs::read(&path)?;
+            psn_fault::inject_io("disk.read-trace", &mut bytes)?;
+            Ok(bytes)
+        }) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!("warning: reading trace artifact {}: {e} (rebuilding)", path.display());
+                return None;
+            }
+        };
+        match codec::decode_trace(&bytes, identity) {
+            Ok(trace) => Some(trace),
+            Err(err) => {
+                self.quarantine(&path, &err.to_string());
+                None
+            }
+        }
+    }
+
+    /// Persists a trace artifact (atomic; errors are reported by the
+    /// caller as warnings, not fatal — a cache that cannot write degrades
+    /// to a smaller cache).
     pub fn store_trace(
         &self,
         fp: Fingerprint,
         identity: &str,
         trace: &ContactTrace,
-    ) -> Result<(), String> {
+    ) -> Result<(), ArtifactError> {
         let encoded = codec::encode_trace(trace, identity);
-        write_atomic(&self.trace_path(fp), &encoded)
-            .map_err(|e| format!("writing trace artifact {}: {e}", fp.to_hex()))
+        let path = self.trace_path(fp);
+        self.with_retry(|| {
+            psn_fault::inject_io_op("disk.write-trace")?;
+            write_atomic(&path, &encoded)
+        })
+        .map_err(|e| ArtifactError::Io {
+            context: format!("writing trace artifact {}", fp.to_hex()),
+            source: e,
+        })
     }
 
     /// True if a complete result artifact exists for this fingerprint
@@ -144,29 +228,63 @@ impl DiskTier {
     }
 
     /// Loads a result artifact's payload text, collision-checking the
-    /// identity sidecar.
-    pub fn load_result(&self, fp: Fingerprint, identity: &str) -> DiskResult {
-        let stored = match std::fs::read_to_string(self.result_meta_path(fp)) {
+    /// identity sidecar. `None` is a miss. A sidecar that names a
+    /// *different* identity means the fingerprint collided or the file was
+    /// mis-filed: both payload and sidecar are quarantined and the cell is
+    /// rebuilt — never served.
+    pub fn load_result(&self, fp: Fingerprint, identity: &str) -> Option<String> {
+        let meta_path = self.result_meta_path(fp);
+        let payload_path = self.result_path(fp);
+        let stored = match self.with_retry(|| {
+            let mut bytes = std::fs::read(&meta_path)?;
+            psn_fault::inject_io("disk.read-result", &mut bytes)?;
+            String::from_utf8(bytes).map_err(|_| std::io::Error::other("sidecar is not UTF-8"))
+        }) {
             Ok(meta) => meta,
-            Err(_) => return DiskResult::Miss,
+            Err(_) => return None,
         };
         if stored != identity {
-            return DiskResult::Collision { stored };
+            let reason = format!("identity mismatch: sidecar names {stored:?}");
+            self.quarantine(&payload_path, &reason);
+            self.quarantine(&meta_path, &reason);
+            return None;
         }
-        match std::fs::read_to_string(self.result_path(fp)) {
-            Ok(text) => DiskResult::Hit(text),
-            Err(_) => DiskResult::Miss,
-        }
+        self.with_retry(|| std::fs::read_to_string(&payload_path)).ok()
+    }
+
+    /// Quarantines a result artifact whose *payload* failed downstream
+    /// validation (e.g. the study layer could not parse the JSON). Both
+    /// the payload and its sidecar are moved aside so the cell rebuilds.
+    pub fn quarantine_result(&self, fp: Fingerprint, reason: &str) {
+        self.quarantine(&self.result_path(fp), reason);
+        self.quarantine(&self.result_meta_path(fp), reason);
     }
 
     /// Persists a result artifact and its identity sidecar. The payload is
     /// written before the sidecar, so a crash between the two leaves a
     /// miss, never a sidecar pointing at nothing.
-    pub fn store_result(&self, fp: Fingerprint, identity: &str, text: &str) -> Result<(), String> {
-        write_atomic(&self.result_path(fp), text.as_bytes())
-            .map_err(|e| format!("writing result artifact {}: {e}", fp.to_hex()))?;
-        write_atomic(&self.result_meta_path(fp), identity.as_bytes())
-            .map_err(|e| format!("writing result sidecar {}: {e}", fp.to_hex()))
+    pub fn store_result(
+        &self,
+        fp: Fingerprint,
+        identity: &str,
+        text: &str,
+    ) -> Result<(), ArtifactError> {
+        let payload_path = self.result_path(fp);
+        self.with_retry(|| {
+            psn_fault::inject_io_op("disk.write-result")?;
+            write_atomic(&payload_path, text.as_bytes())
+        })
+        .map_err(|e| ArtifactError::Io {
+            context: format!("writing result artifact {}", fp.to_hex()),
+            source: e,
+        })?;
+        let meta_path = self.result_meta_path(fp);
+        self.with_retry(|| write_atomic(&meta_path, identity.as_bytes())).map_err(|e| {
+            ArtifactError::Io {
+                context: format!("writing result sidecar {}", fp.to_hex()),
+                source: e,
+            }
+        })
     }
 }
 
@@ -191,6 +309,8 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use psn_trace::generator::config::CommunityConfig;
     use psn_trace::ScenarioConfig;
@@ -210,27 +330,23 @@ mod tests {
         let fp = config.fingerprint();
         let identity = config.canonical_identity();
 
-        assert_eq!(tier.load_trace(fp, &identity).unwrap(), None, "cold tier misses");
+        assert_eq!(tier.load_trace(fp, &identity), None, "cold tier misses");
         let trace = config.generate();
         tier.store_trace(fp, &identity, &trace).unwrap();
-        assert_eq!(tier.load_trace(fp, &identity).unwrap(), Some(trace));
+        assert_eq!(tier.load_trace(fp, &identity), Some(trace));
 
         let rfp = Fingerprint(42);
-        assert_eq!(tier.load_result(rfp, "cell-id"), DiskResult::Miss);
+        assert_eq!(tier.load_result(rfp, "cell-id"), None);
         assert!(!tier.result_exists(rfp));
         tier.store_result(rfp, "cell-id", "{\"payload\": 1}").unwrap();
         assert!(tier.result_exists(rfp));
-        assert_eq!(tier.load_result(rfp, "cell-id"), DiskResult::Hit("{\"payload\": 1}".into()));
-        assert_eq!(
-            tier.load_result(rfp, "other-id"),
-            DiskResult::Collision { stored: "cell-id".into() }
-        );
+        assert_eq!(tier.load_result(rfp, "cell-id"), Some("{\"payload\": 1}".into()));
 
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn layout_version_is_enforced_and_corruption_fails_soft() {
+    fn layout_version_is_enforced_and_corruption_quarantines() {
         let dir = tempdir("version");
         {
             let tier = DiskTier::open(&dir).unwrap();
@@ -238,18 +354,48 @@ mod tests {
             let identity = config.canonical_identity();
             tier.store_trace(config.fingerprint(), &identity, &config.generate()).unwrap();
 
-            // Truncate the artifact: the load degrades to a miss.
+            // Truncate the artifact: the load quarantines it and misses.
             let path = tier.trace_path(config.fingerprint());
             let bytes = std::fs::read(&path).unwrap();
             std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-            assert_eq!(tier.load_trace(config.fingerprint(), &identity).unwrap(), None);
+            assert_eq!(tier.load_trace(config.fingerprint(), &identity), None);
+            assert_eq!(tier.quarantine_count(), 1);
+            assert!(!path.exists(), "bad file moved aside");
+            assert!(
+                dir.join("corrupt").join(path.file_name().unwrap()).exists(),
+                "bad file preserved under corrupt/"
+            );
+            // The miss is sticky: the quarantined file is never re-read.
+            assert_eq!(tier.load_trace(config.fingerprint(), &identity), None);
+            assert_eq!(tier.quarantine_count(), 1);
         }
 
         // Reopening the same directory works; a foreign version is refused.
         assert!(DiskTier::open(&dir).is_ok());
         std::fs::write(dir.join("FORMAT"), "psn-artifact/999").unwrap();
-        let err = DiskTier::open(&dir).unwrap_err();
+        let err = DiskTier::open(&dir).unwrap_err().to_string();
         assert!(err.contains("psn-artifact/999"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_sidecar_mismatch_quarantines_both_files() {
+        let dir = tempdir("sidecar");
+        let tier = DiskTier::open(&dir).unwrap();
+        let fp = Fingerprint(7);
+        tier.store_result(fp, "cell-id", "{\"payload\": 1}").unwrap();
+
+        // A different identity under the same fingerprint is a collision:
+        // quarantined, treated as a miss, and gone from the hot path.
+        assert_eq!(tier.load_result(fp, "other-id"), None);
+        assert_eq!(tier.quarantine_count(), 2, "payload and sidecar both quarantined");
+        assert!(!tier.result_exists(fp));
+        assert_eq!(tier.load_result(fp, "cell-id"), None, "original identity also misses now");
+
+        // The slot is reusable: a fresh store under the new identity hits.
+        tier.store_result(fp, "other-id", "{\"payload\": 2}").unwrap();
+        assert_eq!(tier.load_result(fp, "other-id"), Some("{\"payload\": 2}".into()));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -28,15 +28,27 @@
 //! pins this with differential tests), every fingerprint hit re-checks the
 //! full canonical identity so a hash collision fails loudly rather than
 //! serving the wrong artifact, and on-disk artifacts that fail to decode
-//! (truncated write, stale format) are treated as misses and rebuilt.
+//! (truncated write, stale format, identity mismatch) are quarantined into
+//! `corrupt/` and rebuilt — never served, never fatal.
+//!
+//! Failure stance: every user-reachable failure is a typed
+//! [`ArtifactError`], never a panic — this crate denies
+//! `clippy::unwrap_used`/`expect_used` outside tests to keep it that way.
+//! Failpoint sites (`disk.read-trace`, `disk.write-trace`,
+//! `disk.read-result`, `disk.write-result`, `codec.decode-trace`) let the
+//! chaos suite inject deterministic IO errors, corruption, delays and
+//! panics via `PSN_FAULTS` (see [`psn_fault`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod codec;
 pub mod disk;
+pub mod error;
 pub mod store;
 
 pub use disk::DiskTier;
+pub use error::ArtifactError;
 pub use psn_trace::fingerprint::{Fingerprint, FingerprintHasher};
 pub use store::{ArtifactKey, ArtifactKind, ArtifactStore, BuiltArtifact, CacheSource, StoreStats};

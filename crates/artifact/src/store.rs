@@ -14,17 +14,25 @@
 //! artifact here costs milliseconds-to-minutes to build, so a microsecond
 //! of lock traffic per *resolution* is noise; builds themselves run with
 //! the lock released, with waiters parked on a per-key latch.
+//!
+//! Failure stance: resolutions return [`ArtifactError`] instead of
+//! panicking, and the store mutex is **never poisoned** — lock
+//! acquisitions recover from a poisoned state (the map is a cache of
+//! immutable `Arc`s plus counters; every mutation sequence leaves it
+//! consistent), so one failing worker cannot wedge every other thread's
+//! cache access.
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use psn_forwarding::HistoryTimeline;
 use psn_spacetime::SpaceTimeGraph;
 use psn_trace::fingerprint::{Fingerprint, FingerprintHasher};
 use psn_trace::{ContactTrace, ScenarioConfig, Seconds};
 
-use crate::disk::{DiskResult, DiskTier};
+use crate::disk::DiskTier;
+use crate::error::ArtifactError;
 
 /// Default memory-tier byte budget (2 GiB) — comfortably holds the paper
 /// workloads many times over while bounding multi-thousand-cell sweeps.
@@ -121,6 +129,10 @@ pub struct StoreStats {
     pub disk_writes: u64,
     /// Memory-tier entries evicted under the byte budget.
     pub evictions: u64,
+    /// Corrupt disk artifacts quarantined into `corrupt/`.
+    pub quarantines: u64,
+    /// Disk IO retries after transient failures.
+    pub io_retries: u64,
     /// Live memory-tier entries.
     pub entries: usize,
     /// Approximate bytes resident in the memory tier.
@@ -145,14 +157,21 @@ impl StoreStats {
             .filter(|k| self.builds_of(**k) > 0)
             .map(|k| format!("{} {}", self.builds_of(*k), k.name()))
             .collect();
-        format!(
+        let mut line = format!(
             "built [{}], {} memory hits, {} disk hits, {} evictions, {:.1} MiB resident",
             if builds.is_empty() { "nothing".to_string() } else { builds.join(", ") },
             self.memory_hits,
             self.disk_hits,
             self.evictions,
             self.bytes_in_memory as f64 / (1024.0 * 1024.0),
-        )
+        );
+        if self.quarantines > 0 {
+            line.push_str(&format!(", {} quarantined", self.quarantines));
+        }
+        if self.io_retries > 0 {
+            line.push_str(&format!(", {} io retries", self.io_retries));
+        }
+        line
     }
 }
 
@@ -167,6 +186,15 @@ struct Entry {
 struct Latch {
     done: Mutex<bool>,
     cv: Condvar,
+}
+
+impl Latch {
+    /// Marks the latch done and wakes every waiter. Poison-safe: a waiter
+    /// that panicked while holding `done` cannot block release.
+    fn release(&self) {
+        *self.done.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.cv.notify_all();
+    }
 }
 
 enum SlotState {
@@ -230,7 +258,7 @@ impl ArtifactStore {
     }
 
     /// A store backed by an on-disk cache directory (`--cache DIR`).
-    pub fn with_disk(dir: impl Into<std::path::PathBuf>) -> Result<Self, String> {
+    pub fn with_disk(dir: impl Into<std::path::PathBuf>) -> Result<Self, ArtifactError> {
         Ok(Self { disk: Some(DiskTier::open(dir)?), ..Self::in_memory() })
     }
 
@@ -257,15 +285,27 @@ impl ArtifactStore {
         self.enabled
     }
 
+    /// Acquires the store lock, recovering from poison: the inner map is a
+    /// cache of immutable `Arc`s plus counters, and every mutation leaves
+    /// it consistent, so a thread that panicked while holding the lock
+    /// cannot leave it half-updated.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// A snapshot of the store's counters.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock().expect("store lock");
+        let inner = self.lock();
+        let (quarantines, io_retries) =
+            self.disk.as_ref().map_or((0, 0), |d| (d.quarantine_count(), d.retry_count()));
         StoreStats {
             builds: inner.builds,
             memory_hits: inner.memory_hits,
             disk_hits: inner.disk_hits,
             disk_writes: inner.disk_writes,
             evictions: inner.evictions,
+            quarantines,
+            io_retries,
             entries: inner.map.values().filter(|s| matches!(s, SlotState::Ready(_))).count(),
             bytes_in_memory: inner.bytes,
         }
@@ -278,35 +318,42 @@ impl ArtifactStore {
     /// the value or loaded it from the disk tier, and the value's byte
     /// weight for LRU budget accounting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a fingerprint collision (same key, different identity) —
-    /// with 128-bit structural fingerprints this indicates corruption or a
-    /// bug, and silently serving the wrong artifact would be far worse.
+    /// [`ArtifactError::IdentityMismatch`] on a fingerprint collision
+    /// (same key, different identity) — with 128-bit structural
+    /// fingerprints this indicates corruption or a bug, and silently
+    /// serving the wrong artifact would be far worse. The error is
+    /// returned with the lock released (never poisoned), so concurrent
+    /// resolutions of *other* keys are unaffected. Builder errors
+    /// propagate; the key is released for a later resolver to retry.
     pub fn get_or_build<T: Send + Sync + 'static>(
         &self,
         key: ArtifactKey,
         identity: &str,
-        build: impl FnOnce() -> BuiltArtifact<T>,
-    ) -> (Arc<T>, CacheSource) {
+        build: impl FnOnce() -> Result<BuiltArtifact<T>, ArtifactError>,
+    ) -> Result<(Arc<T>, CacheSource), ArtifactError> {
         if !self.enabled {
-            let built = build();
-            let mut inner = self.inner.lock().expect("store lock");
+            let built = build()?;
+            let mut inner = self.lock();
             Self::count_build(&mut inner, key.kind, built.source);
-            return (Arc::new(built.value), built.source);
+            return Ok((Arc::new(built.value), built.source));
         }
 
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = self.lock();
         loop {
             match inner.map.get_mut(&key) {
                 Some(SlotState::Ready(entry)) => {
-                    assert!(
-                        entry.identity == identity,
-                        "fingerprint collision on {:?}: cached identity {:?} != requested {:?}",
-                        key,
-                        entry.identity,
-                        identity
-                    );
+                    if entry.identity != identity {
+                        let stored = entry.identity.clone();
+                        drop(inner);
+                        return Err(ArtifactError::IdentityMismatch {
+                            kind: key.kind,
+                            fingerprint: key.fingerprint,
+                            stored,
+                            requested: identity.to_string(),
+                        });
+                    }
                     inner.tick += 1;
                     let tick = inner.tick;
                     let entry = match inner.map.get_mut(&key) {
@@ -314,63 +361,68 @@ impl ArtifactStore {
                         _ => unreachable!("slot checked ready above"),
                     };
                     entry.last_used = tick;
-                    let value = entry.value.clone().downcast::<T>().unwrap_or_else(|_| {
-                        panic!("artifact {key:?} cached under a different type")
-                    });
+                    let Ok(value) = entry.value.clone().downcast::<T>() else {
+                        drop(inner);
+                        return Err(ArtifactError::TypeMismatch {
+                            kind: key.kind,
+                            fingerprint: key.fingerprint,
+                        });
+                    };
                     inner.memory_hits += 1;
-                    return (value, CacheSource::Memory);
+                    return Ok((value, CacheSource::Memory));
                 }
                 Some(SlotState::Building(latch)) => {
                     let latch = Arc::clone(latch);
                     drop(inner);
-                    let done = latch.done.lock().expect("latch lock");
-                    let _done = latch
-                        .cv
-                        .wait_while(done, |done| !*done)
-                        .expect("latch holder does not poison");
+                    let done = latch.done.lock().unwrap_or_else(|p| p.into_inner());
+                    let _done = match latch.cv.wait_while(done, |done| !*done) {
+                        Ok(guard) => guard,
+                        Err(poison) => poison.into_inner(),
+                    };
                     // Re-inspect: normally Ready now, but if the winner's
-                    // build panicked (slot removed) or the entry was
-                    // already evicted, loop around and take the build
+                    // build panicked or failed (slot removed) or the entry
+                    // was already evicted, loop around and take the build
                     // ourselves.
-                    inner = self.inner.lock().expect("store lock");
+                    inner = self.lock();
                 }
                 None => break,
             }
         }
 
         // We own the build. Park a latch so racers wait instead of
-        // duplicating work, and make sure a panicking builder releases
-        // them (they will then rebuild).
+        // duplicating work, and make sure a panicking or failing builder
+        // releases them (they will then rebuild).
         let latch = Arc::new(Latch { done: Mutex::new(false), cv: Condvar::new() });
         inner.map.insert(key, SlotState::Building(Arc::clone(&latch)));
         drop(inner);
 
-        struct ReleaseOnPanic<'a> {
+        struct ReleaseOnExit<'a> {
             store: &'a ArtifactStore,
             key: ArtifactKey,
             latch: Arc<Latch>,
             armed: bool,
         }
-        impl Drop for ReleaseOnPanic<'_> {
+        impl Drop for ReleaseOnExit<'_> {
             fn drop(&mut self) {
                 if !self.armed {
                     return;
                 }
-                let mut inner = self.store.inner.lock().expect("store lock");
+                let mut inner = self.store.lock();
                 if matches!(inner.map.get(&self.key), Some(SlotState::Building(_))) {
                     inner.map.remove(&self.key);
                 }
                 drop(inner);
-                *self.latch.done.lock().expect("latch lock") = true;
-                self.latch.cv.notify_all();
+                self.latch.release();
             }
         }
-        let mut guard = ReleaseOnPanic { store: self, key, latch, armed: true };
+        let mut guard = ReleaseOnExit { store: self, key, latch, armed: true };
 
-        let built = build();
+        // A builder Err unwinds through the armed guard: the slot is
+        // removed and waiters released, exactly like a panic.
+        let built = build()?;
         let value = Arc::new(built.value);
 
-        let mut inner = self.inner.lock().expect("store lock");
+        let mut inner = self.lock();
         Self::count_build(&mut inner, key.kind, built.source);
         inner.tick += 1;
         let tick = inner.tick;
@@ -388,9 +440,8 @@ impl ArtifactStore {
         drop(inner);
 
         guard.armed = false;
-        *guard.latch.done.lock().expect("latch lock") = true;
-        guard.latch.cv.notify_all();
-        (value, built.source)
+        guard.latch.release();
+        Ok((value, built.source))
     }
 
     fn count_build(inner: &mut Inner, kind: ArtifactKind, source: CacheSource) {
@@ -427,40 +478,49 @@ impl ArtifactStore {
     /// The trace artifact of a scenario: memory tier, then disk tier, then
     /// `config.generate()` — generated exactly once per fingerprint no
     /// matter how many runs, views, seeds or sweep cells share it.
-    pub fn scenario_trace(&self, config: &ScenarioConfig) -> (Arc<ContactTrace>, CacheSource) {
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::IdentityMismatch`] on a memory-tier fingerprint
+    /// collision. A *disk*-tier problem never surfaces here: corrupt or
+    /// mismatched files are quarantined and rebuilt by [`DiskTier`].
+    pub fn scenario_trace(
+        &self,
+        config: &ScenarioConfig,
+    ) -> Result<(Arc<ContactTrace>, CacheSource), ArtifactError> {
         let key = ArtifactKey { kind: ArtifactKind::Trace, fingerprint: config.fingerprint() };
         let identity = config.canonical_identity();
         self.get_or_build(key, &identity, || {
             if let Some(disk) = &self.disk {
-                match disk.load_trace(key.fingerprint, &identity) {
-                    Ok(Some(trace)) => {
-                        let bytes = trace.approx_bytes();
-                        return BuiltArtifact { value: trace, bytes, source: CacheSource::Disk };
-                    }
-                    Ok(None) => {}
-                    Err(collision) => panic!("{collision}"),
+                if let Some(trace) = disk.load_trace(key.fingerprint, &identity) {
+                    let bytes = trace.approx_bytes();
+                    return Ok(BuiltArtifact { value: trace, bytes, source: CacheSource::Disk });
                 }
             }
             let trace = config.generate();
             if let Some(disk) = &self.disk {
                 match disk.store_trace(key.fingerprint, &identity, &trace) {
-                    Ok(()) => self.inner.lock().expect("store lock").disk_writes += 1,
+                    Ok(()) => self.lock().disk_writes += 1,
                     Err(e) => eprintln!("warning: {e} (continuing uncached)"),
                 }
             }
             let bytes = trace.approx_bytes();
-            BuiltArtifact { value: trace, bytes, source: CacheSource::Built }
+            Ok(BuiltArtifact { value: trace, bytes, source: CacheSource::Built })
         })
     }
 
     /// The space-time graph of a scenario's trace at discretization `delta`
     /// — keyed by (scenario fingerprint, Δ), built at most once and shared.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::IdentityMismatch`] on a memory-tier collision.
     pub fn spacetime_graph(
         &self,
         config: &ScenarioConfig,
         trace: &ContactTrace,
         delta: Seconds,
-    ) -> (Arc<SpaceTimeGraph>, CacheSource) {
+    ) -> Result<(Arc<SpaceTimeGraph>, CacheSource), ArtifactError> {
         let mut hasher = FingerprintHasher::new("psn-graph/1");
         hasher.write_fingerprint(config.fingerprint());
         hasher.write_f64(delta);
@@ -469,18 +529,22 @@ impl ArtifactStore {
         self.get_or_build(key, &identity, || {
             let graph = SpaceTimeGraph::build(trace, delta);
             let bytes = graph.approx_bytes();
-            BuiltArtifact { value: graph, bytes, source: CacheSource::Built }
+            Ok(BuiltArtifact { value: graph, bytes, source: CacheSource::Built })
         })
     }
 
     /// The history timeline over a scenario's graph — keyed like the graph
     /// it derives from, built at most once and shared.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::IdentityMismatch`] on a memory-tier collision.
     pub fn history_timeline(
         &self,
         config: &ScenarioConfig,
         graph: &SpaceTimeGraph,
         delta: Seconds,
-    ) -> (Arc<HistoryTimeline>, CacheSource) {
+    ) -> Result<(Arc<HistoryTimeline>, CacheSource), ArtifactError> {
         let mut hasher = FingerprintHasher::new("psn-timeline/1");
         hasher.write_fingerprint(config.fingerprint());
         hasher.write_f64(delta);
@@ -489,27 +553,22 @@ impl ArtifactStore {
         self.get_or_build(key, &identity, || {
             let timeline = HistoryTimeline::build(graph);
             let bytes = timeline.approx_bytes();
-            BuiltArtifact { value: timeline, bytes, source: CacheSource::Built }
+            Ok(BuiltArtifact { value: timeline, bytes, source: CacheSource::Built })
         })
     }
 
     /// Loads a persisted result payload, if the disk tier has one whose
-    /// identity matches.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a fingerprint collision (an artifact with this
-    /// fingerprint but a different identity).
+    /// identity matches. A sidecar identity mismatch is quarantined by the
+    /// disk tier and reported as a miss — never served, never fatal.
     pub fn load_result_text(&self, fp: Fingerprint, identity: &str) -> Option<String> {
-        let disk = self.disk.as_ref()?;
-        match disk.load_result(fp, identity) {
-            DiskResult::Hit(text) => Some(text),
-            DiskResult::Miss => None,
-            DiskResult::Collision { stored } => panic!(
-                "fingerprint collision in {}: result {} belongs to {stored:?}",
-                disk.root().display(),
-                fp.to_hex()
-            ),
+        self.disk.as_ref()?.load_result(fp, identity)
+    }
+
+    /// Quarantines a persisted result whose payload failed downstream
+    /// validation (no-op without a disk tier).
+    pub fn quarantine_result_text(&self, fp: Fingerprint, reason: &str) {
+        if let Some(disk) = &self.disk {
+            disk.quarantine_result(fp, reason);
         }
     }
 
@@ -517,7 +576,7 @@ impl ArtifactStore {
     pub fn store_result_text(&self, fp: Fingerprint, identity: &str, text: &str) {
         if let Some(disk) = &self.disk {
             match disk.store_result(fp, identity, text) {
-                Ok(()) => self.inner.lock().expect("store lock").disk_writes += 1,
+                Ok(()) => self.lock().disk_writes += 1,
                 Err(e) => eprintln!("warning: {e} (continuing uncached)"),
             }
         }
@@ -526,6 +585,8 @@ impl ArtifactStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use psn_trace::generator::config::CommunityConfig;
 
@@ -535,21 +596,20 @@ mod tests {
 
     fn put_blob(store: &ArtifactStore, fp: u128, bytes: usize) -> CacheSource {
         store
-            .get_or_build(key(fp), &format!("blob-{fp}"), || BuiltArtifact {
-                value: vec![0u8; bytes],
-                bytes,
-                source: CacheSource::Built,
+            .get_or_build(key(fp), &format!("blob-{fp}"), || {
+                Ok(BuiltArtifact { value: vec![0u8; bytes], bytes, source: CacheSource::Built })
             })
+            .unwrap()
             .1
     }
 
     #[test]
     fn hits_share_one_arc_and_count_stats() {
         let store = ArtifactStore::in_memory();
-        let build = |n: u64| BuiltArtifact { value: n, bytes: 8, source: CacheSource::Built };
-        let (a, source) = store.get_or_build(key(1), "one", || build(10));
+        let build = |n: u64| Ok(BuiltArtifact { value: n, bytes: 8, source: CacheSource::Built });
+        let (a, source) = store.get_or_build(key(1), "one", || build(10)).unwrap();
         assert_eq!(source, CacheSource::Built);
-        let (b, source) = store.get_or_build(key(1), "one", || panic!("must not rebuild"));
+        let (b, source) = store.get_or_build(key(1), "one", || panic!("must not rebuild")).unwrap();
         assert_eq!(source, CacheSource::Memory);
         assert!(Arc::ptr_eq(&a, &b));
         let stats = store.stats();
@@ -572,17 +632,83 @@ mod tests {
     }
 
     #[test]
-    fn collisions_panic_instead_of_serving_the_wrong_artifact() {
+    fn collisions_return_a_typed_error_and_do_not_poison_the_store() {
         let store = ArtifactStore::in_memory();
         put_blob(&store, 7, 10);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.get_or_build(key(7), "a different identity", || BuiltArtifact {
-                value: Vec::<u8>::new(),
-                bytes: 0,
-                source: CacheSource::Built,
+
+        // Same key, different identity: a typed error, not a panic.
+        let err = store
+            .get_or_build(key(7), "a different identity", || {
+                Ok(BuiltArtifact { value: Vec::<u8>::new(), bytes: 0, source: CacheSource::Built })
             })
-        }));
-        assert!(result.is_err(), "identity mismatch must panic");
+            .unwrap_err();
+        match &err {
+            ArtifactError::IdentityMismatch { kind, fingerprint, stored, requested } => {
+                assert_eq!(*kind, ArtifactKind::Result);
+                assert_eq!(*fingerprint, Fingerprint(7));
+                assert_eq!(stored, "blob-7");
+                assert_eq!(requested, "a different identity");
+            }
+            other => panic!("expected IdentityMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("fingerprint collision"), "{err}");
+
+        // The store stays fully usable: the original identity still hits,
+        // other keys still resolve, and stats() (which takes the same
+        // lock) does not see a poisoned mutex.
+        assert_eq!(put_blob(&store, 7, 10), CacheSource::Memory);
+        assert_eq!(put_blob(&store, 8, 10), CacheSource::Built);
+        assert_eq!(store.stats().entries, 2);
+    }
+
+    #[test]
+    fn two_configs_forced_onto_one_key_collide_loudly() {
+        // The regression the typed error exists for: two *scenario
+        // configs* whose identities differ but which end up addressed by
+        // one key must yield IdentityMismatch, not a poisoned mutex.
+        let a = ScenarioConfig::Community(CommunityConfig::default());
+        let b = ScenarioConfig::Community(CommunityConfig {
+            communities: 3,
+            ..CommunityConfig::default()
+        });
+        assert_ne!(a.canonical_identity(), b.canonical_identity());
+
+        let store = ArtifactStore::in_memory();
+        let forced = ArtifactKey { kind: ArtifactKind::Trace, fingerprint: Fingerprint(99) };
+        let build = |config: &ScenarioConfig| {
+            let trace = config.generate();
+            let bytes = trace.approx_bytes();
+            Ok(BuiltArtifact { value: trace, bytes, source: CacheSource::Built })
+        };
+        store.get_or_build(forced, &a.canonical_identity(), || build(&a)).unwrap();
+        let err = store.get_or_build(forced, &b.canonical_identity(), || build(&b)).unwrap_err();
+        assert!(matches!(err, ArtifactError::IdentityMismatch { .. }), "{err}");
+        // Still serving the original artifact afterwards.
+        let (_, source) =
+            store.get_or_build(forced, &a.canonical_identity(), || build(&a)).unwrap();
+        assert_eq!(source, CacheSource::Memory);
+    }
+
+    #[test]
+    fn a_failing_builder_releases_the_key_for_retry() {
+        let store = ArtifactStore::in_memory();
+        let err = store
+            .get_or_build(key(11), "eleven", || -> Result<BuiltArtifact<u64>, ArtifactError> {
+                Err(ArtifactError::Io {
+                    context: "building".into(),
+                    source: std::io::Error::other("transient"),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, ArtifactError::Io { .. }));
+        // The key is free again: a later resolver builds it cleanly.
+        let (value, source) = store
+            .get_or_build(key(11), "eleven", || {
+                Ok(BuiltArtifact { value: 11u64, bytes: 8, source: CacheSource::Built })
+            })
+            .unwrap();
+        assert_eq!(*value, 11);
+        assert_eq!(source, CacheSource::Built);
     }
 
     #[test]
@@ -618,13 +744,18 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for round in 0..16 {
-                        let (value, _) =
-                            store.get_or_build(key(round), &format!("round-{round}"), || {
+                        let (value, _) = store
+                            .get_or_build(key(round), &format!("round-{round}"), || {
                                 builds.fetch_add(1, Ordering::Relaxed);
                                 // Widen the race window.
                                 std::thread::sleep(std::time::Duration::from_millis(1));
-                                BuiltArtifact { value: round, bytes: 8, source: CacheSource::Built }
-                            });
+                                Ok(BuiltArtifact {
+                                    value: round,
+                                    bytes: 8,
+                                    source: CacheSource::Built,
+                                })
+                            })
+                            .unwrap();
                         assert_eq!(*value, round);
                     }
                 });
@@ -639,16 +770,16 @@ mod tests {
     fn a_panicking_builder_releases_waiters() {
         let store = ArtifactStore::in_memory();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.get_or_build(key(9), "nine", || -> BuiltArtifact<u64> {
+            store.get_or_build(key(9), "nine", || -> Result<BuiltArtifact<u64>, ArtifactError> {
                 panic!("builder failure")
             })
         }));
         // The key is free again: a later resolver builds it cleanly.
-        let (value, source) = store.get_or_build(key(9), "nine", || BuiltArtifact {
-            value: 99u64,
-            bytes: 8,
-            source: CacheSource::Built,
-        });
+        let (value, source) = store
+            .get_or_build(key(9), "nine", || {
+                Ok(BuiltArtifact { value: 99u64, bytes: 8, source: CacheSource::Built })
+            })
+            .unwrap();
         assert_eq!(*value, 99);
         assert_eq!(source, CacheSource::Built);
     }
@@ -663,22 +794,22 @@ mod tests {
         });
         let store = ArtifactStore::in_memory();
 
-        let (trace, s1) = store.scenario_trace(&config);
-        let (again, s2) = store.scenario_trace(&config);
+        let (trace, s1) = store.scenario_trace(&config).unwrap();
+        let (again, s2) = store.scenario_trace(&config).unwrap();
         assert_eq!((s1, s2), (CacheSource::Built, CacheSource::Memory));
         assert!(Arc::ptr_eq(&trace, &again));
         assert_eq!(*trace, config.generate());
 
-        let (graph, g1) = store.spacetime_graph(&config, &trace, 10.0);
-        let (graph2, g2) = store.spacetime_graph(&config, &trace, 10.0);
+        let (graph, g1) = store.spacetime_graph(&config, &trace, 10.0).unwrap();
+        let (graph2, g2) = store.spacetime_graph(&config, &trace, 10.0).unwrap();
         assert_eq!((g1, g2), (CacheSource::Built, CacheSource::Memory));
         assert!(Arc::ptr_eq(&graph, &graph2));
         // A different Δ is a different artifact.
-        let (_, g3) = store.spacetime_graph(&config, &trace, 20.0);
+        let (_, g3) = store.spacetime_graph(&config, &trace, 20.0).unwrap();
         assert_eq!(g3, CacheSource::Built);
 
-        let (timeline, t1) = store.history_timeline(&config, &graph, 10.0);
-        let (_, t2) = store.history_timeline(&config, &graph, 10.0);
+        let (timeline, t1) = store.history_timeline(&config, &graph, 10.0).unwrap();
+        let (_, t2) = store.history_timeline(&config, &graph, 10.0).unwrap();
         assert_eq!((t1, t2), (CacheSource::Built, CacheSource::Memory));
         assert_eq!(timeline.node_count(), trace.node_count());
 
@@ -701,7 +832,7 @@ mod tests {
         });
 
         let store = ArtifactStore::with_disk(&dir).unwrap();
-        let (trace, source) = store.scenario_trace(&config);
+        let (trace, source) = store.scenario_trace(&config).unwrap();
         assert_eq!(source, CacheSource::Built);
         assert_eq!(store.stats().disk_writes, 1);
         store.store_result_text(Fingerprint(5), "cell", "{}");
@@ -710,7 +841,7 @@ mod tests {
         // A new store over the same directory — a restarted process —
         // serves the trace and result from disk.
         let fresh = ArtifactStore::with_disk(&dir).unwrap();
-        let (reloaded, source) = fresh.scenario_trace(&config);
+        let (reloaded, source) = fresh.scenario_trace(&config).unwrap();
         assert_eq!(source, CacheSource::Disk);
         assert_eq!(*reloaded, *trace);
         assert_eq!(fresh.load_result_text(Fingerprint(5), "cell"), Some("{}".to_string()));

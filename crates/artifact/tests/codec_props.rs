@@ -1,0 +1,107 @@
+//! Property tests hardening the binary trace codec against hostile bytes.
+//!
+//! The disk tier feeds `decode_trace` whatever it finds in the cache
+//! directory — possibly truncated by a crashed writer, bit-flipped by a
+//! failing disk, or plain garbage. The contract under test: decode
+//! **returns `Err`** on anything that is not a complete, valid artifact —
+//! it never panics, and never allocates unboundedly from a corrupt length
+//! field (the encodings here are a few KiB; a decode that trusted a
+//! corrupt 8-byte count could try to reserve exabytes).
+
+use proptest::prelude::*;
+use psn_artifact::codec::{decode_trace, encode_trace};
+use psn_trace::generator::config::{CommunityConfig, ConferenceConfig};
+use psn_trace::ScenarioConfig;
+
+const IDENTITY: &str = "codec-prop-identity";
+
+fn sample_encodings() -> Vec<Vec<u8>> {
+    let community = ScenarioConfig::Community(CommunityConfig {
+        communities: 2,
+        nodes_per_community: 4,
+        window_seconds: 300.0,
+        ..CommunityConfig::default()
+    });
+    let conference = ScenarioConfig::Conference(ConferenceConfig {
+        mobile_nodes: 8,
+        stationary_nodes: 2,
+        window_seconds: 400.0,
+        ..ConferenceConfig::default()
+    });
+    vec![
+        encode_trace(&community.generate(), IDENTITY),
+        encode_trace(&conference.generate(), IDENTITY),
+    ]
+}
+
+/// Decode must never panic; whether it returns Ok or Err is the caller's
+/// business. Returns the result so callers can assert more.
+fn decode_must_not_panic(bytes: &[u8]) -> Result<(), ()> {
+    let outcome = std::panic::catch_unwind(|| decode_trace(bytes, IDENTITY).map(|_| ()));
+    match outcome {
+        Ok(result) => result.map_err(|_| ()),
+        Err(_) => panic!("decode_trace panicked on {} bytes", bytes.len()),
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_strict_prefix_is_an_error_never_a_panic(cut_permille in 0usize..1000) {
+        for encoded in sample_encodings() {
+            let cut = cut_permille * encoded.len() / 1000;
+            if cut == encoded.len() {
+                continue;
+            }
+            prop_assert!(
+                decode_must_not_panic(&encoded[..cut]).is_err(),
+                "strict prefix of {} bytes decoded Ok at cut {cut}",
+                encoded.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_header_flips_always_fail(
+        byte_permille in 0usize..1000,
+        bit in 0usize..8,
+    ) {
+        for encoded in sample_encodings() {
+            let byte = byte_permille * encoded.len() / 1000;
+            let mut flipped = encoded.clone();
+            flipped[byte] ^= 1 << bit;
+            // A flip may cancel out semantically nowhere in this codec —
+            // every field is load-bearing — but the property we guarantee
+            // is the absence of panics, plus hard failure for the header.
+            let result = decode_must_not_panic(&flipped);
+            if byte < 8 {
+                prop_assert!(result.is_err(), "header flip at byte {byte} bit {bit} decoded Ok");
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_is_an_error_never_a_panic_or_oom(
+        garbage in proptest::collection::vec(0u8..u8::MAX, 1..4096),
+    ) {
+        // Random bytes essentially never start with the magic, and even
+        // seeded with it the decoder's count guards bound all allocations
+        // by the buffer length.
+        prop_assert!(decode_must_not_panic(&garbage).is_err());
+        let mut seeded = b"PSNART\x01\x01".to_vec();
+        seeded.extend_from_slice(&garbage);
+        let _ = decode_must_not_panic(&seeded);
+    }
+
+    #[test]
+    fn corrupt_count_fields_cannot_force_huge_allocations(
+        count in 0u64..u64::MAX,
+    ) {
+        // An 8-byte length field straight after the header is read as the
+        // identity-string length; whatever its value, decode must reject
+        // it (or run out of buffer) without reserving `count` bytes.
+        let mut bytes = b"PSNART\x01\x01".to_vec();
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        prop_assert!(decode_must_not_panic(&bytes).is_err());
+    }
+}

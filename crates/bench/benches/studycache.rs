@@ -79,15 +79,17 @@ fn bench_sweep(c: &mut Criterion, tag: &str, plan: &SweepPlan) {
     group.bench_function("cold", |b| {
         b.iter(|| {
             let store = ArtifactStore::in_memory();
-            criterion::black_box(run_sweep_with(plan, &store).doc.sections.len())
+            criterion::black_box(
+                run_sweep_with(plan, &store).expect("sweep runs").doc.sections.len(),
+            )
         });
     });
 
     let shared = ArtifactStore::in_memory();
-    let baseline = run_sweep_with(plan, &shared);
+    let baseline = run_sweep_with(plan, &shared).expect("sweep runs");
     group.bench_function("warm_memory", |b| {
         b.iter(|| {
-            let report = run_sweep_with(plan, &shared);
+            let report = run_sweep_with(plan, &shared).expect("sweep runs");
             assert_eq!(report.doc, baseline.doc, "warm must be identical to cold");
             criterion::black_box(report.cells_served_from_cache())
         });
@@ -96,13 +98,13 @@ fn bench_sweep(c: &mut Criterion, tag: &str, plan: &SweepPlan) {
     let dir =
         std::env::temp_dir().join(format!("psn-studycache-bench-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    run_sweep_with(plan, &ArtifactStore::with_disk(&dir).expect("cache dir"));
+    run_sweep_with(plan, &ArtifactStore::with_disk(&dir).expect("cache dir")).expect("sweep runs");
     group.bench_function("warm_disk", |b| {
         b.iter(|| {
             // A fresh store per iteration models a restarted process: the
             // memory tier is empty, everything is parsed back from disk.
             let store = ArtifactStore::with_disk(&dir).expect("cache dir");
-            let report = run_sweep_with(plan, &store);
+            let report = run_sweep_with(plan, &store).expect("sweep runs");
             assert_eq!(report.doc, baseline.doc, "disk-warm must be identical to cold");
             criterion::black_box(report.cells_served_from_cache())
         });

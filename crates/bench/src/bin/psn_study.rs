@@ -9,6 +9,7 @@
 //! psn-study run --config a.toml --study explosion --format json --out results/
 //! psn-study run --study model                           # scenario-less study
 //! psn-study sweep --config scenarios/sweep_community_2x2.toml --format json
+//! psn-study sweep --config grid.toml --cache DIR --keep-going   # fault-tolerant grid
 //! psn-study plan --config a.toml --study forwarding     # show the plan, run nothing
 //! psn-study describe --config scenarios/scaled_1k.toml  # generate + summarise a scenario
 //! psn-study list                                        # presets, studies, views, families
@@ -21,16 +22,38 @@
 //! `PSN_THREADS` environment variables. Scenario and sweep config files are
 //! TOML or JSON (see `scenarios/` and the `psn_trace::scenario` /
 //! `psn_trace::sweep` module docs).
+//!
+//! ## Exit codes
+//!
+//! Failures are typed all the way out of the process (see DESIGN.md §6d):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 2    | usage: bad flags, contradictory combinations |
+//! | 3    | config: unreadable/invalid scenario or sweep file, plan errors |
+//! | 4    | artifact/cache: the store or an output file could not be used |
+//! | 5    | execution: a study cell failed or panicked (including cells   |
+//! |      | reported by `sweep --keep-going`, after the report is emitted) |
+//!
+//! ## Fault injection
+//!
+//! `--faults SITE:KIND[:NTH],…` (or the `PSN_FAULTS` environment variable)
+//! arms deterministic failpoints for chaos testing — e.g.
+//! `--faults disk.read-trace:corrupt-bytes:1` corrupts the first cached
+//! trace read so the self-healing path (quarantine + rebuild) can be
+//! exercised on demand. See the `psn-fault` crate docs for sites and kinds.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use psn::report::{ReportDoc, ReportFormat};
 use psn::study::preset::{render_header, PresetId};
-use psn::study::sweep::{run_sweep_with, SweepReport, SweepSpec};
+use psn::study::sweep::{run_sweep_with_policy, SweepReport, SweepSpec};
 use psn::study::{
-    parse_views, planned_result_fingerprints, run_study_with, ArtifactStore, CacheSource, StudyId,
-    StudyParams, StudyScenario, StudySpec,
+    parse_views, planned_result_fingerprints, run_study_with, ArtifactError, ArtifactStore,
+    CacheSource, CellFailure, RunPolicy, StudyError, StudyId, StudyParams, StudyScenario,
+    StudySpec,
 };
 use psn::ExperimentProfile;
 use psn_bench::{profile_from_env, threads_from_env};
@@ -44,7 +67,7 @@ fn usage() -> &'static str {
      \u{20}             [--cache DIR] [--no-cache]\n  \
      psn-study sweep --config <sweep file> [--study <name>] [--views a,b] [--seeds a,b,c] [--profile ...]\n  \
      \u{20}             [--threads N] [--k ...] [--messages N] [--runs N] [--format text|json|csv] [--out DIR]\n  \
-     \u{20}             [--cache DIR] [--no-cache] [--resume]\n  \
+     \u{20}             [--cache DIR] [--no-cache] [--resume] [--keep-going]\n  \
      psn-study sweep --config <sweep file> --dry              (show the resolved cells, run nothing)\n  \
      psn-study plan --config <file>... --study <name> [--seeds a,b,c]\n  \
      psn-study describe --config <file>...\n  \
@@ -53,7 +76,66 @@ fn usage() -> &'static str {
      \u{20}             interrupted sweep is served from the cache, bit-identically); --resume reports\n  \
      \u{20}             up front how many sweep cells are already cached; --no-cache disables even\n  \
      \u{20}             in-memory artifact sharing (measurement baseline)\n\
+     robustness: --keep-going finishes a sweep past failing cells and appends a typed failure\n  \
+     \u{20}             summary (exit 5); rerun with --cache DIR [--resume] to recompute only the\n  \
+     \u{20}             failed cells; --faults SITE:KIND[:NTH],… (or PSN_FAULTS) arms deterministic\n  \
+     \u{20}             failpoints for chaos testing\n\
+     exit codes: 0 success, 2 usage, 3 config/plan, 4 artifact/cache, 5 execution failure\n\
      run `psn-study list` for the registered presets, studies, views and scenario families"
+}
+
+/// A typed CLI failure: every error path out of `main` carries one of
+/// these, and each variant owns a distinct exit code (documented in
+/// [`usage`] and DESIGN.md §6d) so scripts and CI can tell a typo from a
+/// corrupt cache from a panicked cell.
+enum Failure {
+    /// Bad flags or contradictory combinations — exit 2.
+    Usage(String),
+    /// A config/sweep file or the resolved plan is invalid — exit 3.
+    Config(String),
+    /// The artifact store (or an output file) failed — exit 4.
+    Artifact(String),
+    /// A study cell failed or panicked — exit 5.
+    Execution(String),
+}
+
+impl Failure {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Failure::Usage(_) => 2,
+            Failure::Config(_) => 3,
+            Failure::Artifact(_) => 4,
+            Failure::Execution(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m)
+            | Failure::Config(m)
+            | Failure::Artifact(m)
+            | Failure::Execution(m) => m,
+        }
+    }
+}
+
+impl From<ArtifactError> for Failure {
+    fn from(e: ArtifactError) -> Self {
+        Failure::Artifact(e.to_string())
+    }
+}
+
+impl From<StudyError> for Failure {
+    fn from(e: StudyError) -> Self {
+        match e {
+            StudyError::Plan(p) => Failure::Config(p.to_string()),
+            StudyError::Artifact(a) => a.into(),
+            StudyError::Cell(c) => Failure::Execution(format!(
+                "{c}\n(rerun `sweep` with --keep-going to finish the \
+                 remaining cells and get a failure summary)"
+            )),
+        }
+    }
 }
 
 struct Args {
@@ -73,6 +155,8 @@ struct Args {
     cache: Option<PathBuf>,
     no_cache: bool,
     resume: bool,
+    keep_going: bool,
+    faults: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -94,6 +178,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         cache: None,
         no_cache: false,
         resume: false,
+        keep_going: false,
+        faults: None,
     };
     let next_value = |argv: &mut std::env::Args, flag: &str| {
         argv.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -158,34 +244,39 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--cache" => args.cache = Some(PathBuf::from(next_value(&mut argv, "--cache")?)),
             "--no-cache" => args.no_cache = true,
             "--resume" => args.resume = true,
+            "--keep-going" => args.keep_going = true,
+            "--faults" => args.faults = Some(next_value(&mut argv, "--faults")?),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
     Ok((command, args))
 }
 
-fn load_scenarios(configs: &[PathBuf]) -> Result<Vec<StudyScenario>, String> {
+fn load_scenarios(configs: &[PathBuf]) -> Result<Vec<StudyScenario>, Failure> {
     let loaded = configs
         .iter()
-        .map(|path| ScenarioConfig::from_path(path).map_err(|e| e.to_string()))
+        .map(|path| {
+            ScenarioConfig::from_path(path)
+                .map_err(|e| Failure::Config(format!("{}: {e}", path.display())))
+        })
         .collect::<Result<Vec<_>, _>>()?;
     // Reject duplicate names up front (report sections are keyed by name).
-    let set = psn_trace::ScenarioSet::new(loaded).map_err(|e| e.to_string())?;
+    let set = psn_trace::ScenarioSet::new(loaded).map_err(|e| Failure::Config(e.to_string()))?;
     Ok(set.scenarios().iter().cloned().map(StudyScenario::from).collect())
 }
 
-fn parse_study(name: &str) -> Result<StudyId, String> {
+fn parse_study(name: &str) -> Result<StudyId, Failure> {
     StudyId::parse(name).ok_or_else(|| {
         let names: Vec<&str> = StudyId::all().iter().map(|s| s.name()).collect();
-        format!("unknown study {name:?} (registered: {})", names.join(", "))
+        Failure::Config(format!("unknown study {name:?} (registered: {})", names.join(", ")))
     })
 }
 
-fn build_params(args: &Args) -> Result<StudyParams, String> {
+fn build_params(args: &Args) -> Result<StudyParams, Failure> {
     let mut params = StudyParams::for_profile(args.profile).with_threads(args.threads);
     if let Some(k) = args.k {
         if k == 0 {
-            return Err("--k must be at least 1".into());
+            return Err(Failure::Usage("--k must be at least 1".into()));
         }
         params = params.with_k(k);
     }
@@ -198,15 +289,17 @@ fn build_params(args: &Args) -> Result<StudyParams, String> {
     Ok(params)
 }
 
-fn build_spec(args: &Args) -> Result<StudySpec, String> {
-    let study_name =
-        args.study.as_deref().ok_or("--study is required when running from --config files")?;
+fn build_spec(args: &Args) -> Result<StudySpec, Failure> {
+    let study_name = args.study.as_deref().ok_or_else(|| {
+        Failure::Usage("--study is required when running from --config files".into())
+    })?;
     let study = parse_study(study_name)?;
     let scenarios = load_scenarios(&args.configs)?;
     let params = build_params(args)?;
     let mut spec = StudySpec::new(study, scenarios, params).with_extra_seeds(args.seeds.clone());
     if let Some(views) = &args.views {
-        spec = spec.with_views(parse_views(study, views).map_err(|e| e.to_string())?);
+        spec =
+            spec.with_views(parse_views(study, views).map_err(|e| Failure::Config(e.to_string()))?);
     }
     Ok(spec)
 }
@@ -214,10 +307,10 @@ fn build_spec(args: &Args) -> Result<StudySpec, String> {
 /// Builds the artifact store the command runs against: disk-backed under
 /// `--cache DIR`, pass-through under `--no-cache`, otherwise a private
 /// in-memory store (runs within the invocation still share artifacts).
-fn build_store(args: &Args) -> Result<ArtifactStore, String> {
+fn build_store(args: &Args) -> Result<ArtifactStore, Failure> {
     match (&args.cache, args.no_cache) {
-        (Some(_), true) => Err("--cache and --no-cache are contradictory".into()),
-        (Some(dir), false) => ArtifactStore::with_disk(dir),
+        (Some(_), true) => Err(Failure::Usage("--cache and --no-cache are contradictory".into())),
+        (Some(dir), false) => Ok(ArtifactStore::with_disk(dir)?),
         (None, true) => Ok(ArtifactStore::disabled()),
         (None, false) => Ok(ArtifactStore::in_memory()),
     }
@@ -239,18 +332,36 @@ fn report_sweep_cache(report: &SweepReport, store: &ArtifactStore) {
     );
 }
 
-fn build_sweep_spec(args: &Args) -> Result<SweepSpec, String> {
+/// Prints every failed cell on stderr (the typed failure-summary section
+/// carries the same rows inside the report) and returns the execution
+/// exit code. Only reachable under `--keep-going`.
+fn report_failures(failures: &[CellFailure]) -> ExitCode {
+    for failure in failures {
+        eprintln!("failed: {failure}");
+    }
+    eprintln!(
+        "{} cell(s) failed; the report contains a failure-summary section. \
+         Rerun with --cache DIR [--resume] to recompute only the failed cells.",
+        failures.len()
+    );
+    ExitCode::from(5)
+}
+
+fn build_sweep_spec(args: &Args) -> Result<SweepSpec, Failure> {
     let config = match args.configs.as_slice() {
         [one] => one,
-        [] => return Err("sweep needs exactly one --config <sweep file>".into()),
-        _ => return Err("sweep takes a single --config sweep file".into()),
+        [] => return Err(Failure::Usage("sweep needs exactly one --config <sweep file>".into())),
+        _ => return Err(Failure::Usage("sweep takes a single --config sweep file".into())),
     };
-    let mut sweep = ScenarioSweep::from_path(config).map_err(|e| e.to_string())?;
+    let mut sweep = ScenarioSweep::from_path(config)
+        .map_err(|e| Failure::Config(format!("{}: {e}", config.display())))?;
     let study_name = args
         .study
         .as_deref()
         .or(sweep.study.as_deref())
-        .ok_or("sweep needs --study (or a `study` field in the sweep file)")?
+        .ok_or_else(|| {
+            Failure::Usage("sweep needs --study (or a `study` field in the sweep file)".into())
+        })?
         .to_string();
     let study = parse_study(&study_name)?;
     if !args.seeds.is_empty() {
@@ -259,7 +370,7 @@ fn build_sweep_spec(args: &Args) -> Result<SweepSpec, String> {
     }
     let params = build_params(args)?;
     let views = match &args.views {
-        Some(views) => parse_views(study, views).map_err(|e| e.to_string())?,
+        Some(views) => parse_views(study, views).map_err(|e| Failure::Config(e.to_string()))?,
         None => Vec::new(),
     };
     Ok(SweepSpec { study, sweep, views, params })
@@ -269,7 +380,7 @@ fn build_sweep_spec(args: &Args) -> Result<SweepSpec, String> {
 /// `# == name ==` separators), or one file per artifact under `--out`.
 /// `text_header` is prepended to text output only — JSON/CSV must stay
 /// machine-parseable.
-fn emit(doc: &ReportDoc, args: &Args, text_header: Option<&str>) -> Result<(), String> {
+fn emit(doc: &ReportDoc, args: &Args, text_header: Option<&str>) -> Result<(), Failure> {
     let renderer = args.format.renderer();
     let mut artifacts = renderer.render(doc);
     if args.format == ReportFormat::Text {
@@ -298,15 +409,17 @@ fn emit(doc: &ReportDoc, args: &Args, text_header: Option<&str>) -> Result<(), S
 
 /// Writes one artifact-shaped file into `--out` (shared by the preset
 /// text path, which bypasses the typed renderers to stay golden-pinned).
-fn write_out(dir: &PathBuf, filename: &str, contents: &str) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+fn write_out(dir: &PathBuf, filename: &str, contents: &str) -> Result<(), Failure> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Failure::Artifact(format!("creating {}: {e}", dir.display())))?;
     let path: PathBuf = dir.join(filename);
-    std::fs::write(&path, contents).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    std::fs::write(&path, contents)
+        .map_err(|e| Failure::Artifact(format!("writing {}: {e}", path.display())))?;
     eprintln!("wrote {}", path.display());
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
     if let Some(name) = &args.preset {
         // Presets are pinned invocations; flags that would alter the spec
         // are rejected rather than silently ignored.
@@ -320,24 +433,25 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             ("--runs", args.runs.is_some()),
         ];
         if let Some((flag, _)) = incompatible.iter().find(|(_, given)| *given) {
-            return Err(format!(
+            return Err(Failure::Usage(format!(
                 "{flag} cannot be combined with --preset (presets pin the spec; \
                  use `run --config … --study …` to customise)"
-            ));
+            )));
         }
         let preset = PresetId::parse(name).ok_or_else(|| {
             let names: Vec<&str> = PresetId::all().iter().map(|p| p.name()).collect();
-            format!("unknown preset {name:?} (registered: {})", names.join(", "))
+            Failure::Config(format!("unknown preset {name:?} (registered: {})", names.join(", ")))
         })?;
         if args.dry {
             return match preset.spec(args.profile, args.threads) {
                 Some(spec) => {
-                    print!("{}", spec.plan().map_err(|e| e.to_string())?.describe());
-                    Ok(())
+                    let plan = spec.plan().map_err(|e| Failure::Config(e.to_string()))?;
+                    print!("{}", plan.describe());
+                    Ok(ExitCode::SUCCESS)
                 }
                 None => {
                     println!("preset {name} renders a hardcoded example; nothing to plan");
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
             };
         }
@@ -348,36 +462,36 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             return match &args.out {
                 None => {
                     print!("{contents}");
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
-                Some(dir) => write_out(dir, "report.txt", &contents),
+                Some(dir) => write_out(dir, "report.txt", &contents).map(|()| ExitCode::SUCCESS),
             };
         }
         // Non-text formats go through the typed pipeline; Fig. 2 is the one
         // preset with no study behind it.
         let spec = preset.spec(args.profile, args.threads).ok_or_else(|| {
-            format!(
+            Failure::Config(format!(
                 "preset {name:?} is a hardcoded example with no typed report; use --format text"
-            )
+            ))
         })?;
-        let plan = spec.plan().map_err(|e| e.to_string())?;
+        let plan = spec.plan().map_err(|e| Failure::Config(e.to_string()))?;
         let store = build_store(args)?;
-        let report = run_study_with(&plan, &store);
+        let report = run_study_with(&plan, &store)?;
         report_run_cache(args, &report, &store);
         let header = render_header(preset.figure_title(), args.profile);
-        return emit(&report.doc, args, Some(&header));
+        return emit(&report.doc, args, Some(&header)).map(|()| ExitCode::SUCCESS);
     }
     let spec = build_spec(args)?;
-    let plan = spec.plan().map_err(|e| e.to_string())?;
+    let plan = spec.plan().map_err(|e| Failure::Config(e.to_string()))?;
     if args.dry {
         print!("{}", plan.describe());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let store = build_store(args)?;
-    let report = run_study_with(&plan, &store);
+    let report = run_study_with(&plan, &store)?;
     report_run_cache(args, &report, &store);
     let title = format!("study {} ({} scenarios)", plan.study, plan.runs.len());
-    emit(&report.doc, args, Some(&render_header(&title, args.profile)))
+    emit(&report.doc, args, Some(&render_header(&title, args.profile))).map(|()| ExitCode::SUCCESS)
 }
 
 /// Prints the `run` command's cache provenance on stderr when a persistent
@@ -394,12 +508,12 @@ fn report_run_cache(args: &Args, report: &psn::StudyReport, store: &ArtifactStor
     );
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), String> {
+fn cmd_sweep(args: &Args) -> Result<ExitCode, Failure> {
     let spec = build_sweep_spec(args)?;
-    let plan = spec.plan().map_err(|e| e.to_string())?;
+    let plan = spec.plan().map_err(|e| Failure::Config(e.to_string()))?;
     if args.dry {
         print!("sweep: {} ({} cells)\n{}", spec.sweep.name, plan.cells.len(), plan.plan.describe());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let store = build_store(args)?;
     if args.resume {
@@ -409,7 +523,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         // default whenever --cache is given — results are
         // content-addressed, so reuse is always safe.)
         let Some(disk) = store.disk() else {
-            return Err("--resume needs --cache DIR (the interrupted sweep's cache)".into());
+            return Err(Failure::Usage(
+                "--resume needs --cache DIR (the interrupted sweep's cache)".into(),
+            ));
         };
         let cells = planned_result_fingerprints(&plan.plan);
         let done = cells.iter().filter(|(_, fp)| disk.result_exists(*fp)).count();
@@ -419,7 +535,8 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             disk.root().display()
         );
     }
-    let report = run_sweep_with(&plan, &store);
+    let policy = if args.keep_going { RunPolicy::KeepGoing } else { RunPolicy::FailFast };
+    let report = run_sweep_with_policy(&plan, &store, policy)?;
     report_sweep_cache(&report, &store);
     let title = format!(
         "sweep {} — study {} over {} cells",
@@ -427,19 +544,23 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         plan.plan.study,
         plan.cells.len()
     );
-    emit(&report.doc, args, Some(&render_header(&title, args.profile)))
+    emit(&report.doc, args, Some(&render_header(&title, args.profile)))?;
+    if !report.failures.is_empty() {
+        return Ok(report_failures(&report.failures));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_plan(args: &Args) -> Result<(), String> {
+fn cmd_plan(args: &Args) -> Result<ExitCode, Failure> {
     let spec = build_spec(args)?;
-    let plan = spec.plan().map_err(|e| e.to_string())?;
+    let plan = spec.plan().map_err(|e| Failure::Config(e.to_string()))?;
     print!("{}", plan.describe());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_describe(args: &Args) -> Result<(), String> {
+fn cmd_describe(args: &Args) -> Result<ExitCode, Failure> {
     if args.configs.is_empty() {
-        return Err("describe needs at least one --config".into());
+        return Err(Failure::Usage("describe needs at least one --config".into()));
     }
     for scenario in load_scenarios(&args.configs)? {
         let config = &scenario.config;
@@ -465,7 +586,7 @@ fn cmd_describe(args: &Args) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_list() {
@@ -495,6 +616,9 @@ fn cmd_list() {
     println!("\ncaching: --cache DIR persists traces + per-cell results keyed by a structural");
     println!("  config hash; reruns and interrupted sweeps are served bit-identically from the");
     println!("  cache (--resume reports progress up front); --no-cache disables all sharing");
+    println!("\nrobustness: sweep --keep-going finishes past failing cells (failure summary,");
+    println!("  exit 5); --faults SITE:KIND[:NTH] / PSN_FAULTS arms deterministic failpoints");
+    println!("exit codes: 0 success, 2 usage, 3 config, 4 artifact/cache, 5 execution");
     println!("\nprofiles: quick (default), paper — via --profile or PSN_PROFILE");
     println!("threads: --threads or PSN_THREADS (0 = one per core; never changes results)");
 }
@@ -513,6 +637,18 @@ fn main() -> ExitCode {
         eprintln!("--resume applies to `sweep` only (restarting an interrupted sweep)");
         return ExitCode::from(2);
     }
+    if args.keep_going && command != "sweep" {
+        eprintln!("--keep-going applies to `sweep` only (finishing a grid past failing cells)");
+        return ExitCode::from(2);
+    }
+    if let Some(spec) = &args.faults {
+        // Explicitly armed failpoints (chaos testing); PSN_FAULTS in the
+        // environment needs no flag at all.
+        if let Err(e) = psn_fault::arm(spec) {
+            eprintln!("--faults: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let result = match command.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
@@ -520,15 +656,15 @@ fn main() -> ExitCode {
         "describe" => cmd_describe(&args),
         "list" => {
             cmd_list();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(Failure::Usage(format!("unknown command {other:?}\n{}", usage()))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("{message}");
-            ExitCode::from(2)
+        Ok(code) => code,
+        Err(failure) => {
+            eprintln!("{}", failure.message());
+            ExitCode::from(failure.exit_code())
         }
     }
 }

@@ -256,7 +256,15 @@ pub fn run_explosion_study_on_graph(
     // per-message cost varies wildly (out-out messages cost far more than
     // in-in ones). Results accumulate in per-worker vectors that are merged
     // after the join, so the hot loop takes no locks at all.
+    //
+    // Each job runs under `catch_unwind`: a panicking message cannot take
+    // its sibling threads down mid-job. The first panic is recorded,
+    // remaining workers drain (they stop claiming new work), and the panic
+    // is re-raised once on the calling thread — one clean failure the
+    // study layer can isolate to its cell.
     let next = AtomicUsize::new(0);
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let first_panic: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
     let mut per_worker: Vec<Vec<(usize, ExplosionProfile, Vec<Path>)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -266,15 +274,37 @@ pub fn run_explosion_study_on_graph(
                         let mut scratch = psn_spacetime::EnumerationScratch::new();
                         let mut local = Vec::new();
                         loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= messages.len() {
                                 break;
                             }
-                            let result =
-                                enumerator.enumerate_with_scratch(&messages[idx], &mut scratch);
-                            let profile =
-                                ExplosionProfile::with_threshold(&result, explosion_threshold);
-                            local.push((idx, profile, result.sample_paths));
+                            let job =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    psn_fault::inject_job("queue.explosion");
+                                    let result = enumerator
+                                        .enumerate_with_scratch(&messages[idx], &mut scratch);
+                                    let profile = ExplosionProfile::with_threshold(
+                                        &result,
+                                        explosion_threshold,
+                                    );
+                                    (profile, result.sample_paths)
+                                }));
+                            match job {
+                                Ok((profile, paths)) => local.push((idx, profile, paths)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    let mut slot = first_panic
+                                        .lock()
+                                        .unwrap_or_else(|poison| poison.into_inner());
+                                    slot.get_or_insert_with(|| {
+                                        psn_fault::panic_message(payload.as_ref())
+                                    });
+                                    break;
+                                }
+                            }
                         }
                         local
                     })
@@ -282,9 +312,12 @@ pub fn run_explosion_study_on_graph(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("enumeration workers do not panic"))
+                .map(|h| h.join().expect("enumeration workers catch their own panics"))
                 .collect()
         });
+    if let Some(message) = first_panic.into_inner().unwrap_or_else(|poison| poison.into_inner()) {
+        panic!("enumeration worker panicked: {message}");
+    }
 
     let mut collected: Vec<(usize, ExplosionProfile, Vec<Path>)> =
         per_worker.iter_mut().flat_map(std::mem::take).collect();

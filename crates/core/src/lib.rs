@@ -63,9 +63,12 @@ pub mod study;
 
 pub use config::ExperimentProfile;
 pub use report::{ReportDoc, ReportFormat};
-pub use study::sweep::{run_sweep, run_sweep_with, SweepPlan, SweepReport, SweepSpec};
+pub use study::sweep::{
+    run_sweep, run_sweep_with, run_sweep_with_policy, SweepPlan, SweepReport, SweepSpec,
+};
 pub use study::{
-    ArtifactStore, CacheSource, StudyId, StudyPlan, StudyReport, StudySpec, StudyView,
+    ArtifactError, ArtifactStore, CacheSource, CellFailure, RunPolicy, StudyError, StudyId,
+    StudyPlan, StudyReport, StudySpec, StudyView,
 };
 
 /// Convenient re-exports of the most commonly used types across the

@@ -41,9 +41,9 @@
 pub mod preset;
 pub mod sweep;
 
-pub use psn_artifact::{ArtifactStore, CacheSource, StoreStats};
+pub use psn_artifact::{ArtifactError, ArtifactStore, CacheSource, StoreStats};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use psn_artifact::{ArtifactKey, ArtifactKind, BuiltArtifact};
 use psn_spacetime::{EnumerationConfig, MessageGenerator, MessageWorkloadConfig};
@@ -59,7 +59,8 @@ use crate::experiments::hop_rates::{
 use crate::experiments::model::run_model_validation;
 use crate::experiments::paths_taken::run_paths_taken_shared;
 use crate::report::{
-    Artifact, Block, JsonRenderer, Renderer, ReportDoc, RunMeta, Section, TextRenderer,
+    Artifact, Block, CellValue, Column, JsonRenderer, Renderer, ReportDoc, RunMeta, Scalar,
+    Section, Table, TextRenderer,
 };
 
 /// The registry of named studies — one per experiment family.
@@ -553,6 +554,88 @@ impl std::fmt::Display for StudyPlanError {
 
 impl std::error::Error for StudyPlanError {}
 
+/// How execution responds to a failing cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RunPolicy {
+    /// Stop at the first cell failure and report it (the default).
+    #[default]
+    FailFast,
+    /// Finish every remaining cell; failed cells are recorded in
+    /// [`StudyReport::failures`] and summarized in a typed
+    /// `failure-summary` section appended to the report.
+    KeepGoing,
+}
+
+/// The typed record of one cell (planned run) that failed to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The failed run's label.
+    pub label: String,
+    /// What went wrong — a panic message or an artifact-layer error.
+    pub message: String,
+    /// True when the cell's workers panicked (as opposed to returning a
+    /// typed error).
+    pub panicked: bool,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {:?} {}: {}",
+            self.label,
+            if self.panicked { "panicked" } else { "failed" },
+            self.message
+        )
+    }
+}
+
+/// Why a study (or sweep) failed to execute. The CLI maps each variant to
+/// a distinct exit code: plan errors are configuration mistakes, artifact
+/// errors are cache problems, cell errors are execution failures.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The spec could not be resolved into a plan.
+    Plan(StudyPlanError),
+    /// The artifact layer refused a resolution (identity collision,
+    /// unusable cache directory).
+    Artifact(ArtifactError),
+    /// A cell failed under [`RunPolicy::FailFast`].
+    Cell(CellFailure),
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StudyError::Plan(e) => write!(f, "{e}"),
+            StudyError::Artifact(e) => write!(f, "{e}"),
+            StudyError::Cell(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Plan(e) => Some(e),
+            StudyError::Artifact(e) => Some(e),
+            StudyError::Cell(_) => None,
+        }
+    }
+}
+
+impl From<StudyPlanError> for StudyError {
+    fn from(e: StudyPlanError) -> Self {
+        StudyError::Plan(e)
+    }
+}
+
+impl From<ArtifactError> for StudyError {
+    fn from(e: ArtifactError) -> Self {
+        StudyError::Artifact(e)
+    }
+}
+
 impl StudySpec {
     /// Creates a spec running every view of `study` over `scenarios`.
     pub fn new(study: StudyId, scenarios: Vec<StudyScenario>, params: StudyParams) -> Self {
@@ -712,6 +795,11 @@ pub struct StudyReport {
     /// runs must render byte-identical reports, so provenance can never be
     /// report content.
     pub cache: Vec<RunCache>,
+    /// Cells that failed under [`RunPolicy::KeepGoing`], in plan order
+    /// (always empty under fail-fast, which surfaces the first failure as
+    /// a [`StudyError::Cell`] instead). When non-empty, the report's last
+    /// section is the typed `failure-summary` over these records.
+    pub failures: Vec<CellFailure>,
 }
 
 impl StudyReport {
@@ -830,17 +918,46 @@ fn sections_approx_bytes(sections: &[Section]) -> usize {
     bytes
 }
 
-/// Executes one planned run, resolving its result through the artifact
-/// store: a memoized result (memory or disk tier) is served without
-/// touching the engines; otherwise the sections are computed — via
-/// store-shared trace/graph/timeline artifacts — then cached. Returns the
-/// provenance alongside the sections.
+/// Executes one planned run with full fault isolation: the cell's whole
+/// execution (artifact resolution + engines) runs under `catch_unwind`,
+/// so a panicking worker or a typed artifact error surfaces as one
+/// [`CellFailure`] — never a process abort, never a poisoned store.
 fn run_one(
     plan: &StudyPlan,
     run: &PlannedRun,
     threads: usize,
     store: &ArtifactStore,
-) -> (CacheSource, Vec<Section>) {
+) -> Result<(CacheSource, Vec<Section>), CellFailure> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        psn_fault::inject_job("queue.study-run");
+        run_one_inner(plan, run, threads, store)
+    }));
+    match outcome {
+        Ok(Ok(done)) => Ok(done),
+        Ok(Err(error)) => Err(CellFailure {
+            label: run.label.clone(),
+            message: error.to_string(),
+            panicked: false,
+        }),
+        Err(payload) => Err(CellFailure {
+            label: run.label.clone(),
+            message: psn_fault::panic_message(payload.as_ref()),
+            panicked: true,
+        }),
+    }
+}
+
+/// Resolves one run's result through the artifact store: a memoized
+/// result (memory or disk tier) is served without touching the engines;
+/// otherwise the sections are computed — via store-shared
+/// trace/graph/timeline artifacts — then cached. Returns the provenance
+/// alongside the sections.
+fn run_one_inner(
+    plan: &StudyPlan,
+    run: &PlannedRun,
+    threads: usize,
+    store: &ArtifactStore,
+) -> Result<(CacheSource, Vec<Section>), ArtifactError> {
     let params = run.effective_params(&plan.params);
     let (key, identity) = cell_key(plan.study, &plan.views, run, params);
     let (sections, source) = store.get_or_build(key, &identity, || {
@@ -848,29 +965,36 @@ fn run_one(
             // `parse(render(doc)) == doc` holds for every study (the
             // round-trip tests pin it), so disk-served sections are
             // value-identical to the cold computation and re-render to the
-            // same bytes. A stale or truncated payload degrades to a
-            // rebuild.
-            if let Ok(doc) = JsonRenderer.parse(&text) {
-                return BuiltArtifact {
-                    bytes: text.len(),
-                    value: doc.sections,
-                    source: CacheSource::Disk,
-                };
+            // same bytes.
+            match JsonRenderer.parse(&text) {
+                Ok(doc) => {
+                    return Ok(BuiltArtifact {
+                        bytes: text.len(),
+                        value: doc.sections,
+                        source: CacheSource::Disk,
+                    });
+                }
+                // A payload that passed the sidecar check but does not
+                // parse is corruption: quarantine it and rebuild.
+                Err(e) => store.quarantine_result_text(
+                    key.fingerprint,
+                    &format!("result payload failed to parse: {e}"),
+                ),
             }
         }
-        let sections = compute_run_sections(plan, run, params, threads, store);
+        let sections = compute_run_sections(plan, run, params, threads, store)?;
         if store.disk().is_some() {
             let mut doc = ReportDoc::new(plan.study.name());
             doc.sections = sections.clone();
             store.store_result_text(key.fingerprint, &identity, &JsonRenderer.render_json(&doc));
         }
-        BuiltArtifact {
+        Ok(BuiltArtifact {
             bytes: sections_approx_bytes(&sections),
             value: sections,
             source: CacheSource::Built,
-        }
-    });
-    (source, (*sections).clone())
+        })
+    })?;
+    Ok((source, (*sections).clone()))
 }
 
 /// Computes one run's typed sections with `threads` engine workers,
@@ -882,8 +1006,8 @@ fn compute_run_sections(
     p: &StudyParams,
     threads: usize,
     store: &ArtifactStore,
-) -> Vec<Section> {
-    let (trace, _) = store.scenario_trace(&run.config);
+) -> Result<Vec<Section>, ArtifactError> {
+    let (trace, _) = store.scenario_trace(&run.config)?;
 
     let needs_explosion = plan.views.iter().any(StudyView::needs_explosion);
     let needs_forwarding = plan.views.iter().any(StudyView::needs_forwarding);
@@ -901,12 +1025,17 @@ fn compute_run_sections(
     // engine): enumeration, the simulator and the paths-taken analysis all
     // share the one default-Δ graph of this scenario, across every run,
     // seed and sweep cell that shares its fingerprint.
-    let graph = (needs_explosion || needs_forwarding || has_paths_taken)
-        .then(|| store.spacetime_graph(&run.config, &trace, psn_spacetime::DEFAULT_DELTA).0);
-    let timeline = (needs_forwarding || has_paths_taken).then(|| {
+    let graph = if needs_explosion || needs_forwarding || has_paths_taken {
+        Some(store.spacetime_graph(&run.config, &trace, psn_spacetime::DEFAULT_DELTA)?.0)
+    } else {
+        None
+    };
+    let timeline = if needs_forwarding || has_paths_taken {
         let graph = graph.as_ref().expect("timeline consumers imply a graph");
-        store.history_timeline(&run.config, graph, psn_spacetime::DEFAULT_DELTA).0
-    });
+        Some(store.history_timeline(&run.config, graph, psn_spacetime::DEFAULT_DELTA)?.0)
+    } else {
+        None
+    };
 
     let mut outputs =
         RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
@@ -1033,15 +1162,62 @@ fn compute_run_sections(
         };
         sections.extend(built.into_iter().map(|s| tag(s, run, view)));
     }
-    sections
+    Ok(sections)
+}
+
+/// Builds the typed `failure-summary` section appended to keep-going
+/// reports: one table row per failed cell (label, error, whether it
+/// panicked). The section only exists when failures exist, so clean runs
+/// — and resumed runs that recover every cell — render byte-identically
+/// to a never-failed run.
+fn failure_summary_section(failures: &[CellFailure]) -> Section {
+    let mut table = Table::new(
+        "failed_cells",
+        vec![Column::text("cell"), Column::text("error"), Column::text("panicked")],
+    );
+    for failure in failures {
+        table.push_row(vec![
+            CellValue::Text(failure.label.clone()),
+            CellValue::Text(failure.message.clone()),
+            CellValue::Text(if failure.panicked { "yes".into() } else { "no".into() }),
+        ]);
+    }
+    let mut section = Section::new()
+        .stat(Scalar::display("failed_cells", failures.len() as f64))
+        .block(Block::Title(format!(
+            "Failure summary — {} cell{} failed (rerun with --resume to recompute only these)",
+            failures.len(),
+            if failures.len() == 1 { "" } else { "s" }
+        )))
+        .block(Block::Table(table));
+    section.view = "failure-summary".to_string();
+    section
 }
 
 /// Executes a plan with a fresh, private in-memory artifact store — runs
 /// within the plan still share traces, graphs and timelines, but nothing
 /// persists past the call. See [`run_study_with`] for the shared-store /
 /// disk-backed path.
+///
+/// Infallible by construction for the preset/golden path: with a private
+/// in-memory store and no injected faults nothing can fail; if a cell
+/// does fail (e.g. chaos testing armed a panic site), the failure
+/// propagates as a panic carrying the typed message.
 pub fn run_study(plan: &StudyPlan) -> StudyReport {
     run_study_with(plan, &ArtifactStore::in_memory())
+        .unwrap_or_else(|e| panic!("study execution failed: {e}"))
+}
+
+/// One run's indexed outcome as collected by the execution loops — the
+/// run's position in plan order plus either its cache provenance and
+/// sections or its typed failure.
+type CellOutcome = (usize, Result<(CacheSource, Vec<Section>), CellFailure>);
+
+/// Executes a plan against an artifact store under the default
+/// [`RunPolicy::FailFast`] — the first failing cell aborts execution with
+/// a typed [`StudyError`]. See [`run_study_with_policy`].
+pub fn run_study_with(plan: &StudyPlan, store: &ArtifactStore) -> Result<StudyReport, StudyError> {
+    run_study_with_policy(plan, store, RunPolicy::FailFast)
 }
 
 /// Executes a plan against an artifact store: runs the (scenario × seed)
@@ -1052,7 +1228,20 @@ pub fn run_study(plan: &StudyPlan) -> StudyReport {
 /// touching the engines; the report's `cache` field records each run's
 /// provenance. Worker counts and cache state never change the report
 /// (differential tests pin warm output bit-identical to cold).
-pub fn run_study_with(plan: &StudyPlan, store: &ArtifactStore) -> StudyReport {
+///
+/// Every cell is panic-isolated: a failing cell becomes a typed
+/// [`CellFailure`]. Under [`RunPolicy::FailFast`] the first failure stops
+/// the queue (in-flight cells drain, no new cells start) and is returned
+/// as [`StudyError::Cell`]. Under [`RunPolicy::KeepGoing`] every cell
+/// runs; failures are recorded in [`StudyReport::failures`] and
+/// summarized in a `failure-summary` section appended to the report, and
+/// a later re-run over the same disk cache recomputes **only** the failed
+/// cells (the completed ones are served bit-identically from the store).
+pub fn run_study_with_policy(
+    plan: &StudyPlan,
+    store: &ArtifactStore,
+    policy: RunPolicy,
+) -> Result<StudyReport, StudyError> {
     let mut doc = ReportDoc::new(plan.study.name());
 
     if plan.study == StudyId::Model {
@@ -1060,36 +1249,41 @@ pub fn run_study_with(plan: &StudyPlan, store: &ArtifactStore) -> StudyReport {
         let mut section = validation.section();
         section.view = StudyView::ModelValidation.name().to_string();
         doc.sections.push(section);
-        return StudyReport { study: plan.study, doc, cache: Vec::new() };
+        return Ok(StudyReport { study: plan.study, doc, cache: Vec::new(), failures: Vec::new() });
     }
 
     let total_threads = resolve_threads(plan.params.threads);
     let workers = total_threads.min(plan.runs.len()).max(1);
-    if workers <= 1 {
-        let mut cache = Vec::with_capacity(plan.runs.len());
-        for run in &plan.runs {
-            let (source, sections) = run_one(plan, run, plan.params.threads, store);
-            cache.push(RunCache { label: run.label.clone(), source });
-            doc.sections.extend(sections);
+    let collected: Vec<CellOutcome> = if workers <= 1 {
+        let mut collected = Vec::with_capacity(plan.runs.len());
+        for (idx, run) in plan.runs.iter().enumerate() {
+            let outcome = run_one(plan, run, plan.params.threads, store);
+            let failed = outcome.is_err();
+            collected.push((idx, outcome));
+            if failed && policy == RunPolicy::FailFast {
+                break;
+            }
         }
-        return StudyReport { study: plan.study, doc, cache };
-    }
-
-    // Shard the runs over `workers` threads via a lock-free fetch-add
-    // queue (per-run cost varies wildly between scenarios, so static
-    // chunking would imbalance); the engine thread budget inside each run
-    // shrinks so the total stays at `threads`, with the division
-    // remainder spread over the first workers so no requested thread sits
-    // idle (engine thread counts never change results). Per-worker result
-    // vectors are merged in run order after the join, keeping output
-    // identical to the serial loop. Workers share the artifact store:
-    // runs racing on one scenario block on its latch instead of building
-    // the trace twice.
-    let extra_threads = total_threads % workers;
-    let next = AtomicUsize::new(0);
-    let next = &next;
-    let mut per_worker: Vec<Vec<(usize, CacheSource, Vec<Section>)>> =
-        std::thread::scope(|scope| {
+        collected
+    } else {
+        // Shard the runs over `workers` threads via a lock-free fetch-add
+        // queue (per-run cost varies wildly between scenarios, so static
+        // chunking would imbalance); the engine thread budget inside each
+        // run shrinks so the total stays at `threads`, with the division
+        // remainder spread over the first workers so no requested thread
+        // sits idle (engine thread counts never change results).
+        // Per-worker result vectors are merged in run order after the
+        // join, keeping output identical to the serial loop. Workers share
+        // the artifact store: runs racing on one scenario block on its
+        // latch instead of building the trace twice. Under fail-fast a
+        // cell failure raises `abort`: siblings drain their current cell
+        // and stop claiming new ones.
+        let extra_threads = total_threads % workers;
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let abort = AtomicBool::new(false);
+        let abort = &abort;
+        let mut per_worker: Vec<Vec<CellOutcome>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let inner_threads =
@@ -1097,29 +1291,52 @@ pub fn run_study_with(plan: &StudyPlan, store: &ArtifactStore) -> StudyReport {
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= plan.runs.len() {
                                 break;
                             }
-                            let (source, sections) =
-                                run_one(plan, &plan.runs[idx], inner_threads, store);
-                            local.push((idx, source, sections));
+                            let outcome = run_one(plan, &plan.runs[idx], inner_threads, store);
+                            if outcome.is_err() && policy == RunPolicy::FailFast {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            local.push((idx, outcome));
                         }
                         local
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("study workers do not panic")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("study workers catch their own panics"))
+                .collect()
         });
-    let mut collected: Vec<(usize, CacheSource, Vec<Section>)> =
-        per_worker.iter_mut().flat_map(std::mem::take).collect();
-    collected.sort_by_key(|(idx, _, _)| *idx);
+        let mut collected: Vec<CellOutcome> =
+            per_worker.iter_mut().flat_map(std::mem::take).collect();
+        collected.sort_by_key(|(idx, _)| *idx);
+        collected
+    };
+
     let mut cache = Vec::with_capacity(plan.runs.len());
-    for (idx, source, sections) in collected {
-        cache.push(RunCache { label: plan.runs[idx].label.clone(), source });
-        doc.sections.extend(sections);
+    let mut failures = Vec::new();
+    for (idx, outcome) in collected {
+        match outcome {
+            Ok((source, sections)) => {
+                cache.push(RunCache { label: plan.runs[idx].label.clone(), source });
+                doc.sections.extend(sections);
+            }
+            Err(failure) => match policy {
+                RunPolicy::FailFast => return Err(StudyError::Cell(failure)),
+                RunPolicy::KeepGoing => failures.push(failure),
+            },
+        }
     }
-    StudyReport { study: plan.study, doc, cache }
+    if !failures.is_empty() {
+        doc.sections.push(failure_summary_section(&failures));
+    }
+    Ok(StudyReport { study: plan.study, doc, cache, failures })
 }
 
 #[cfg(test)]
@@ -1377,11 +1594,11 @@ mod tests {
             let scenarios = if study == StudyId::Model { vec![] } else { vec![dense_scenario(11)] };
             let spec = StudySpec::new(study, scenarios, params.clone());
             let plan = spec.plan().unwrap();
-            let cold = run_study_with(&plan, &store);
-            let warm = run_study_with(&plan, &store);
+            let cold = run_study_with(&plan, &store).unwrap();
+            let warm = run_study_with(&plan, &store).unwrap();
             assert_eq!(cold.doc, warm.doc, "{study}: warm != cold");
             assert_eq!(cold.render(), warm.render(), "{study}: rendered bytes differ");
-            let uncached = run_study_with(&plan, &ArtifactStore::disabled());
+            let uncached = run_study_with(&plan, &ArtifactStore::disabled()).unwrap();
             assert_eq!(cold.doc, uncached.doc, "{study}: uncached != cold");
             if study != StudyId::Model {
                 assert!(
@@ -1404,13 +1621,13 @@ mod tests {
             .with_views(vec![StudyView::DelayVsSuccess]);
         let plan = spec.plan().unwrap();
 
-        let cold = run_study_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        let cold = run_study_with(&plan, &ArtifactStore::with_disk(&dir).unwrap()).unwrap();
         assert!(cold.cache.iter().all(|c| c.source == CacheSource::Built));
 
         // A fresh store over the same directory — a restarted process —
         // serves the whole run from disk, bit-identically.
         let fresh = ArtifactStore::with_disk(&dir).unwrap();
-        let warm = run_study_with(&plan, &fresh);
+        let warm = run_study_with(&plan, &fresh).unwrap();
         assert!(warm.cache.iter().all(|c| c.source == CacheSource::Disk), "{:?}", warm.cache);
         assert_eq!(cold.doc, warm.doc);
         assert_eq!(cold.render(), warm.render());
@@ -1439,8 +1656,8 @@ mod tests {
             vec![dense_scenario(7)],
             quick_params().with_threads(4),
         );
-        let cold = run_study_with(&serial.plan().unwrap(), &store);
-        let warm = run_study_with(&parallel.plan().unwrap(), &store);
+        let cold = run_study_with(&serial.plan().unwrap(), &store).unwrap();
+        let warm = run_study_with(&parallel.plan().unwrap(), &store).unwrap();
         assert!(warm.cache.iter().all(|c| c.source == CacheSource::Memory), "{:?}", warm.cache);
         assert_eq!(cold.doc, warm.doc);
     }

@@ -24,8 +24,8 @@ use psn_trace::{ScenarioSweep, SweepCell};
 
 use crate::report::{Block, CellValue, Column, NumberFormat, ReportDoc, Scalar, Section, Table};
 use crate::study::{
-    run_study_with, RunCache, StudyId, StudyParams, StudyPlan, StudyPlanError, StudyScenario,
-    StudySpec, StudyView,
+    run_study_with_policy, CellFailure, RunCache, RunPolicy, StudyError, StudyId, StudyParams,
+    StudyPlan, StudyPlanError, StudyScenario, StudySpec, StudyView,
 };
 
 /// A declarative sweep invocation: the scenario grid plus the study to run
@@ -133,6 +133,11 @@ pub struct SweepReport {
     /// document so cold and warm sweeps render byte-identical reports;
     /// the CLI surfaces it as a stderr summary.
     pub cache: Vec<RunCache>,
+    /// Cells that failed under [`RunPolicy::KeepGoing`] (`--keep-going`),
+    /// in cell order; empty on a clean sweep. When non-empty the report's
+    /// last section is the typed `failure-summary`, and the summary table
+    /// shows missing stats for these cells.
+    pub failures: Vec<CellFailure>,
 }
 
 impl SweepReport {
@@ -145,22 +150,52 @@ impl SweepReport {
 
 /// Executes a resolved sweep with a fresh, private in-memory artifact
 /// store (cells still share traces/graphs/timelines within the call).
+/// Infallible for the clean path; a failing cell propagates as a panic
+/// carrying the typed message (use [`run_sweep_with_policy`] for typed
+/// failure handling).
 pub fn run_sweep(sweep_plan: &SweepPlan) -> SweepReport {
     run_sweep_with(sweep_plan, &ArtifactStore::in_memory())
+        .unwrap_or_else(|e| panic!("sweep execution failed: {e}"))
+}
+
+/// Executes a resolved sweep under the default fail-fast policy. See
+/// [`run_sweep_with_policy`].
+pub fn run_sweep_with(
+    sweep_plan: &SweepPlan,
+    store: &ArtifactStore,
+) -> Result<SweepReport, StudyError> {
+    run_sweep_with_policy(sweep_plan, store, RunPolicy::FailFast)
 }
 
 /// Executes a resolved sweep against an artifact store and assembles the
 /// summary document. With a disk-backed store, cells whose result
 /// fingerprint is already cached are served without running any engine —
 /// an interrupted multi-thousand-cell sweep resumes from where it died.
-pub fn run_sweep_with(sweep_plan: &SweepPlan, store: &ArtifactStore) -> SweepReport {
-    let report = run_study_with(&sweep_plan.plan, store);
+///
+/// Under [`RunPolicy::KeepGoing`] (`psn-study sweep --keep-going`) a
+/// failing cell cannot abort the grid: the remaining cells finish, the
+/// failed cells appear in [`SweepReport::failures`] and in the
+/// `failure-summary` section at the end of the document (their summary
+/// rows show missing stats), and a subsequent run over the same disk
+/// cache recomputes only the failed cells — bit-identically to a sweep
+/// that never failed.
+pub fn run_sweep_with_policy(
+    sweep_plan: &SweepPlan,
+    store: &ArtifactStore,
+    policy: RunPolicy,
+) -> Result<SweepReport, StudyError> {
+    let report = run_study_with_policy(&sweep_plan.plan, store, policy)?;
     let summary = summary_section(sweep_plan, &report.doc);
 
     let mut doc = ReportDoc::new(format!("{}-sweep", sweep_plan.plan.study.name()));
     doc.sections.push(summary);
     doc.sections.extend(report.doc.sections);
-    SweepReport { study: sweep_plan.plan.study, doc, cache: report.cache }
+    Ok(SweepReport {
+        study: sweep_plan.plan.study,
+        doc,
+        cache: report.cache,
+        failures: report.failures,
+    })
 }
 
 /// Builds the per-cell summary: `cell, <axes…>, seed, scenario` plus one
@@ -414,7 +449,7 @@ mod tests {
         spec.params.threads = 4;
         let plan = spec.plan().unwrap();
         let store = crate::study::ArtifactStore::in_memory();
-        let report = run_sweep_with(&plan, &store);
+        let report = run_sweep_with(&plan, &store).unwrap();
         assert_eq!(report.cache.len(), 4);
         assert_eq!(report.cells_served_from_cache(), 0, "distinct results per runs value");
 
@@ -443,7 +478,7 @@ mod tests {
 
         let spec = grid_spec(StudyId::Activity, vec![StudyView::ActivityTimeseries]);
         let plan = spec.plan().unwrap();
-        let cold = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        let cold = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap()).unwrap();
         assert_eq!(cold.cells_served_from_cache(), 0);
 
         // Simulate an interruption: delete one cell's persisted result
@@ -462,7 +497,7 @@ mod tests {
         // A fresh store over the same directory — a restarted process —
         // completes the sweep: three cells from disk, one recomputed, and
         // the report is bit-identical to the uninterrupted run.
-        let resumed = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        let resumed = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap()).unwrap();
         assert_eq!(resumed.cells_served_from_cache(), 3, "{:?}", resumed.cache);
         assert_eq!(
             resumed.cache.iter().filter(|c| c.source == CacheSource::Built).count(),
@@ -473,7 +508,7 @@ mod tests {
         assert_eq!(cold.doc, resumed.doc);
 
         // A third run is fully cache-served.
-        let warm = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap());
+        let warm = run_sweep_with(&plan, &ArtifactStore::with_disk(&dir).unwrap()).unwrap();
         assert_eq!(warm.cells_served_from_cache(), 4);
         assert!(warm.cache.iter().all(|c| c.source == CacheSource::Disk));
         assert_eq!(cold.doc, warm.doc);

@@ -1,0 +1,453 @@
+//! # psn-fault
+//!
+//! Deterministic, zero-cost-when-disabled **failpoints** for the study
+//! pipeline's chaos tests and for reproducing failure scenarios from the
+//! command line.
+//!
+//! A failpoint is a *named site* compiled into production code — the
+//! artifact disk tier, the binary codec, the work-queue drivers — that
+//! normally does nothing. Arming a site makes its `nth` execution fail in
+//! a chosen way:
+//!
+//! ```text
+//! PSN_FAULTS=disk.read-trace:corrupt-bytes:1,queue.study-run:panic:3
+//! ```
+//!
+//! arms two sites: the first trace read returns corrupted bytes, and the
+//! third job taken off the study work queue panics. Each armed spec fires
+//! **exactly once** (on its `nth` hit) unless `nth` is `*`, which fires on
+//! every hit. Fault kinds:
+//!
+//! | kind            | effect at the site                                   |
+//! |-----------------|------------------------------------------------------|
+//! | `io-error`      | the operation reports an injected [`std::io::Error`] |
+//! | `corrupt-bytes` | the site's byte buffer is deterministically flipped  |
+//! | `delay`         | the site sleeps 25 ms (widens race windows)          |
+//! | `panic`         | the site panics (exercises unwind isolation)         |
+//!
+//! **Determinism:** hit counters are per-site and process-global, so a
+//! single-threaded run fires faults at exactly the same operation every
+//! time. (Under multiple workers the *site* is still deterministic; which
+//! worker reaches it `nth` is scheduling-dependent — chaos tests that need
+//! cell-exact targeting run with one worker.)
+//!
+//! **Cost when disabled:** one `Once` check plus one relaxed atomic load
+//! per site execution — no locks, no allocation, no syscalls.
+//!
+//! Tests arm faults programmatically through [`arm_guard`], which holds a
+//! process-wide lock so concurrent chaos tests cannot observe each other's
+//! plans; the CLI arms them persistently through [`arm`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+
+/// The environment variable the global plan is armed from (first use).
+pub const ENV_VAR: &str = "PSN_FAULTS";
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site reports an injected [`std::io::Error`].
+    IoError,
+    /// The site's byte buffer is deterministically corrupted.
+    CorruptBytes,
+    /// The site sleeps briefly (25 ms).
+    Delay,
+    /// The site panics.
+    Panic,
+}
+
+impl FaultKind {
+    /// The spec spelling of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::IoError => "io-error",
+            FaultKind::CorruptBytes => "corrupt-bytes",
+            FaultKind::Delay => "delay",
+            FaultKind::Panic => "panic",
+        }
+    }
+
+    fn parse(name: &str) -> Option<FaultKind> {
+        match name {
+            "io-error" => Some(FaultKind::IoError),
+            "corrupt-bytes" => Some(FaultKind::CorruptBytes),
+            "delay" => Some(FaultKind::Delay),
+            "panic" => Some(FaultKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed fault spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    message: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// One armed failpoint: fires [`FaultKind`] on the `nth` hit of `site`
+/// (or on every hit when `every` is set).
+#[derive(Debug)]
+struct ArmedSite {
+    site: String,
+    kind: FaultKind,
+    nth: u64,
+    every: bool,
+    hits: AtomicU64,
+}
+
+impl ArmedSite {
+    /// Parses `site:kind[:nth]` (`nth` defaults to 1; `*` = every hit).
+    fn parse(spec: &str) -> Result<ArmedSite, FaultSpecError> {
+        let err = |message: String| FaultSpecError { message };
+        let mut parts = spec.split(':');
+        let site = parts.next().unwrap_or_default().trim();
+        if site.is_empty() {
+            return Err(err(format!("{spec:?} has no site name (want site:kind[:nth])")));
+        }
+        let kind = parts
+            .next()
+            .ok_or_else(|| err(format!("{spec:?} has no fault kind (want site:kind[:nth])")))?;
+        let kind = FaultKind::parse(kind.trim()).ok_or_else(|| {
+            err(format!(
+                "{spec:?}: unknown kind {kind:?} (want io-error, corrupt-bytes, delay or panic)"
+            ))
+        })?;
+        let (nth, every) = match parts.next().map(str::trim) {
+            None | Some("1") => (1, false),
+            Some("*") => (0, true),
+            Some(n) => {
+                let nth =
+                    n.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        err(format!("{spec:?}: nth must be a positive count or *"))
+                    })?;
+                (nth, false)
+            }
+        };
+        if parts.next().is_some() {
+            return Err(err(format!("{spec:?} has trailing fields (want site:kind[:nth])")));
+        }
+        Ok(ArmedSite { site: site.to_string(), kind, nth, every, hits: AtomicU64::new(0) })
+    }
+
+    /// Records a hit; returns the kind if this hit fires.
+    fn hit(&self) -> Option<FaultKind> {
+        let count = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        (self.every || count == self.nth).then_some(self.kind)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    sites: Vec<ArmedSite>,
+}
+
+impl Plan {
+    fn parse(specs: &str) -> Result<Plan, FaultSpecError> {
+        let sites = specs
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(ArmedSite::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Plan { sites })
+    }
+}
+
+static ENV_INIT: Once = Once::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PLAN: OnceLock<Mutex<Plan>> = OnceLock::new();
+
+fn plan_cell() -> &'static Mutex<Plan> {
+    PLAN.get_or_init(|| Mutex::new(Plan::default()))
+}
+
+fn lock_plan() -> MutexGuard<'static, Plan> {
+    // A panic kind fired while the lock was held is impossible (the lock
+    // is released before any injected effect), but recover defensively:
+    // the plan is plain data.
+    plan_cell().lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn install(plan: Plan) {
+    let enabled = !plan.sites.is_empty();
+    *lock_plan() = plan;
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(specs) = std::env::var(ENV_VAR) {
+            match Plan::parse(&specs) {
+                Ok(plan) => install(plan),
+                Err(e) => eprintln!("warning: ignoring {ENV_VAR}: {e}"),
+            }
+        }
+    });
+}
+
+/// True when any failpoint is armed — the fast path every site checks.
+pub fn enabled() -> bool {
+    ensure_env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records a hit at `site` and returns the fault to inject, if an armed
+/// spec fires on this hit. Call exactly once per site execution.
+pub fn fire(site: &str) -> Option<FaultKind> {
+    if !enabled() {
+        return None;
+    }
+    let plan = lock_plan();
+    plan.sites.iter().filter(|s| s.site == site).find_map(ArmedSite::hit)
+}
+
+/// Arms the global plan from a spec list (`site:kind[:nth],…`) —
+/// persistent until replaced. The CLI's `--faults` flag lands here; tests
+/// should prefer [`arm_guard`].
+pub fn arm(specs: &str) -> Result<(), FaultSpecError> {
+    ensure_env_init();
+    install(Plan::parse(specs)?);
+    Ok(())
+}
+
+/// Disarms every failpoint.
+pub fn disarm() {
+    ensure_env_init();
+    install(Plan::default());
+}
+
+/// Serializes tests that arm faults; the guard restores a clean (disarmed)
+/// state on drop.
+pub struct ArmGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Arms the global plan for the duration of a test: takes a process-wide
+/// lock (so parallel chaos tests never see each other's plans), arms
+/// `specs`, and disarms again when the guard drops.
+///
+/// # Panics
+///
+/// Panics on a malformed spec — arming happens in test setup, where a bad
+/// spec is a test bug.
+pub fn arm_guard(specs: &str) -> ArmGuard {
+    let lock = TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    ensure_env_init();
+    match Plan::parse(specs) {
+        Ok(plan) => install(plan),
+        Err(e) => panic!("arm_guard({specs:?}): {e}"),
+    }
+    ArmGuard { _lock: lock }
+}
+
+/// Deterministically flips bytes in `buf` (every 16th byte, plus the last
+/// one) so any checksummed or length-validated decoder rejects it. Empty
+/// buffers stay empty — absent data is its own failure mode.
+fn corrupt_in_place(buf: &mut [u8]) {
+    let step = (buf.len() / 16).max(1);
+    let mut i = 0;
+    while i < buf.len() {
+        buf[i] ^= 0xA5;
+        i += step;
+    }
+    if let Some(last) = buf.last_mut() {
+        *last ^= 0xA5;
+    }
+}
+
+fn injected_io_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: io-error at {site}"))
+}
+
+fn apply_delay() {
+    std::thread::sleep(std::time::Duration::from_millis(25));
+}
+
+/// Failpoint for an IO site that moves a byte buffer (a file read about to
+/// be decoded, or an encoded buffer about to be written). Returns the
+/// injected error for `io-error`, corrupts `buf` for `corrupt-bytes`,
+/// sleeps for `delay`, panics for `panic`, and is a no-op when disarmed.
+pub fn inject_io(site: &str, buf: &mut [u8]) -> std::io::Result<()> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FaultKind::IoError) => Err(injected_io_error(site)),
+        Some(FaultKind::CorruptBytes) => {
+            corrupt_in_place(buf);
+            Ok(())
+        }
+        Some(FaultKind::Delay) => {
+            apply_delay();
+            Ok(())
+        }
+        Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
+    }
+}
+
+/// Failpoint for a bufferless IO operation (a rename, a directory
+/// creation). `corrupt-bytes` degrades to an io-error — there are no bytes
+/// to corrupt, and failing is the conservative reading.
+pub fn inject_io_op(site: &str) -> std::io::Result<()> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FaultKind::IoError) | Some(FaultKind::CorruptBytes) => Err(injected_io_error(site)),
+        Some(FaultKind::Delay) => {
+            apply_delay();
+            Ok(())
+        }
+        Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
+    }
+}
+
+/// Extracts a human-readable message from a `catch_unwind` payload (the
+/// `&str`/`String` panics produce; anything else gets a placeholder).
+/// Shared by every panic-isolated work-queue driver.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Failpoint for a decode site over a borrowed buffer. Returns a
+/// corrupted copy for `corrupt-bytes` (and for `io-error`, which a pure
+/// decoder cannot report any other way), `None` when clean or after a
+/// `delay`, and panics for `panic`.
+pub fn inject_decode(site: &str, bytes: &[u8]) -> Option<Vec<u8>> {
+    match fire(site) {
+        Some(FaultKind::CorruptBytes) | Some(FaultKind::IoError) => {
+            let mut copy = bytes.to_vec();
+            corrupt_in_place(&mut copy);
+            Some(copy)
+        }
+        Some(FaultKind::Delay) => {
+            apply_delay();
+            None
+        }
+        Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
+        None => None,
+    }
+}
+
+/// Failpoint for a work-queue job site. Only `panic` and `delay` make
+/// sense here; the IO kinds are ignored rather than misreported.
+pub fn inject_job(site: &str) {
+    match fire(site) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
+        Some(FaultKind::Delay) => apply_delay(),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject() {
+        let site = ArmedSite::parse("disk.read-trace:corrupt-bytes:3").unwrap();
+        assert_eq!((site.site.as_str(), site.kind), ("disk.read-trace", FaultKind::CorruptBytes));
+        assert_eq!((site.nth, site.every), (3, false));
+
+        let site = ArmedSite::parse("a:panic").unwrap();
+        assert_eq!((site.nth, site.every), (1, false));
+        let site = ArmedSite::parse("a:delay:*").unwrap();
+        assert!(site.every);
+
+        for bad in ["", "a", "a:nope", "a:panic:0", "a:panic:x", "a:panic:1:z", ":panic"] {
+            assert!(ArmedSite::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert!(Plan::parse("a:panic, b:io-error:2").unwrap().sites.len() == 2);
+        assert!(Plan::parse("a:panic,,").unwrap().sites.len() == 1);
+    }
+
+    #[test]
+    fn kinds_round_trip_names() {
+        for kind in
+            [FaultKind::IoError, FaultKind::CorruptBytes, FaultKind::Delay, FaultKind::Panic]
+        {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once_and_star_fires_always() {
+        let _guard = arm_guard("t.nth:io-error:2,t.star:delay:*");
+        assert_eq!(fire("t.nth"), None, "first hit must not fire");
+        assert_eq!(fire("t.nth"), Some(FaultKind::IoError), "second hit fires");
+        assert_eq!(fire("t.nth"), None, "spent spec never fires again");
+        for _ in 0..3 {
+            assert_eq!(fire("t.star"), Some(FaultKind::Delay));
+        }
+        assert_eq!(fire("t.other"), None, "unarmed sites never fire");
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _guard = arm_guard("t.drop:panic:1");
+            assert!(enabled());
+        }
+        assert!(!enabled(), "dropping the guard disarms everything");
+        assert_eq!(fire("t.drop"), None);
+    }
+
+    #[test]
+    fn inject_io_maps_kinds() {
+        let _guard = arm_guard("t.io:io-error:1,t.corrupt:corrupt-bytes:1,t.op:corrupt-bytes:1");
+        let mut buf = vec![1u8, 2, 3, 4];
+        assert!(inject_io("t.io", &mut buf).is_err());
+        assert_eq!(buf, vec![1, 2, 3, 4], "io-error leaves the buffer alone");
+
+        let clean = buf.clone();
+        assert!(inject_io("t.corrupt", &mut buf).is_ok());
+        assert_ne!(buf, clean, "corrupt-bytes must change the buffer");
+        assert_eq!(buf.len(), clean.len(), "corruption flips, never truncates");
+
+        assert!(inject_io_op("t.op").is_err(), "bufferless sites degrade corrupt to io-error");
+        assert!(inject_io("t.unarmed", &mut buf).is_ok());
+    }
+
+    #[test]
+    fn inject_job_panics_on_panic_kind() {
+        let _guard = arm_guard("t.job:panic:1");
+        let result = std::panic::catch_unwind(|| inject_job("t.job"));
+        let payload = *result.expect_err("armed job site must panic").downcast::<String>().unwrap();
+        assert!(payload.contains("injected fault: panic at t.job"), "{payload}");
+        inject_job("t.job"); // spent — no panic
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        corrupt_in_place(&mut a);
+        corrupt_in_place(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, vec![0u8; 64]);
+        corrupt_in_place(&mut Vec::new()); // empty stays empty, no panic
+    }
+}

@@ -358,7 +358,14 @@ impl<'a> Simulator<'a> {
             // study driver: workers claim items off a fetch-add counter and
             // accumulate into per-worker vectors, so the hot loop takes no
             // locks; results are merged after the join.
+            //
+            // Each item runs under `catch_unwind` so one panicking chunk
+            // cannot take sibling threads down mid-job: the first panic is
+            // recorded, the queue is aborted, and the panic re-raised once
+            // on the calling thread for the study layer to isolate.
             let next = AtomicUsize::new(0);
+            let abort = std::sync::atomic::AtomicBool::new(false);
+            let first_panic: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
             let per_worker: Vec<Vec<(usize, usize, Vec<MessageOutcome>)>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..threads)
@@ -370,12 +377,33 @@ impl<'a> Simulator<'a> {
                                 );
                                 let mut local = Vec::new();
                                 loop {
+                                    if abort.load(Ordering::Relaxed) {
+                                        break;
+                                    }
                                     let idx = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(&item) = items.get(idx) else {
                                         break;
                                     };
                                     let (job_idx, start, _) = item;
-                                    local.push((job_idx, start, process_item(&mut scratch, item)));
+                                    let job = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            psn_fault::inject_job("queue.forwarding");
+                                            process_item(&mut scratch, item)
+                                        }),
+                                    );
+                                    match job {
+                                        Ok(batch) => local.push((job_idx, start, batch)),
+                                        Err(payload) => {
+                                            abort.store(true, Ordering::Relaxed);
+                                            let mut slot = first_panic
+                                                .lock()
+                                                .unwrap_or_else(|poison| poison.into_inner());
+                                            slot.get_or_insert_with(|| {
+                                                psn_fault::panic_message(payload.as_ref())
+                                            });
+                                            break;
+                                        }
+                                    }
                                 }
                                 local
                             })
@@ -383,9 +411,14 @@ impl<'a> Simulator<'a> {
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("simulation workers do not panic"))
+                        .map(|h| h.join().expect("simulation workers catch their own panics"))
                         .collect()
                 });
+            if let Some(message) =
+                first_panic.into_inner().unwrap_or_else(|poison| poison.into_inner())
+            {
+                panic!("simulation worker panicked: {message}");
+            }
             for (job_idx, start, batch) in per_worker.into_iter().flatten() {
                 for (offset, outcome) in batch.into_iter().enumerate() {
                     outcomes[job_idx][start + offset] = Some(outcome);
