@@ -46,9 +46,11 @@
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod spill;
 pub mod store;
 
 pub use disk::DiskTier;
 pub use error::ArtifactError;
 pub use psn_trace::fingerprint::{Fingerprint, FingerprintHasher};
+pub use spill::CodecSlotSpill;
 pub use store::{ArtifactKey, ArtifactKind, ArtifactStore, BuiltArtifact, CacheSource, StoreStats};

@@ -1,0 +1,178 @@
+//! Codec-backed slot spill for the streaming space-time graph.
+//!
+//! The bounded-window [`psn_spacetime::WindowedSpaceTimeGraph`] keeps only a
+//! sliding window of sealed slots hot and pushes cold slots through a
+//! [`psn_spacetime::SlotSpill`]. This module provides the production
+//! implementation: one tiny binary file per busy slot under a private
+//! directory, written in the same versioned `PSNART` codec as every other
+//! on-disk artifact ([`crate::codec::encode_slot_edges`]).
+//!
+//! Only the normalized edge list is persisted — adjacency, components and
+//! member lists are rebuilt deterministically by `Slot::seal` on reload, so
+//! a reloaded slot is bit-identical to the one that was spilled. Decode
+//! failures surface as [`SpillError`] values (the windowed graph treats a
+//! failed reload as fatal for the run — unlike the artifact cache there is
+//! no way to rebuild a spilled slot without replaying the stream).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use psn_spacetime::{SlotSpill, SpillError};
+use psn_trace::NodeId;
+
+use crate::codec::{decode_slot_edges, encode_slot_edges};
+
+/// Distinguishes concurrently created spill directories within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A [`SlotSpill`] persisting each cold slot as a `PSNART` file in a
+/// private directory.
+///
+/// Directories created by [`CodecSlotSpill::in_temp_dir`] are removed when
+/// the spill is dropped; a spill opened over a caller-provided directory
+/// ([`CodecSlotSpill::at`]) leaves it in place.
+#[derive(Debug)]
+pub struct CodecSlotSpill {
+    dir: PathBuf,
+    cleanup: bool,
+}
+
+impl CodecSlotSpill {
+    /// Opens a spill over `dir`, creating it if needed. The directory is
+    /// left in place on drop.
+    pub fn at(dir: impl Into<PathBuf>) -> Result<Self, SpillError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SpillError::Io(format!("creating spill dir {}: {e}", dir.display())))?;
+        Ok(Self { dir, cleanup: false })
+    }
+
+    /// Creates a spill in a fresh process-unique directory under the system
+    /// temp dir, removed (with its contents) when the spill is dropped.
+    pub fn in_temp_dir() -> Result<Self, SpillError> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("psn-spill-{}-{seq}", std::process::id()));
+        let mut spill = Self::at(dir)?;
+        spill.cleanup = true;
+        Ok(spill)
+    }
+
+    /// The directory slot files are written into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn slot_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("slot-{index}.psnart"))
+    }
+}
+
+impl SlotSpill for CodecSlotSpill {
+    fn store(&self, index: usize, edges: &[(NodeId, NodeId)]) -> Result<(), SpillError> {
+        let path = self.slot_path(index);
+        std::fs::write(&path, encode_slot_edges(index, edges))
+            .map_err(|e| SpillError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    fn load(&self, index: usize) -> Result<Vec<(NodeId, NodeId)>, SpillError> {
+        let path = self.slot_path(index);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SpillError::Missing(index));
+            }
+            Err(e) => return Err(SpillError::Io(format!("reading {}: {e}", path.display()))),
+        };
+        decode_slot_edges(&bytes, index)
+            .map_err(|e| SpillError::Corrupt(format!("{}: {e}", path.display())))
+    }
+}
+
+impl Drop for CodecSlotSpill {
+    fn drop(&mut self) {
+        if self.cleanup {
+            // Best effort: a leftover temp directory is harmless.
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn stores_and_reloads_slot_edge_lists() {
+        let spill = CodecSlotSpill::in_temp_dir().unwrap();
+        let dir = spill.dir().to_path_buf();
+        let edges = vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(4))];
+        spill.store(3, &edges).unwrap();
+        spill.store(7, &[]).unwrap();
+        assert_eq!(spill.load(3).unwrap(), edges);
+        assert_eq!(spill.load(7).unwrap(), vec![]);
+        assert_eq!(spill.load(4).unwrap_err(), SpillError::Missing(4));
+        drop(spill);
+        assert!(!dir.exists(), "temp spill dir is removed on drop");
+    }
+
+    #[test]
+    fn corrupt_slot_files_fail_closed() {
+        let spill = CodecSlotSpill::in_temp_dir().unwrap();
+        spill.store(0, &[(NodeId(0), NodeId(1))]).unwrap();
+        let path = spill.dir().join("slot-0.psnart");
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(spill.load(0).unwrap_err(), SpillError::Corrupt(_)));
+    }
+
+    #[test]
+    fn caller_provided_directories_are_kept() {
+        let dir = std::env::temp_dir().join(format!("psn-spill-keep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let spill = CodecSlotSpill::at(&dir).unwrap();
+            spill.store(1, &[(NodeId(0), NodeId(1))]).unwrap();
+        }
+        assert!(dir.exists(), "explicit spill dir survives drop");
+        let reopened = CodecSlotSpill::at(&dir).unwrap();
+        assert_eq!(reopened.load(1).unwrap(), vec![(NodeId(0), NodeId(1))]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drives_a_windowed_graph_end_to_end() {
+        use psn_spacetime::{SpaceTimeGraph, WindowedSpaceTimeGraph};
+        use psn_trace::contact::Contact;
+        use psn_trace::node::{NodeClass, NodeRegistry};
+        use psn_trace::trace::{ContactTrace, TimeWindow};
+        use psn_trace::TraceEventStream;
+
+        let mut reg = NodeRegistry::new();
+        for _ in 0..5 {
+            reg.add(NodeClass::Mobile);
+        }
+        let contacts = vec![
+            Contact::new(NodeId(0), NodeId(1), 1.0, 15.0).unwrap(),
+            Contact::new(NodeId(1), NodeId(2), 22.0, 28.0).unwrap(),
+            Contact::new(NodeId(3), NodeId(4), 55.0, 95.0).unwrap(),
+            Contact::new(NodeId(0), NodeId(4), 91.0, 99.0).unwrap(),
+        ];
+        let trace =
+            ContactTrace::from_contacts("spill-e2e", reg, TimeWindow::new(0.0, 120.0), contacts)
+                .unwrap();
+        let reference = SpaceTimeGraph::build_default(&trace);
+        let spill = Box::new(CodecSlotSpill::in_temp_dir().unwrap());
+        let windowed =
+            WindowedSpaceTimeGraph::stream(&mut TraceEventStream::new(&trace, 10.0), 1, spill)
+                .unwrap();
+        // Every slot queried backwards (all cold) matches the materialized
+        // reference after a spill round-trip.
+        for s in (0..reference.slot_count()).rev() {
+            let slot = windowed.slot(s);
+            assert_eq!(slot.edges(), reference.edges(s), "slot {s}");
+            assert_eq!(slot.active_nodes(), reference.active_nodes(s), "slot {s}");
+        }
+        assert!(windowed.spill_loads() > 0, "window of 1 forces reloads");
+    }
+}

@@ -137,6 +137,10 @@ pub struct StoreStats {
     pub entries: usize,
     /// Approximate bytes resident in the memory tier.
     pub bytes_in_memory: usize,
+    /// Peak working-set bytes reported by streaming-mode runs (windowed
+    /// graph hot set + incremental timeline builder), maximum across every
+    /// run resolved through this store; `0` when nothing ran streaming.
+    pub peak_stream_bytes: usize,
 }
 
 impl StoreStats {
@@ -170,6 +174,17 @@ impl StoreStats {
         }
         if self.io_retries > 0 {
             line.push_str(&format!(", {} io retries", self.io_retries));
+        }
+        if self.peak_stream_bytes > 0 {
+            let mib = self.peak_stream_bytes as f64 / (1024.0 * 1024.0);
+            if mib >= 1.0 {
+                line.push_str(&format!(", {mib:.1} MiB streaming peak"));
+            } else {
+                line.push_str(&format!(
+                    ", {:.1} KiB streaming peak",
+                    self.peak_stream_bytes as f64 / 1024.0
+                ));
+            }
         }
         line
     }
@@ -212,6 +227,7 @@ struct Inner {
     disk_hits: u64,
     disk_writes: u64,
     evictions: u64,
+    peak_stream_bytes: usize,
 }
 
 /// The two-tier, collision-checked artifact store.
@@ -308,7 +324,17 @@ impl ArtifactStore {
             io_retries,
             entries: inner.map.values().filter(|s| matches!(s, SlotState::Ready(_))).count(),
             bytes_in_memory: inner.bytes,
+            peak_stream_bytes: inner.peak_stream_bytes,
         }
+    }
+
+    /// Records the peak working-set bytes of one streaming-mode run (the
+    /// windowed graph's hot set plus the incremental timeline builder); the
+    /// stats snapshot reports the maximum across every run resolved through
+    /// this store.
+    pub fn record_stream_peak(&self, bytes: usize) {
+        let mut inner = self.lock();
+        inner.peak_stream_bytes = inner.peak_stream_bytes.max(bytes);
     }
 
     /// Resolves an artifact: serves the memory tier on a hit (identity

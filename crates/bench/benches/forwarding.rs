@@ -93,13 +93,14 @@ fn bench_paper_forwarding(c: &mut Criterion) {
 /// by every simulation) and a single epidemic run under both engines.
 fn bench_forwarding_components(c: &mut Criterion) {
     let trace = quick_trace();
+    let graph = psn_spacetime::SpaceTimeGraph::build_default(&trace);
     let simulator = Simulator::with_default_config(&trace);
     let msgs = message_sets(&trace, 1, 200).remove(0);
 
     let mut group = c.benchmark_group("forwarding_components");
     group.sample_size(10);
     group.bench_function("timeline_build", |b| {
-        b.iter(|| criterion::black_box(HistoryTimeline::build(simulator.graph())));
+        b.iter(|| criterion::black_box(HistoryTimeline::build(&graph)));
     });
     group.bench_function("parallel_epidemic_single_run", |b| {
         b.iter(|| {

@@ -63,11 +63,11 @@ fn usage() -> &'static str {
     "usage:\n  \
      psn-study run --preset <name> [--profile quick|paper] [--threads N] [--format text|json|csv] [--out DIR]\n  \
      psn-study run --config <file>... --study <name> [--views a,b] [--seeds a,b,c] [--profile ...] [--threads N]\n  \
-     \u{20}             [--k <path budget>] [--messages N] [--runs N] [--format text|json|csv] [--out DIR] [--dry]\n  \
-     \u{20}             [--cache DIR] [--no-cache]\n  \
+     \u{20}             [--k <path budget>] [--messages N] [--runs N] [--delta SECONDS] [--format text|json|csv]\n  \
+     \u{20}             [--out DIR] [--dry] [--cache DIR] [--no-cache] [--streaming] [--window N]\n  \
      psn-study sweep --config <sweep file> [--study <name>] [--views a,b] [--seeds a,b,c] [--profile ...]\n  \
-     \u{20}             [--threads N] [--k ...] [--messages N] [--runs N] [--format text|json|csv] [--out DIR]\n  \
-     \u{20}             [--cache DIR] [--no-cache] [--resume] [--keep-going]\n  \
+     \u{20}             [--threads N] [--k ...] [--messages N] [--runs N] [--delta SECONDS] [--format text|json|csv]\n  \
+     \u{20}             [--out DIR] [--cache DIR] [--no-cache] [--resume] [--keep-going] [--streaming] [--window N]\n  \
      psn-study sweep --config <sweep file> --dry              (show the resolved cells, run nothing)\n  \
      psn-study plan --config <file>... --study <name> [--seeds a,b,c]\n  \
      psn-study describe --config <file>...\n  \
@@ -76,6 +76,10 @@ fn usage() -> &'static str {
      \u{20}             interrupted sweep is served from the cache, bit-identically); --resume reports\n  \
      \u{20}             up front how many sweep cells are already cached; --no-cache disables even\n  \
      \u{20}             in-memory artifact sharing (measurement baseline)\n\
+     streaming: --streaming builds the space-time graph and history timeline in one bounded pass\n  \
+     \u{20}             over the contact-event stream, keeping --window N slots hot (default 64) and\n  \
+     \u{20}             spilling cold slots to disk; reports are bit-identical to the default\n  \
+     \u{20}             materialized engines — only peak memory changes\n\
      robustness: --keep-going finishes a sweep past failing cells and appends a typed failure\n  \
      \u{20}             summary (exit 5); rerun with --cache DIR [--resume] to recompute only the\n  \
      \u{20}             failed cells; --faults SITE:KIND[:NTH],… (or PSN_FAULTS) arms deterministic\n  \
@@ -149,6 +153,9 @@ struct Args {
     k: Option<usize>,
     messages: Option<usize>,
     runs: Option<usize>,
+    delta: Option<f64>,
+    streaming: bool,
+    window: Option<usize>,
     format: ReportFormat,
     out: Option<PathBuf>,
     dry: bool,
@@ -172,6 +179,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         k: None,
         messages: None,
         runs: None,
+        delta: None,
+        streaming: false,
+        window: None,
         format: ReportFormat::Text,
         out: None,
         dry: false,
@@ -232,6 +242,21 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                         .map_err(|_| "--runs: expected a number".to_string())?,
                 )
             }
+            "--delta" => {
+                args.delta = Some(
+                    next_value(&mut argv, "--delta")?
+                        .parse()
+                        .map_err(|_| "--delta: expected a number of seconds".to_string())?,
+                )
+            }
+            "--streaming" => args.streaming = true,
+            "--window" => {
+                args.window = Some(
+                    next_value(&mut argv, "--window")?
+                        .parse()
+                        .map_err(|_| "--window: expected a slot count".to_string())?,
+                )
+            }
             "--format" => {
                 let name = next_value(&mut argv, "--format")?;
                 args.format = ReportFormat::parse(&name).ok_or_else(|| {
@@ -272,6 +297,10 @@ fn parse_study(name: &str) -> Result<StudyId, Failure> {
     })
 }
 
+/// Hot-window size (in busy slots) when `--streaming` is given without an
+/// explicit `--window N`.
+const DEFAULT_STREAMING_WINDOW: usize = 64;
+
 fn build_params(args: &Args) -> Result<StudyParams, Failure> {
     let mut params = StudyParams::for_profile(args.profile).with_threads(args.threads);
     if let Some(k) = args.k {
@@ -285,6 +314,21 @@ fn build_params(args: &Args) -> Result<StudyParams, Failure> {
     }
     if let Some(runs) = args.runs {
         params = params.with_runs(runs);
+    }
+    if let Some(delta) = args.delta {
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(Failure::Usage("--delta must be a positive number of seconds".into()));
+        }
+        params = params.with_delta(delta);
+    }
+    if args.streaming || args.window.is_some() {
+        // --window N implies --streaming; --streaming alone uses the
+        // default hot-window size. Results are bit-identical either way.
+        let window = args.window.unwrap_or(DEFAULT_STREAMING_WINDOW);
+        if window == 0 {
+            return Err(Failure::Usage("--window must be at least 1 slot".into()));
+        }
+        params = params.with_streaming_window(Some(window));
     }
     Ok(params)
 }
@@ -431,6 +475,9 @@ fn cmd_run(args: &Args) -> Result<ExitCode, Failure> {
             ("--k", args.k.is_some()),
             ("--messages", args.messages.is_some()),
             ("--runs", args.runs.is_some()),
+            ("--delta", args.delta.is_some()),
+            ("--streaming", args.streaming),
+            ("--window", args.window.is_some()),
         ];
         if let Some((flag, _)) = incompatible.iter().find(|(_, given)| *given) {
             return Err(Failure::Usage(format!(
@@ -619,6 +666,9 @@ fn cmd_list() {
     println!("\nrobustness: sweep --keep-going finishes past failing cells (failure summary,");
     println!("  exit 5); --faults SITE:KIND[:NTH] / PSN_FAULTS arms deterministic failpoints");
     println!("exit codes: 0 success, 2 usage, 3 config, 4 artifact/cache, 5 execution");
+    println!("\nstreaming: --streaming [--window N] folds the contact-event stream into a");
+    println!("  bounded window of hot slots (spilling cold ones); reports stay bit-identical,");
+    println!("  peak working-set bytes show in the --cache stderr summary");
     println!("\nprofiles: quick (default), paper — via --profile or PSN_PROFILE");
     println!("threads: --threads or PSN_THREADS (0 = one per core; never changes results)");
 }

@@ -1,0 +1,255 @@
+//! Streaming-vs-materialized construction benchmark (`BENCH_streaming.json`).
+//!
+//! Drains the same on-the-fly [`SyntheticContactStream`] through both
+//! engines — [`stream_graph`] + [`HistoryTimeline::build`] (the materialized
+//! reference) and [`WindowedSpaceTimeGraph::stream_with`] with a riding
+//! [`TimelineBuilder`] (the bounded-window engine) — and reports wall-clock
+//! time and working-set bytes for each, plus a window-size sensitivity
+//! sweep. Nothing here re-checks slot contents: bit-identity of the two
+//! engines is pinned by `tests/integration_streaming.rs`; this binary only
+//! cross-checks the cheap structural invariants (slot counts, busy-slot
+//! counts, total edges, timeline size).
+//!
+//! ```text
+//! psn-stream-bench --contacts 1000000 --interarrival 0.25 --windows 16,64,256,1024
+//! ```
+//!
+//! The target contact count is hit in expectation: the synthetic source is
+//! a Poisson process over a window of `contacts x interarrival` seconds.
+//! `--skip-materialized` benches only the windowed engine, for scales where
+//! the materialized graph would not fit in memory.
+
+use std::time::Instant;
+
+use psn_artifact::CodecSlotSpill;
+use psn_forwarding::{HistoryTimeline, TimelineBuilder};
+use psn_spacetime::{stream_graph, SpaceTimeGraph, WindowedSpaceTimeGraph};
+use psn_trace::{
+    ContactEvent, ContactStream, SyntheticContactStream, SyntheticStreamConfig, TimeWindow,
+};
+
+/// Benchmark knobs, all overridable from the command line.
+#[derive(Debug, Clone, Copy)]
+struct Args {
+    /// Expected number of contacts (sets the window length).
+    contacts: usize,
+    /// Mean seconds between successive contact starts.
+    interarrival: f64,
+    nodes: usize,
+    mean_duration: f64,
+    delta: f64,
+    seed: u64,
+    /// Timed repetitions per engine configuration (best-of wins).
+    runs: usize,
+    skip_materialized: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            contacts: 100_000,
+            interarrival: 1.0,
+            nodes: 200,
+            mean_duration: 30.0,
+            delta: 10.0,
+            seed: 7,
+            runs: 3,
+            skip_materialized: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psn-stream-bench [--contacts N] [--interarrival SECS] [--nodes N]\n\
+         \x20                       [--duration SECS] [--delta SECS] [--seed N] [--runs N]\n\
+         \x20                       [--windows W1,W2,...] [--skip-materialized]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> (Args, Vec<usize>) {
+    let mut args = Args::default();
+    let mut windows = vec![16usize, 64, 256, 1024];
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--contacts" => args.contacts = parse(&value("--contacts")),
+            "--interarrival" => args.interarrival = parse(&value("--interarrival")),
+            "--nodes" => args.nodes = parse(&value("--nodes")),
+            "--duration" => args.mean_duration = parse(&value("--duration")),
+            "--delta" => args.delta = parse(&value("--delta")),
+            "--seed" => args.seed = parse(&value("--seed")),
+            "--runs" => args.runs = parse::<usize>(&value("--runs")).max(1),
+            "--windows" => {
+                windows = value("--windows").split(',').map(|w| parse(w.trim())).collect();
+            }
+            "--skip-materialized" => args.skip_materialized = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if windows.is_empty() {
+        eprintln!("--windows needs at least one window size");
+        usage()
+    }
+    (args, windows)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {s:?}");
+        usage()
+    })
+}
+
+fn stream_config(args: &Args) -> SyntheticStreamConfig {
+    SyntheticStreamConfig {
+        nodes: args.nodes,
+        window: TimeWindow::new(0.0, args.contacts as f64 * args.interarrival),
+        delta: args.delta,
+        mean_interarrival: args.interarrival,
+        mean_duration: args.mean_duration,
+        seed: args.seed,
+    }
+}
+
+/// One untimed pass over the source to report the realized workload.
+fn count_contacts(config: SyntheticStreamConfig) -> usize {
+    let mut stream = SyntheticContactStream::new(config);
+    let mut ups = 0usize;
+    while let Some(event) = next(&mut stream) {
+        if matches!(event, ContactEvent::Up { .. }) {
+            ups += 1;
+        }
+    }
+    ups
+}
+
+fn next<S: ContactStream>(stream: &mut S) -> Option<ContactEvent> {
+    stream.next_event().unwrap_or_else(|e| panic!("synthetic stream is well-ordered: {e}"))
+}
+
+struct Materialized {
+    secs: f64,
+    graph: SpaceTimeGraph,
+    timeline: HistoryTimeline,
+}
+
+fn run_materialized(config: SyntheticStreamConfig) -> Materialized {
+    let start = Instant::now();
+    let mut stream = SyntheticContactStream::new(config);
+    let graph = stream_graph(&mut stream)
+        .unwrap_or_else(|e| panic!("synthetic stream is well-ordered: {e}"));
+    let timeline = HistoryTimeline::build(&graph);
+    Materialized { secs: start.elapsed().as_secs_f64(), graph, timeline }
+}
+
+struct Streamed {
+    secs: f64,
+    graph: WindowedSpaceTimeGraph,
+    timeline: HistoryTimeline,
+    /// Peak of the timeline builder's fold state during the pass.
+    builder_peak: usize,
+}
+
+fn run_streamed(config: SyntheticStreamConfig, window: usize) -> Streamed {
+    let start = Instant::now();
+    let mut stream = SyntheticContactStream::new(config);
+    let spill = CodecSlotSpill::in_temp_dir()
+        .unwrap_or_else(|e| panic!("cannot create spill directory: {e}"));
+    let mut builder = TimelineBuilder::new(config.nodes);
+    let mut builder_peak = 0usize;
+    let graph = WindowedSpaceTimeGraph::stream_with(
+        &mut stream,
+        window,
+        Box::new(spill),
+        |slot, sealed| {
+            builder.push_slot(slot, sealed.edges());
+            builder_peak = builder_peak.max(builder.approx_bytes());
+        },
+    )
+    .unwrap_or_else(|e| panic!("synthetic stream is well-ordered: {e}"));
+    let timeline =
+        builder.finish((0..graph.slot_count()).map(|s| graph.slot_end_time(s)).collect());
+    Streamed { secs: start.elapsed().as_secs_f64(), graph, timeline, builder_peak }
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let (args, windows) = parse_args();
+    let config = stream_config(&args);
+    let contacts = count_contacts(config);
+    let slots = ((config.window.end - config.window.start) / config.delta).ceil() as usize;
+    println!(
+        "workload: {contacts} contacts (target {}), {} nodes, {:.0} s window, delta {} -> {slots} slots, seed {}",
+        args.contacts, args.nodes, config.window.end, args.delta, args.seed
+    );
+    println!("timing: best of {} runs per configuration\n", args.runs);
+
+    let reference = if args.skip_materialized {
+        None
+    } else {
+        let mut best = run_materialized(config);
+        for _ in 1..args.runs {
+            let again = run_materialized(config);
+            if again.secs < best.secs {
+                best = again;
+            }
+        }
+        println!(
+            "materialized: {:.3} s | graph {:.1} MiB + timeline {:.1} MiB = {:.1} MiB resident | {} busy slots",
+            best.secs,
+            mib(best.graph.approx_bytes()),
+            mib(best.timeline.approx_bytes()),
+            mib(best.graph.approx_bytes() + best.timeline.approx_bytes()),
+            best.graph.busy_slots().len(),
+        );
+        Some(best)
+    };
+
+    for &window in &windows {
+        let mut best = run_streamed(config, window);
+        for _ in 1..args.runs {
+            let again = run_streamed(config, window);
+            if again.secs < best.secs {
+                best = again;
+            }
+        }
+        // Structural cross-check against the reference engine; slot-level
+        // bit-identity is pinned by the differential integration tests.
+        if let Some(reference) = &reference {
+            assert_eq!(best.graph.slot_count(), reference.graph.slot_count(), "slot counts");
+            assert_eq!(
+                best.graph.spill_stores() as usize,
+                reference.graph.busy_slots().len(),
+                "busy-slot counts"
+            );
+            assert_eq!(
+                best.timeline.approx_bytes(),
+                reference.timeline.approx_bytes(),
+                "timeline sizes"
+            );
+        }
+        println!(
+            "streaming w={window:<5}: {:.3} s | graph peak {:.2} MiB + builder peak {:.1} MiB = {:.1} MiB working set | {} spill stores",
+            best.secs,
+            mib(best.graph.peak_bytes()),
+            mib(best.builder_peak),
+            mib(best.graph.peak_bytes() + best.builder_peak),
+            best.graph.spill_stores(),
+        );
+    }
+}

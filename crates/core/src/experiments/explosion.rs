@@ -17,8 +17,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psn_spacetime::{
-    EnumerationConfig, ExplosionProfile, ExplosionSummary, Message, MessageGenerator, Path,
-    PathEnumerator, SpaceTimeGraph,
+    EnumerationConfig, ExplosionProfile, ExplosionSummary, GraphRef, Message, MessageGenerator,
+    Path, PathEnumerator, SpaceTimeGraph,
 };
 use psn_stats::{correlation, Histogram};
 use psn_trace::{ContactRates, ContactTrace, DatasetId, Seconds};
@@ -235,18 +235,20 @@ pub fn run_explosion_study_on(
 
 /// Runs the explosion study against an already-built space-time graph —
 /// the artifact-store path, where one graph is memoized per trace and
-/// shared across views, seeds and sweep cells. The graph must belong to
-/// `trace`; results are identical to [`run_explosion_study_on`] when it
-/// was built with the default Δ.
-pub fn run_explosion_study_on_graph(
+/// shared across views, seeds and sweep cells — or a bounded-window
+/// streaming graph ([`GraphRef`] accepts either representation). The graph
+/// must belong to `trace`; results are identical to
+/// [`run_explosion_study_on`] when it was built with the default Δ.
+pub fn run_explosion_study_on_graph<'a>(
     scenario: impl Into<String>,
     trace: &ContactTrace,
-    graph: &SpaceTimeGraph,
+    graph: impl Into<GraphRef<'a>>,
     messages: &[Message],
     enumeration: EnumerationConfig,
     explosion_threshold: usize,
     threads: usize,
 ) -> ExplosionStudy {
+    let graph = graph.into();
     assert_eq!(graph.node_count(), trace.node_count(), "graph belongs to a different trace");
     let rates = ContactRates::from_trace(trace);
     let threads = threads.max(1);

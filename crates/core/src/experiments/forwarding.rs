@@ -232,24 +232,25 @@ pub fn run_forwarding_study_on(
 
 /// Runs the forwarding study around an already-built space-time graph and
 /// history timeline — the artifact-store path, where both are memoized per
-/// trace and shared across views, seeds and sweep cells. Results are
-/// bit-identical to [`run_forwarding_study_on`] for parts built at the
-/// default Δ.
+/// trace and shared across views, seeds and sweep cells — or a
+/// bounded-window streaming graph ([`psn_spacetime::SharedGraph`] accepts
+/// either representation). Results are bit-identical to
+/// [`run_forwarding_study_on`] for parts built at the default Δ.
 pub fn run_forwarding_study_shared(
     scenario: impl Into<String>,
     trace: &ContactTrace,
-    graph: std::sync::Arc<psn_spacetime::SpaceTimeGraph>,
+    graph: impl Into<psn_spacetime::SharedGraph>,
     timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
     workload: MessageWorkloadConfig,
     runs: usize,
     threads: usize,
 ) -> ForwardingStudy {
-    let simulator = Simulator::from_parts(
-        trace,
-        graph,
-        timeline,
-        SimulatorConfig { threads, ..Default::default() },
-    );
+    let graph = graph.into();
+    // The simulator's Δ must match however the graph was discretized — a
+    // `params.delta` sweep axis reaches here with non-default slotting.
+    let delta = graph.as_graph_ref().delta();
+    let simulator =
+        Simulator::from_parts(trace, graph, timeline, SimulatorConfig { delta, threads });
     run_forwarding_study_with(scenario, trace, simulator, workload, runs)
 }
 

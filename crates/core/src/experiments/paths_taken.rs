@@ -83,19 +83,24 @@ pub fn run_paths_taken(
 }
 
 /// Runs the Fig. 12 analysis around an already-built default-Δ space-time
-/// graph and history timeline — the artifact-store path. The enumerator
-/// and the simulator share the one graph, so the analysis builds nothing
-/// per call; results are bit-identical to [`run_paths_taken`].
+/// graph and history timeline — the artifact-store path — or a
+/// bounded-window streaming graph ([`psn_spacetime::SharedGraph`] accepts
+/// either representation). The enumerator and the simulator share the one
+/// graph, so the analysis builds nothing per call; results are
+/// bit-identical to [`run_paths_taken`].
 pub fn run_paths_taken_shared(
     trace: &ContactTrace,
-    graph: std::sync::Arc<SpaceTimeGraph>,
+    graph: impl Into<psn_spacetime::SharedGraph>,
     timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
     messages: &[Message],
     enumeration: EnumerationConfig,
 ) -> Vec<PathsTakenCase> {
+    let graph = graph.into();
     let enumerator = PathEnumerator::new(&graph, enumeration);
-    let simulator =
-        Simulator::from_parts(trace, graph.clone(), timeline, SimulatorConfig::default());
+    // The simulator's Δ must match however the graph was discretized.
+    let config =
+        SimulatorConfig { delta: graph.as_graph_ref().delta(), ..SimulatorConfig::default() };
+    let simulator = Simulator::from_parts(trace, graph.clone(), timeline, config);
     let algorithms = standard_algorithms();
     let mut scratch = psn_spacetime::EnumerationScratch::new();
 

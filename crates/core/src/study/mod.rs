@@ -337,6 +337,15 @@ pub struct StudyParams {
     /// Worker threads shared by the per-run loop, path enumeration and the
     /// forwarding simulator (`0` = one per core). Never changes results.
     pub threads: usize,
+    /// Slot width Δ in seconds for the space-time graph and history
+    /// timeline (result-relevant: it quantizes every contact).
+    pub delta: Seconds,
+    /// Streaming execution: build the graph and timeline in one bounded
+    /// pass over the contact-event stream, keeping only this many sealed
+    /// slots hot and spilling cold slots to disk. `None` = the materialized
+    /// reference engines. Never changes results (pinned by differential
+    /// tests), so — like `threads` — it is excluded from cache keys.
+    pub streaming_window: Option<usize>,
     /// Path-enumeration configuration (k, caps, Δ).
     pub enumeration: EnumerationConfig,
     /// The explosion threshold n defining `Tₙ`.
@@ -373,6 +382,8 @@ impl StudyParams {
         let workload = profile.workload(2);
         Self {
             threads: 0,
+            delta: psn_spacetime::DEFAULT_DELTA,
+            streaming_window: None,
             enumeration: profile.enumeration_config(),
             explosion_threshold: profile.explosion_threshold(),
             enumeration_messages: profile.enumeration_messages(),
@@ -422,12 +433,28 @@ impl StudyParams {
         self
     }
 
+    /// Replaces the slot width Δ — the CLI's `--delta` / a `params.delta`
+    /// sweep axis.
+    pub fn with_delta(mut self, delta: Seconds) -> Self {
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be a positive slot width");
+        self.delta = delta;
+        self
+    }
+
+    /// Selects streaming execution with a hot window of `window` slots —
+    /// the CLI's `--streaming` / `--window N`.
+    pub fn with_streaming_window(mut self, window: Option<usize>) -> Self {
+        self.streaming_window = window.map(|w| w.max(1));
+        self
+    }
+
     /// Feeds every **result-relevant** parameter into a fingerprint
     /// hasher. `threads` is deliberately excluded: worker counts never
     /// change results (pinned by differential tests), so they must not
     /// split cache keys.
     fn hash_into(&self, hasher: &mut FingerprintHasher) {
         let e = &self.enumeration;
+        hasher.write_f64(self.delta);
         hasher.write_u64(e.k as u64);
         match e.max_delivered_paths {
             Some(v) => hasher.write_u64(v as u64),
@@ -451,13 +478,15 @@ impl StudyParams {
     }
 
     /// Canonical rendering of the result-relevant parameters — the
-    /// human-readable half of the cell identity string (`threads`
-    /// excluded, matching [`StudyParams::hash_into`]).
+    /// human-readable half of the cell identity string (`threads` and
+    /// `streaming_window` excluded, matching [`StudyParams::hash_into`]:
+    /// neither changes results, so neither may split cache keys).
     fn identity(&self) -> String {
         let e = &self.enumeration;
         format!(
-            "k={} max_delivered={:?} stored={} first_pref={} te={} emsgs={} eseed={} \
+            "delta={:?} k={} max_delivered={:?} stored={} first_pref={} te={} emsgs={} eseed={} \
              horizon={:?} interarrival={:?} wseed={} runs={} ptmsgs={} ptseed={} reps={}",
+            self.delta,
             e.k,
             e.max_delivered_paths,
             e.stored_path_limit,
@@ -1021,20 +1050,36 @@ fn compute_run_sections(
         .any(|v| matches!(v, StudyView::HopRateProgression | StudyView::RateRatios));
 
     let has_paths_taken = plan.views.contains(&StudyView::PathsTaken);
-    // The graph and timeline artifacts are resolved up front (not per
-    // engine): enumeration, the simulator and the paths-taken analysis all
-    // share the one default-Δ graph of this scenario, across every run,
-    // seed and sweep cell that shares its fingerprint.
-    let graph = if needs_explosion || needs_forwarding || has_paths_taken {
-        Some(store.spacetime_graph(&run.config, &trace, psn_spacetime::DEFAULT_DELTA)?.0)
-    } else {
-        None
-    };
-    let timeline = if needs_forwarding || has_paths_taken {
-        let graph = graph.as_ref().expect("timeline consumers imply a graph");
-        Some(store.history_timeline(&run.config, graph, psn_spacetime::DEFAULT_DELTA)?.0)
-    } else {
-        None
+    // The graph and timeline are resolved up front (not per engine):
+    // enumeration, the simulator and the paths-taken analysis all share the
+    // one Δ-slotted graph of this scenario. Materialized mode memoizes both
+    // through the artifact store, shared across every run, seed and sweep
+    // cell with the same fingerprint; streaming mode folds the contact-event
+    // stream once into a bounded-window graph and the timeline together
+    // (nothing to memoize — the point is not to materialize), with outputs
+    // pinned bit-identical to the materialized engines by differential
+    // tests, which is why `streaming_window` stays out of cache keys.
+    let needs_graph = needs_explosion || needs_forwarding || has_paths_taken;
+    let needs_timeline = needs_forwarding || has_paths_taken;
+    let (graph, timeline): (
+        Option<psn_spacetime::SharedGraph>,
+        Option<std::sync::Arc<psn_forwarding::HistoryTimeline>>,
+    ) = match (needs_graph, p.streaming_window) {
+        (false, _) => (None, None),
+        (true, None) => {
+            let graph = store.spacetime_graph(&run.config, &trace, p.delta)?.0;
+            let timeline = if needs_timeline {
+                Some(store.history_timeline(&run.config, &graph, p.delta)?.0)
+            } else {
+                None
+            };
+            (Some(graph.into()), timeline)
+        }
+        (true, Some(window)) => {
+            let (graph, timeline) =
+                stream_graph_and_timeline(&trace, p.delta, window, needs_timeline, store)?;
+            (Some(graph), timeline)
+        }
     };
 
     let mut outputs =
@@ -1163,6 +1208,54 @@ fn compute_run_sections(
         sections.extend(built.into_iter().map(|s| tag(s, run, view)));
     }
     Ok(sections)
+}
+
+/// Builds the bounded-window space-time graph and (when needed) the
+/// history timeline in **one pass** over the trace's contact-event stream
+/// — the streaming execution mode. Cold slots spill through the versioned
+/// artifact codec into a private temp directory (removed when the graph is
+/// dropped), and the timeline builder folds each sealed busy slot as the
+/// window advances, so neither structure ever holds more than O(window)
+/// slots in memory. The peak working set (hot slots + timeline builder) is
+/// recorded on the store for the `--cache` summary.
+fn stream_graph_and_timeline(
+    trace: &psn_trace::ContactTrace,
+    delta: Seconds,
+    window: usize,
+    needs_timeline: bool,
+    store: &ArtifactStore,
+) -> Result<
+    (psn_spacetime::SharedGraph, Option<std::sync::Arc<psn_forwarding::HistoryTimeline>>),
+    ArtifactError,
+> {
+    fn stream_error(context: &str, message: String) -> ArtifactError {
+        ArtifactError::Io { context: context.to_string(), source: std::io::Error::other(message) }
+    }
+    let spill = psn_artifact::CodecSlotSpill::in_temp_dir()
+        .map_err(|e| stream_error("creating streaming spill directory", e.to_string()))?;
+    let mut stream = psn_trace::TraceEventStream::new(trace, delta);
+    let mut builder =
+        needs_timeline.then(|| psn_forwarding::TimelineBuilder::new(trace.node_count()));
+    let mut builder_peak = 0usize;
+    let graph = psn_spacetime::WindowedSpaceTimeGraph::stream_with(
+        &mut stream,
+        window,
+        Box::new(spill),
+        |slot, sealed| {
+            if let Some(b) = builder.as_mut() {
+                b.push_slot(slot, sealed.edges());
+                builder_peak = builder_peak.max(b.approx_bytes());
+            }
+        },
+    )
+    .map_err(|e| stream_error("building windowed space-time graph", e.to_string()))?;
+    store.record_stream_peak(graph.peak_bytes() + builder_peak);
+    let timeline = builder.map(|b| {
+        std::sync::Arc::new(
+            b.finish((0..graph.slot_count()).map(|s| graph.slot_end_time(s)).collect()),
+        )
+    });
+    Ok((std::sync::Arc::new(graph).into(), timeline))
 }
 
 /// Builds the typed `failure-summary` section appended to keep-going

@@ -106,14 +106,29 @@ fn apply_param_axes(
             Ok(*value as usize)
         };
         let p = params.take().unwrap_or_else(|| base.clone());
+        let as_positive = || -> Result<f64, StudyPlanError> {
+            if !value.is_finite() || *value <= 0.0 {
+                return Err(StudyPlanError::new(format!(
+                    "sweep axis {field:?}: value {value} must be a positive number"
+                )));
+            }
+            Ok(*value)
+        };
         params = Some(match name {
             "k" => p.with_k(as_count()?),
             "messages" => p.with_messages(as_count()?),
             "runs" => p.with_runs(as_count()?),
+            "delta" => p.with_delta(as_positive()?),
+            "interarrival" => {
+                let mut p = p;
+                p.workload_interarrival = as_positive()?;
+                p
+            }
             _ => {
                 return Err(StudyPlanError::new(format!(
                     "unknown study-parameter axis {field:?} \
-                     (supported: params.k, params.messages, params.runs)"
+                     (supported: params.k, params.messages, params.runs, \
+                     params.delta, params.interarrival)"
                 )))
             }
         });

@@ -57,4 +57,4 @@ pub use metrics::{AlgorithmMetrics, MessageOutcome, PairTypeMetrics};
 pub use oracle::TraceOracle;
 pub use pairtype::{classify_message, PairType};
 pub use simulator::{SimulationResult, Simulator, SimulatorConfig};
-pub use timeline::{HistoryTimeline, HistoryView};
+pub use timeline::{HistoryTimeline, HistoryView, TimelineBuilder};

@@ -52,7 +52,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use psn_spacetime::{Message, Path, SpaceTimeGraph};
+use psn_spacetime::{GraphRef, Message, Path, SharedGraph, SpaceTimeGraph};
 use psn_trace::{ContactTrace, NodeId, Seconds};
 
 use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
@@ -201,10 +201,12 @@ impl WorkerScratch {
 /// caching layer (the artifact store) can build them once per trace and
 /// share them across every simulator — and every study run — over that
 /// trace; [`Simulator::new`] builds private copies when nothing is shared.
+/// The graph is a [`SharedGraph`], so the simulator runs unchanged over
+/// either the fully materialized graph or the bounded-window streaming one.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     trace: &'a ContactTrace,
-    graph: std::sync::Arc<SpaceTimeGraph>,
+    graph: SharedGraph,
     oracle: TraceOracle,
     timeline: std::sync::Arc<HistoryTimeline>,
     config: SimulatorConfig,
@@ -233,18 +235,26 @@ impl<'a> Simulator<'a> {
     /// config — a mismatched cache key, never a data-dependent condition.
     pub fn from_parts(
         trace: &'a ContactTrace,
-        graph: std::sync::Arc<SpaceTimeGraph>,
+        graph: impl Into<SharedGraph>,
         timeline: std::sync::Arc<HistoryTimeline>,
         config: SimulatorConfig,
     ) -> Self {
+        let graph = graph.into();
         assert!(config.delta > 0.0, "slot length must be positive");
-        assert!(
-            graph.delta() == config.delta,
-            "shared graph was discretized at Δ = {} but the simulator wants Δ = {}",
-            graph.delta(),
-            config.delta
-        );
-        assert_eq!(graph.node_count(), trace.node_count(), "graph belongs to a different trace");
+        {
+            let graph = graph.as_graph_ref();
+            assert!(
+                graph.delta() == config.delta,
+                "shared graph was discretized at Δ = {} but the simulator wants Δ = {}",
+                graph.delta(),
+                config.delta
+            );
+            assert_eq!(
+                graph.node_count(),
+                trace.node_count(),
+                "graph belongs to a different trace"
+            );
+        }
         assert_eq!(
             timeline.node_count(),
             trace.node_count(),
@@ -260,9 +270,10 @@ impl<'a> Simulator<'a> {
     }
 
     /// The underlying space-time graph (shared with path-enumeration
-    /// experiments so both views use identical discretization).
-    pub fn graph(&self) -> &SpaceTimeGraph {
-        &self.graph
+    /// experiments so both views use identical discretization), as a
+    /// representation-agnostic [`GraphRef`].
+    pub fn graph(&self) -> GraphRef<'_> {
+        self.graph.as_graph_ref()
     }
 
     /// The whole-trace oracle.
@@ -310,6 +321,7 @@ impl<'a> Simulator<'a> {
         jobs: &[(&dyn ForwardingAlgorithm, &[Message])],
     ) -> Vec<SimulationResult> {
         let threads = self.threads();
+        let slot_count = self.graph.as_graph_ref().slot_count();
         let total_messages: usize = jobs.iter().map(|(_, m)| m.len()).sum();
 
         // Chunked work items balance wildly varying per-message cost (an
@@ -346,7 +358,7 @@ impl<'a> Simulator<'a> {
         };
 
         if threads <= 1 || items.len() <= 1 {
-            let mut scratch = WorkerScratch::new(self.trace.node_count(), self.graph.slot_count());
+            let mut scratch = WorkerScratch::new(self.trace.node_count(), slot_count);
             for &item in &items {
                 let (job_idx, start, _) = item;
                 for (offset, outcome) in process_item(&mut scratch, item).into_iter().enumerate() {
@@ -371,10 +383,8 @@ impl<'a> Simulator<'a> {
                     let handles: Vec<_> = (0..threads)
                         .map(|_| {
                             scope.spawn(|| {
-                                let mut scratch = WorkerScratch::new(
-                                    self.trace.node_count(),
-                                    self.graph.slot_count(),
-                                );
+                                let mut scratch =
+                                    WorkerScratch::new(self.trace.node_count(), slot_count);
                                 let mut local = Vec::new();
                                 loop {
                                     if abort.load(Ordering::Relaxed) {
@@ -442,15 +452,13 @@ impl<'a> Simulator<'a> {
     /// [`ForwardingAlgorithm::copy_utility`] (whose contract requires a
     /// uniform `Some`/`None` answer).
     fn decision_mode(&self, algorithm: &dyn ForwardingAlgorithm) -> DecisionMode {
-        if self.trace.node_count() == 0 || self.graph.slot_count() == 0 {
+        let graph = self.graph.as_graph_ref();
+        if self.trace.node_count() == 0 || graph.slot_count() == 0 {
             return DecisionMode::Direct;
         }
         let view = self.timeline.at_slot(0);
-        let ctx = ForwardingContext {
-            history: &view,
-            oracle: &self.oracle,
-            now: self.graph.slot_end_time(0),
-        };
+        let ctx =
+            ForwardingContext { history: &view, oracle: &self.oracle, now: graph.slot_end_time(0) };
         let probe = NodeId(0);
         if algorithm.copy_utility(&ctx, probe, probe).is_none() {
             DecisionMode::Direct
@@ -473,19 +481,24 @@ impl<'a> Simulator<'a> {
     ) -> MessageOutcome {
         let WorkerScratch { state, holder_list, utilities, shared_slots, static_utils, .. } =
             scratch;
+        let graph = self.graph.as_graph_ref();
         let n = self.trace.node_count();
         state.reset();
         state.holders[message.source.index()] = true;
         holder_list.clear();
         holder_list.push(message.source);
-        let creation_slot = self.graph.slot_of_time(message.created_at);
-        let busy = self.graph.busy_slots();
+        let creation_slot = graph.slot_of_time(message.created_at);
+        let busy = graph.busy_slots();
         let first_busy = busy.partition_point(|&s| s < creation_slot);
         let destination = message.destination;
         let mut utilities_ready = false;
 
         'slots: for &slot in &busy[first_busy..] {
-            let slot_time = self.graph.slot_end_time(slot);
+            let slot_time = graph.slot_end_time(slot);
+            // Pin the slot once: a no-op borrow on the materialized graph, a
+            // hot-set lookup or spill reload on the windowed one. Every
+            // per-node query below reads off this pinned slot.
+            let slot_data = graph.slot(slot);
             let view = self.timeline.at_slot(slot);
             let ctx = ForwardingContext { history: &view, oracle: &self.oracle, now: slot_time };
 
@@ -495,7 +508,7 @@ impl<'a> Simulator<'a> {
             // slot would leave stale utilities behind. Static utilities
             // never change, so they skip the refresh entirely.
             if mode == (DecisionMode::PerMessageUtility { is_static: false }) && utilities_ready {
-                for &peer in self.graph.neighbors(slot, destination) {
+                for &peer in slot_data.neighbors(destination) {
                     utilities[peer.index()] = algorithm
                         .copy_utility(&ctx, peer, destination)
                         .expect("copy_utility is uniformly Some");
@@ -507,11 +520,11 @@ impl<'a> Simulator<'a> {
             // node, so `holders[from]` would fail for every direction. The
             // reference engine pays a full sweep to discover this; here it
             // is an O(holders) check.
-            if !holder_list.iter().any(|&h| self.graph.has_contacts(slot, h)) {
+            if !holder_list.iter().any(|&h| slot_data.has_contacts(h)) {
                 continue;
             }
 
-            let edges = self.graph.edges(slot);
+            let edges = slot_data.edges();
 
             // Resolve this slot's utility table (if the algorithm has one);
             // `None` falls back to per-decision `should_forward` calls.
@@ -570,7 +583,7 @@ impl<'a> Simulator<'a> {
             // engine pays O(Σ deg(holder)).
             if let Some(u) = utility {
                 let actionable = holder_list.iter().any(|&h| {
-                    self.graph.neighbors(slot, h).iter().any(|&nb| {
+                    slot_data.neighbors(h).iter().any(|&nb| {
                         nb == destination
                             || (!state.holders[nb.index()] && u[nb.index()] > u[h.index()])
                     })
@@ -634,6 +647,7 @@ impl<'a> Simulator<'a> {
         algorithm: &dyn ForwardingAlgorithm,
         messages: &[Message],
     ) -> SimulationResult {
+        let graph = self.graph.as_graph_ref();
         let n = self.trace.node_count();
         let mut history = ContactHistory::new(n);
         let mut states: Vec<MessageState> = messages.iter().map(|_| MessageState::new(n)).collect();
@@ -648,15 +662,16 @@ impl<'a> Simulator<'a> {
         });
         let mut next_activation = 0usize;
 
-        for slot in 0..self.graph.slot_count() {
-            let slot_time = self.graph.slot_end_time(slot);
+        for slot in 0..graph.slot_count() {
+            let slot_time = graph.slot_end_time(slot);
+            let slot_data = graph.slot(slot);
 
             // Activate messages created during this slot (their creation
             // time falls before the slot's end).
             while next_activation < activation_order.len() {
                 let idx = activation_order[next_activation];
                 let m = &messages[idx];
-                if self.graph.slot_of_time(m.created_at) > slot {
+                if graph.slot_of_time(m.created_at) > slot {
                     break;
                 }
                 let state = &mut states[idx];
@@ -670,7 +685,7 @@ impl<'a> Simulator<'a> {
             let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
             for a_idx in 0..n {
                 let a = NodeId(a_idx as u32);
-                for &b in self.graph.neighbors(slot, a) {
+                for &b in slot_data.neighbors(a) {
                     if a.0 < b.0 {
                         edges.push((a, b));
                         history.record_contact(a, b, slot, slot_time);

@@ -73,61 +73,137 @@ pub struct HistoryTimeline {
     node_events: Vec<Vec<NodeEvent>>,
 }
 
-impl HistoryTimeline {
-    /// Precomputes the history evolution for a trace's space-time graph.
-    pub fn build(graph: &SpaceTimeGraph) -> Self {
-        let n = graph.node_count();
-        let mut pair_index = vec![NO_PAIR; n * n];
-        let mut pair_events: Vec<Vec<PairEvent>> = Vec::new();
-        let mut node_events: Vec<Vec<NodeEvent>> = vec![Vec::new(); n];
+/// Incremental [`HistoryTimeline`] construction: a fold over `(slot,
+/// edges)` batches in ascending slot order.
+///
+/// [`HistoryTimeline::build`] delegates to this builder, so the materialized
+/// and streaming paths share one fold and produce bit-identical timelines.
+/// The streaming pipeline feeds it from the windowed graph builder's
+/// sealed-slot tap, so the timeline accretes in the same single pass that
+/// constructs the graph — no second sweep over the contact data.
+#[derive(Debug, Clone)]
+pub struct TimelineBuilder {
+    node_count: usize,
+    pair_index: Vec<u32>,
+    pair_events: Vec<Vec<PairEvent>>,
+    node_events: Vec<Vec<NodeEvent>>,
+    /// Highest slot folded so far plus one; batches must arrive ascending.
+    next_slot: usize,
+}
 
-        for &slot in graph.busy_slots() {
-            let slot32 = u32::try_from(slot).expect("slot index fits in u32");
-            for &(a, b) in graph.edges(slot) {
-                let key = a.index() * n + b.index();
-                let pair = if pair_index[key] == NO_PAIR {
-                    let id = pair_events.len() as u32;
-                    pair_index[key] = id;
-                    pair_index[b.index() * n + a.index()] = id;
-                    pair_events.push(Vec::new());
-                    id
-                } else {
-                    pair_index[key]
-                };
-                let events = &mut pair_events[pair as usize];
-                // Same contiguity rule as `ContactHistory::record_contact`:
-                // an encounter continues while the pair stays in contact in
-                // consecutive slots.
-                let (new_encounter, previous_count) = match events.last() {
-                    Some(last) => (last.slot + 1 != slot32, last.encounters),
-                    None => (true, 0),
-                };
-                events.push(PairEvent {
-                    slot: slot32,
-                    encounters: previous_count + u32::from(new_encounter),
-                });
-                if new_encounter {
-                    for node in [a, b] {
-                        let list = &mut node_events[node.index()];
-                        match list.last_mut() {
-                            Some(last) if last.slot == slot32 => last.encounters += 1,
-                            _ => {
-                                let base = list.last().map_or(0, |e| e.encounters);
-                                list.push(NodeEvent { slot: slot32, encounters: base + 1 });
-                            }
+impl TimelineBuilder {
+    /// An empty builder over `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            pair_index: vec![NO_PAIR; node_count * node_count],
+            pair_events: Vec::new(),
+            node_events: vec![Vec::new(); node_count],
+            next_slot: 0,
+        }
+    }
+
+    /// Folds the contact edges of one slot. Slots must be pushed in strictly
+    /// ascending order (empty slots may simply be skipped — they contribute
+    /// no events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is below an already-pushed slot (the encounter
+    /// contiguity rule depends on ascending order).
+    pub fn push_slot(&mut self, slot: usize, edges: &[(NodeId, NodeId)]) {
+        assert!(
+            slot >= self.next_slot,
+            "timeline slots must be folded in ascending order: got {slot} after {}",
+            self.next_slot
+        );
+        self.next_slot = slot + 1;
+        let n = self.node_count;
+        let slot32 = u32::try_from(slot).expect("slot index fits in u32");
+        for &(a, b) in edges {
+            let key = a.index() * n + b.index();
+            let pair = if self.pair_index[key] == NO_PAIR {
+                let id = self.pair_events.len() as u32;
+                self.pair_index[key] = id;
+                self.pair_index[b.index() * n + a.index()] = id;
+                self.pair_events.push(Vec::new());
+                id
+            } else {
+                self.pair_index[key]
+            };
+            let events = &mut self.pair_events[pair as usize];
+            // Same contiguity rule as `ContactHistory::record_contact`: an
+            // encounter continues while the pair stays in contact in
+            // consecutive slots.
+            let (new_encounter, previous_count) = match events.last() {
+                Some(last) => (last.slot + 1 != slot32, last.encounters),
+                None => (true, 0),
+            };
+            events.push(PairEvent {
+                slot: slot32,
+                encounters: previous_count + u32::from(new_encounter),
+            });
+            if new_encounter {
+                for node in [a, b] {
+                    let list = &mut self.node_events[node.index()];
+                    match list.last_mut() {
+                        Some(last) if last.slot == slot32 => last.encounters += 1,
+                        _ => {
+                            let base = list.last().map_or(0, |e| e.encounters);
+                            list.push(NodeEvent { slot: slot32, encounters: base + 1 });
                         }
                     }
                 }
             }
         }
+    }
 
-        Self {
-            node_count: n,
-            slot_end_times: (0..graph.slot_count()).map(|s| graph.slot_end_time(s)).collect(),
-            pair_index,
-            pair_events,
-            node_events,
+    /// Approximate resident size in bytes of the builder's accumulated
+    /// state — the streaming pipeline folds this into its peak working-set
+    /// accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.pair_index.len() * std::mem::size_of::<u32>()
+            + self.pair_events.len() * std::mem::size_of::<Vec<PairEvent>>()
+            + self
+                .pair_events
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<PairEvent>())
+                .sum::<usize>()
+            + self.node_events.len() * std::mem::size_of::<Vec<NodeEvent>>()
+            + self
+                .node_events
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<NodeEvent>())
+                .sum::<usize>()
+    }
+
+    /// Seals the fold into an immutable [`HistoryTimeline`].
+    ///
+    /// `slot_end_times` must hold the absolute end time of every slot of the
+    /// trace (index = slot), under the graph layer's one authoritative
+    /// slot-time convention — the materialized path captures them from
+    /// [`SpaceTimeGraph::slot_end_time`], the streaming path from the
+    /// windowed builder's identical arithmetic.
+    pub fn finish(self, slot_end_times: Vec<Seconds>) -> HistoryTimeline {
+        HistoryTimeline {
+            node_count: self.node_count,
+            slot_end_times,
+            pair_index: self.pair_index,
+            pair_events: self.pair_events,
+            node_events: self.node_events,
         }
+    }
+}
+
+impl HistoryTimeline {
+    /// Precomputes the history evolution for a trace's space-time graph.
+    pub fn build(graph: &SpaceTimeGraph) -> Self {
+        let mut builder = TimelineBuilder::new(graph.node_count());
+        for &slot in graph.busy_slots() {
+            builder.push_slot(slot, graph.edges(slot));
+        }
+        builder.finish((0..graph.slot_count()).map(|s| graph.slot_end_time(s)).collect())
     }
 
     /// Number of nodes tracked.

@@ -44,9 +44,9 @@ use psn_trace::{NodeId, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::arena::{PathArena, PathRef};
-use crate::graph::SpaceTimeGraph;
 use crate::message::Message;
 use crate::path::Path;
+use crate::windowed::GraphRef;
 
 /// Configuration of a path-enumeration run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -252,21 +252,29 @@ impl EnumerationScratch {
 }
 
 /// The per-message k-shortest valid path enumerator.
+///
+/// Works over either space-time graph representation through [`GraphRef`]:
+/// the fully materialized [`SpaceTimeGraph`](crate::SpaceTimeGraph) or the
+/// bounded-window [`WindowedSpaceTimeGraph`](crate::WindowedSpaceTimeGraph).
+/// The hot loop pins each slot once per iteration (a no-op borrow for the
+/// materialized graph, a hot-set lookup or spill reload for the windowed
+/// one) and reads every per-node query off that pinned slot.
 #[derive(Debug, Clone)]
 pub struct PathEnumerator<'a> {
-    graph: &'a SpaceTimeGraph,
+    graph: GraphRef<'a>,
     config: EnumerationConfig,
 }
 
 impl<'a> PathEnumerator<'a> {
-    /// Creates an enumerator over a space-time graph.
+    /// Creates an enumerator over a space-time graph (either
+    /// representation).
     ///
     /// # Panics
     ///
     /// Panics if `k` is zero.
-    pub fn new(graph: &'a SpaceTimeGraph, config: EnumerationConfig) -> Self {
+    pub fn new(graph: impl Into<GraphRef<'a>>, config: EnumerationConfig) -> Self {
         assert!(config.k > 0, "k must be at least 1");
-        Self { graph, config }
+        Self { graph: graph.into(), config }
     }
 
     /// The enumeration configuration.
@@ -312,7 +320,8 @@ impl<'a> PathEnumerator<'a> {
         'slots: for s in start_slot..graph.slot_count() {
             slots_processed += 1;
             let slot_time = graph.slot_end_time(s);
-            let destination_active = graph.has_contacts(s, destination);
+            let slot = graph.slot(s);
+            let destination_active = slot.has_contacts(destination);
 
             // Nodes able to reach the destination through zero-weight edges
             // this slot (the destination's component, including itself). Any
@@ -323,7 +332,7 @@ impl<'a> PathEnumerator<'a> {
             // of this path is dominated.
             let mut near_mask = 0u64;
             if destination_active {
-                for &m in graph.component_slice(s, destination) {
+                for &m in slot.component_slice(destination) {
                     scratch.near_destination[m.index()] = true;
                     scratch.near_list.push(m.0);
                     near_mask |= 1u64 << (m.0 & 63);
@@ -382,7 +391,7 @@ impl<'a> PathEnumerator<'a> {
                         scratch.stored[holder_idx]
                             .retain(|&r| !arena.intersects(r, near_mask, near));
                     }
-                    if scratch.stored[holder_idx].is_empty() || !graph.has_contacts(s, holder) {
+                    if scratch.stored[holder_idx].is_empty() || !slot.has_contacts(holder) {
                         // Nothing to extend; surviving paths simply wait.
                         continue;
                     }
@@ -392,7 +401,7 @@ impl<'a> PathEnumerator<'a> {
                     // the contains check skips it), and the destination is
                     // either inactive or in another component (its own
                     // component delivers above).
-                    let members = graph.component_slice(s, holder);
+                    let members = slot.component_slice(holder);
                     for i in 0..scratch.stored[holder_idx].len() {
                         let r = scratch.stored[holder_idx][i];
                         let child_depth = scratch.arena.depth(r) + 1;
@@ -561,12 +570,13 @@ impl<'a> PathEnumerator<'a> {
         'slots: for s in start_slot..graph.slot_count() {
             slots_processed += 1;
             let slot_time = graph.slot_end_time(s);
-            let destination_active = graph.has_contacts(s, destination);
+            let slot = graph.slot(s);
+            let destination_active = slot.has_contacts(destination);
 
             let mut near_destination = vec![false; n];
             if destination_active {
                 near_destination[destination.index()] = true;
-                for m in graph.component_members(s, destination) {
+                for m in slot.component_members(destination) {
                     near_destination[m.index()] = true;
                 }
             }
@@ -608,10 +618,10 @@ impl<'a> PathEnumerator<'a> {
                         stored[holder_idx]
                             .retain(|p| !p.nodes().any(|node| near_destination[node.index()]));
                     }
-                    if stored[holder_idx].is_empty() || !graph.has_contacts(s, holder) {
+                    if stored[holder_idx].is_empty() || !slot.has_contacts(holder) {
                         continue;
                     }
-                    let members = graph.component_members(s, holder);
+                    let members = slot.component_members(holder);
                     for p in &stored[holder_idx] {
                         for &v in &members {
                             if p.contains(v) {
@@ -690,6 +700,7 @@ fn merge_sorted_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::SpaceTimeGraph;
     use crate::validity::is_valid_path;
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeRegistry};

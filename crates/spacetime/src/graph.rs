@@ -31,8 +31,8 @@ pub const DEFAULT_DELTA: Seconds = 10.0;
 /// * `members` — the same nodes grouped contiguously by component label
 ///   (ascending within each group), with `spans[label]` delimiting each
 ///   group, so a component's member list is a borrowed slice.
-#[derive(Debug, Clone)]
-struct Slot {
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
     /// Adjacency among nodes in contact during this slot. `adjacency[i]`
     /// lists the neighbors of node `i`, deduplicated and sorted.
     adjacency: Vec<Vec<NodeId>>,
@@ -83,6 +83,125 @@ impl Slot {
 
         Self { adjacency, component, edges, active, members, spans }
     }
+
+    /// Seals a slot from its raw edge list — unnormalized, unsorted,
+    /// possibly containing duplicates — exactly as
+    /// [`SpaceTimeGraph::build`] does for each slot. This is the single
+    /// sealing path shared by the materialized builder, the incremental
+    /// stream builder and spill reload, so every route to a `Slot` yields
+    /// bit-identical contents for the same edge multiset.
+    pub fn seal(node_count: usize, mut edges: Vec<(NodeId, NodeId)>) -> Self {
+        for edge in &mut edges {
+            if edge.0 .0 > edge.1 .0 {
+                *edge = (edge.1, edge.0);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut adjacency = vec![Vec::new(); node_count];
+        for &(a, b) in &edges {
+            adjacency[a.index()].push(b);
+            adjacency[b.index()].push(a);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Slot::new(adjacency, edges)
+    }
+
+    /// A slot with no contacts over `node_count` nodes. Every node is
+    /// isolated with its own singleton component label (`label = node id`),
+    /// so one shared empty slot answers queries for *any* contact-free slot
+    /// identically to a freshly built one.
+    pub fn empty(node_count: usize) -> Self {
+        Self::seal(node_count, Vec::new())
+    }
+
+    /// Number of nodes the slot covers.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbors of `node` during this slot, deduplicated and ascending.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// True if `node` has at least one contact during this slot.
+    pub fn has_contacts(&self, node: NodeId) -> bool {
+        !self.adjacency[node.index()].is_empty()
+    }
+
+    /// Connected-component label of `node` under zero-weight edges.
+    pub fn component(&self, node: NodeId) -> u32 {
+        self.component[node.index()]
+    }
+
+    /// True if `a` and `b` can reach each other through zero-weight edges
+    /// during this slot (same label and at least one contact each).
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.has_contacts(a)
+            && self.has_contacts(b)
+            && self.component[a.index()] == self.component[b.index()]
+    }
+
+    /// All members of `node`'s contact component *including* `node`,
+    /// ascending; empty if `node` has no contacts this slot.
+    pub fn component_slice(&self, node: NodeId) -> &[NodeId] {
+        if self.adjacency[node.index()].is_empty() {
+            return &[];
+        }
+        let (start, end) = self.spans[self.component[node.index()] as usize];
+        &self.members[start as usize..end as usize]
+    }
+
+    /// Members of `node`'s contact component *excluding* `node` itself,
+    /// as an owned vector (allocating; the hot paths use
+    /// [`component_slice`](Self::component_slice) instead).
+    pub fn component_members(&self, node: NodeId) -> Vec<NodeId> {
+        self.component_slice(node).iter().copied().filter(|&m| m != node).collect()
+    }
+
+    /// Nodes with at least one contact this slot, ascending.
+    pub fn active_nodes(&self) -> &[NodeId] {
+        &self.active
+    }
+
+    /// The slot's contact edges, normalized to `(low, high)` order and
+    /// sorted lexicographically.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Number of contact edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the slot has no contact edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Approximate resident size in bytes of this slot's structures — the
+    /// unit of account for window-budget and artifact-store bookkeeping.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.adjacency.len() * std::mem::size_of::<Vec<NodeId>>()
+            + self
+                .adjacency
+                .iter()
+                .map(|adj| adj.len() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+            + self.component.len() * std::mem::size_of::<u32>()
+            + self.edges.len() * std::mem::size_of::<(NodeId, NodeId)>()
+            + (self.active.len() + self.members.len()) * std::mem::size_of::<NodeId>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()
+    }
 }
 
 /// The Δ-discretized space-time graph of a contact trace.
@@ -124,28 +243,8 @@ impl SpaceTimeGraph {
             }
         }
 
-        let slots: Vec<Slot> = slot_edges
-            .into_iter()
-            .map(|mut edges| {
-                for edge in &mut edges {
-                    if edge.0 .0 > edge.1 .0 {
-                        *edge = (edge.1, edge.0);
-                    }
-                }
-                edges.sort_unstable();
-                edges.dedup();
-                let mut adjacency = vec![Vec::new(); node_count];
-                for &(a, b) in &edges {
-                    adjacency[a.index()].push(b);
-                    adjacency[b.index()].push(a);
-                }
-                for list in &mut adjacency {
-                    list.sort_unstable();
-                    list.dedup();
-                }
-                Slot::new(adjacency, edges)
-            })
-            .collect();
+        let slots: Vec<Slot> =
+            slot_edges.into_iter().map(|edges| Slot::seal(node_count, edges)).collect();
         let busy_slots =
             slots.iter().enumerate().filter(|(_, s)| !s.edges.is_empty()).map(|(i, _)| i).collect();
 
@@ -162,6 +261,27 @@ impl SpaceTimeGraph {
     /// Builds the graph with the paper's Δ = 10 s.
     pub fn build_default(trace: &ContactTrace) -> Self {
         Self::build(trace, DEFAULT_DELTA)
+    }
+
+    /// Assembles a graph from already-sealed slots — the incremental stream
+    /// builder's exit path. `slots` must have one entry per Δ-slot of the
+    /// window; busy-slot indices are derived here.
+    pub(crate) fn from_sealed_slots(
+        delta: Seconds,
+        node_count: usize,
+        slots: Vec<Slot>,
+        window_start: Seconds,
+        window_end: Seconds,
+    ) -> Self {
+        let busy_slots =
+            slots.iter().enumerate().filter(|(_, s)| !s.is_empty()).map(|(i, _)| i).collect();
+        Self { delta, node_count, slots, busy_slots, window_start, window_end }
+    }
+
+    /// Borrows slot `s` directly — the slot-local view engines hoist out of
+    /// their per-slot loops so they run unchanged against windowed graphs.
+    pub fn slot(&self, s: usize) -> &Slot {
+        &self.slots[s]
     }
 
     /// The discretization step in seconds.
@@ -293,22 +413,9 @@ impl SpaceTimeGraph {
     /// edge and member structures; exact allocator overhead is not modelled
     /// (eviction budgets only need the right order of magnitude).
     pub fn approx_bytes(&self) -> usize {
-        let mut bytes = std::mem::size_of::<Self>()
+        std::mem::size_of::<Self>()
             + self.busy_slots.len() * std::mem::size_of::<usize>()
-            + self.slots.len() * std::mem::size_of::<Slot>();
-        for slot in &self.slots {
-            bytes += slot.adjacency.len() * std::mem::size_of::<Vec<NodeId>>();
-            bytes += slot
-                .adjacency
-                .iter()
-                .map(|adj| adj.len() * std::mem::size_of::<NodeId>())
-                .sum::<usize>();
-            bytes += slot.component.len() * std::mem::size_of::<u32>();
-            bytes += slot.edges.len() * std::mem::size_of::<(NodeId, NodeId)>();
-            bytes += (slot.active.len() + slot.members.len()) * std::mem::size_of::<NodeId>();
-            bytes += slot.spans.len() * std::mem::size_of::<(u32, u32)>();
-        }
-        bytes
+            + self.slots.iter().map(Slot::approx_bytes).sum::<usize>()
     }
 
     /// Total number of (contact, slot) incidences — a measure of graph size

@@ -69,11 +69,16 @@ pub mod message;
 pub mod path;
 pub mod reachability;
 pub mod validity;
+pub mod windowed;
 
 pub use arena::{PathArena, PathRef};
 pub use enumerate::{EnumerationConfig, EnumerationResult, EnumerationScratch, PathEnumerator};
 pub use explosion::{ExplosionProfile, ExplosionSummary, PATHS_FOR_EXPLOSION};
-pub use graph::{SpaceTimeGraph, DEFAULT_DELTA};
+pub use graph::{Slot, SpaceTimeGraph, DEFAULT_DELTA};
 pub use message::{Message, MessageGenerator, MessageWorkloadConfig};
 pub use path::{Hop, Path};
 pub use reachability::{epidemic_delivery_time, EpidemicOutcome};
+pub use windowed::{
+    stream_graph, GraphRef, IncrementalSlotter, MemorySpill, SharedGraph, SlotGuard, SlotSpill,
+    SpillError, StreamBuildError, WindowedSpaceTimeGraph,
+};

@@ -14,8 +14,8 @@
 use psn_trace::Seconds;
 use serde::{Deserialize, Serialize};
 
-use crate::graph::SpaceTimeGraph;
 use crate::message::Message;
+use crate::windowed::GraphRef;
 
 /// The outcome of epidemic flooding for a single message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,11 +49,12 @@ impl EpidemicOutcome {
 /// Flooding stops early once the destination is reached if `stop_at_destination`
 /// is true; otherwise it continues to the end of the trace so that the full
 /// infection curve is available.
-pub fn epidemic_spread(
-    graph: &SpaceTimeGraph,
+pub fn epidemic_spread<'a>(
+    graph: impl Into<GraphRef<'a>>,
     message: &Message,
     stop_at_destination: bool,
 ) -> EpidemicOutcome {
+    let graph = graph.into();
     let n = graph.node_count();
     let mut infection: Vec<Option<Seconds>> = vec![None; n];
     infection[message.source.index()] = Some(message.created_at);
@@ -63,6 +64,7 @@ pub fn epidemic_spread(
 
     'slots: for s in start_slot..graph.slot_count() {
         let slot_time = graph.slot_end_time(s);
+        let slot = graph.slot(s);
         // Any component containing an infected node becomes fully infected
         // by the end of the slot (zero-weight edges within the slot).
         // Collect infected component labels first to avoid order dependence.
@@ -70,9 +72,9 @@ pub fn epidemic_spread(
         // both passes walk the precomputed active-node list instead of all n
         // nodes.
         let mut infected_components: Vec<u32> = Vec::new();
-        for &node in graph.active_nodes(s) {
+        for &node in slot.active_nodes() {
             if infection[node.index()].is_some() {
-                infected_components.push(graph.component(s, node));
+                infected_components.push(slot.component(node));
             }
         }
         if infected_components.is_empty() {
@@ -81,12 +83,12 @@ pub fn epidemic_spread(
         infected_components.sort_unstable();
         infected_components.dedup();
 
-        for &node in graph.active_nodes(s) {
+        for &node in slot.active_nodes() {
             let idx = node.index();
             if infection[idx].is_some() {
                 continue;
             }
-            if infected_components.binary_search(&graph.component(s, node)).is_ok() {
+            if infected_components.binary_search(&slot.component(node)).is_ok() {
                 infection[idx] = Some(slot_time);
                 if node == message.destination {
                     delivery_time = Some(slot_time);
@@ -103,7 +105,10 @@ pub fn epidemic_spread(
 
 /// Convenience wrapper returning only the optimal delivery time for a
 /// message, `None` if the destination is unreachable within the trace.
-pub fn epidemic_delivery_time(graph: &SpaceTimeGraph, message: &Message) -> Option<Seconds> {
+pub fn epidemic_delivery_time<'a>(
+    graph: impl Into<GraphRef<'a>>,
+    message: &Message,
+) -> Option<Seconds> {
     epidemic_spread(graph, message, true).delivery_time
 }
 
@@ -111,6 +116,7 @@ pub fn epidemic_delivery_time(graph: &SpaceTimeGraph, message: &Message) -> Opti
 mod tests {
     use super::*;
     use crate::enumerate::{EnumerationConfig, PathEnumerator};
+    use crate::graph::SpaceTimeGraph;
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeRegistry};
     use psn_trace::trace::{ContactTrace, TimeWindow};

@@ -17,8 +17,8 @@
 
 use psn_trace::NodeId;
 
-use crate::graph::SpaceTimeGraph;
 use crate::path::Path;
+use crate::windowed::GraphRef;
 
 /// The reason a path failed validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,11 +67,12 @@ pub fn check_structure(path: &Path, destination: NodeId) -> Result<(), Violation
 /// the message from its own hop time until the next hop's time (or the
 /// path's end time for the final holder), and must not share a slot contact
 /// component with the destination strictly before the path's delivery time.
-pub fn is_valid_path(
-    graph: &SpaceTimeGraph,
+pub fn is_valid_path<'a>(
+    graph: impl Into<GraphRef<'a>>,
     path: &Path,
     destination: NodeId,
 ) -> Result<(), Violation> {
+    let graph = graph.into();
     check_structure(path, destination)?;
 
     let hops = path.hops();
@@ -100,7 +101,7 @@ pub fn is_valid_path(
                 // not dominate this path.
                 break;
             }
-            if graph.same_component(s, holder, destination) && holder != destination {
+            if graph.slot(s).same_component(holder, destination) && holder != destination {
                 return Err(Violation::FirstPreference);
             }
         }
@@ -111,6 +112,7 @@ pub fn is_valid_path(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::SpaceTimeGraph;
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeRegistry};
     use psn_trace::trace::{ContactTrace, TimeWindow};

@@ -47,6 +47,7 @@ pub mod node;
 pub mod parser;
 pub mod rates;
 pub mod scenario;
+pub mod stream;
 pub mod sweep;
 pub mod trace;
 
@@ -56,6 +57,10 @@ pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use node::{NodeClass, NodeId, NodeRegistry};
 pub use rates::{ContactRates, RateClass};
 pub use scenario::{ScenarioConfig, ScenarioError, ScenarioSet};
+pub use stream::{
+    ContactEvent, ContactStream, StreamError, StreamSummary, SyntheticContactStream,
+    SyntheticStreamConfig, TraceEventStream,
+};
 pub use sweep::{ScenarioSweep, SweepAxis, SweepCell};
 pub use trace::{ContactTrace, TimeWindow, TraceError};
 
