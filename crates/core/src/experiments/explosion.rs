@@ -264,6 +264,10 @@ pub fn run_explosion_study_on_graph<'a>(
     // remaining workers drain (they stop claiming new work), and the panic
     // is re-raised once on the calling thread — one clean failure the
     // study layer can isolate to its cell.
+    // The enumerator sweeps busy slots in ascending order once per
+    // message: declare the sequential plan so a windowed graph keeps the
+    // sweep prefix hot across message restarts instead of FIFO-thrashing.
+    graph.advise_sequential(true);
     let next = AtomicUsize::new(0);
     let abort = std::sync::atomic::AtomicBool::new(false);
     let first_panic: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
@@ -317,6 +321,7 @@ pub fn run_explosion_study_on_graph<'a>(
                 .map(|h| h.join().expect("enumeration workers catch their own panics"))
                 .collect()
         });
+    graph.advise_sequential(false);
     if let Some(message) = first_panic.into_inner().unwrap_or_else(|poison| poison.into_inner()) {
         panic!("enumeration worker panicked: {message}");
     }

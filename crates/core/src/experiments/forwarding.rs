@@ -249,8 +249,12 @@ pub fn run_forwarding_study_shared(
     // The simulator's Δ must match however the graph was discretized — a
     // `params.delta` sweep axis reaches here with non-default slotting.
     let delta = graph.as_graph_ref().delta();
-    let simulator =
-        Simulator::from_parts(trace, graph, timeline, SimulatorConfig { delta, threads });
+    let simulator = Simulator::from_parts(
+        trace,
+        graph,
+        timeline,
+        SimulatorConfig { delta, threads, ..SimulatorConfig::default() },
+    );
     run_forwarding_study_with(scenario, trace, simulator, workload, runs)
 }
 

@@ -102,6 +102,25 @@ pub trait ForwardingAlgorithm: Send + Sync {
     fn utility_is_static(&self) -> bool {
         false
     }
+
+    /// True if a node with *no* recorded contacts with `destination` is
+    /// guaranteed the minimum possible [`copy_utility`](Self::copy_utility)
+    /// value — so it can never be a strictly-better copy target than any
+    /// holder (FRESH maps "never met" to `-∞`, Greedy to an encounter
+    /// count of zero). The engine then skips whole slots in which neither
+    /// the destination nor any node that ever contacts it is active: no
+    /// delivery is possible (the destination is idle) and no forward is
+    /// possible (every active candidate target sits at the minimum, and
+    /// ties never forward).
+    ///
+    /// Must stay `false` for utilities that can rank a never-met node above
+    /// a met one — e.g. expected-delay oracles, where a node can reach the
+    /// destination quickly through relays without ever contacting it
+    /// directly. Only meaningful when `copy_utility` returns `Some` and
+    /// [`destination_aware`](Self::destination_aware) is true.
+    fn utility_requires_destination_contact(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,12 @@ impl ForwardingAlgorithm for Fresh {
     ) -> Option<f64> {
         Some(ctx.history.last_contact_with(node, destination).unwrap_or(f64::NEG_INFINITY))
     }
+
+    /// "Never met" is `-∞` — the strict minimum — so a copy target must
+    /// have encountered the destination.
+    fn utility_requires_destination_contact(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ impl ForwardingAlgorithm for Greedy {
     ) -> Option<f64> {
         Some(ctx.history.contacts_with(node, destination) as f64)
     }
+
+    /// "Never met" is an encounter count of zero — the minimum — so a copy
+    /// target must have encountered the destination.
+    fn utility_requires_destination_contact(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use psn_spacetime::{GraphRef, Message, Path, SharedGraph, SpaceTimeGraph};
+use psn_spacetime::{GraphRef, Message, Path, SharedGraph, Slot, SpaceTimeGraph};
 use psn_trace::{ContactTrace, NodeId, Seconds};
 
 use crate::algorithm::{ForwardingAlgorithm, ForwardingContext};
@@ -70,11 +70,45 @@ pub struct SimulatorConfig {
     /// thread per available core. The thread count never affects results —
     /// only wall-clock time.
     pub threads: usize,
+    /// Engine speed toggles. All on by default; results never depend on
+    /// them (pinned by differential tests over every combination).
+    pub tuning: EngineTuning,
 }
 
 impl Default for SimulatorConfig {
     fn default() -> Self {
-        Self { delta: 10.0, threads: 0 }
+        Self { delta: 10.0, threads: 0, tuning: EngineTuning::default() }
+    }
+}
+
+/// Independent on/off switches for the parallel engine's speed paths.
+///
+/// Every combination produces bit-identical [`MessageOutcome`]s — the
+/// switches exist so differential suites can force each path against the
+/// reference engine and so benchmarks can measure each win in isolation
+/// (`all_off` is the pre-consolidation engine, the scaling bench's
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Jump idle messages via [`HistoryTimeline::next_active_slot`] instead
+    /// of scanning every busy slot for an active holder.
+    pub skip_index: bool,
+    /// Build utility tables exactly once per (job, slot[, destination]) in
+    /// a latched cross-worker store instead of once per worker (and, for
+    /// destination-aware algorithms, once per message).
+    pub shared_tables: bool,
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        Self { skip_index: true, shared_tables: true }
+    }
+}
+
+impl EngineTuning {
+    /// The pre-consolidation engine: per-worker tables, full busy-slot scan.
+    pub fn all_off() -> Self {
+        Self { skip_index: false, shared_tables: false }
     }
 }
 
@@ -156,20 +190,471 @@ enum DecisionMode {
     },
 }
 
+/// Sentinel for "this table key dimension does not apply".
+const NO_KEY: u32 = u32::MAX;
+
+/// Sets `node`'s bit in a node bitmask.
+#[inline]
+fn set_bit(mask: &mut [u64], node: NodeId) {
+    mask[node.index() / 64] |= 1u64 << (node.index() % 64);
+}
+
+/// True iff two node bitmasks share a set bit; length mismatches treat the
+/// missing tail as zero.
+#[inline]
+fn masks_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+/// One read of the lazy utility memo ([`SlotUtility::Lazy`]): returns the
+/// memoized value while `slot` is inside `v`'s validity interval, otherwise
+/// re-evaluates against this slot's context and stores the value under the
+/// *maximal* interval over which the (node, destination) pair statistics
+/// are constant ([`HistoryTimeline::pair_constancy_interval`]) — so the
+/// memo, which outlives a single message (it is keyed per destination and
+/// shared by every message of the job with that destination), serves reads
+/// both before and after the evaluation point. Exact because the
+/// `copy_utility` contract pins
+/// a destination-aware utility to the (node, destination) pair stats, which
+/// change only in slots where the pair is in contact.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn lazy_eval(
+    algorithm: &dyn ForwardingAlgorithm,
+    ctx: &ForwardingContext<'_>,
+    timeline: &HistoryTimeline,
+    destination: NodeId,
+    slot: usize,
+    utilities: &mut [f64],
+    valid_from: &mut [u32],
+    valid_until: &mut [u32],
+    v: NodeId,
+) -> f64 {
+    let s = slot as u32;
+    if valid_from[v.index()] <= s && s < valid_until[v.index()] {
+        return utilities[v.index()];
+    }
+    let value =
+        algorithm.copy_utility(ctx, v, destination).expect("copy_utility is uniformly Some");
+    let (from, until) = timeline.pair_constancy_interval(v, destination, slot);
+    utilities[v.index()] = value;
+    valid_from[v.index()] = from;
+    valid_until[v.index()] = until;
+    value
+}
+
+/// The slot's per-node *promising* bitmask: bit `v` is set iff some
+/// neighbor of `v` this slot has strictly higher utility. One pass over
+/// the slot's edges, shared across every message of the job through the
+/// table it is published with. A superset of the exact actionability
+/// condition (it ignores holder status), so a precheck against it can
+/// only produce false positives — and a false positive just runs a sweep
+/// that moves nothing.
+fn build_promising(edges: &[(NodeId, NodeId)], utilities: &[f64], words: usize) -> Box<[u64]> {
+    let mut promising = vec![0u64; words].into_boxed_slice();
+    for &(a, b) in edges {
+        if utilities[a.index()] > utilities[b.index()] {
+            set_bit(&mut promising, b);
+        } else if utilities[b.index()] > utilities[a.index()] {
+            set_bit(&mut promising, a);
+        }
+    }
+    promising
+}
+
+/// The slot's within-slot reachability closure under one utility order:
+/// node-major bitmask rows (stride `words`) where row `v` holds `v` plus
+/// every node a copy at `v` could reach through the slot's edges along
+/// strictly-increasing utilities (the fixpoint sweep forwards multi-hop
+/// within a slot). One `O(E log E + E·words)` pass per (job, slot), shared
+/// across every message of the job.
+///
+/// Built by processing the directed utility-increasing edges in descending
+/// order of the *receiving* (lower-utility) endpoint's utility: when
+/// `reach[lo] |= reach[hi]` runs, every update into `hi` (whose receiving
+/// utility is `u[hi] > u[lo]`) has already run, so `reach[hi]` is final —
+/// the closure propagates in one pass.
+fn build_reach(
+    edges: &[(NodeId, NodeId)],
+    utilities: &[f64],
+    n: usize,
+    words: usize,
+) -> Box<[u64]> {
+    let mut reach = vec![0u64; n * words].into_boxed_slice();
+    for v in 0..n {
+        reach[v * words + v / 64] |= 1u64 << (v % 64);
+    }
+    let mut directed: Vec<(f64, NodeId, NodeId)> = Vec::with_capacity(edges.len());
+    for &(a, b) in edges {
+        if utilities[a.index()] > utilities[b.index()] {
+            directed.push((utilities[b.index()], a, b));
+        } else if utilities[b.index()] > utilities[a.index()] {
+            directed.push((utilities[a.index()], b, a));
+        }
+    }
+    directed.sort_by(|x, y| y.0.total_cmp(&x.0));
+    for &(_, hi, lo) in &directed {
+        for w in 0..words {
+            let src = reach[hi.index() * words + w];
+            reach[lo.index() * words + w] |= src;
+        }
+    }
+    reach
+}
+
+/// True iff some active holder's within-slot reachability closure (a row
+/// of [`build_reach`]) contains a node outside the current holder set —
+/// i.e. the fixpoint sweep would forward at least one copy. Together with
+/// a destination-adjacency scan this is an **exact** actionability test
+/// (see the precheck in `simulate_message`), at two word-ops per active
+/// holder and no neighbor scans.
+fn closure_escapes(reach: &[u64], active: &[u64], holder_mask: &[u64]) -> bool {
+    let words = holder_mask.len();
+    for (word, (&act, &held)) in active.iter().zip(holder_mask).enumerate() {
+        let mut bits = act & held;
+        while bits != 0 {
+            let v = word * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let row = &reach[v * words..][..words];
+            if row.iter().zip(holder_mask).any(|(r, h)| r & !h != 0) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The sweep-actionability precheck under one utility order: true iff some
+/// candidate holder has a neighbor that is the destination or a
+/// strictly-higher-utility non-holder. Generic over the utility reader so
+/// each mode compiles to a direct slice load (or an inlined lazy-memo
+/// read) instead of a dynamic call per neighbor; the candidate's own
+/// utility is evaluated at most once however many neighbors it has.
+#[inline]
+fn any_actionable(
+    candidates: &[NodeId],
+    slot_data: &Slot,
+    holders: &[bool],
+    destination: NodeId,
+    mut value: impl FnMut(NodeId) -> f64,
+) -> bool {
+    candidates.iter().any(|&h| {
+        let mut own = None;
+        slot_data.neighbors(h).iter().any(|&nb| {
+            nb == destination
+                || (!holders[nb.index()] && {
+                    let own = *own.get_or_insert_with(|| value(h));
+                    value(nb) > own
+                })
+        })
+    })
+}
+
+/// Dispatches the utility-mode actionability precheck: under the skip
+/// index, runs entirely on the timeline's per-slot neighbor bitmasks — a
+/// two-word destination-adjacency test for delivery, then per active
+/// holder a `neighbors ∧ ¬holders` word combination whose surviving bits
+/// (the holder's non-holder slot neighbors) are the only nodes whose
+/// utilities get read at all. Contiguous word loads replace the per-slot
+/// adjacency-vector chasing of the scan below, which stays as the
+/// pre-consolidation path (whole-holder-list neighbor scan, exactly like
+/// the engine always did). Both are exact: a sweep acts iff a holder sits
+/// next to the destination or to a strictly-higher-utility non-holder.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn utility_actionable(
+    skip_index: bool,
+    timeline: &HistoryTimeline,
+    slot: usize,
+    holder_mask: &[u64],
+    active: &[u64],
+    holder_list: &[NodeId],
+    slot_data: &Slot,
+    holders: &[bool],
+    destination: NodeId,
+    mut value: impl FnMut(NodeId) -> f64,
+) -> bool {
+    if !skip_index {
+        return any_actionable(holder_list, slot_data, holders, destination, value);
+    }
+    // Delivery: some holder shares an edge with the destination. (Slot
+    // neighbors are mutual, so this is the destination's row against the
+    // holder mask.)
+    if masks_intersect(timeline.neighbor_mask(slot, destination), holder_mask) {
+        return true;
+    }
+    // Forwarding: some active holder has a strictly-higher-utility
+    // non-holder neighbor. Only holders active this slot have neighbors,
+    // so the bit walk starts from `active ∧ held`.
+    for (word_idx, (&act, &held)) in active.iter().zip(holder_mask).enumerate() {
+        let mut bits = act & held;
+        while bits != 0 {
+            let h = NodeId((word_idx * 64 + bits.trailing_zeros() as usize) as u32);
+            bits &= bits - 1;
+            let mut own = None;
+            for (peer_word, (&nb, &nb_held)) in
+                timeline.neighbor_mask(slot, h).iter().zip(holder_mask).enumerate()
+            {
+                let mut cand = nb & !nb_held;
+                while cand != 0 {
+                    let v = NodeId((peer_word * 64 + cand.trailing_zeros() as usize) as u32);
+                    cand &= cand - 1;
+                    let own = *own.get_or_insert_with(|| value(h));
+                    if value(v) > own {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// One slot's fixpoint sweep: scans `edges` in normalized order (the same
+/// order the reference engine uses) until no copy moves, forwarding where
+/// `forward` says so; returns true on delivery. Edges where neither
+/// endpoint holds a copy are skipped without entering the per-direction
+/// loop — the common case even in actionable slots. Generic over the
+/// forward predicate so each utility mode's comparison inlines into the
+/// edge scan.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sweep_slot(
+    edges: &[(NodeId, NodeId)],
+    state: &mut MessageState,
+    holder_list: &mut Vec<NodeId>,
+    holder_mask: &mut [u64],
+    destination: NodeId,
+    slot_time: Seconds,
+    mut forward: impl FnMut(NodeId, NodeId) -> bool,
+) -> bool {
+    loop {
+        let mut changed = false;
+        for &(a, b) in edges {
+            if !state.holders[a.index()] && !state.holders[b.index()] {
+                continue;
+            }
+            for (from, to) in [(a, b), (b, a)] {
+                if !state.holders[from.index()] {
+                    continue;
+                }
+                if to == destination {
+                    state.delivered_at = Some(slot_time);
+                    state.delivered_by = Some(from);
+                    return true;
+                }
+                if state.holders[to.index()] {
+                    continue;
+                }
+                if forward(from, to) {
+                    state.holders[to.index()] = true;
+                    state.received_from[to.index()] = Some((from, slot_time));
+                    holder_list.push(to);
+                    set_bit(holder_mask, to);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+/// How forwarding decisions read utilities during one slot of one message.
+#[derive(Clone, Copy)]
+enum SlotUtility<'a> {
+    /// No utility decomposition: per-decision `should_forward` calls.
+    Direct,
+    /// A job- or slot-wide table (destination-unaware modes), plus — under
+    /// the skip-index tuning — the slot's shared precheck structures
+    /// (promising mask and reachability closure), which make the
+    /// actionability precheck exact in a handful of word intersections.
+    Shared {
+        /// Per-node utilities.
+        utils: &'a [f64],
+        /// The shared per-slot table carrying the promising mask and the
+        /// reachability closure, when the skip-index tuning built them.
+        precheck: Option<&'a UtilityTable>,
+    },
+    /// The per-message table in `WorkerScratch::utilities`, kept exact by
+    /// fill + incremental refresh.
+    PerMessage,
+    /// The lazy memo: `WorkerScratch::utilities[v]` is evaluated on first
+    /// comparison and stays exact while `slot < valid_until[v]` (the
+    /// node's next contact with the destination). Nodes never compared are
+    /// never evaluated — the win over the eager full fill.
+    Lazy,
+}
+
+/// Build latch for one in-flight utility table — the exactly-once pattern
+/// from `psn_artifact::store`: the first worker to want a table inserts a
+/// `Building` entry and computes it outside the lock; later workers wait on
+/// the latch instead of duplicating the work.
+struct TableLatch {
+    done: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl TableLatch {
+    fn new() -> Self {
+        Self { done: std::sync::Mutex::new(false), cv: std::sync::Condvar::new() }
+    }
+
+    /// Marks the build finished (successfully or not) and wakes all waiters.
+    /// Poison-safe: a panicking builder must still release its waiters.
+    fn release(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|poison| poison.into_inner());
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until [`TableLatch::release`].
+    fn wait(&self) {
+        let done = self.done.lock().unwrap_or_else(|poison| poison.into_inner());
+        let _done =
+            self.cv.wait_while(done, |done| !*done).unwrap_or_else(|poison| poison.into_inner());
+    }
+}
+
+/// One published shared utility table: the per-node utilities plus, when
+/// the skip-index tuning is on and the table is bound to a slot, the
+/// slot's per-node *promising* bitmask (see [`build_promising`]) and
+/// within-slot reachability closure (see [`build_reach`]). Static job-wide
+/// tables carry empty masks; the per-slot precheck entries a static job
+/// publishes carry empty utilities.
+struct UtilityTable {
+    utilities: Box<[f64]>,
+    promising: Box<[u64]>,
+    reach: Box<[u64]>,
+}
+
+/// One utility-table slot of a [`JobTables`] store.
+enum TableState {
+    /// A worker is computing the table; wait on the latch, then re-inspect.
+    Building(std::sync::Arc<TableLatch>),
+    /// The published, immutable table.
+    Ready(std::sync::Arc<UtilityTable>),
+}
+
+/// Cross-worker utility-table store for **one job** of a `run_many` batch.
+///
+/// Keyed by `(slot, destination)` with [`NO_KEY`] marking a dimension the
+/// job's [`DecisionMode`] does not depend on: `(NO_KEY, NO_KEY)` for static
+/// destination-unaware utilities (one table per job), `(slot, NO_KEY)` for
+/// dynamic destination-unaware ones, `(NO_KEY, dest)` / `(slot, dest)` for
+/// the destination-aware modes. Every table is built **exactly once per
+/// job** no matter how many workers shard its messages — the per-worker
+/// rebuild (and, for destination-aware algorithms, the per-*message*
+/// rebuild) was the dominant redundant work in the pre-consolidation
+/// engine.
+///
+/// Sharing is exact, not approximate: the `copy_utility` contract pins the
+/// utility of a node at a slot to a pure function of (slot history,
+/// destination), so a table computed by any worker is bit-identical to the
+/// one every other worker would compute.
+struct JobTables {
+    map: std::sync::Mutex<std::collections::HashMap<(u32, u32), TableState>>,
+}
+
+/// Removes a still-`Building` entry and releases its latch when the
+/// builder unwinds (fault injection panics mid-build under
+/// `catch_unwind`), so waiting workers wake up and rebuild instead of
+/// hanging. Disarmed on successful publication — the latch is then
+/// released with the `Ready` entry already in place.
+struct ReleaseOnUnwind<'a> {
+    tables: &'a JobTables,
+    key: (u32, u32),
+    latch: &'a std::sync::Arc<TableLatch>,
+    armed: bool,
+}
+
+impl Drop for ReleaseOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut map = self.tables.map.lock().unwrap_or_else(|poison| poison.into_inner());
+            if matches!(map.get(&self.key), Some(TableState::Building(_))) {
+                map.remove(&self.key);
+            }
+        }
+        self.latch.release();
+    }
+}
+
+impl JobTables {
+    fn new() -> Self {
+        Self { map: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    /// Returns the table for `key`, computing it via `build` if this caller
+    /// is the first to want it; concurrent callers for the same key block
+    /// until the builder publishes.
+    fn get_or_build(
+        &self,
+        key: (u32, u32),
+        build: impl Fn() -> std::sync::Arc<UtilityTable>,
+    ) -> std::sync::Arc<UtilityTable> {
+        loop {
+            let wait_on = {
+                let mut map = self.map.lock().unwrap_or_else(|poison| poison.into_inner());
+                match map.get(&key) {
+                    Some(TableState::Ready(table)) => return std::sync::Arc::clone(table),
+                    Some(TableState::Building(latch)) => std::sync::Arc::clone(latch),
+                    None => {
+                        let latch = std::sync::Arc::new(TableLatch::new());
+                        map.insert(key, TableState::Building(std::sync::Arc::clone(&latch)));
+                        drop(map);
+                        let mut guard =
+                            ReleaseOnUnwind { tables: self, key, latch: &latch, armed: true };
+                        let table = build();
+                        let mut map = self.map.lock().unwrap_or_else(|poison| poison.into_inner());
+                        map.insert(key, TableState::Ready(std::sync::Arc::clone(&table)));
+                        drop(map);
+                        guard.armed = false;
+                        return table;
+                    }
+                }
+            };
+            wait_on.wait();
+        }
+    }
+}
+
 /// Reusable per-worker buffers: the message copy-state, the holder list,
-/// the per-message utility vector and the per-(job, slot) shared utility
-/// cache.
+/// the per-message utility vector and the per-(job, slot) utility cache —
+/// a lock-free L1 over the cross-worker [`JobTables`] store (or the
+/// per-worker table itself when shared tables are tuned off).
 struct WorkerScratch {
     state: MessageState,
     /// Nodes currently holding a copy, in acquisition order — scanned to
     /// skip slots where no holder has a contact.
     holder_list: Vec<NodeId>,
+    /// `state.holders` as a bitmask — intersected with the timeline's
+    /// per-slot activity mask so "can anything move this slot?" costs a
+    /// few word operations instead of a holder-list scan.
+    holder_mask: Vec<u64>,
     utilities: Vec<f64>,
+    /// Lazy-memo validity interval per node: `utilities[v]` is exact for
+    /// every slot in `[valid_from[v], valid_until[v])` — the maximal
+    /// interval over which the (node, destination) pair statistics are
+    /// constant. `(u32::MAX, 0)` = not evaluated.
+    valid_from: Vec<u32>,
+    /// Exclusive upper bound of the lazy-memo validity interval.
+    valid_until: Vec<u32>,
+    /// Which `(job, destination)` the lazy memo describes
+    /// (`(usize::MAX, u32::MAX)` = none). The memo outlives a single
+    /// message: the chunk loop groups a lazy job's messages by
+    /// destination, so consecutive messages share the evaluations.
+    lazy_key: (usize, u32),
     /// Which job the shared caches below belong to (`usize::MAX` = none).
     shared_job: usize,
-    shared_slots: Vec<Option<Box<[f64]>>>,
+    shared_slots: Vec<Option<std::sync::Arc<UtilityTable>>>,
+    /// Slot indices with a populated `shared_slots` entry — `bind_job`
+    /// clears exactly these instead of wiping all O(slot_count) entries on
+    /// every job switch.
+    touched_slots: Vec<u32>,
     /// Single job-wide table for static destination-unaware utilities.
-    static_utils: Option<Box<[f64]>>,
+    static_utils: Option<std::sync::Arc<UtilityTable>>,
 }
 
 impl WorkerScratch {
@@ -177,19 +662,29 @@ impl WorkerScratch {
         Self {
             state: MessageState::new(node_count),
             holder_list: Vec::with_capacity(node_count),
+            holder_mask: vec![0; node_count.div_ceil(64)],
             utilities: vec![0.0; node_count],
+            valid_from: vec![u32::MAX; node_count],
+            valid_until: vec![0; node_count],
+            lazy_key: (usize::MAX, u32::MAX),
             shared_job: usize::MAX,
             shared_slots: vec![None; slot_count],
+            touched_slots: Vec::new(),
             static_utils: None,
         }
     }
 
     /// Rebinds the shared caches to `job`, clearing them if the worker
-    /// switched jobs (work items are job-major, so this is rare).
+    /// switched jobs (work items are job-major, so this is rare). Only the
+    /// touched slots are cleared — a job that visited a handful of slots
+    /// pays for those, not for the whole trace.
     fn bind_job(&mut self, job: usize) {
         if self.shared_job != job {
             self.shared_job = job;
-            self.shared_slots.iter_mut().for_each(|s| *s = None);
+            for &slot in &self.touched_slots {
+                self.shared_slots[slot as usize] = None;
+            }
+            self.touched_slots.clear();
             self.static_utils = None;
         }
     }
@@ -346,15 +841,53 @@ impl<'a> Simulator<'a> {
         let mut outcomes: Vec<Vec<Option<MessageOutcome>>> =
             jobs.iter().map(|(_, m)| vec![None; m.len()]).collect();
 
+        // One cross-worker table store per job (tuning permitting): every
+        // worker sharding a job's messages reads and fills the same
+        // exactly-once-latched tables.
+        let tables: Option<Vec<JobTables>> = self
+            .config
+            .tuning
+            .shared_tables
+            .then(|| jobs.iter().map(|_| JobTables::new()).collect());
+
         let process_item = |scratch: &mut WorkerScratch,
                             (job_idx, start, end): (usize, usize, usize)|
          -> Vec<MessageOutcome> {
             let (algorithm, messages) = jobs[job_idx];
             scratch.bind_job(job_idx);
-            messages[start..end]
-                .iter()
-                .map(|m| self.simulate_message(algorithm, modes[job_idx], m, scratch))
-                .collect()
+            let job_tables = tables.as_ref().map(|t| &t[job_idx]);
+            let chunk = &messages[start..end];
+            let lazy_memo = self.config.tuning.skip_index
+                && modes[job_idx] == (DecisionMode::PerMessageUtility { is_static: false });
+            if lazy_memo {
+                // Lazy jobs memoize utility evaluations per destination
+                // (`WorkerScratch::lazy_key`); processing the chunk grouped
+                // by destination lets every message to the same destination
+                // reuse the memo instead of resetting it. The stable sort
+                // keeps same-destination messages in input order; outcomes
+                // are written back by original index, so results are
+                // order-independent anyway (messages never interact).
+                let mut order: Vec<usize> = (0..chunk.len()).collect();
+                order.sort_by_key(|&i| chunk[i].destination.0);
+                let mut out: Vec<Option<MessageOutcome>> = (0..chunk.len()).map(|_| None).collect();
+                for i in order {
+                    out[i] = Some(self.simulate_message(
+                        algorithm,
+                        modes[job_idx],
+                        &chunk[i],
+                        scratch,
+                        job_tables,
+                    ));
+                }
+                out.into_iter().map(|o| o.expect("every chunk index simulated")).collect()
+            } else {
+                chunk
+                    .iter()
+                    .map(|m| {
+                        self.simulate_message(algorithm, modes[job_idx], m, scratch, job_tables)
+                    })
+                    .collect()
+            }
         };
 
         if threads <= 1 || items.len() <= 1 {
@@ -471,29 +1004,111 @@ impl<'a> Simulator<'a> {
 
     /// Simulates one message to its per-slot fixpoint against the shared
     /// timeline. Visits only busy slots from the creation slot onward and
-    /// stops at delivery.
+    /// stops at delivery; with the skip index tuned on, stretches of busy
+    /// slots where no holder has a contact are jumped over entirely.
     fn simulate_message(
         &self,
         algorithm: &dyn ForwardingAlgorithm,
         mode: DecisionMode,
         message: &Message,
         scratch: &mut WorkerScratch,
+        tables: Option<&JobTables>,
     ) -> MessageOutcome {
-        let WorkerScratch { state, holder_list, utilities, shared_slots, static_utils, .. } =
-            scratch;
+        let WorkerScratch {
+            state,
+            holder_list,
+            holder_mask,
+            utilities,
+            valid_from,
+            valid_until,
+            lazy_key,
+            shared_job,
+            shared_slots,
+            touched_slots,
+            static_utils,
+        } = scratch;
         let graph = self.graph.as_graph_ref();
         let n = self.trace.node_count();
         state.reset();
         state.holders[message.source.index()] = true;
         holder_list.clear();
         holder_list.push(message.source);
+        holder_mask.fill(0);
+        set_bit(holder_mask, message.source);
         let creation_slot = graph.slot_of_time(message.created_at);
         let busy = graph.busy_slots();
         let first_busy = busy.partition_point(|&s| s < creation_slot);
         let destination = message.destination;
+        let skip_index = self.config.tuning.skip_index;
+        // Destination-aware dynamic utilities under the skip-index tuning
+        // use the lazy memo (evaluate on comparison, valid until the node's
+        // next destination contact) instead of the eager full fill +
+        // per-slot refresh — the `copy_utility` contract makes both exact,
+        // and the memo touches only nodes that are actually compared.
+        let lazy = skip_index && mode == (DecisionMode::PerMessageUtility { is_static: false });
+        if lazy {
+            // The memo is keyed by (job, destination): its entries are
+            // destination-pair facts with maximal validity intervals,
+            // independent of any particular message, so every message of
+            // the job with this destination (grouped together by the chunk
+            // loop) reads and extends one shared memo. A key switch
+            // invalidates it wholesale.
+            let key = (*shared_job, destination.0);
+            if *lazy_key != key {
+                *lazy_key = key;
+                valid_from.fill(u32::MAX);
+                valid_until.fill(0);
+            }
+        } else {
+            // Non-lazy modes reuse the `utilities` buffer (eager fills,
+            // per-slot refreshes), so any stored memo intervals no longer
+            // describe its contents.
+            *lazy_key = (usize::MAX, u32::MAX);
+        }
+        // For algorithms whose utility requires a past destination contact
+        // (FRESH, Greedy), a slot can only matter if the destination itself
+        // or some node that ever meets it is active: delivery needs the
+        // destination on a slot edge, and a forward target must strictly
+        // beat its holder, which such algorithms reserve for nodes that
+        // have met the destination. One extra word intersection rejects
+        // every other slot before any slot data is pinned.
+        let dest_gate: Option<&[u64]> = (lazy && algorithm.utility_requires_destination_contact())
+            .then(|| self.timeline.ever_met_mask(destination));
         let mut utilities_ready = false;
+        let mut cursor = first_busy;
 
-        'slots: for &slot in &busy[first_busy..] {
+        'slots: while let Some(&slot) = busy.get(cursor) {
+            cursor += 1;
+
+            // Mask fast path (skip-index tuning): answer "can this slot
+            // matter to this message?" from the timeline's per-slot
+            // activity bitmask before pinning any slot data or building a
+            // context. A slot matters only if a holder has a contact —
+            // every edge endpoint is an active node, so otherwise no copy
+            // can move and no delivery can happen.
+            let active = if skip_index { self.timeline.active_mask(slot) } else { &[][..] };
+            if skip_index {
+                if !masks_intersect(holder_mask, active) {
+                    // No holder is active: jump straight to the earliest
+                    // slot where one is again, skipping the intervening
+                    // busy slots entirely.
+                    let target = holder_list
+                        .iter()
+                        .filter_map(|&h| self.timeline.next_active_slot(h, slot + 1))
+                        .min();
+                    let Some(target) = target else {
+                        // No holder is ever active again: undeliverable.
+                        break 'slots;
+                    };
+                    cursor = busy.partition_point(|&s| s < target);
+                    continue;
+                }
+                if let Some(ever) = dest_gate {
+                    if !masks_intersect(ever, active) {
+                        continue;
+                    }
+                }
+            }
             let slot_time = graph.slot_end_time(slot);
             // Pin the slot once: a no-op borrow on the materialized graph, a
             // hot-set lookup or spill reload on the windowed one. Every
@@ -502,134 +1117,383 @@ impl<'a> Simulator<'a> {
             let view = self.timeline.at_slot(slot);
             let ctx = ForwardingContext { history: &view, oracle: &self.oracle, now: slot_time };
 
-            // Incremental per-message utility refresh. This must run for
-            // *every* busy slot once the table is initialized — even slots
-            // the sweep below skips — or a destination contact in a skipped
-            // slot would leave stale utilities behind. Static utilities
-            // never change, so they skip the refresh entirely.
-            if mode == (DecisionMode::PerMessageUtility { is_static: false }) && utilities_ready {
-                for &peer in slot_data.neighbors(destination) {
-                    utilities[peer.index()] = algorithm
-                        .copy_utility(&ctx, peer, destination)
-                        .expect("copy_utility is uniformly Some");
+            if !skip_index {
+                // Pre-consolidation per-slot path: refresh the incremental
+                // table off the pinned slot (a no-op unless the destination
+                // met someone) — this must run for *every* visited busy slot
+                // once the table is initialized, even slots the sweep below
+                // skips, or a destination contact would leave stale
+                // utilities behind — then scan the holder list for activity.
+                if mode == (DecisionMode::PerMessageUtility { is_static: false }) && utilities_ready
+                {
+                    for &peer in slot_data.neighbors(destination) {
+                        utilities[peer.index()] = algorithm
+                            .copy_utility(&ctx, peer, destination)
+                            .expect("copy_utility is uniformly Some");
+                    }
                 }
-            }
-
-            // If no holder has a contact this slot, nothing can move and no
-            // delivery can happen: every edge endpoint is a contact-having
-            // node, so `holders[from]` would fail for every direction. The
-            // reference engine pays a full sweep to discover this; here it
-            // is an O(holders) check.
-            if !holder_list.iter().any(|&h| slot_data.has_contacts(h)) {
-                continue;
+                if !holder_list.iter().any(|&h| slot_data.has_contacts(h)) {
+                    continue;
+                }
             }
 
             let edges = slot_data.edges();
 
-            // Resolve this slot's utility table (if the algorithm has one);
-            // `None` falls back to per-decision `should_forward` calls.
-            let utility: Option<&[f64]> = match mode {
-                DecisionMode::Direct => None,
+            // Exact full table at this slot's context — what both the
+            // cross-worker store and the per-worker caches publish.
+            let fill_utilities = || -> Box<[f64]> {
+                (0..n as u32)
+                    .map(|v| {
+                        algorithm
+                            .copy_utility(&ctx, NodeId(v), destination)
+                            .expect("copy_utility is uniformly Some")
+                    })
+                    .collect()
+            };
+            let words = holder_mask.len();
+
+            // Resolve how this slot's forwarding decisions read utilities.
+            let utility: SlotUtility<'_> = match mode {
+                DecisionMode::Direct => SlotUtility::Direct,
                 DecisionMode::SharedUtility { is_static: true } => {
                     // Static and destination independent: one table serves
-                    // the whole job.
+                    // the whole job. The worker-local slot doubles as the
+                    // lock-free L1 over the cross-worker store.
                     if static_utils.is_none() {
-                        let utils: Box<[f64]> = (0..n as u32)
-                            .map(|v| {
-                                algorithm
-                                    .copy_utility(&ctx, NodeId(v), destination)
-                                    .expect("copy_utility is uniformly Some")
+                        let build = || {
+                            std::sync::Arc::new(UtilityTable {
+                                utilities: fill_utilities(),
+                                promising: Box::default(),
+                                reach: Box::default(),
                             })
-                            .collect();
-                        *static_utils = Some(utils);
+                        };
+                        *static_utils = Some(match tables {
+                            Some(tables) => tables.get_or_build((NO_KEY, NO_KEY), build),
+                            None => build(),
+                        });
                     }
-                    static_utils.as_deref()
+                    let table = static_utils.as_ref().expect("just filled");
+                    // Under the skip index, publish the precheck structures
+                    // (promising mask + reachability closure) for each
+                    // visited slot of the static table — utilities are
+                    // job-wide, but who can reach whom depends on the
+                    // slot's edges.
+                    if skip_index && shared_slots[slot].is_none() {
+                        let slot32 = slot as u32;
+                        let build = || {
+                            std::sync::Arc::new(UtilityTable {
+                                utilities: Box::default(),
+                                promising: build_promising(edges, &table.utilities, words),
+                                reach: build_reach(edges, &table.utilities, n, words),
+                            })
+                        };
+                        shared_slots[slot] = Some(match tables {
+                            Some(tables) => tables.get_or_build((slot32, NO_KEY), build),
+                            None => build(),
+                        });
+                        touched_slots.push(slot32);
+                    }
+                    SlotUtility::Shared {
+                        utils: &table.utilities,
+                        precheck: shared_slots[slot].as_deref(),
+                    }
                 }
                 DecisionMode::SharedUtility { is_static: false } => {
-                    // Destination independent: fill once per (job, slot),
-                    // reuse for every message of the job this worker sees.
+                    // Destination independent: one table per (job, slot),
+                    // built exactly once across all workers (or once per
+                    // worker with shared tables tuned off) and reused for
+                    // every message of the job.
                     if shared_slots[slot].is_none() {
-                        let utils: Box<[f64]> = (0..n as u32)
-                            .map(|v| {
-                                algorithm
-                                    .copy_utility(&ctx, NodeId(v), destination)
-                                    .expect("copy_utility is uniformly Some")
-                            })
-                            .collect();
-                        shared_slots[slot] = Some(utils);
+                        let slot32 = slot as u32;
+                        let build = || {
+                            let utilities = fill_utilities();
+                            let (promising, reach) = if skip_index {
+                                (
+                                    build_promising(edges, &utilities, words),
+                                    build_reach(edges, &utilities, n, words),
+                                )
+                            } else {
+                                (Box::default(), Box::default())
+                            };
+                            std::sync::Arc::new(UtilityTable { utilities, promising, reach })
+                        };
+                        shared_slots[slot] = Some(match tables {
+                            Some(tables) => tables.get_or_build((slot32, NO_KEY), build),
+                            None => build(),
+                        });
+                        touched_slots.push(slot32);
                     }
-                    shared_slots[slot].as_deref()
+                    let table = shared_slots[slot].as_ref().expect("just filled");
+                    SlotUtility::Shared {
+                        utils: &table.utilities,
+                        precheck: skip_index.then_some(&**table),
+                    }
                 }
-                DecisionMode::PerMessageUtility { .. } => {
-                    if !utilities_ready {
-                        // First swept slot: full fill covers all history up
-                        // to and including this slot.
-                        for v in 0..n as u32 {
-                            utilities[v as usize] = algorithm
-                                .copy_utility(&ctx, NodeId(v), destination)
-                                .expect("copy_utility is uniformly Some");
+                DecisionMode::PerMessageUtility { is_static } => {
+                    if lazy {
+                        SlotUtility::Lazy
+                    } else {
+                        if !utilities_ready {
+                            // Fill the per-message table with the exact full
+                            // table at this slot. With the cross-worker
+                            // store on, the fill goes through it so messages
+                            // to the same destination share one build:
+                            // static tables are keyed per destination — one
+                            // build per (job, destination) no matter how
+                            // many messages — and dynamic ones per (slot,
+                            // destination), shared by messages created in
+                            // the same slot.
+                            match tables {
+                                Some(tables) => {
+                                    let key = if is_static {
+                                        (NO_KEY, destination.0)
+                                    } else {
+                                        (slot as u32, destination.0)
+                                    };
+                                    let build = || {
+                                        std::sync::Arc::new(UtilityTable {
+                                            utilities: fill_utilities(),
+                                            promising: Box::default(),
+                                            reach: Box::default(),
+                                        })
+                                    };
+                                    utilities.copy_from_slice(
+                                        &tables.get_or_build(key, build).utilities,
+                                    );
+                                }
+                                None => {
+                                    for v in 0..n as u32 {
+                                        utilities[v as usize] = algorithm
+                                            .copy_utility(&ctx, NodeId(v), destination)
+                                            .expect("copy_utility is uniformly Some");
+                                    }
+                                }
+                            }
+                            utilities_ready = true;
                         }
-                        utilities_ready = true;
+                        SlotUtility::PerMessage
                     }
-                    Some(&utilities[..])
                 }
             };
 
-            // Utility tables make an exact actionability precheck possible:
-            // the sweep can move a copy (or deliver) iff some holder has a
-            // neighbor that is the destination or a strictly-higher-utility
-            // non-holder. If not, the whole fixpoint sweep is a no-op — the
-            // reference engine pays a full edge scan to find that out, this
-            // engine pays O(Σ deg(holder)).
-            if let Some(u) = utility {
-                let actionable = holder_list.iter().any(|&h| {
-                    slot_data.neighbors(h).iter().any(|&nb| {
-                        nb == destination
-                            || (!state.holders[nb.index()] && u[nb.index()] > u[h.index()])
-                    })
-                });
+            // Utility decompositions make an exact actionability precheck
+            // possible: the sweep can move a copy (or deliver) iff some
+            // holder has a neighbor that is the destination or a
+            // strictly-higher-utility non-holder. If not, the whole
+            // fixpoint sweep is a no-op — the reference engine pays a full
+            // edge scan to find that out, this engine pays O(Σ deg(holder)).
+            {
+                let holders = &state.holders;
+                // With the skip index on, only the holders active this slot
+                // need inspecting (an inactive holder has no neighbors);
+                // the pre-consolidation path scans the whole holder list.
+                // The enumeration is deferred into the arms that scan
+                // candidates — the mask-based rejections never pay for it.
+                let actionable = match utility {
+                    // Every edge endpoint is active, so if every active
+                    // node already holds a copy, no forward or delivery is
+                    // possible — a word-level exact rejection. (The
+                    // destination never becomes a holder, so a deliverable
+                    // slot always has an active non-holder.)
+                    SlotUtility::Direct => {
+                        !skip_index
+                            || active.iter().zip(&*holder_mask).any(|(act, held)| act & !held != 0)
+                    }
+                    SlotUtility::Shared { utils, precheck } => match precheck {
+                        // Exact, scan-free precheck off the shared per-slot
+                        // table. The sweep acts iff a holder sits next to
+                        // the destination (delivery — a holder with a slot
+                        // edge is by definition active) or some active
+                        // holder's within-slot reachability closure leaves
+                        // the current holder set (the first forward of the
+                        // fixpoint must start at an existing holder, and
+                        // every node its closure row adds is reachable
+                        // through strictly-increasing utilities — so "row
+                        // escapes the holder mask" is both necessary and
+                        // sufficient for a copy to move). The promising
+                        // mask stays as a cheaper first gate: no promising
+                        // holder means no holder has any higher-utility
+                        // neighbor at all.
+                        Some(table) => {
+                            masks_intersect(
+                                self.timeline.neighbor_mask(slot, destination),
+                                holder_mask,
+                            ) || (holder_mask
+                                .iter()
+                                .zip(&table.promising[..])
+                                .any(|(held, mask)| held & mask != 0)
+                                && closure_escapes(&table.reach, active, holder_mask))
+                        }
+                        // Pre-consolidation path: the whole-holder-list
+                        // neighbor scan the engine always did.
+                        None => {
+                            any_actionable(holder_list, &slot_data, holders, destination, |v| {
+                                utils[v.index()]
+                            })
+                        }
+                    },
+                    SlotUtility::PerMessage => utility_actionable(
+                        skip_index,
+                        &self.timeline,
+                        slot,
+                        holder_mask,
+                        active,
+                        holder_list,
+                        &slot_data,
+                        holders,
+                        destination,
+                        |v| utilities[v.index()],
+                    ),
+                    SlotUtility::Lazy => utility_actionable(
+                        skip_index,
+                        &self.timeline,
+                        slot,
+                        holder_mask,
+                        active,
+                        holder_list,
+                        &slot_data,
+                        holders,
+                        destination,
+                        |v| {
+                            lazy_eval(
+                                algorithm,
+                                &ctx,
+                                &self.timeline,
+                                destination,
+                                slot,
+                                utilities,
+                                valid_from,
+                                valid_until,
+                                v,
+                            )
+                        },
+                    ),
+                };
                 if !actionable {
                     continue;
                 }
             }
 
-            // Sweep the slot's edges (in the same normalized order the
-            // reference engine scans them) until no copy moves.
-            loop {
-                let mut changed = false;
-                for &(a, b) in edges {
-                    if state.delivered_at.is_some() {
-                        break;
-                    }
-                    for (from, to) in [(a, b), (b, a)] {
-                        if !state.holders[from.index()] {
-                            continue;
-                        }
-                        if to == destination {
-                            state.delivered_at = Some(slot_time);
-                            state.delivered_by = Some(from);
-                            break;
-                        }
-                        if state.holders[to.index()] {
-                            continue;
-                        }
-                        let forward = match utility {
-                            Some(u) => u[to.index()] > u[from.index()],
-                            None => algorithm.should_forward(&ctx, from, to, destination),
-                        };
-                        if forward {
-                            state.holders[to.index()] = true;
-                            state.received_from[to.index()] = Some((from, slot_time));
-                            holder_list.push(to);
-                            changed = true;
-                        }
-                    }
-                }
-                if state.delivered_at.is_some() {
+            if skip_index {
+                // Sweep the slot's edges (in the same normalized order the
+                // reference engine scans them) until no copy moves, with
+                // the forward predicate monomorphized per utility mode and
+                // a both-endpoints-idle fast path per edge.
+                let delivered = match utility {
+                    SlotUtility::Direct => sweep_slot(
+                        edges,
+                        state,
+                        holder_list,
+                        holder_mask,
+                        destination,
+                        slot_time,
+                        |from, to| algorithm.should_forward(&ctx, from, to, destination),
+                    ),
+                    SlotUtility::Shared { utils, .. } => sweep_slot(
+                        edges,
+                        state,
+                        holder_list,
+                        holder_mask,
+                        destination,
+                        slot_time,
+                        |from, to| utils[to.index()] > utils[from.index()],
+                    ),
+                    SlotUtility::PerMessage => sweep_slot(
+                        edges,
+                        state,
+                        holder_list,
+                        holder_mask,
+                        destination,
+                        slot_time,
+                        |from, to| utilities[to.index()] > utilities[from.index()],
+                    ),
+                    SlotUtility::Lazy => sweep_slot(
+                        edges,
+                        state,
+                        holder_list,
+                        holder_mask,
+                        destination,
+                        slot_time,
+                        |from, to| {
+                            lazy_eval(
+                                algorithm,
+                                &ctx,
+                                &self.timeline,
+                                destination,
+                                slot,
+                                utilities,
+                                valid_from,
+                                valid_until,
+                                to,
+                            ) > lazy_eval(
+                                algorithm,
+                                &ctx,
+                                &self.timeline,
+                                destination,
+                                slot,
+                                utilities,
+                                valid_from,
+                                valid_until,
+                                from,
+                            )
+                        },
+                    ),
+                };
+                if delivered {
                     break 'slots;
                 }
-                if !changed {
-                    break;
+            } else {
+                // Pre-consolidation sweep, kept verbatim so
+                // `EngineTuning::all_off` measures (and the differential
+                // suites exercise) the engine exactly as it was before the
+                // skip-index machinery landed.
+                loop {
+                    let mut changed = false;
+                    for &(a, b) in edges {
+                        if state.delivered_at.is_some() {
+                            break;
+                        }
+                        for (from, to) in [(a, b), (b, a)] {
+                            if !state.holders[from.index()] {
+                                continue;
+                            }
+                            if to == destination {
+                                state.delivered_at = Some(slot_time);
+                                state.delivered_by = Some(from);
+                                break;
+                            }
+                            if state.holders[to.index()] {
+                                continue;
+                            }
+                            let forward = match utility {
+                                SlotUtility::Shared { utils, .. } => {
+                                    utils[to.index()] > utils[from.index()]
+                                }
+                                SlotUtility::PerMessage => {
+                                    utilities[to.index()] > utilities[from.index()]
+                                }
+                                SlotUtility::Direct => {
+                                    algorithm.should_forward(&ctx, from, to, destination)
+                                }
+                                SlotUtility::Lazy => {
+                                    unreachable!("lazy memo requires the skip-index tuning")
+                                }
+                            };
+                            if forward {
+                                state.holders[to.index()] = true;
+                                state.received_from[to.index()] = Some((from, slot_time));
+                                holder_list.push(to);
+                                set_bit(holder_mask, to);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if state.delivered_at.is_some() {
+                        break 'slots;
+                    }
+                    if !changed {
+                        break;
+                    }
                 }
             }
         }
@@ -948,7 +1812,7 @@ mod tests {
     #[should_panic]
     fn rejects_nonpositive_delta() {
         let trace = trace_from(vec![(0, 1, 0.0, 5.0)], 2, 10.0);
-        Simulator::new(&trace, SimulatorConfig { delta: 0.0, threads: 0 });
+        Simulator::new(&trace, SimulatorConfig { delta: 0.0, ..SimulatorConfig::default() });
     }
 
     // ------------------------------------------------------------------
@@ -1057,9 +1921,15 @@ mod tests {
         let trace = random_trace(99, 10, 60, window);
         let messages = random_messages(99, 10, 40, window);
         let algorithms = standard_algorithms();
-        let baseline = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads: 1 });
+        let baseline = Simulator::new(
+            &trace,
+            SimulatorConfig { delta: 10.0, threads: 1, ..SimulatorConfig::default() },
+        );
         for threads in [2usize, 3, 7] {
-            let sim = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads });
+            let sim = Simulator::new(
+                &trace,
+                SimulatorConfig { delta: 10.0, threads, ..SimulatorConfig::default() },
+            );
             assert_eq!(sim.threads(), threads);
             for (kind, algorithm) in &algorithms {
                 let serial = baseline.run(algorithm.as_ref(), &messages);
@@ -1071,11 +1941,173 @@ mod tests {
         }
     }
 
+    /// Every on/off combination of the engine tuning switches.
+    fn all_tunings() -> [EngineTuning; 4] {
+        [
+            EngineTuning::all_off(),
+            EngineTuning { skip_index: true, shared_tables: false },
+            EngineTuning { skip_index: false, shared_tables: true },
+            EngineTuning { skip_index: true, shared_tables: true },
+        ]
+    }
+
+    #[test]
+    fn every_tuning_combination_matches_reference_across_threads() {
+        // Forces the new paths (skip-index sweep, cross-worker latched
+        // tables under real multi-thread sharding) against the reference
+        // engine, on a nonzero window start.
+        let window = TimeWindow::new(3600.0, 4200.0);
+        let trace = random_trace(21, 12, 70, window);
+        let messages = random_messages(21, 12, 24, window);
+        let algorithms = standard_algorithms();
+        let reference_sim = Simulator::with_default_config(&trace);
+        for (kind, algorithm) in &algorithms {
+            let reference = reference_sim.run_reference(algorithm.as_ref(), &messages);
+            for tuning in all_tunings() {
+                for threads in [1usize, 3] {
+                    let sim =
+                        Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads, tuning });
+                    let result = sim.run(algorithm.as_ref(), &messages);
+                    assert_eq!(
+                        reference.outcomes, result.outcomes,
+                        "{kind} with {tuning:?} on {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tuning_combination_agrees_on_a_trace_with_more_than_64_nodes() {
+        // Node counts beyond one 64-bit mask word stress the wide-trace
+        // paths; the four tunings must stay bit-identical to each other
+        // and to the reference engine.
+        let window = TimeWindow::new(0.0, 800.0);
+        let trace = random_trace(33, 70, 220, window);
+        let messages = random_messages(33, 70, 20, window);
+        let algorithms = standard_algorithms();
+        let reference_sim = Simulator::with_default_config(&trace);
+        for (kind, algorithm) in &algorithms {
+            let reference = reference_sim.run_reference(algorithm.as_ref(), &messages);
+            for tuning in all_tunings() {
+                let sim =
+                    Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads: 2, tuning });
+                let result = sim.run(algorithm.as_ref(), &messages);
+                assert_eq!(reference.outcomes, result.outcomes, "{kind} with {tuning:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_closure_matches_fixpoint_on_random_slots() {
+        // `build_reach` folds the strictly-increasing-utility edges in one
+        // descending-utility pass; the naive fixpoint (iterate the
+        // single-step expansion until nothing changes) defines what a row
+        // must contain. Random edge sets with ties exercise both the
+        // multi-hop chains and the strictly-unequal filter.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC105);
+            let n = 3 + (seed as usize % 70);
+            let words = n.div_ceil(64);
+            let utilities: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(0..5u32))).collect();
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(0..3 * n) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b {
+                    edges.push((NodeId(a), NodeId(b)));
+                }
+            }
+            let reach = build_reach(&edges, &utilities, n, words);
+            // Naive fixpoint: start from self, repeatedly add every node
+            // reachable over one strictly-increasing edge.
+            let mut expected = vec![0u64; n * words];
+            for v in 0..n {
+                expected[v * words + v / 64] |= 1u64 << (v % 64);
+            }
+            loop {
+                let mut changed = false;
+                for &(a, b) in &edges {
+                    for (lo, hi) in [(a, b), (b, a)] {
+                        if utilities[hi.index()] > utilities[lo.index()] {
+                            for w in 0..words {
+                                let add = expected[hi.index() * words + w]
+                                    & !expected[lo.index() * words + w];
+                                if add != 0 {
+                                    expected[lo.index() * words + w] |= add;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            assert_eq!(&reach[..], &expected[..], "seed {seed}, n {n}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_clustered_trace_with_unreachable_destinations() {
+        // Two contact clusters with no bridge: within-cluster messages
+        // deliver, cross-cluster destinations are never met by any holder.
+        // This drives the ever-met destination gate (FRESH and Greedy skip
+        // every slot where no node that ever meets the destination is
+        // active) and the per-destination lazy memo across repeated
+        // destinations — both must stay bit-identical to the reference
+        // engine under every tuning and real multi-thread sharding.
+        let window = TimeWindow::new(0.0, 700.0);
+        let cluster_a = random_trace(61, 6, 40, window);
+        let cluster_b = random_trace(62, 6, 40, window);
+        let mut contacts: Vec<(u32, u32, f64, f64)> = Vec::new();
+        for c in cluster_a.contacts() {
+            contacts.push((c.a.0, c.b.0, c.start, c.end));
+        }
+        for c in cluster_b.contacts() {
+            contacts.push((c.a.0 + 6, c.b.0 + 6, c.start, c.end));
+        }
+        let trace = trace_in_window(contacts, 12, window);
+        // Within-cluster, cross-cluster, and repeated-destination messages.
+        let mut messages = random_messages(61, 6, 10, window);
+        messages.extend(
+            random_messages(62, 6, 10, window)
+                .into_iter()
+                .map(|m| Message::new(nid(m.source.0 + 6), nid(m.destination.0 + 6), m.created_at)),
+        );
+        for (i, m) in random_messages(63, 6, 8, window).into_iter().enumerate() {
+            // Source in one cluster, destination in the other: undeliverable.
+            messages.push(Message::new(m.source, nid(m.destination.0 + 6), m.created_at));
+            messages.push(Message::new(nid(6 + i as u32 % 6), m.destination, m.created_at));
+        }
+        let reference_sim = Simulator::with_default_config(&trace);
+        for (kind, algorithm) in &standard_algorithms() {
+            let reference = reference_sim.run_reference(algorithm.as_ref(), &messages);
+            for tuning in all_tunings() {
+                for threads in [1usize, 3] {
+                    let sim =
+                        Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads, tuning });
+                    let result = sim.run(algorithm.as_ref(), &messages);
+                    assert_eq!(
+                        reference.outcomes, result.outcomes,
+                        "{kind} with {tuning:?} on {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn run_many_shards_algorithm_by_run_jobs() {
         let window = TimeWindow::new(0.0, 600.0);
         let trace = random_trace(7, 9, 45, window);
-        let sim = Simulator::new(&trace, SimulatorConfig { delta: 10.0, threads: 4 });
+        let sim = Simulator::new(
+            &trace,
+            SimulatorConfig { delta: 10.0, threads: 4, ..SimulatorConfig::default() },
+        );
         let algorithms = standard_algorithms();
         let message_sets: Vec<Vec<Message>> =
             (0..3u64).map(|run| random_messages(run, 9, 10, window)).collect();

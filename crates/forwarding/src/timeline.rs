@@ -71,6 +71,33 @@ pub struct HistoryTimeline {
     pair_events: Vec<Vec<PairEvent>>,
     /// Per node: the slots where its cumulative encounter count changes.
     node_events: Vec<Vec<NodeEvent>>,
+    /// Per node: every slot in which the node has at least one contact
+    /// edge, ascending — the simulator's skip index. Unlike `node_events`
+    /// (which only records encounter *starts*) this lists every active
+    /// slot, so `next_active_slot` agrees exactly with a per-slot
+    /// `Slot::has_contacts` scan.
+    node_active_slots: Vec<Vec<u32>>,
+    /// `⌈node_count / 64⌉` — stride of `slot_active_masks`.
+    words_per_slot: usize,
+    /// Slot-major activity bitmasks: bit `v` of words
+    /// `[slot * words_per_slot, (slot + 1) * words_per_slot)` is set iff
+    /// node `v` has a contact edge in `slot` — the transpose of
+    /// `node_active_slots`, so the simulator can answer "is any holder
+    /// active this slot?" with a few word intersections instead of a scan.
+    /// Truncated after the last busy slot (missing words read as zero).
+    slot_active_masks: Vec<u64>,
+    /// Node-major ever-met bitmasks, stride `words_per_slot`: bit `p` of
+    /// node `v`'s row is set iff `v` and `p` share at least one contact
+    /// slot anywhere in the trace, or `p == v`. Derived from the pair
+    /// index at seal time; see [`HistoryTimeline::ever_met_mask`].
+    ever_met_masks: Vec<u64>,
+    /// Per-slot per-node neighbor bitmasks: bit `p` of words
+    /// `[(slot * n + v) * words_per_slot, ...)` is set iff `(v, p)` share a
+    /// contact edge in `slot` — `Slot::neighbors` as a bitmask, laid out
+    /// contiguously so the simulator's actionability precheck runs on word
+    /// operations instead of chasing per-slot adjacency vectors. Truncated
+    /// after the last busy slot (missing rows read as zero).
+    slot_neighbor_masks: Vec<u64>,
 }
 
 /// Incremental [`HistoryTimeline`] construction: a fold over `(slot,
@@ -87,6 +114,10 @@ pub struct TimelineBuilder {
     pair_index: Vec<u32>,
     pair_events: Vec<Vec<PairEvent>>,
     node_events: Vec<Vec<NodeEvent>>,
+    node_active_slots: Vec<Vec<u32>>,
+    words_per_slot: usize,
+    slot_active_masks: Vec<u64>,
+    slot_neighbor_masks: Vec<u64>,
     /// Highest slot folded so far plus one; batches must arrive ascending.
     next_slot: usize,
 }
@@ -99,6 +130,10 @@ impl TimelineBuilder {
             pair_index: vec![NO_PAIR; node_count * node_count],
             pair_events: Vec::new(),
             node_events: vec![Vec::new(); node_count],
+            node_active_slots: vec![Vec::new(); node_count],
+            words_per_slot: node_count.div_ceil(64),
+            slot_active_masks: Vec::new(),
+            slot_neighbor_masks: Vec::new(),
             next_slot: 0,
         }
     }
@@ -120,7 +155,22 @@ impl TimelineBuilder {
         self.next_slot = slot + 1;
         let n = self.node_count;
         let slot32 = u32::try_from(slot).expect("slot index fits in u32");
+        if !edges.is_empty() {
+            self.slot_active_masks.resize((slot + 1) * self.words_per_slot, 0);
+            self.slot_neighbor_masks.resize((slot + 1) * n * self.words_per_slot, 0);
+        }
         for &(a, b) in edges {
+            for (node, peer) in [(a, b), (b, a)] {
+                let active = &mut self.node_active_slots[node.index()];
+                if active.last() != Some(&slot32) {
+                    active.push(slot32);
+                }
+                self.slot_active_masks[slot * self.words_per_slot + node.index() / 64] |=
+                    1u64 << (node.index() % 64);
+                self.slot_neighbor_masks
+                    [(slot * n + node.index()) * self.words_per_slot + peer.index() / 64] |=
+                    1u64 << (peer.index() % 64);
+            }
             let key = a.index() * n + b.index();
             let pair = if self.pair_index[key] == NO_PAIR {
                 let id = self.pair_events.len() as u32;
@@ -176,6 +226,14 @@ impl TimelineBuilder {
                 .iter()
                 .map(|e| e.len() * std::mem::size_of::<NodeEvent>())
                 .sum::<usize>()
+            + self.node_active_slots.len() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .node_active_slots
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.slot_active_masks.len() * std::mem::size_of::<u64>()
+            + self.slot_neighbor_masks.len() * std::mem::size_of::<u64>()
     }
 
     /// Seals the fold into an immutable [`HistoryTimeline`].
@@ -186,12 +244,29 @@ impl TimelineBuilder {
     /// [`SpaceTimeGraph::slot_end_time`], the streaming path from the
     /// windowed builder's identical arithmetic.
     pub fn finish(self, slot_end_times: Vec<Seconds>) -> HistoryTimeline {
+        let n = self.node_count;
+        let words = self.words_per_slot;
+        let mut ever_met_masks = vec![0u64; n * words];
+        for v in 0..n {
+            let row = &mut ever_met_masks[v * words..][..words];
+            row[v / 64] |= 1u64 << (v % 64);
+            for p in 0..n {
+                if self.pair_index[v * n + p] != NO_PAIR {
+                    row[p / 64] |= 1u64 << (p % 64);
+                }
+            }
+        }
         HistoryTimeline {
             node_count: self.node_count,
             slot_end_times,
             pair_index: self.pair_index,
             pair_events: self.pair_events,
             node_events: self.node_events,
+            node_active_slots: self.node_active_slots,
+            words_per_slot: self.words_per_slot,
+            slot_active_masks: self.slot_active_masks,
+            ever_met_masks,
+            slot_neighbor_masks: self.slot_neighbor_masks,
         }
     }
 }
@@ -230,6 +305,123 @@ impl HistoryTimeline {
                 .iter()
                 .map(|e| e.len() * std::mem::size_of::<NodeEvent>())
                 .sum::<usize>()
+            + self.node_active_slots.len() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .node_active_slots
+                .iter()
+                .map(|e| e.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.slot_active_masks.len() * std::mem::size_of::<u64>()
+            + self.ever_met_masks.len() * std::mem::size_of::<u64>()
+            + self.slot_neighbor_masks.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The activity bitmask of `slot`: bit `v` is set iff node `v` has at
+    /// least one contact edge during it — exactly `Slot::has_contacts`
+    /// (pinned by a differential test below). May be shorter than the full
+    /// per-slot stride (or empty, for slots after the last busy one);
+    /// missing words read as all-zero.
+    pub fn active_mask(&self, slot: usize) -> &[u64] {
+        let Some(start) = slot.checked_mul(self.words_per_slot) else {
+            return &[];
+        };
+        let end = (start + self.words_per_slot).min(self.slot_active_masks.len());
+        self.slot_active_masks.get(start..end).unwrap_or(&[])
+    }
+
+    /// The neighbor bitmask of `node` in `slot`: bit `p` is set iff `(node,
+    /// p)` share a contact edge during it — exactly `Slot::neighbors` as a
+    /// bitmask (pinned by a differential test below). May be shorter than
+    /// the full per-slot stride (or empty, for slots after the last busy
+    /// one); missing words read as all-zero.
+    pub fn neighbor_mask(&self, slot: usize, node: NodeId) -> &[u64] {
+        let Some(row) = slot
+            .checked_mul(self.node_count)
+            .and_then(|r| r.checked_add(node.index()))
+            .and_then(|r| r.checked_mul(self.words_per_slot))
+        else {
+            return &[];
+        };
+        let end = (row + self.words_per_slot).min(self.slot_neighbor_masks.len());
+        self.slot_neighbor_masks.get(row..end).unwrap_or(&[])
+    }
+
+    /// True iff `node` has at least one contact edge during `slot` — the
+    /// single-bit read of [`HistoryTimeline::active_mask`].
+    pub fn node_active_in(&self, node: NodeId, slot: usize) -> bool {
+        self.active_mask(slot)
+            .get(node.index() / 64)
+            .is_some_and(|&word| word & (1u64 << (node.index() % 64)) != 0)
+    }
+
+    /// The first slot ≥ `from_slot` in which `node` has at least one
+    /// contact edge, or `None` if the node never appears again — the
+    /// per-node **skip index**. The simulator uses it to jump a message
+    /// whose holders are all idle straight to the next slot where one of
+    /// them can act, instead of scanning every intervening busy slot.
+    ///
+    /// Agrees exactly with scanning `Slot::has_contacts(node)` over the
+    /// busy slots (pinned by a brute-force differential test below).
+    pub fn next_active_slot(&self, node: NodeId, from_slot: usize) -> Option<usize> {
+        let active = self.node_active_slots.get(node.index())?;
+        let from = u32::try_from(from_slot).ok()?;
+        let idx = active.partition_point(|&s| s < from);
+        active.get(idx).map(|&s| s as usize)
+    }
+
+    /// Bitmask over the nodes whose activity can matter to a message
+    /// destined to `node`: every peer that shares at least one contact
+    /// slot with `node` anywhere in the trace, plus `node` itself. Same
+    /// stride and truncation-free layout as one row of
+    /// [`HistoryTimeline::active_mask`].
+    ///
+    /// The simulator uses it to skip slots for algorithms whose utility
+    /// requires a past destination contact
+    /// ([`crate::algorithm::ForwardingAlgorithm::utility_requires_destination_contact`]):
+    /// in such slots, delivery needs the destination active and forwarding
+    /// needs an active node that has met it, so a slot whose activity mask
+    /// misses this whole set can be rejected with a word intersection.
+    pub fn ever_met_mask(&self, node: NodeId) -> &[u64] {
+        &self.ever_met_masks[node.index() * self.words_per_slot..][..self.words_per_slot]
+    }
+
+    /// The first slot ≥ `from_slot` in which `a` and `b` are in contact, or
+    /// `None` if they never are again — the per-pair analogue of
+    /// [`HistoryTimeline::next_active_slot`]. The simulator's lazy utility
+    /// memo uses it as a validity horizon: the `copy_utility` contract pins
+    /// a destination-aware utility to the (node, destination) pair stats,
+    /// so a value evaluated at slot `s` stays exact for every slot before
+    /// the pair's next contact.
+    pub fn next_pair_contact_slot(&self, a: NodeId, b: NodeId, from_slot: usize) -> Option<usize> {
+        let events = self.pair_events_for(a, b)?;
+        let from = u32::try_from(from_slot).ok()?;
+        let idx = events.partition_point(|e| e.slot < from);
+        events.get(idx).map(|e| e.slot as usize)
+    }
+
+    /// The maximal slot interval `[from, until)` containing `slot` over
+    /// which the `(a, b)` pair statistics are constant: `from` is the
+    /// pair's last contact slot ≤ `slot` (`0` if they have not met yet) and
+    /// `until` their next contact slot > `slot` (`u32::MAX` if they never
+    /// meet again). A slot's history view includes the slot's own contacts,
+    /// so a contact at slot `s` changes the pair statistics from `s`
+    /// onwards — which is why `from` is inclusive of a contact at `slot`
+    /// and `until` exclusive of it.
+    ///
+    /// The simulator's lazy utility memo stores one `copy_utility` value
+    /// per node under this interval: the `copy_utility` contract pins a
+    /// destination-aware utility to the pair statistics, so the value is
+    /// exact for *every* slot of the interval — including slots before the
+    /// evaluation point, which is what lets messages to the same
+    /// destination share one memo.
+    pub fn pair_constancy_interval(&self, a: NodeId, b: NodeId, slot: usize) -> (u32, u32) {
+        let (Some(events), Ok(slot32)) = (self.pair_events_for(a, b), u32::try_from(slot)) else {
+            return (0, u32::MAX);
+        };
+        let idx = events.partition_point(|e| e.slot <= slot32);
+        let from = if idx == 0 { 0 } else { events[idx - 1].slot };
+        let until = events.get(idx).map_or(u32::MAX, |e| e.slot);
+        (from, until)
     }
 
     /// A read-only view of the history as of the *end* of `slot` — i.e.
@@ -405,6 +597,190 @@ mod tests {
         let trace = ds.generate();
         let graph = SpaceTimeGraph::build_default(&trace);
         assert_matches_replay(&graph);
+    }
+
+    /// Brute-force pin of the skip index: `next_active_slot` must agree
+    /// with scanning every slot's adjacency for every (node, from) pair,
+    /// and the slot-major activity bitmasks must agree with
+    /// `Slot::has_contacts` bit for bit.
+    fn assert_skip_index_matches_scan(graph: &SpaceTimeGraph) {
+        let timeline = HistoryTimeline::build(graph);
+        for node in 0..graph.node_count() as u32 {
+            let node = nid(node);
+            for from in 0..=graph.slot_count() {
+                let expected =
+                    (from..graph.slot_count()).find(|&s| graph.slot(s).has_contacts(node));
+                assert_eq!(
+                    timeline.next_active_slot(node, from),
+                    expected,
+                    "next_active_slot({node:?}, {from})"
+                );
+            }
+            for slot in 0..graph.slot_count() {
+                let expected = graph.slot(slot).has_contacts(node);
+                assert_eq!(
+                    timeline.node_active_in(node, slot),
+                    expected,
+                    "node_active_in({node:?}, {slot})"
+                );
+                let mask = timeline.active_mask(slot);
+                let bit = mask
+                    .get(node.index() / 64)
+                    .is_some_and(|&w| w & (1u64 << (node.index() % 64)) != 0);
+                assert_eq!(bit, expected, "active_mask bit ({node:?}, {slot})");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_index_matches_slot_scan_on_handcrafted_trace() {
+        let trace = trace_from(
+            vec![
+                (0, 1, 1.0, 35.0),
+                (0, 2, 5.0, 8.0),
+                (0, 2, 41.0, 44.0),
+                (1, 3, 22.0, 28.0),
+                (2, 3, 95.0, 99.0),
+            ],
+            5,
+            TimeWindow::new(0.0, 100.0),
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_skip_index_matches_scan(&graph);
+    }
+
+    #[test]
+    fn skip_index_matches_slot_scan_on_random_trace_with_nonzero_window() {
+        use psn_trace::{DatasetId, SyntheticDataset};
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 11;
+        ds.config.stationary_nodes = 2;
+        ds.config.window_seconds = 500.0;
+        let trace = ds.generate();
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_skip_index_matches_scan(&graph);
+    }
+
+    #[test]
+    fn skip_index_and_masks_match_slot_scan_beyond_64_nodes() {
+        use psn_trace::{DatasetId, SyntheticDataset};
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 66;
+        ds.config.stationary_nodes = 4;
+        ds.config.window_seconds = 400.0;
+        let trace = ds.generate();
+        assert!(trace.node_count() > 64, "mask test needs a multi-word bitmask");
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_skip_index_matches_scan(&graph);
+    }
+
+    /// Brute-force pin of the per-slot neighbor bitmasks, the ever-met
+    /// masks, the pair skip index, and the lazy-memo constancy intervals —
+    /// every mask bit and interval bound against a direct scan of the
+    /// graph's slots.
+    fn assert_pair_structures_match_scan(graph: &SpaceTimeGraph) {
+        let n = graph.node_count();
+        let timeline = HistoryTimeline::build(graph);
+        let met = |a: NodeId, b: NodeId| {
+            (0..graph.slot_count()).any(|s| graph.slot(s).neighbors(a).contains(&b))
+        };
+        for a in 0..n as u32 {
+            let a = nid(a);
+            for slot in 0..graph.slot_count() {
+                let mask = timeline.neighbor_mask(slot, a);
+                for b in 0..n as u32 {
+                    let b = nid(b);
+                    let bit = mask
+                        .get(b.index() / 64)
+                        .is_some_and(|&w| w & (1u64 << (b.index() % 64)) != 0);
+                    assert_eq!(
+                        bit,
+                        graph.slot(slot).neighbors(a).contains(&b),
+                        "neighbor_mask bit ({a:?}, {b:?}, slot {slot})"
+                    );
+                }
+            }
+            let ever = timeline.ever_met_mask(a);
+            for b in 0..n as u32 {
+                let b = nid(b);
+                let bit =
+                    ever.get(b.index() / 64).is_some_and(|&w| w & (1u64 << (b.index() % 64)) != 0);
+                assert_eq!(bit, a == b || met(a, b), "ever_met_mask bit ({a:?}, {b:?})");
+            }
+            for b in 0..n as u32 {
+                let b = nid(b);
+                let contact_slots: Vec<usize> = (0..graph.slot_count())
+                    .filter(|&s| graph.slot(s).neighbors(a).contains(&b))
+                    .collect();
+                for from in 0..=graph.slot_count() {
+                    assert_eq!(
+                        timeline.next_pair_contact_slot(a, b, from),
+                        contact_slots.iter().copied().find(|&s| s >= from),
+                        "next_pair_contact_slot({a:?}, {b:?}, {from})"
+                    );
+                }
+                for slot in 0..graph.slot_count() {
+                    let expect_from = contact_slots.iter().copied().rfind(|&s| s <= slot);
+                    let expect_until = contact_slots.iter().copied().find(|&s| s > slot);
+                    let (from, until) = timeline.pair_constancy_interval(a, b, slot);
+                    assert_eq!(
+                        (from, until),
+                        (
+                            expect_from.unwrap_or(0) as u32,
+                            expect_until.map_or(u32::MAX, |s| s as u32)
+                        ),
+                        "pair_constancy_interval({a:?}, {b:?}, {slot})"
+                    );
+                    // The interval must contain the query slot — that is
+                    // what lets the lazy memo serve reads on both sides of
+                    // the evaluation point.
+                    assert!(from <= slot as u32 && (slot as u32) < until);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_structures_match_scan_on_handcrafted_trace() {
+        let trace = trace_from(
+            vec![
+                (0, 1, 1.0, 35.0),
+                (0, 2, 5.0, 8.0),
+                (0, 2, 41.0, 44.0),
+                (1, 3, 22.0, 28.0),
+                (1, 3, 31.0, 39.0),
+                (2, 3, 95.0, 99.0),
+            ],
+            5,
+            TimeWindow::new(0.0, 100.0),
+        );
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_pair_structures_match_scan(&graph);
+    }
+
+    #[test]
+    fn pair_structures_match_scan_on_random_trace_with_nonzero_window() {
+        use psn_trace::{DatasetId, SyntheticDataset};
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 12;
+        ds.config.stationary_nodes = 2;
+        ds.config.window_seconds = 500.0;
+        let trace = ds.generate();
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_pair_structures_match_scan(&graph);
+    }
+
+    #[test]
+    fn pair_structures_match_scan_beyond_64_nodes() {
+        use psn_trace::{DatasetId, SyntheticDataset};
+        let mut ds = SyntheticDataset::quick_config(DatasetId::Infocom06Morning);
+        ds.config.mobile_nodes = 66;
+        ds.config.stationary_nodes = 4;
+        ds.config.window_seconds = 300.0;
+        let trace = ds.generate();
+        assert!(trace.node_count() > 64, "mask test needs a multi-word bitmask");
+        let graph = SpaceTimeGraph::build_default(&trace);
+        assert_pair_structures_match_scan(&graph);
     }
 
     #[test]

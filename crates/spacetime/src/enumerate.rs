@@ -219,8 +219,10 @@ pub struct EnumerationScratch {
     holders_snapshot: Vec<u32>,
     /// Double buffer for the per-slot holder-list refresh.
     holders_next: Vec<u32>,
-    /// `(path, insertion order)` buffer for the k-shortest selection.
-    merge_buf: Vec<(PathRef, u32)>,
+    /// `(packed depth‖insertion-order key, path)` buffer for the k-shortest
+    /// selection — keys are precomputed so the selection compares plain
+    /// integers instead of chasing arena entries.
+    merge_buf: Vec<(u64, PathRef)>,
 }
 
 impl EnumerationScratch {
@@ -519,27 +521,38 @@ impl<'a> PathEnumerator<'a> {
     /// order a stable full sort of `stored ++ arrivals` by depth would
     /// produce, but using partial selection so the cost is O(m + k log k)
     /// instead of O(m log m) for m merged candidates.
+    ///
+    /// Each candidate's sort key is packed once up front as
+    /// `depth << 32 | insertion order`, read off the arena's dense
+    /// [`PathArena::depths`] slice: the selection and sort then compare
+    /// plain `u64`s — no arena indirection per comparison, no tuple
+    /// branching — and because the insertion order makes every key unique,
+    /// the packed order is exactly the `(depth, seq)` lexicographic order.
     fn keep_k_shortest(
         arena: &PathArena,
         stored: &mut Vec<PathRef>,
         arrivals: &mut Vec<PathRef>,
-        merge_buf: &mut Vec<(PathRef, u32)>,
+        merge_buf: &mut Vec<(u64, PathRef)>,
         k: usize,
     ) {
+        debug_assert!(stored.len() + arrivals.len() < u32::MAX as usize);
         merge_buf.clear();
+        let depths = arena.depths();
         merge_buf.extend(
-            stored.iter().chain(arrivals.iter()).enumerate().map(|(seq, &r)| (r, seq as u32)),
+            stored
+                .iter()
+                .chain(arrivals.iter())
+                .enumerate()
+                .map(|(seq, &r)| (((depths[r as usize] as u64) << 32) | seq as u64, r)),
         );
         arrivals.clear();
-        // The (depth, insertion order) key is unique per element, so the
-        // unstable selection/sort reproduce the stable-sort order exactly.
         if merge_buf.len() > k {
-            merge_buf.select_nth_unstable_by_key(k - 1, |&(r, seq)| (arena.depth(r), seq));
+            merge_buf.select_nth_unstable_by_key(k - 1, |&(key, _)| key);
             merge_buf.truncate(k);
         }
-        merge_buf.sort_unstable_by_key(|&(r, seq)| (arena.depth(r), seq));
+        merge_buf.sort_unstable_by_key(|&(key, _)| key);
         stored.clear();
-        stored.extend(merge_buf.iter().map(|&(r, _)| r));
+        stored.extend(merge_buf.iter().map(|&(_, r)| r));
     }
 
     /// The pre-arena reference implementation: every in-flight path is an

@@ -28,7 +28,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use psn_trace::stream::slot_count;
@@ -269,6 +269,10 @@ pub struct WindowedSpaceTimeGraph {
     peak_bytes: AtomicUsize,
     spill_stores: AtomicU64,
     spill_loads: AtomicU64,
+    /// A sequential (ascending-sweep) access plan is active — see
+    /// [`WindowedSpaceTimeGraph::advise_sequential`].
+    plan_active: AtomicBool,
+    avoided_reloads: AtomicU64,
 }
 
 impl WindowedSpaceTimeGraph {
@@ -359,6 +363,8 @@ impl WindowedSpaceTimeGraph {
             peak_bytes: AtomicUsize::new(peak),
             spill_stores: AtomicU64::new(spill_stores),
             spill_loads: AtomicU64::new(0),
+            plan_active: AtomicBool::new(false),
+            avoided_reloads: AtomicU64::new(0),
         })
     }
 
@@ -433,24 +439,56 @@ impl WindowedSpaceTimeGraph {
     /// layer already isolates per-cell panics.
     pub fn slot(&self, s: usize) -> Arc<Slot> {
         assert!(s < self.num_slots, "slot {s} out of range ({} slots)", self.num_slots);
-        if self.busy_slots.binary_search(&s).is_err() {
+        let Ok(busy_idx) = self.busy_slots.binary_search(&s) else {
             return Arc::clone(&self.empty);
-        }
+        };
+        let plan = self.plan_active.load(Ordering::Relaxed);
         let mut hot = self.hot.lock().unwrap_or_else(|poison| poison.into_inner());
         if let Some(slot) = hot.map.get(&s) {
+            if plan {
+                // Under the plan-less FIFO policy a repeated ascending
+                // sweep evicts every slot before it comes round again, so a
+                // plan-active hot hit is a reload the plan avoided.
+                self.avoided_reloads.fetch_add(1, Ordering::Relaxed);
+            }
             return Arc::clone(slot);
         }
-        let edges = match self.spill.load(s) {
-            Ok(edges) => edges,
-            Err(e) => panic!("reloading spilled slot {s} failed: {e}"),
+        let reload = |s: usize| -> Arc<Slot> {
+            let edges = match self.spill.load(s) {
+                Ok(edges) => edges,
+                Err(e) => panic!("reloading spilled slot {s} failed: {e}"),
+            };
+            self.spill_loads.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Slot::seal(self.node_count, edges))
         };
-        self.spill_loads.fetch_add(1, Ordering::Relaxed);
-        let slot = Arc::new(Slot::seal(self.node_count, edges));
+        let slot = reload(s);
         hot.resident_bytes += slot.approx_bytes();
         hot.map.insert(s, Arc::clone(&slot));
         hot.order.push_back(s);
+        if plan {
+            // Prefetch subsequent busy slots — the order an ascending
+            // sweep will ask for them — into whatever capacity is free, so
+            // the sweep's next queries are answered hot.
+            for &next in &self.busy_slots[busy_idx + 1..] {
+                if hot.map.len() >= self.window_slots {
+                    break;
+                }
+                if hot.map.contains_key(&next) {
+                    continue;
+                }
+                let prefetched = reload(next);
+                hot.resident_bytes += prefetched.approx_bytes();
+                hot.map.insert(next, prefetched);
+                hot.order.push_back(next);
+            }
+        }
         while hot.map.len() > self.window_slots {
-            if let Some(old) = hot.order.pop_front() {
+            // FIFO suits one-shot scans; under a sequential plan the cache
+            // instead keeps its oldest entries (the sweep's prefix) and
+            // drops the newest, so each sweep restart begins with hot
+            // hits — the optimal policy for cyclic ascending scans.
+            let victim = if plan { hot.order.pop_back() } else { hot.order.pop_front() };
+            if let Some(old) = victim {
                 if let Some(evicted) = hot.map.remove(&old) {
                     hot.resident_bytes -= evicted.approx_bytes();
                 }
@@ -462,6 +500,27 @@ impl WindowedSpaceTimeGraph {
             + hot.resident_bytes;
         self.peak_bytes.fetch_max(working, Ordering::Relaxed);
         slot
+    }
+
+    /// Declares (or retracts) a **sequential access plan**: the caller is
+    /// about to scan busy slots in ascending order, restarting from the
+    /// bottom repeatedly — the enumerator's per-message sweep pattern,
+    /// which thrashes the FIFO policy (each restart finds the cache full
+    /// of the *previous* sweep's tail and misses every slot). While a plan
+    /// is active the cache keeps the sweep's prefix resident, prefetches
+    /// forward in sweep order, and counts hot hits as
+    /// [`WindowedSpaceTimeGraph::avoided_reloads`].
+    ///
+    /// Purely a performance hint — slot contents are identical either way.
+    pub fn advise_sequential(&self, active: bool) {
+        self.plan_active.store(active, Ordering::Relaxed);
+    }
+
+    /// Number of slot queries served hot *because* a sequential plan was
+    /// active — reloads avoided relative to the plan-less FIFO steady
+    /// state, reported alongside [`WindowedSpaceTimeGraph::spill_loads`].
+    pub fn avoided_reloads(&self) -> u64 {
+        self.avoided_reloads.load(Ordering::Relaxed)
     }
 
     /// Approximate *current* resident bytes: metadata plus hot slots.
@@ -623,6 +682,16 @@ impl<'a> GraphRef<'a> {
             GraphRef::Windowed(g) => SlotGuard::Shared(g.slot(s)),
         }
     }
+
+    /// Declares (or retracts) a sequential access plan — see
+    /// [`WindowedSpaceTimeGraph::advise_sequential`]. A no-op on the fully
+    /// materialized representation, so sweep drivers call it
+    /// unconditionally.
+    pub fn advise_sequential(&self, active: bool) {
+        if let GraphRef::Windowed(g) = self {
+            g.advise_sequential(active);
+        }
+    }
 }
 
 /// An owned, clonable handle over either graph representation — what
@@ -781,6 +850,50 @@ mod tests {
             + 1024;
         assert!(resident < one_slot_bound, "resident {resident} vs bound {one_slot_bound}");
         assert_eq!(windowed.spill_stores(), windowed.busy_slots().len() as u64);
+    }
+
+    #[test]
+    fn sequential_plan_avoids_reloads_on_repeated_sweeps() {
+        // The enumerator's access pattern: full ascending sweeps over the
+        // busy slots, restarted once per message. Under plain FIFO every
+        // sweep after the first misses everything; with the plan active
+        // the retained prefix answers hot.
+        let sweeps = 4usize;
+        let make = || {
+            WindowedSpaceTimeGraph::stream(
+                &mut TraceEventStream::new(&sample_trace(), 10.0),
+                2,
+                Box::new(MemorySpill::new()),
+            )
+            .unwrap()
+        };
+        let full = SpaceTimeGraph::build_default(&sample_trace());
+
+        let plain = make();
+        for _ in 0..sweeps {
+            for s in 0..plain.slot_count() {
+                assert_eq!(&*plain.slot(s), full.slot(s));
+            }
+        }
+        assert_eq!(plain.avoided_reloads(), 0, "no plan, no avoided reloads");
+
+        let planned = make();
+        planned.advise_sequential(true);
+        for _ in 0..sweeps {
+            for s in 0..planned.slot_count() {
+                // Contents are identical with the plan active — it is a
+                // caching hint, not a semantic change.
+                assert_eq!(&*planned.slot(s), full.slot(s));
+            }
+        }
+        planned.advise_sequential(false);
+        assert!(
+            planned.spill_loads() < plain.spill_loads(),
+            "plan loads {} vs plain loads {}",
+            planned.spill_loads(),
+            plain.spill_loads()
+        );
+        assert!(planned.avoided_reloads() > 0);
     }
 
     #[test]
