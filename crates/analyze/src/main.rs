@@ -1,0 +1,108 @@
+//! `psn-analyze` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! psn-analyze check [--deny-all] [--root DIR]   # run all lints
+//! psn-analyze list                              # print the lint catalog
+//! ```
+//!
+//! `check` prints one line per finding (`lint: file:line: message`) and a
+//! summary. With `--deny-all` any finding makes the process exit 1 — the
+//! CI gate. Without it the exit code is always 0, so the command can be
+//! used exploratorily while violations are being fixed.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use psn_analyze::{LintId, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("psn-analyze: unknown subcommand `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: psn-analyze <check [--deny-all] [--root DIR] | list>");
+}
+
+/// Prints the lint catalog.
+fn list() {
+    println!("psn-analyze lint catalog:");
+    for lint in LintId::ALL {
+        println!("  {:<20} {}", lint.name(), lint.description());
+    }
+}
+
+/// Runs every lint over the workspace.
+fn check(args: &[String]) -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("psn-analyze: --root requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("psn-analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("psn-analyze: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = ws.check();
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!(
+        "psn-analyze: {} finding(s) across {} file(s), {} line(s) scanned",
+        findings.len(),
+        ws.files.len(),
+        ws.line_count()
+    );
+    if deny_all && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: the current directory when it holds `crates/`,
+/// otherwise the workspace this binary was built from.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+}

@@ -1,0 +1,314 @@
+//! A lightweight, hand-rolled Rust source scanner.
+//!
+//! The analyzer deliberately avoids a real parser (the workspace builds
+//! offline against vendored stand-ins, so `syn` is not available) — the
+//! same idiom as the hand-rolled TOML/JSON document model in
+//! `psn_trace::scenario`. The scanner classifies every line of a source
+//! file into *code*, *comment* and *string* channels and tracks
+//! `#[cfg(test)]` regions by brace matching, which is exactly enough for
+//! token-level lints over a rustfmt-formatted codebase.
+
+/// One scanned source line, split into channels.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original line text.
+    pub raw: String,
+    /// The line with comments stripped and string/char literal contents
+    /// blanked (delimiters kept), so token searches never match inside
+    /// either.
+    pub code: String,
+    /// The comment text carried by the line (line, doc and block comments).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes
+    /// (e.g. `crates/trace/src/rates.rs`).
+    pub rel: String,
+    /// The crate directory under `crates/` (e.g. `trace`), or empty when
+    /// the file lives elsewhere.
+    pub crate_dir: String,
+    /// The scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// Scanner mode carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside a regular `"…"` string (escapes respected).
+    Str,
+    /// Inside a raw string terminated by `"` plus this many `#`s.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Scans `text` into classified lines.
+    pub fn scan(rel: impl Into<String>, text: &str) -> SourceFile {
+        let rel = rel.into();
+        let crate_dir = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or_default()
+            .to_string();
+        let mut lines = Vec::new();
+        let mut mode = Mode::Code;
+        for raw in text.lines() {
+            let (code, comment, next_mode) = scan_line(raw, mode);
+            mode = next_mode;
+            lines.push(Line { raw: raw.to_string(), code, comment, in_test: false });
+        }
+        mark_test_regions(&mut lines);
+        SourceFile { rel, crate_dir, lines }
+    }
+}
+
+/// Scans one line starting in `mode`; returns (code, comment, end mode).
+#[allow(clippy::too_many_lines)]
+fn scan_line(raw: &str, mut mode: Mode) -> (String, String, Mode) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth > 1 { Mode::Block(depth - 1) } else { Mode::Code };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (possibly the quote)
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let h = hashes as usize;
+                    if chars[i + 1..].iter().take(h).filter(|&&x| x == '#').count() == h {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    comment.push_str(&raw[byte_index(raw, i)..]);
+                    i = chars.len();
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    // r"…", r#"…"#, br"…", b"…" — count the hashes.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    code.push('"');
+                    mode = if hashes == 0 && (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+                        Mode::Str // b"…" is an escaped string, not raw
+                    } else {
+                        Mode::RawStr(hashes)
+                    };
+                    i = j + 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote one (possibly escaped) char later.
+                    if next == Some('\\') {
+                        // '\n', '\'', '\u{…}' — skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        code.push_str("' '");
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push('\''); // lifetime
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment, mode)
+}
+
+/// True when position `i` (an `r` or `b`) starts a raw/byte string literal
+/// rather than an identifier like `radius` or `b0`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be preceded by an identifier character.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' && chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Byte index of char position `i` in `s` (lines are short; O(n) is fine).
+fn byte_index(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
+}
+
+/// Marks every line inside a `#[cfg(test)]` item span (attribute line
+/// through the matching close brace) as test code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut test_close_depth: Option<i64> = None;
+    let mut pending_attr = false;
+    for line in lines.iter_mut() {
+        if test_close_depth.is_some() || pending_attr {
+            line.in_test = true;
+        }
+        if test_close_depth.is_none() && line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            line.in_test = true;
+        }
+        let mut saw_brace = false;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        test_close_depth = Some(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                    saw_brace = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_close_depth == Some(depth) {
+                        test_close_depth = None;
+                    }
+                    saw_brace = true;
+                }
+                // `#[cfg(test)] use …;` — a braceless item ends the span.
+                ';' if pending_attr && !saw_brace => pending_attr = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Finds the line span `[start, end]` of the item whose opening marker
+/// (e.g. `pub struct StudyParams {`, `fn hash_into`) appears at
+/// `start`, by matching braces from the first `{` at or after `start`.
+/// Returns `None` when no brace block follows.
+pub fn item_span(lines: &[Line], start: usize) -> Option<(usize, usize)> {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (idx, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return Some((start, idx));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !opened && idx > start + 10 {
+            return None; // marker was not followed by a block
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let f = SourceFile::scan(
+            "crates/demo/src/lib.rs",
+            "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashMap */ let z = 2;\n",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("let z"));
+        assert_eq!(f.crate_dir, "demo");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let s = r#\"HashMap \" inner\"#;\nlet c = '\"'; let l: &'static str = \"ok\";\nlet multi = \"a\nHashMap b\";\n",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("&'static str"));
+        assert!(!f.lines[3].code.contains("HashMap"), "{:?}", f.lines[3].code);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::scan("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn item_spans_match_braces() {
+        let src = "struct S {\n    a: u32,\n    b: u32,\n}\nfn f() {\n    body();\n}\n";
+        let f = SourceFile::scan("x.rs", src);
+        assert_eq!(item_span(&f.lines, 0), Some((0, 3)));
+        assert_eq!(item_span(&f.lines, 4), Some((4, 6)));
+    }
+}

@@ -1,0 +1,24 @@
+//! The analyzer run against the live workspace — the same invocation CI
+//! gates on (`psn-analyze check --deny-all`), as a plain test so a
+//! violation fails `cargo test` even where the CI workflow does not run.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use psn_analyze::Workspace;
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace root resolves from the analyze crate");
+    assert!(
+        ws.files.len() > 50,
+        "expected the full workspace, scanned only {} files",
+        ws.files.len()
+    );
+    assert!(ws.design_md.is_some(), "DESIGN.md must exist (the failpoint table lives there)");
+    let findings = ws.check();
+    let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+    assert!(findings.is_empty(), "psn-analyze findings on the live workspace:\n{rendered:#?}");
+}

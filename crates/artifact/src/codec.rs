@@ -145,7 +145,7 @@ impl<'a> Reader<'a> {
 /// identity equals `expect_identity`.
 pub fn decode_trace(bytes: &[u8], expect_identity: &str) -> Result<ContactTrace, CodecError> {
     let injected = psn_fault::enabled()
-        .then(|| psn_fault::inject_decode("codec.decode-trace", bytes))
+        .then(|| psn_fault::inject_decode(psn_fault::sites::CODEC_DECODE_TRACE, bytes))
         .flatten();
     let bytes = injected.as_deref().unwrap_or(bytes);
     let mut r = Reader { bytes, pos: 0 };

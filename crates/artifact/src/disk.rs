@@ -93,11 +93,13 @@ impl DiskTier {
 
     /// Files quarantined into `corrupt/` by this tier so far.
     pub fn quarantine_count(&self) -> u64 {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.quarantines.load(Ordering::Relaxed)
     }
 
     /// IO retries performed by this tier so far.
     pub fn retry_count(&self) -> u64 {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.retries.load(Ordering::Relaxed)
     }
 
@@ -126,6 +128,7 @@ impl DiskTier {
                     if attempt >= IO_ATTEMPTS {
                         return Err(e);
                     }
+                    // relaxed: monotonic stats counter, read only for reporting; orders no data.
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(std::time::Duration::from_millis(delay_ms));
                     delay_ms *= 4;
@@ -148,6 +151,7 @@ impl DiskTier {
         };
         match std::fs::rename(path, &dest) {
             Ok(()) => {
+                // relaxed: monotonic stats counter, read only for reporting; orders no data.
                 self.quarantines.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "warning: quarantined corrupt artifact {} -> {} ({reason}); rebuilding",
@@ -157,6 +161,7 @@ impl DiskTier {
             }
             Err(_) => match std::fs::remove_file(path) {
                 Ok(()) => {
+                    // relaxed: monotonic stats counter, read only for reporting; orders no data.
                     self.quarantines.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "warning: removed corrupt artifact {} ({reason}); rebuilding",
@@ -181,7 +186,7 @@ impl DiskTier {
         let path = self.trace_path(fp);
         let bytes = match self.with_retry(|| {
             let mut bytes = std::fs::read(&path)?;
-            psn_fault::inject_io("disk.read-trace", &mut bytes)?;
+            psn_fault::inject_io(psn_fault::sites::DISK_READ_TRACE, &mut bytes)?;
             Ok(bytes)
         }) {
             Ok(bytes) => bytes,
@@ -212,7 +217,7 @@ impl DiskTier {
         let encoded = codec::encode_trace(trace, identity);
         let path = self.trace_path(fp);
         self.with_retry(|| {
-            psn_fault::inject_io_op("disk.write-trace")?;
+            psn_fault::inject_io_op(psn_fault::sites::DISK_WRITE_TRACE)?;
             write_atomic(&path, &encoded)
         })
         .map_err(|e| ArtifactError::Io {
@@ -237,7 +242,7 @@ impl DiskTier {
         let payload_path = self.result_path(fp);
         let stored = match self.with_retry(|| {
             let mut bytes = std::fs::read(&meta_path)?;
-            psn_fault::inject_io("disk.read-result", &mut bytes)?;
+            psn_fault::inject_io(psn_fault::sites::DISK_READ_RESULT, &mut bytes)?;
             String::from_utf8(bytes).map_err(|_| std::io::Error::other("sidecar is not UTF-8"))
         }) {
             Ok(meta) => meta,
@@ -271,7 +276,7 @@ impl DiskTier {
     ) -> Result<(), ArtifactError> {
         let payload_path = self.result_path(fp);
         self.with_retry(|| {
-            psn_fault::inject_io_op("disk.write-result")?;
+            psn_fault::inject_io_op(psn_fault::sites::DISK_WRITE_RESULT)?;
             write_atomic(&payload_path, text.as_bytes())
         })
         .map_err(|e| ArtifactError::Io {

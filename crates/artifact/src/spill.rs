@@ -50,6 +50,7 @@ impl CodecSlotSpill {
     /// Creates a spill in a fresh process-unique directory under the system
     /// temp dir, removed (with its contents) when the spill is dropped.
     pub fn in_temp_dir() -> Result<Self, SpillError> {
+        // relaxed: unique-id sequence; only uniqueness matters, not ordering.
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!("psn-spill-{}-{seq}", std::process::id()));
         let mut spill = Self::at(dir)?;

@@ -23,7 +23,7 @@
 //! cache access.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use psn_forwarding::HistoryTimeline;
@@ -39,7 +39,7 @@ use crate::error::ArtifactError;
 pub const DEFAULT_MEMORY_BUDGET: usize = 2 << 30;
 
 /// The kinds of artifact the store distinguishes (and reports stats for).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ArtifactKind {
     /// A generated contact trace.
     Trace,
@@ -77,7 +77,7 @@ impl ArtifactKind {
 
 /// A content address: the artifact kind plus the structural fingerprint of
 /// everything that determines the artifact's bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArtifactKey {
     /// What kind of artifact this addresses.
     pub kind: ArtifactKind,
@@ -219,7 +219,7 @@ enum SlotState {
 
 #[derive(Default)]
 struct Inner {
-    map: HashMap<ArtifactKey, SlotState>,
+    map: BTreeMap<ArtifactKey, SlotState>,
     tick: u64,
     bytes: usize,
     builds: [u64; 4],

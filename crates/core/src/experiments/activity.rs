@@ -87,21 +87,22 @@ pub fn run_activity_study(profile: ExperimentProfile) -> Vec<ActivityReport> {
 /// Builds the activity report for one already-generated trace.
 pub fn activity_report(scenario: impl Into<String>, trace: &ContactTrace) -> ActivityReport {
     let per_minute = contact_timeseries(trace);
-    let stationarity =
-        stationarity_report(trace).expect("generated datasets always contain contacts");
+    let stationarity = stationarity_report(trace)
+        .unwrap_or_else(|| unreachable!("generated datasets always contain contacts"));
     let rates = ContactRates::from_trace(trace);
     ActivityReport {
         scenario: scenario.into(),
         per_minute,
         coefficient_of_variation: stationarity.coefficient_of_variation,
         tail_ratio: stationarity.tail_ratio,
-        contact_count_cdf: rates.count_cdf().expect("non-empty trace"),
+        contact_count_cdf: rates.count_cdf().unwrap_or_else(|| unreachable!("non-empty trace")),
         uniformity_ks: rates.uniformity_ks().unwrap_or(1.0),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

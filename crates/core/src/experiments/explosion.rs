@@ -239,6 +239,12 @@ pub fn run_explosion_study_on(
 /// streaming graph ([`GraphRef`] accepts either representation). The graph
 /// must belong to `trace`; results are identical to
 /// [`run_explosion_study_on`] when it was built with the default Δ.
+///
+/// # Panics
+///
+/// Panics if the graph was built from a different trace, or when a
+/// worker panicked mid-enumeration (e.g. a chaos-armed failpoint) — the
+/// first worker panic is re-raised once on the calling thread.
 pub fn run_explosion_study_on_graph<'a>(
     scenario: impl Into<String>,
     trace: &ContactTrace,
@@ -280,16 +286,18 @@ pub fn run_explosion_study_on_graph<'a>(
                         let mut scratch = psn_spacetime::EnumerationScratch::new();
                         let mut local = Vec::new();
                         loop {
+                            // relaxed: advisory abort flag; a stale read only costs one extra job.
                             if abort.load(Ordering::Relaxed) {
                                 break;
                             }
+                            // relaxed: work-stealing claim counter; each index is claimed once and results are joined, which orders the data.
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= messages.len() {
                                 break;
                             }
                             let job =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    psn_fault::inject_job("queue.explosion");
+                                    psn_fault::inject_job(psn_fault::sites::QUEUE_EXPLOSION);
                                     let result = enumerator
                                         .enumerate_with_scratch(&messages[idx], &mut scratch);
                                     let profile = ExplosionProfile::with_threshold(
@@ -301,6 +309,7 @@ pub fn run_explosion_study_on_graph<'a>(
                             match job {
                                 Ok((profile, paths)) => local.push((idx, profile, paths)),
                                 Err(payload) => {
+                                    // relaxed: advisory abort flag; a stale read only costs one extra job.
                                     abort.store(true, Ordering::Relaxed);
                                     let mut slot = first_panic
                                         .lock()
@@ -318,7 +327,11 @@ pub fn run_explosion_study_on_graph<'a>(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("enumeration workers catch their own panics"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|e| {
+                        unreachable!("enumeration workers catch their own panics: {e:?}")
+                    })
+                })
                 .collect()
         });
     graph.advise_sequential(false);
@@ -343,14 +356,17 @@ pub fn run_explosion_study_on_graph<'a>(
         // Pair-type scatter (Fig. 8).
         if let (Some(t1), Some(te)) = (profile.optimal_duration, profile.time_to_explosion) {
             let class = classify_message(&rates, &messages[idx]);
-            let panel =
-                by_type.iter_mut().find(|p| p.pair_type == class).expect("all pair types present");
+            let panel = by_type
+                .iter_mut()
+                .find(|p| p.pair_type == class)
+                .unwrap_or_else(|| unreachable!("all pair types present"));
             panel.points.push((t1, te));
 
             // Slow-explosion growth histogram (Fig. 6).
             if te >= slow_te_cutoff {
                 let h = slow_growth_histogram.get_or_insert_with(|| {
-                    Histogram::new(0.0, 10.0, 60).expect("static bin parameters are valid")
+                    Histogram::new(0.0, 10.0, 60)
+                        .unwrap_or_else(|e| unreachable!("static bin parameters are valid: {e:?}"))
                 });
                 if let Some(message_hist) = profile.arrival_histogram(10.0, 600.0) {
                     for (i, (_, count)) in message_hist.series().into_iter().enumerate() {
@@ -387,6 +403,7 @@ pub fn run_explosion_study_on_graph<'a>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use psn_spacetime::MessageGenerator;
     use psn_trace::SyntheticDataset;

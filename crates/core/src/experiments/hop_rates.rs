@@ -178,7 +178,8 @@ pub fn run_hop_rate_study(paths: &[Path], rates: &ContactRates) -> HopRateStudy 
         .enumerate()
         .filter(|(_, samples)| !samples.is_empty())
         .map(|(hop, samples)| {
-            let mean = Summary::from_slice(samples).mean().expect("non-empty");
+            let mean =
+                Summary::from_slice(samples).mean().unwrap_or_else(|| unreachable!("non-empty"));
             let ci = ConfidenceInterval::from_samples(samples, 0.99).ok();
             (hop, mean, ci)
         })
@@ -211,12 +212,17 @@ pub fn run_hop_rate_study(paths: &[Path], rates: &ContactRates) -> HopRateStudy 
         .filter(|(_, samples)| !samples.is_empty())
         .map(|(i, samples)| {
             let label = format!("{}/{}", i + 1, i);
-            (label, BoxPlot::new(samples).expect("non-empty samples"))
+            (
+                label,
+                BoxPlot::new(samples).unwrap_or_else(|e| unreachable!("non-empty samples: {e:?}")),
+            )
         })
         .collect();
     if !final_transition.is_empty() {
-        rate_ratio_per_hop
-            .push(("Dst/Lst".to_string(), BoxPlot::new(&final_transition).expect("non-empty")));
+        rate_ratio_per_hop.push((
+            "Dst/Lst".to_string(),
+            BoxPlot::new(&final_transition).unwrap_or_else(|e| unreachable!("non-empty: {e:?}")),
+        ));
     }
 
     HopRateStudy { mean_rate_per_hop, rate_ratio_per_hop, paths: paths.len() }
@@ -224,6 +230,7 @@ pub fn run_hop_rate_study(paths: &[Path], rates: &ContactRates) -> HopRateStudy 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use psn_trace::contact::Contact;
     use psn_trace::node::{NodeClass, NodeId, NodeRegistry};

@@ -129,7 +129,8 @@ pub fn run_model_validation(replications: usize) -> ModelValidation {
                 0xA11A,
             ))
             .run();
-            let simulated_mean = *jump.mean_paths.last().expect("one sample requested");
+            let simulated_mean =
+                *jump.mean_paths.last().unwrap_or_else(|| unreachable!("one sample requested"));
 
             let model = HomogeneousModel::new(lambda, 120);
             let solution = model.integrate(nodes, horizon, horizon / 600.0);
@@ -160,6 +161,7 @@ pub fn run_model_validation(replications: usize) -> ModelValidation {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use psn_analytic::PairClass;
 

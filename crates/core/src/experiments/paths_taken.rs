@@ -160,6 +160,7 @@ pub fn run_paths_taken_shared(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use psn_spacetime::MessageGenerator;
     use psn_trace::{DatasetId, SyntheticDataset};

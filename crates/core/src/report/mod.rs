@@ -118,6 +118,7 @@ pub fn render_model_validation(validation: &ModelValidation) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::ExperimentProfile;
     use crate::experiments::activity::{activity_report, run_activity_study};

@@ -136,6 +136,7 @@ impl Renderer for CsvRenderer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::report::model::{CellValue, Column, Scalar, Section};
 

@@ -146,13 +146,13 @@ impl Writer {
     }
 
     fn separate(&mut self) {
-        if *self.needs_comma.last().expect("writer scope") {
+        if *self.needs_comma.last().unwrap_or_else(|| unreachable!("writer scope")) {
             self.out.push(',');
             if self.compact > 0 {
                 self.out.push(' ');
             }
         }
-        *self.needs_comma.last_mut().expect("writer scope") = true;
+        *self.needs_comma.last_mut().unwrap_or_else(|| unreachable!("writer scope")) = true;
         self.newline();
     }
 
@@ -174,7 +174,7 @@ impl Writer {
 
     fn close_obj(&mut self) {
         self.indent -= 1;
-        let had_items = self.needs_comma.pop().expect("writer scope");
+        let had_items = self.needs_comma.pop().unwrap_or_else(|| unreachable!("writer scope"));
         if had_items {
             self.newline();
         }
@@ -189,7 +189,7 @@ impl Writer {
 
     fn close_arr(&mut self) {
         self.indent -= 1;
-        let had_items = self.needs_comma.pop().expect("writer scope");
+        let had_items = self.needs_comma.pop().unwrap_or_else(|| unreachable!("writer scope"));
         if had_items {
             self.newline();
         }
@@ -791,6 +791,7 @@ fn read_section(value: &Json) -> Result<Section, ReportJsonError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn sample_doc() -> ReportDoc {

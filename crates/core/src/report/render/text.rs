@@ -130,6 +130,7 @@ impl Renderer for TextRenderer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::report::model::{CellValue, Column, Scalar};
     use psn_stats::BoxPlot;

@@ -336,6 +336,7 @@ pub fn parse_views(study: StudyId, list: &str) -> Result<Vec<StudyView>, StudyPl
 pub struct StudyParams {
     /// Worker threads shared by the per-run loop, path enumeration and the
     /// forwarding simulator (`0` = one per core). Never changes results.
+    // psn-analyze: cache-excluded(thread count never changes results; outputs are pinned byte-identical across worker counts)
     pub threads: usize,
     /// Slot width Δ in seconds for the space-time graph and history
     /// timeline (result-relevant: it quantizes every contact).
@@ -345,6 +346,7 @@ pub struct StudyParams {
     /// slots hot and spilling cold slots to disk. `None` = the materialized
     /// reference engines. Never changes results (pinned by differential
     /// tests), so — like `threads` — it is excluded from cache keys.
+    // psn-analyze: cache-excluded(streaming engine is pinned byte-identical to the materialized engines; window size never changes results)
     pub streaming_window: Option<usize>,
     /// Path-enumeration configuration (k, caps, Δ).
     pub enumeration: EnumerationConfig,
@@ -958,7 +960,7 @@ fn run_one(
     store: &ArtifactStore,
 ) -> Result<(CacheSource, Vec<Section>), CellFailure> {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        psn_fault::inject_job("queue.study-run");
+        psn_fault::inject_job(psn_fault::sites::QUEUE_STUDY_RUN);
         run_one_inner(plan, run, threads, store)
     }));
     match outcome {
@@ -1095,7 +1097,7 @@ fn compute_run_sections(
         outputs.explosion = Some(run_explosion_study_on_graph(
             run.label.clone(),
             &trace,
-            graph.as_ref().expect("explosion implies a graph"),
+            graph.as_ref().unwrap_or_else(|| unreachable!("explosion implies a graph")),
             &messages,
             p.enumeration.clone(),
             p.explosion_threshold,
@@ -1107,8 +1109,8 @@ fn compute_run_sections(
         outputs.forwarding = Some(run_forwarding_study_shared(
             run.label.clone(),
             &trace,
-            graph.clone().expect("forwarding implies a graph"),
-            timeline.clone().expect("forwarding implies a timeline"),
+            graph.clone().unwrap_or_else(|| unreachable!("forwarding implies a graph")),
+            timeline.clone().unwrap_or_else(|| unreachable!("forwarding implies a timeline")),
             workload,
             p.simulation_runs,
             threads,
@@ -1118,7 +1120,10 @@ fn compute_run_sections(
         outputs.activity = Some(activity_report(run.label.clone(), &trace));
     }
     if needs_hop_rates {
-        let study = outputs.explosion.as_ref().expect("hop-rate views imply explosion");
+        let study = outputs
+            .explosion
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("hop-rate views imply explosion"));
         outputs.hop_rates = Some(run_hop_rate_study(&study.sample_paths, &study.rates));
     }
 
@@ -1126,42 +1131,66 @@ fn compute_run_sections(
     for &view in &plan.views {
         let built: Vec<Section> = match view {
             StudyView::ActivityTimeseries => {
-                vec![outputs.activity.as_ref().expect("activity precomputed").timeseries_section()]
+                vec![outputs
+                    .activity
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("activity precomputed"))
+                    .timeseries_section()]
             }
             StudyView::ContactCountCdf => {
-                vec![outputs.activity.as_ref().expect("activity precomputed").contact_cdf_section()]
+                vec![outputs
+                    .activity
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("activity precomputed"))
+                    .contact_cdf_section()]
             }
             StudyView::ExplosionCdfs => {
-                vec![outputs.explosion.as_ref().expect("explosion precomputed").cdfs_section()]
+                vec![outputs
+                    .explosion
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("explosion precomputed"))
+                    .cdfs_section()]
             }
             StudyView::ExplosionScatter => {
-                vec![outputs.explosion.as_ref().expect("explosion precomputed").scatter_section()]
+                vec![outputs
+                    .explosion
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("explosion precomputed"))
+                    .scatter_section()]
             }
             StudyView::ExplosionGrowth => {
-                vec![outputs.explosion.as_ref().expect("explosion precomputed").growth_section()]
+                vec![outputs
+                    .explosion
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("explosion precomputed"))
+                    .growth_section()]
             }
             StudyView::ExplosionPairTypes => {
-                vec![outputs.explosion.as_ref().expect("explosion precomputed").pair_type_section()]
+                vec![outputs
+                    .explosion
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("explosion precomputed"))
+                    .pair_type_section()]
             }
             StudyView::DelayVsSuccess => vec![outputs
                 .forwarding
                 .as_ref()
-                .expect("forwarding precomputed")
+                .unwrap_or_else(|| unreachable!("forwarding precomputed"))
                 .delay_vs_success_section()],
             StudyView::DelayDistributions => vec![outputs
                 .forwarding
                 .as_ref()
-                .expect("forwarding precomputed")
+                .unwrap_or_else(|| unreachable!("forwarding precomputed"))
                 .delay_distributions_section()],
             StudyView::ReceptionTimes => vec![outputs
                 .forwarding
                 .as_ref()
-                .expect("forwarding precomputed")
+                .unwrap_or_else(|| unreachable!("forwarding precomputed"))
                 .reception_times_section()],
             StudyView::PairTypePerformance => vec![outputs
                 .forwarding
                 .as_ref()
-                .expect("forwarding precomputed")
+                .unwrap_or_else(|| unreachable!("forwarding precomputed"))
                 .pair_type_section()],
             StudyView::PathsTaken => {
                 let generator = MessageGenerator::new(MessageWorkloadConfig {
@@ -1173,18 +1202,27 @@ fn compute_run_sections(
                 let messages = generator.uniform_messages(p.paths_taken_messages);
                 let cases = run_paths_taken_shared(
                     &trace,
-                    graph.clone().expect("paths-taken implies a graph"),
-                    timeline.clone().expect("paths-taken implies a timeline"),
+                    graph.clone().unwrap_or_else(|| unreachable!("paths-taken implies a graph")),
+                    timeline
+                        .clone()
+                        .unwrap_or_else(|| unreachable!("paths-taken implies a timeline")),
                     &messages,
                     p.enumeration.clone(),
                 );
                 cases.iter().map(|case| case.section()).collect()
             }
             StudyView::HopRateProgression => {
-                vec![outputs.hop_rates.as_ref().expect("hop rates precomputed").mean_rate_section()]
+                vec![outputs
+                    .hop_rates
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("hop rates precomputed"))
+                    .mean_rate_section()]
             }
             StudyView::HopRatesTaken => {
-                let study = outputs.forwarding.as_ref().expect("forwarding precomputed");
+                let study = outputs
+                    .forwarding
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("forwarding precomputed"));
                 study
                     .algorithms
                     .iter()
@@ -1198,7 +1236,7 @@ fn compute_run_sections(
                 vec![outputs
                     .hop_rates
                     .as_ref()
-                    .expect("hop rates precomputed")
+                    .unwrap_or_else(|| unreachable!("hop rates precomputed"))
                     .rate_ratio_section()]
             }
             StudyView::ModelValidation => {
@@ -1296,6 +1334,11 @@ fn failure_summary_section(failures: &[CellFailure]) -> Section {
 /// in-memory store and no injected faults nothing can fail; if a cell
 /// does fail (e.g. chaos testing armed a panic site), the failure
 /// propagates as a panic carrying the typed message.
+///
+/// # Panics
+///
+/// Panics when a cell fails — only possible with injected faults, since
+/// the private in-memory store removes every I/O failure mode.
 pub fn run_study(plan: &StudyPlan) -> StudyReport {
     run_study_with(plan, &ArtifactStore::in_memory())
         .unwrap_or_else(|e| panic!("study execution failed: {e}"))
@@ -1384,15 +1427,18 @@ pub fn run_study_with_policy(
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
+                            // relaxed: advisory abort flag; a stale read only costs one extra job.
                             if abort.load(Ordering::Relaxed) {
                                 break;
                             }
+                            // relaxed: work-stealing claim counter; each index is claimed once and results are joined, which orders the data.
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= plan.runs.len() {
                                 break;
                             }
                             let outcome = run_one(plan, &plan.runs[idx], inner_threads, store);
                             if outcome.is_err() && policy == RunPolicy::FailFast {
+                                // relaxed: advisory abort flag; a stale read only costs one extra job.
                                 abort.store(true, Ordering::Relaxed);
                             }
                             local.push((idx, outcome));
@@ -1403,7 +1449,11 @@ pub fn run_study_with_policy(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("study workers catch their own panics"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|e| {
+                        unreachable!("study workers catch their own panics: {e:?}")
+                    })
+                })
                 .collect()
         });
         let mut collected: Vec<CellOutcome> =
@@ -1434,6 +1484,7 @@ pub fn run_study_with_policy(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::experiments::explosion::run_explosion_study_on;
     use crate::report::JsonRenderer;

@@ -222,7 +222,9 @@ impl PresetId {
         let mut out = render_header(self.figure_title(), profile);
         match self.spec(profile, threads) {
             Some(spec) => {
-                let plan = spec.plan().expect("preset specs are valid by construction");
+                let plan = spec.plan().unwrap_or_else(|e| {
+                    unreachable!("preset specs are valid by construction: {e:?}")
+                });
                 out.push_str(&run_study(&plan).render());
             }
             None => out.push_str(&spacetime_example_body()),
@@ -254,10 +256,14 @@ fn spacetime_example_body() -> String {
         registry.add(NodeClass::Mobile);
     }
     let contacts = vec![
-        Contact::new(NodeId(0), NodeId(1), 0.0, 5.0).unwrap(),
-        Contact::new(NodeId(0), NodeId(1), 11.0, 19.0).unwrap(),
-        Contact::new(NodeId(0), NodeId(2), 12.0, 18.0).unwrap(),
-        Contact::new(NodeId(1), NodeId(2), 13.0, 17.0).unwrap(),
+        Contact::new(NodeId(0), NodeId(1), 0.0, 5.0)
+            .unwrap_or_else(|e| unreachable!("valid by construction: {e:?}")),
+        Contact::new(NodeId(0), NodeId(1), 11.0, 19.0)
+            .unwrap_or_else(|e| unreachable!("valid by construction: {e:?}")),
+        Contact::new(NodeId(0), NodeId(2), 12.0, 18.0)
+            .unwrap_or_else(|e| unreachable!("valid by construction: {e:?}")),
+        Contact::new(NodeId(1), NodeId(2), 13.0, 17.0)
+            .unwrap_or_else(|e| unreachable!("valid by construction: {e:?}")),
     ];
     let trace = ContactTrace::from_contacts(
         "figure2-example",
@@ -265,7 +271,7 @@ fn spacetime_example_body() -> String {
         TimeWindow::new(0.0, 20.0),
         contacts,
     )
-    .unwrap();
+    .unwrap_or_else(|e| unreachable!("valid by construction: {e:?}"));
     let graph = SpaceTimeGraph::build_default(&trace);
 
     let mut out = String::new();
@@ -299,6 +305,7 @@ fn spacetime_example_body() -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

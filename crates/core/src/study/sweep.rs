@@ -168,6 +168,11 @@ impl SweepReport {
 /// Infallible for the clean path; a failing cell propagates as a panic
 /// carrying the typed message (use [`run_sweep_with_policy`] for typed
 /// failure handling).
+///
+/// # Panics
+///
+/// Panics when a cell fails — only possible with injected faults, since
+/// the private in-memory store removes every I/O failure mode.
 pub fn run_sweep(sweep_plan: &SweepPlan) -> SweepReport {
     run_sweep_with(sweep_plan, &ArtifactStore::in_memory())
         .unwrap_or_else(|e| panic!("sweep execution failed: {e}"))
@@ -257,7 +262,7 @@ fn summary_section(sweep_plan: &SweepPlan, doc: &ReportDoc) -> Section {
                 .iter()
                 .find(|(field, _)| field == axis)
                 .map(|(_, value)| *value)
-                .expect("every cell assigns every axis");
+                .unwrap_or_else(|| unreachable!("every cell assigns every axis"));
             row.push(CellValue::Float(value));
         }
         row.push(CellValue::Int(cell.seed.unwrap_or_else(|| cell.config.seed())));
@@ -290,6 +295,7 @@ fn summary_section(sweep_plan: &SweepPlan, doc: &ReportDoc) -> Section {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::config::ExperimentProfile;
     use crate::report::{CsvRenderer, JsonRenderer, Renderer, TextRenderer};

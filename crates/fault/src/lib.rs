@@ -39,6 +39,7 @@
 //! plans; the CLI arms them persistently through [`arm`].
 
 #![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +47,47 @@ use std::sync::{Mutex, MutexGuard, Once, OnceLock};
 
 /// The environment variable the global plan is armed from (first use).
 pub const ENV_VAR: &str = "PSN_FAULTS";
+
+/// Canonical registry of every failpoint site compiled into the workspace.
+///
+/// Call sites must use these constants rather than string literals so the
+/// `psn-analyze` failpoint lint (L3) can cross-check the sites referenced
+/// in code against this registry and the DESIGN.md §6d table. Adding a
+/// failpoint means adding a constant here, listing it in [`ALL`](sites::ALL)
+/// and in the DESIGN.md table, and passing the constant at the new call
+/// site — `psn-analyze` fails CI on any orphan site string or dead registry
+/// entry.
+pub mod sites {
+    /// Trace bytes read from the disk tier, about to be decoded.
+    pub const DISK_READ_TRACE: &str = "disk.read-trace";
+    /// Encoded trace bytes about to be committed to the disk tier.
+    pub const DISK_WRITE_TRACE: &str = "disk.write-trace";
+    /// Report-cell JSON read from the disk tier.
+    pub const DISK_READ_RESULT: &str = "disk.read-result";
+    /// Report-cell JSON about to be committed to the disk tier.
+    pub const DISK_WRITE_RESULT: &str = "disk.write-result";
+    /// Binary trace-codec decode over a borrowed buffer.
+    pub const CODEC_DECODE_TRACE: &str = "codec.decode-trace";
+    /// A path-explosion enumeration job taken off the work queue.
+    pub const QUEUE_EXPLOSION: &str = "queue.explosion";
+    /// A forwarding-simulation job taken off the work queue.
+    pub const QUEUE_FORWARDING: &str = "queue.forwarding";
+    /// A study run taken off the sweep work queue.
+    pub const QUEUE_STUDY_RUN: &str = "queue.study-run";
+
+    /// Every registered site, for enumeration, docs and the `psn-analyze`
+    /// self-check.
+    pub const ALL: &[&str] = &[
+        DISK_READ_TRACE,
+        DISK_WRITE_TRACE,
+        DISK_READ_RESULT,
+        DISK_WRITE_RESULT,
+        CODEC_DECODE_TRACE,
+        QUEUE_EXPLOSION,
+        QUEUE_FORWARDING,
+        QUEUE_STUDY_RUN,
+    ];
+}
 
 /// What an armed failpoint does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +185,8 @@ impl ArmedSite {
 
     /// Records a hit; returns the kind if this hit fires.
     fn hit(&self) -> Option<FaultKind> {
+        // relaxed: the counter is only ever read via this fetch_add; no
+        // other memory is published under it.
         let count = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
         (self.every || count == self.nth).then_some(self.kind)
     }
@@ -183,6 +227,8 @@ fn lock_plan() -> MutexGuard<'static, Plan> {
 fn install(plan: Plan) {
     let enabled = !plan.sites.is_empty();
     *lock_plan() = plan;
+    // relaxed: a hint flag only — readers that observe it stale re-check
+    // the plan under the mutex, which provides the ordering.
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
@@ -200,6 +246,8 @@ fn ensure_env_init() {
 /// True when any failpoint is armed — the fast path every site checks.
 pub fn enabled() -> bool {
     ensure_env_init();
+    // relaxed: see `install` — the flag is advisory; the plan mutex orders
+    // the data.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -287,6 +335,10 @@ fn apply_delay() {
 /// be decoded, or an encoded buffer about to be written). Returns the
 /// injected error for `io-error`, corrupts `buf` for `corrupt-bytes`,
 /// sleeps for `delay`, panics for `panic`, and is a no-op when disarmed.
+///
+/// # Panics
+///
+/// Panics when the armed kind is `panic` — that is the injected effect.
 pub fn inject_io(site: &str, buf: &mut [u8]) -> std::io::Result<()> {
     match fire(site) {
         None => Ok(()),
@@ -306,6 +358,10 @@ pub fn inject_io(site: &str, buf: &mut [u8]) -> std::io::Result<()> {
 /// Failpoint for a bufferless IO operation (a rename, a directory
 /// creation). `corrupt-bytes` degrades to an io-error — there are no bytes
 /// to corrupt, and failing is the conservative reading.
+///
+/// # Panics
+///
+/// Panics when the armed kind is `panic` — that is the injected effect.
 pub fn inject_io_op(site: &str) -> std::io::Result<()> {
     match fire(site) {
         None => Ok(()),
@@ -335,6 +391,10 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// corrupted copy for `corrupt-bytes` (and for `io-error`, which a pure
 /// decoder cannot report any other way), `None` when clean or after a
 /// `delay`, and panics for `panic`.
+///
+/// # Panics
+///
+/// Panics when the armed kind is `panic` — that is the injected effect.
 pub fn inject_decode(site: &str, bytes: &[u8]) -> Option<Vec<u8>> {
     match fire(site) {
         Some(FaultKind::CorruptBytes) | Some(FaultKind::IoError) => {
@@ -353,6 +413,10 @@ pub fn inject_decode(site: &str, bytes: &[u8]) -> Option<Vec<u8>> {
 
 /// Failpoint for a work-queue job site. Only `panic` and `delay` make
 /// sense here; the IO kinds are ignored rather than misreported.
+///
+/// # Panics
+///
+/// Panics when the armed kind is `panic` — that is the injected effect.
 pub fn inject_job(site: &str) {
     match fire(site) {
         Some(FaultKind::Panic) => panic!("injected fault: panic at {site}"),
@@ -363,6 +427,7 @@ pub fn inject_job(site: &str) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -554,7 +554,7 @@ enum TableState {
 /// destination), so a table computed by any worker is bit-identical to the
 /// one every other worker would compute.
 struct JobTables {
-    map: std::sync::Mutex<std::collections::HashMap<(u32, u32), TableState>>,
+    map: std::sync::Mutex<std::collections::BTreeMap<(u32, u32), TableState>>,
 }
 
 /// Removes a still-`Building` entry and releases its latch when the
@@ -583,7 +583,7 @@ impl Drop for ReleaseOnUnwind<'_> {
 
 impl JobTables {
     fn new() -> Self {
-        Self { map: std::sync::Mutex::new(std::collections::HashMap::new()) }
+        Self { map: std::sync::Mutex::new(std::collections::BTreeMap::new()) }
     }
 
     /// Returns the table for `key`, computing it via `build` if this caller
@@ -920,9 +920,11 @@ impl<'a> Simulator<'a> {
                                     WorkerScratch::new(self.trace.node_count(), slot_count);
                                 let mut local = Vec::new();
                                 loop {
+                                    // relaxed: advisory abort flag; a stale read only costs one extra job.
                                     if abort.load(Ordering::Relaxed) {
                                         break;
                                     }
+                                    // relaxed: work-stealing claim counter; each index is claimed once and results are joined, which orders the data.
                                     let idx = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(&item) = items.get(idx) else {
                                         break;
@@ -930,13 +932,16 @@ impl<'a> Simulator<'a> {
                                     let (job_idx, start, _) = item;
                                     let job = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(|| {
-                                            psn_fault::inject_job("queue.forwarding");
+                                            psn_fault::inject_job(
+                                                psn_fault::sites::QUEUE_FORWARDING,
+                                            );
                                             process_item(&mut scratch, item)
                                         }),
                                     );
                                     match job {
                                         Ok(batch) => local.push((job_idx, start, batch)),
                                         Err(payload) => {
+                                            // relaxed: advisory abort flag; a stale read only costs one extra job.
                                             abort.store(true, Ordering::Relaxed);
                                             let mut slot = first_panic
                                                 .lock()

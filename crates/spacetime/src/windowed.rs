@@ -26,7 +26,7 @@
 //! labels and member tables from it, so a reloaded slot compares equal to
 //! the one that was evicted.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -72,7 +72,7 @@ pub trait SlotSpill: Send + Sync + std::fmt::Debug {
 /// An in-memory spill backend for tests and small runs.
 #[derive(Debug, Default)]
 pub struct MemorySpill {
-    slots: Mutex<HashMap<usize, Vec<(NodeId, NodeId)>>>,
+    slots: Mutex<BTreeMap<usize, Vec<(NodeId, NodeId)>>>,
 }
 
 impl MemorySpill {
@@ -139,14 +139,14 @@ impl From<SpillError> for StreamBuildError {
 pub struct IncrementalSlotter {
     num_slots: usize,
     next_slot: usize,
-    active: HashMap<(u32, u32), u32>,
+    active: BTreeMap<(u32, u32), u32>,
 }
 
 impl IncrementalSlotter {
     /// A slotter over `num_slots` slots (see
     /// [`psn_trace::stream::slot_count`]).
     pub fn new(num_slots: usize) -> Self {
-        Self { num_slots, next_slot: 0, active: HashMap::new() }
+        Self { num_slots, next_slot: 0, active: BTreeMap::new() }
     }
 
     /// The multiset of currently active edges, one entry per unique pair.
@@ -210,8 +210,7 @@ impl IncrementalSlotter {
 
     /// Approximate bytes held by the active-contact multiset.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.active.capacity() * std::mem::size_of::<((u32, u32), u32)>()
+        std::mem::size_of::<Self>() + self.active.len() * std::mem::size_of::<((u32, u32), u32)>()
     }
 }
 
@@ -240,7 +239,7 @@ pub fn stream_graph<S: ContactStream>(stream: &mut S) -> Result<SpaceTimeGraph, 
 /// Hot-slot cache of a windowed graph: FIFO insertion order, bounded count.
 #[derive(Debug, Default)]
 struct HotSet {
-    map: HashMap<usize, Arc<Slot>>,
+    map: BTreeMap<usize, Arc<Slot>>,
     order: VecDeque<usize>,
     resident_bytes: usize,
 }
@@ -442,6 +441,7 @@ impl WindowedSpaceTimeGraph {
         let Ok(busy_idx) = self.busy_slots.binary_search(&s) else {
             return Arc::clone(&self.empty);
         };
+        // relaxed: advisory access-plan flag; the hot-set mutex orders the data it guards.
         let plan = self.plan_active.load(Ordering::Relaxed);
         let mut hot = self.hot.lock().unwrap_or_else(|poison| poison.into_inner());
         if let Some(slot) = hot.map.get(&s) {
@@ -449,6 +449,7 @@ impl WindowedSpaceTimeGraph {
                 // Under the plan-less FIFO policy a repeated ascending
                 // sweep evicts every slot before it comes round again, so a
                 // plan-active hot hit is a reload the plan avoided.
+                // relaxed: monotonic stats counter, read only for reporting; orders no data.
                 self.avoided_reloads.fetch_add(1, Ordering::Relaxed);
             }
             return Arc::clone(slot);
@@ -458,6 +459,7 @@ impl WindowedSpaceTimeGraph {
                 Ok(edges) => edges,
                 Err(e) => panic!("reloading spilled slot {s} failed: {e}"),
             };
+            // relaxed: monotonic stats counter, read only for reporting; orders no data.
             self.spill_loads.fetch_add(1, Ordering::Relaxed);
             Arc::new(Slot::seal(self.node_count, edges))
         };
@@ -498,6 +500,7 @@ impl WindowedSpaceTimeGraph {
             + self.empty.approx_bytes()
             + self.busy_slots.len() * std::mem::size_of::<usize>()
             + hot.resident_bytes;
+        // relaxed: high-water-mark stats; fetch_max is atomic and the value is reporting-only.
         self.peak_bytes.fetch_max(working, Ordering::Relaxed);
         slot
     }
@@ -513,6 +516,7 @@ impl WindowedSpaceTimeGraph {
     ///
     /// Purely a performance hint — slot contents are identical either way.
     pub fn advise_sequential(&self, active: bool) {
+        // relaxed: advisory access-plan flag; see `slot`.
         self.plan_active.store(active, Ordering::Relaxed);
     }
 
@@ -520,6 +524,7 @@ impl WindowedSpaceTimeGraph {
     /// active — reloads avoided relative to the plan-less FIFO steady
     /// state, reported alongside [`WindowedSpaceTimeGraph::spill_loads`].
     pub fn avoided_reloads(&self) -> u64 {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.avoided_reloads.load(Ordering::Relaxed)
     }
 
@@ -534,16 +539,19 @@ impl WindowedSpaceTimeGraph {
 
     /// Peak resident bytes observed over build and queries so far.
     pub fn peak_bytes(&self) -> usize {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.peak_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of slots written to the spill sink.
     pub fn spill_stores(&self) -> u64 {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.spill_stores.load(Ordering::Relaxed)
     }
 
     /// Number of cold-slot reloads served by the spill sink.
     pub fn spill_loads(&self) -> u64 {
+        // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.spill_loads.load(Ordering::Relaxed)
     }
 }

@@ -19,10 +19,17 @@ pub const PAPER_BIN_SECONDS: Seconds = 60.0;
 /// Each contact counts once, at its start time, matching the paper's "total
 /// number of contacts over all nodes (totals calculated over 1 minute
 /// bins)".
+///
+/// # Panics
+///
+/// Panics if `bin_seconds` is not a positive finite width (the trace window
+/// itself is non-empty by construction).
 pub fn contact_timeseries(trace: &ContactTrace, bin_seconds: Seconds) -> BinnedSeries {
     let window = trace.window();
-    let mut series = BinnedSeries::new(window.start, window.end, bin_seconds)
-        .expect("trace windows are non-empty and bin widths positive");
+    let mut series = match BinnedSeries::new(window.start, window.end, bin_seconds) {
+        Ok(series) => series,
+        Err(e) => panic!("invalid contact time-series binning: {e}"),
+    };
     for c in trace.contacts() {
         series.record(c.start);
     }
@@ -60,6 +67,7 @@ pub fn stationarity_report(trace: &ContactTrace) -> Option<StationarityReport> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::contact::Contact;
     use crate::node::{NodeClass, NodeId, NodeRegistry};

@@ -167,6 +167,7 @@ impl SyntheticDataset {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::binning::stationarity_report;
     use crate::rates::ContactRates;

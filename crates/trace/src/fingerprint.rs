@@ -201,6 +201,7 @@ pub(crate) fn table_fingerprint(domain: &str, table: &Table) -> Fingerprint {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::generator::config::{CommunityConfig, ConferenceConfig};
     use crate::ScenarioConfig;

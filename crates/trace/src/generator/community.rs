@@ -104,8 +104,9 @@ pub fn generate_community(config: &CommunityConfig) -> ContactTrace {
                 );
                 let end = (start + duration).min(config.window_seconds);
                 contacts.push(
-                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end)
-                        .expect("generated contacts are valid by construction"),
+                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end).unwrap_or_else(
+                        |e| unreachable!("generated contacts are valid by construction: {e}"),
+                    ),
                 );
             }
         }
@@ -117,7 +118,7 @@ pub fn generate_community(config: &CommunityConfig) -> ContactTrace {
         window,
         contacts,
     )
-    .expect("generated contacts lie inside the window")
+    .unwrap_or_else(|e| unreachable!("generated contacts lie inside the window: {e}"))
 }
 
 /// Fraction of contacts joining two nodes of the same community — the
@@ -136,6 +137,7 @@ pub fn intra_community_fraction(config: &CommunityConfig, trace: &ContactTrace) 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::generator::config::CommunityConfig;
     use crate::rates::ContactRates;

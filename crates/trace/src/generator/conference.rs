@@ -80,7 +80,7 @@ impl ConferenceTraceGenerator {
             0.5
         } else {
             let mut sorted = mobile.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted.sort_by(|a, b| a.total_cmp(b));
             sorted[sorted.len() / 2]
         };
         let stationary_p = (median_mobile * c.stationary_rate_factor).min(1.0).max(floor);
@@ -128,14 +128,16 @@ impl ConferenceTraceGenerator {
                     let end = (start + duration).min(c.window_seconds);
                     contacts.push(
                         Contact::new(NodeId(i as u32), NodeId(j as u32), start, end)
-                            .expect("generated contacts are valid by construction"),
+                            .unwrap_or_else(|e| {
+                                unreachable!("generated contacts are valid by construction: {e}")
+                            }),
                     );
                 }
             }
         }
 
         let trace = ContactTrace::from_contacts(c.name.clone(), registry, window, contacts)
-            .expect("generated contacts lie inside the window");
+            .unwrap_or_else(|e| unreachable!("generated contacts lie inside the window: {e}"));
 
         match c.inquiry_scan_period {
             Some(period) => apply_inquiry_scan(&trace, period),
@@ -146,6 +148,7 @@ impl ConferenceTraceGenerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::binning::stationarity_report;
     use crate::generator::config::ActivityProfile;

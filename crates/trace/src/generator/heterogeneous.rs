@@ -90,19 +90,21 @@ pub(crate) fn build_product_rate_trace<R: Rng + ?Sized>(
                 let duration = exponential(rng, duration_rate);
                 let end = (start + duration).min(window_seconds);
                 contacts.push(
-                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end)
-                        .expect("generated contacts are valid by construction"),
+                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end).unwrap_or_else(
+                        |e| unreachable!("generated contacts are valid by construction: {e}"),
+                    ),
                 );
             }
         }
     }
 
     ContactTrace::from_contacts(name, registry, TimeWindow::new(0.0, window_seconds), contacts)
-        .expect("generated contacts lie inside the window")
+        .unwrap_or_else(|e| unreachable!("generated contacts lie inside the window: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::rates::ContactRates;
     use psn_stats::Summary;

@@ -50,8 +50,9 @@ pub fn generate_homogeneous(config: &HomogeneousConfig) -> ContactTrace {
                 let duration = exponential(&mut rng, duration_rate);
                 let end = (start + duration).min(config.window_seconds);
                 contacts.push(
-                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end)
-                        .expect("generated contacts are valid by construction"),
+                    Contact::new(NodeId(i as u32), NodeId(j as u32), start, end).unwrap_or_else(
+                        |e| unreachable!("generated contacts are valid by construction: {e}"),
+                    ),
                 );
             }
         }
@@ -63,11 +64,12 @@ pub fn generate_homogeneous(config: &HomogeneousConfig) -> ContactTrace {
         window,
         contacts,
     )
-    .expect("generated contacts lie inside the window")
+    .unwrap_or_else(|e| unreachable!("generated contacts lie inside the window: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::rates::ContactRates;
 

@@ -86,6 +86,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

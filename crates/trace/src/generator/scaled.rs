@@ -34,7 +34,7 @@ use super::sampling::exponential;
 /// Draws a node index with probability proportional to its propensity,
 /// using inverse-CDF sampling over the prefix-sum array.
 fn sample_node<R: Rng + ?Sized>(rng: &mut R, prefix: &[f64]) -> usize {
-    let total = *prefix.last().expect("at least one node");
+    let total = *prefix.last().unwrap_or_else(|| unreachable!("at least one node"));
     let u = rng.gen_range(0.0..total);
     // First index whose cumulative propensity exceeds the draw.
     prefix.partition_point(|&cum| cum <= u).min(prefix.len() - 1)
@@ -104,8 +104,9 @@ pub fn generate_scaled(config: &ScaledConfig) -> ContactTrace {
         let duration = exponential(&mut rng, duration_rate);
         let end = (t + duration).min(config.window_seconds);
         contacts.push(
-            Contact::new(NodeId(i as u32), NodeId(j as u32), t, end)
-                .expect("generated contacts are valid by construction"),
+            Contact::new(NodeId(i as u32), NodeId(j as u32), t, end).unwrap_or_else(|e| {
+                unreachable!("generated contacts are valid by construction: {e}")
+            }),
         );
     }
 
@@ -115,11 +116,12 @@ pub fn generate_scaled(config: &ScaledConfig) -> ContactTrace {
         TimeWindow::new(0.0, config.window_seconds),
         contacts,
     )
-    .expect("generated contacts lie inside the window")
+    .unwrap_or_else(|e| unreachable!("generated contacts lie inside the window: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::rates::ContactRates;
 

@@ -40,7 +40,7 @@ pub fn apply_inquiry_scan(trace: &ContactTrace, period: Seconds) -> ContactTrace
         let observed_end = (last_scan + period).min(window.end);
         observed.push(
             Contact::new(c.a, c.b, first_scan, observed_end.max(first_scan))
-                .expect("scan-aligned contacts remain valid"),
+                .unwrap_or_else(|e| unreachable!("scan-aligned contacts remain valid: {e}")),
         );
     }
     ContactTrace::from_contacts(
@@ -49,11 +49,12 @@ pub fn apply_inquiry_scan(trace: &ContactTrace, period: Seconds) -> ContactTrace
         window,
         observed,
     )
-    .expect("scan-aligned contacts lie inside the window")
+    .unwrap_or_else(|e| unreachable!("scan-aligned contacts lie inside the window: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::node::{NodeClass, NodeId, NodeRegistry};
     use crate::trace::TimeWindow;

@@ -36,6 +36,7 @@
 //! and run every experiment unchanged.
 
 #![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 #![warn(missing_docs)]
 
 pub mod binning;

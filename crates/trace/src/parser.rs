@@ -22,7 +22,7 @@
 //! separated fields. Nodes that appear in contact lines but not in `node:`
 //! metadata are registered automatically as mobile nodes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::contact::Contact;
 use crate::node::{NodeClass, NodeId, NodeRegistry};
@@ -148,7 +148,7 @@ pub fn parse_trace(input: &str) -> Result<ContactTrace, ParseError> {
     // Build the node registry: declared nodes first (in id order), then any
     // node that appears only in contact lines.
     declared.sort_by_key(|d| d.0);
-    let mut external_to_internal: HashMap<u32, NodeId> = HashMap::new();
+    let mut external_to_internal: BTreeMap<u32, NodeId> = BTreeMap::new();
     let mut registry = NodeRegistry::new();
     for (ext, class, label) in &declared {
         let internal = registry.add_labeled(*class, label.clone());
@@ -203,6 +203,7 @@ pub fn write_trace(trace: &ContactTrace) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::node::NodeClass;
 

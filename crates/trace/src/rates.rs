@@ -10,7 +10,7 @@
 //! median split used by the pair-type experiments (Figs. 8 and 13) and by
 //! the rate-aware forwarding analysis (Figs. 14 and 15).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -67,8 +67,11 @@ impl ContactRates {
         }
         let window_seconds = trace.window().duration();
         let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / window_seconds).collect();
-        let median_rate =
-            if rates.is_empty() { 0.0 } else { median(&rates).expect("non-empty, finite rates") };
+        let median_rate = if rates.is_empty() {
+            0.0
+        } else {
+            median(&rates).unwrap_or_else(|_| unreachable!("non-empty, finite rates"))
+        };
         Self { counts, rates, median_rate, window_seconds }
     }
 
@@ -177,13 +180,13 @@ impl InterContactTimes {
     /// Computes the gaps between the end of one contact and the start of the
     /// next contact *of the same unordered node pair*.
     pub fn from_trace(trace: &ContactTrace) -> Self {
-        let mut per_pair: HashMap<(NodeId, NodeId), Vec<(Seconds, Seconds)>> = HashMap::new();
+        let mut per_pair: BTreeMap<(NodeId, NodeId), Vec<(Seconds, Seconds)>> = BTreeMap::new();
         for c in trace.contacts() {
             per_pair.entry(c.pair_key()).or_default().push((c.start, c.end));
         }
         let mut gaps = Vec::new();
         for intervals in per_pair.values_mut() {
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
                 let gap = w[1].0 - w[0].1;
                 if gap > 0.0 {
@@ -222,6 +225,7 @@ impl InterContactTimes {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::contact::Contact;
     use crate::node::{NodeClass, NodeRegistry};
@@ -237,6 +241,30 @@ mod tests {
             .map(|(a, b, s, e)| Contact::new(NodeId(a), NodeId(b), s, e).unwrap())
             .collect();
         ContactTrace::from_contacts("t", reg, TimeWindow::new(0.0, 100.0), cs).unwrap()
+    }
+
+    #[test]
+    fn gap_order_is_pair_sorted_and_deterministic() {
+        // Three pairs interleaved in time; the gap list must come out in
+        // ascending pair order, then chronological within a pair —
+        // independent of insertion order. This pins the determinism
+        // contract the report path relies on (psn-analyze lint L2).
+        let trace = trace_with(
+            vec![
+                (2, 3, 40.0, 41.0),
+                (0, 1, 0.0, 1.0),
+                (2, 3, 10.0, 11.0),
+                (0, 2, 20.0, 21.0),
+                (0, 1, 5.0, 6.0),
+                (0, 2, 50.0, 51.0),
+            ],
+            4,
+        );
+        let ict = InterContactTimes::from_trace(&trace);
+        // (0,1): 5 - 1 = 4;  (0,2): 50 - 21 = 29;  (2,3): 40 - 11 = 29.
+        assert_eq!(ict.gaps(), &[4.0, 29.0, 29.0]);
+        let again = InterContactTimes::from_trace(&trace);
+        assert_eq!(ict.gaps(), again.gaps());
     }
 
     #[test]

@@ -549,7 +549,10 @@ pub(crate) mod doc {
             order
                 .into_iter()
                 .map(|key| {
-                    let value = self.entries.remove(&key).expect("order tracks entries");
+                    let value = self
+                        .entries
+                        .remove(&key)
+                        .unwrap_or_else(|| unreachable!("order tracks entries"));
                     (key, value)
                 })
                 .collect()
@@ -1120,6 +1123,7 @@ impl ScenarioSet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::datasets::{DatasetId, SyntheticDataset};
     use proptest::prelude::*;

@@ -352,8 +352,9 @@ impl SyntheticContactStream {
         let duration = exponential(&mut self.rng, 1.0 / self.config.mean_duration);
         let end = (self.next_start + duration).min(self.config.window.end);
         Some(
-            Contact::new(NodeId(a), NodeId(b), self.next_start, end)
-                .expect("generated contacts are valid by construction"),
+            Contact::new(NodeId(a), NodeId(b), self.next_start, end).unwrap_or_else(|e| {
+                unreachable!("generated contacts are valid by construction: {e}")
+            }),
         )
     }
 }
@@ -423,6 +424,7 @@ impl StreamSummary {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::node::{NodeClass, NodeRegistry};
 

@@ -341,6 +341,7 @@ impl ScenarioSweep {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::generator::config::CommunityConfig;
 

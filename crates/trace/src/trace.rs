@@ -175,9 +175,8 @@ impl ContactTrace {
     pub fn sort(&mut self) {
         self.contacts.sort_by(|x, y| {
             x.start
-                .partial_cmp(&y.start)
-                .expect("finite by construction")
-                .then(x.end.partial_cmp(&y.end).expect("finite"))
+                .total_cmp(&y.start)
+                .then(x.end.total_cmp(&y.end))
                 .then(x.a.cmp(&y.a))
                 .then(x.b.cmp(&y.b))
         });
@@ -230,7 +229,8 @@ impl ContactTrace {
         self.node_index.get_or_init(|| {
             let mut index: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
             for (pos, c) in self.contacts.iter().enumerate() {
-                let pos = u32::try_from(pos).expect("contact count fits in u32");
+                let pos = u32::try_from(pos)
+                    .unwrap_or_else(|_| unreachable!("contact count fits in u32"));
                 index[c.a.index()].push(pos);
                 index[c.b.index()].push(pos);
             }
@@ -329,6 +329,7 @@ impl ContactTrace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::node::NodeClass;
 
