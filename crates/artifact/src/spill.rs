@@ -1,21 +1,38 @@
-//! Codec-backed slot spill for the streaming space-time graph.
+//! Codec-backed slot spills for the streaming space-time graph.
 //!
 //! The bounded-window [`psn_spacetime::WindowedSpaceTimeGraph`] keeps only a
 //! sliding window of sealed slots hot and pushes cold slots through a
-//! [`psn_spacetime::SlotSpill`]. This module provides the production
-//! implementation: one tiny binary file per busy slot under a private
-//! directory, written in the same versioned `PSNART` codec as every other
-//! on-disk artifact ([`crate::codec::encode_slot_edges`]).
+//! [`psn_spacetime::SlotSpill`]. Two production backends live here:
+//!
+//! * [`CodecSlotSpill`] — one tiny `PSNART` file per busy slot, written in
+//!   the same versioned codec as every other on-disk artifact
+//!   ([`crate::codec::encode_slot_edges`]). Durable and inspectable; one
+//!   filesystem round-trip (create/open/close) per store and load.
+//! * [`SlabSlotSpill`] — the fast path: every slot record is appended to a
+//!   **single slab file** through a reusable encode scratch buffer and read
+//!   back positionally through the same buffer. A record is a raw
+//!   fixed-layout header (`slot u64 | edge count u32`) followed by the edge
+//!   pairs — no per-record file metadata, no allocation on the store path,
+//!   one seek+write per store and one seek+read per load. The header is
+//!   still checked on load, so corruption fails closed.
 //!
 //! Only the normalized edge list is persisted — adjacency, components and
 //! member lists are rebuilt deterministically by `Slot::seal` on reload, so
-//! a reloaded slot is bit-identical to the one that was spilled. Decode
-//! failures surface as [`SpillError`] values (the windowed graph treats a
-//! failed reload as fatal for the run — unlike the artifact cache there is
-//! no way to rebuild a spilled slot without replaying the stream).
+//! a reloaded slot is bit-identical to the one that was spilled. A record
+//! that fails to decode is **quarantined** (the per-slot file is moved into
+//! `corrupt/`; a slab record's index entry is dropped) and surfaces as
+//! [`SpillError::Corrupt`]: the caller's retry then sees a clean miss and
+//! can rebuild by re-streaming instead of tripping over the same bad bytes.
+//! Both backends carry the `spill.store-slot` / `spill.load-slot`
+//! failpoints (see `psn_fault::sites`), which the chaos suite uses to pin
+//! exactly that quarantine-and-rebuild path.
 
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use psn_spacetime::{SlotSpill, SpillError};
 use psn_trace::NodeId;
@@ -24,6 +41,11 @@ use crate::codec::{decode_slot_edges, encode_slot_edges};
 
 /// Distinguishes concurrently created spill directories within one process.
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn next_spill_seq() -> u64 {
+    // relaxed: unique-id sequence; only uniqueness matters, not ordering.
+    SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A [`SlotSpill`] persisting each cold slot as a `PSNART` file in a
 /// private directory.
@@ -50,8 +72,7 @@ impl CodecSlotSpill {
     /// Creates a spill in a fresh process-unique directory under the system
     /// temp dir, removed (with its contents) when the spill is dropped.
     pub fn in_temp_dir() -> Result<Self, SpillError> {
-        // relaxed: unique-id sequence; only uniqueness matters, not ordering.
-        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let seq = next_spill_seq();
         let dir = std::env::temp_dir().join(format!("psn-spill-{}-{seq}", std::process::id()));
         let mut spill = Self::at(dir)?;
         spill.cleanup = true;
@@ -66,26 +87,51 @@ impl CodecSlotSpill {
     fn slot_path(&self, index: usize) -> PathBuf {
         self.dir.join(format!("slot-{index}.psnart"))
     }
+
+    /// Moves a corrupt slot file into `corrupt/` (best effort), so a retry
+    /// that re-streams and re-stores never trips over the stale bad bytes.
+    fn quarantine(&self, path: &std::path::Path) {
+        let corrupt_dir = self.dir.join("corrupt");
+        let dest = corrupt_dir.join(path.file_name().unwrap_or_default());
+        if std::fs::create_dir_all(&corrupt_dir).is_ok() && std::fs::rename(path, &dest).is_ok() {
+            eprintln!(
+                "warning: quarantined corrupt spill record {} -> {}",
+                path.display(),
+                dest.display()
+            );
+        }
+    }
 }
 
 impl SlotSpill for CodecSlotSpill {
     fn store(&self, index: usize, edges: &[(NodeId, NodeId)]) -> Result<(), SpillError> {
         let path = self.slot_path(index);
-        std::fs::write(&path, encode_slot_edges(index, edges))
+        let mut bytes = encode_slot_edges(index, edges);
+        if psn_fault::enabled() {
+            psn_fault::inject_io(psn_fault::sites::SPILL_STORE_SLOT, &mut bytes)
+                .map_err(|e| SpillError::Io(format!("writing {}: {e}", path.display())))?;
+        }
+        std::fs::write(&path, bytes)
             .map_err(|e| SpillError::Io(format!("writing {}: {e}", path.display())))
     }
 
     fn load(&self, index: usize) -> Result<Vec<(NodeId, NodeId)>, SpillError> {
         let path = self.slot_path(index);
-        let bytes = match std::fs::read(&path) {
+        let mut bytes = match std::fs::read(&path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(SpillError::Missing(index));
             }
             Err(e) => return Err(SpillError::Io(format!("reading {}: {e}", path.display()))),
         };
-        decode_slot_edges(&bytes, index)
-            .map_err(|e| SpillError::Corrupt(format!("{}: {e}", path.display())))
+        if psn_fault::enabled() {
+            psn_fault::inject_io(psn_fault::sites::SPILL_LOAD_SLOT, &mut bytes)
+                .map_err(|e| SpillError::Io(format!("reading {}: {e}", path.display())))?;
+        }
+        decode_slot_edges(&bytes, index).map_err(|e| {
+            self.quarantine(&path);
+            SpillError::Corrupt(format!("{}: {e}", path.display()))
+        })
     }
 }
 
@@ -94,6 +140,169 @@ impl Drop for CodecSlotSpill {
         if self.cleanup {
             // Best effort: a leftover temp directory is harmless.
             let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Byte length of a slab record holding `edges` edge pairs: the raw header
+/// (`slot u64 | edge count u32`) plus 8 bytes per pair.
+const SLAB_HEADER: usize = 12;
+
+#[derive(Debug)]
+struct SlabState {
+    file: File,
+    /// Offset and byte length of the live record of each stored slot.
+    index: BTreeMap<usize, (u64, u32)>,
+    /// End-of-slab append offset.
+    end: u64,
+    /// Reusable encode/decode buffer — stores and loads both go through it,
+    /// so the steady-state spill path allocates nothing.
+    scratch: Vec<u8>,
+}
+
+/// The fast [`SlotSpill`]: one append-only slab file, raw fixed-layout
+/// records, reusable scratch buffers.
+///
+/// Stores append the record and remember `(offset, length)` in an in-memory
+/// index; loads seek and read exactly the record back. Re-storing a slot
+/// appends a fresh record and repoints the index (the dead record is
+/// reclaimed when the slab is dropped with the graph). The record header is
+/// verified on load; a mismatch drops the index entry — quarantining the
+/// record as a miss so a rebuild can re-store cleanly — and reports
+/// [`SpillError::Corrupt`].
+#[derive(Debug)]
+pub struct SlabSlotSpill {
+    state: Mutex<SlabState>,
+    path: PathBuf,
+    cleanup: bool,
+}
+
+impl SlabSlotSpill {
+    /// Creates (truncating) a slab at `path`; the file is left in place on
+    /// drop.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, SpillError> {
+        let path = path.into();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| SpillError::Io(format!("creating slab {}: {e}", path.display())))?;
+        Ok(Self {
+            state: Mutex::new(SlabState {
+                file,
+                index: BTreeMap::new(),
+                end: 0,
+                scratch: Vec::new(),
+            }),
+            path,
+            cleanup: false,
+        })
+    }
+
+    /// Creates a slab in a fresh process-unique temp file, removed when the
+    /// spill is dropped.
+    pub fn in_temp_file() -> Result<Self, SpillError> {
+        let seq = next_spill_seq();
+        let path =
+            std::env::temp_dir().join(format!("psn-slab-{}-{seq}.psnspill", std::process::id()));
+        let mut spill = Self::create(path)?;
+        spill.cleanup = true;
+        Ok(spill)
+    }
+
+    /// The slab file path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlabState> {
+        self.state.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl SlotSpill for SlabSlotSpill {
+    fn store(&self, index: usize, edges: &[(NodeId, NodeId)]) -> Result<(), SpillError> {
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        st.scratch.clear();
+        st.scratch.extend_from_slice(&(index as u64).to_le_bytes());
+        st.scratch.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for &(a, b) in edges {
+            st.scratch.extend_from_slice(&a.0.to_le_bytes());
+            st.scratch.extend_from_slice(&b.0.to_le_bytes());
+        }
+        if psn_fault::enabled() {
+            psn_fault::inject_io(psn_fault::sites::SPILL_STORE_SLOT, &mut st.scratch)
+                .map_err(|e| SpillError::Io(format!("appending slot {index} to slab: {e}")))?;
+        }
+        let io = |e: std::io::Error| SpillError::Io(format!("appending slot {index} to slab: {e}"));
+        st.file.seek(SeekFrom::Start(st.end)).map_err(io)?;
+        st.file.write_all(&st.scratch).map_err(io)?;
+        let len = st.scratch.len() as u32;
+        st.index.insert(index, (st.end, len));
+        st.end += u64::from(len);
+        Ok(())
+    }
+
+    fn load(&self, index: usize) -> Result<Vec<(NodeId, NodeId)>, SpillError> {
+        let mut guard = self.lock();
+        let st = &mut *guard;
+        let Some(&(offset, len)) = st.index.get(&index) else {
+            return Err(SpillError::Missing(index));
+        };
+        let io = |e: std::io::Error| SpillError::Io(format!("reading slot {index} from slab: {e}"));
+        st.file.seek(SeekFrom::Start(offset)).map_err(io)?;
+        st.scratch.resize(len as usize, 0);
+        let (file, scratch) = (&mut st.file, &mut st.scratch);
+        file.read_exact(&mut scratch[..len as usize]).map_err(io)?;
+        if psn_fault::enabled() {
+            psn_fault::inject_io(psn_fault::sites::SPILL_LOAD_SLOT, scratch).map_err(io)?;
+        }
+        let corrupt = |what: &str| {
+            // Quarantine: drop the index entry so a retry sees a clean miss
+            // it can rebuild over, instead of the same bad bytes.
+            SpillError::Corrupt(format!("slab record for slot {index}: {what}"))
+        };
+        let bytes = &st.scratch;
+        if bytes.len() < SLAB_HEADER {
+            st.index.remove(&index);
+            return Err(corrupt("truncated header"));
+        }
+        let stored_slot = u64::from_le_bytes(
+            bytes[0..8].try_into().unwrap_or_else(|_| unreachable!("length checked above")),
+        );
+        let count = u32::from_le_bytes(
+            bytes[8..12].try_into().unwrap_or_else(|_| unreachable!("length checked above")),
+        ) as usize;
+        if stored_slot != index as u64 || bytes.len() != SLAB_HEADER + count * 8 {
+            st.index.remove(&index);
+            return Err(corrupt("header mismatch"));
+        }
+        let mut edges = Vec::with_capacity(count);
+        for pair in bytes[SLAB_HEADER..].chunks_exact(8) {
+            let a = u32::from_le_bytes(
+                pair[0..4].try_into().unwrap_or_else(|_| unreachable!("chunks are 8 bytes")),
+            );
+            let b = u32::from_le_bytes(
+                pair[4..8].try_into().unwrap_or_else(|_| unreachable!("chunks are 8 bytes")),
+            );
+            edges.push((NodeId(a), NodeId(b)));
+        }
+        Ok(edges)
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.lock().scratch.capacity()
+    }
+}
+
+impl Drop for SlabSlotSpill {
+    fn drop(&mut self) {
+        if self.cleanup {
+            // Best effort: a leftover temp file is harmless.
+            let _ = std::fs::remove_file(&self.path);
         }
     }
 }
@@ -119,12 +328,19 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_slot_files_fail_closed() {
+    fn corrupt_slot_files_fail_closed_and_are_quarantined() {
         let spill = CodecSlotSpill::in_temp_dir().unwrap();
         spill.store(0, &[(NodeId(0), NodeId(1))]).unwrap();
         let path = spill.dir().join("slot-0.psnart");
         std::fs::write(&path, b"garbage").unwrap();
         assert!(matches!(spill.load(0).unwrap_err(), SpillError::Corrupt(_)));
+        // The bad file was moved aside: a retry sees a clean miss, and a
+        // re-store rebuilds the record in place.
+        assert!(!path.exists(), "corrupt record is quarantined");
+        assert!(spill.dir().join("corrupt").join("slot-0.psnart").exists());
+        assert_eq!(spill.load(0).unwrap_err(), SpillError::Missing(0));
+        spill.store(0, &[(NodeId(0), NodeId(1))]).unwrap();
+        assert_eq!(spill.load(0).unwrap(), vec![(NodeId(0), NodeId(1))]);
     }
 
     #[test]
@@ -139,6 +355,74 @@ mod tests {
         let reopened = CodecSlotSpill::at(&dir).unwrap();
         assert_eq!(reopened.load(1).unwrap(), vec![(NodeId(0), NodeId(1))]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slab_round_trips_and_reports_misses() {
+        let spill = SlabSlotSpill::in_temp_file().unwrap();
+        let path = spill.path().to_path_buf();
+        let edges = vec![(NodeId(5), NodeId(9)), (NodeId(0), NodeId(3)), (NodeId(2), NodeId(2))];
+        spill.store(11, &edges).unwrap();
+        spill.store(0, &[]).unwrap();
+        assert_eq!(spill.load(11).unwrap(), edges);
+        assert_eq!(spill.load(0).unwrap(), vec![]);
+        assert_eq!(spill.load(12).unwrap_err(), SpillError::Missing(12));
+        // Re-storing repoints the index to the fresh record.
+        spill.store(11, &[(NodeId(1), NodeId(2))]).unwrap();
+        assert_eq!(spill.load(11).unwrap(), vec![(NodeId(1), NodeId(2))]);
+        assert!(spill.scratch_bytes() > 0, "scratch buffer is retained between calls");
+        drop(spill);
+        assert!(!path.exists(), "temp slab is removed on drop");
+    }
+
+    #[test]
+    fn slab_spill_failpoints_quarantine_and_rebuild() {
+        // The spill.store-slot / spill.load-slot chaos contract: a corrupt
+        // record fails closed, is quarantined (subsequent load = clean
+        // miss), and a rebuild (re-store) fully heals the slot.
+        let spill = SlabSlotSpill::in_temp_file().unwrap();
+        let edges = vec![(NodeId(4), NodeId(7)), (NodeId(1), NodeId(6))];
+        {
+            let _guard = psn_fault::arm_guard("spill.store-slot:corrupt-bytes:1");
+            spill.store(2, &edges).unwrap(); // corrupted on the way down
+        }
+        let err = spill.load(2).unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt(_)), "{err:?}");
+        assert_eq!(spill.load(2).unwrap_err(), SpillError::Missing(2), "record is quarantined");
+        spill.store(2, &edges).unwrap();
+        assert_eq!(spill.load(2).unwrap(), edges, "rebuild heals the slot");
+
+        {
+            let _guard = psn_fault::arm_guard("spill.load-slot:corrupt-bytes:1");
+            assert!(matches!(spill.load(2).unwrap_err(), SpillError::Corrupt(_)));
+        }
+        assert_eq!(spill.load(2).unwrap_err(), SpillError::Missing(2));
+        spill.store(2, &edges).unwrap();
+        assert_eq!(spill.load(2).unwrap(), edges);
+
+        {
+            let _guard = psn_fault::arm_guard("spill.store-slot:io-error:1");
+            assert!(matches!(spill.store(3, &edges).unwrap_err(), SpillError::Io(_)));
+        }
+        {
+            let _guard = psn_fault::arm_guard("spill.load-slot:io-error:1");
+            assert!(matches!(spill.load(2).unwrap_err(), SpillError::Io(_)));
+        }
+        assert_eq!(spill.load(2).unwrap(), edges, "io faults are transient, nothing quarantined");
+    }
+
+    #[test]
+    fn codec_spill_failpoints_quarantine_and_rebuild() {
+        let spill = CodecSlotSpill::in_temp_dir().unwrap();
+        let edges = vec![(NodeId(0), NodeId(9))];
+        {
+            let _guard = psn_fault::arm_guard("spill.store-slot:corrupt-bytes:1");
+            spill.store(5, &edges).unwrap();
+        }
+        assert!(matches!(spill.load(5).unwrap_err(), SpillError::Corrupt(_)));
+        assert_eq!(spill.load(5).unwrap_err(), SpillError::Missing(5), "file moved to corrupt/");
+        spill.store(5, &edges).unwrap();
+        assert_eq!(spill.load(5).unwrap(), edges, "rebuild heals the slot");
     }
 
     #[test]
@@ -163,17 +447,22 @@ mod tests {
             ContactTrace::from_contacts("spill-e2e", reg, TimeWindow::new(0.0, 120.0), contacts)
                 .unwrap();
         let reference = SpaceTimeGraph::build_default(&trace);
-        let spill = Box::new(CodecSlotSpill::in_temp_dir().unwrap());
-        let windowed =
-            WindowedSpaceTimeGraph::stream(&mut TraceEventStream::new(&trace, 10.0), 1, spill)
-                .unwrap();
-        // Every slot queried backwards (all cold) matches the materialized
-        // reference after a spill round-trip.
-        for s in (0..reference.slot_count()).rev() {
-            let slot = windowed.slot(s);
-            assert_eq!(slot.edges(), reference.edges(s), "slot {s}");
-            assert_eq!(slot.active_nodes(), reference.active_nodes(s), "slot {s}");
+        // Both production backends answer every slot query bit-identically
+        // to the materialized reference after spill round-trips.
+        let backends: Vec<Box<dyn SlotSpill>> = vec![
+            Box::new(CodecSlotSpill::in_temp_dir().unwrap()),
+            Box::new(SlabSlotSpill::in_temp_file().unwrap()),
+        ];
+        for spill in backends {
+            let windowed =
+                WindowedSpaceTimeGraph::stream(&mut TraceEventStream::new(&trace, 10.0), 1, spill)
+                    .unwrap();
+            for s in (0..reference.slot_count()).rev() {
+                let slot = windowed.slot(s);
+                assert_eq!(slot.edges(), reference.edges(s), "slot {s}");
+                assert_eq!(slot.active_nodes(), reference.active_nodes(s), "slot {s}");
+            }
+            assert!(windowed.spill_loads() > 0, "window of 1 forces reloads");
         }
-        assert!(windowed.spill_loads() > 0, "window of 1 forces reloads");
     }
 }

@@ -2,7 +2,7 @@
 //! (per-node contact-count CDFs).
 
 use psn_stats::{BinnedSeries, Ecdf};
-use psn_trace::binning::{contact_timeseries_per_minute, stationarity_report};
+use psn_trace::binning::contact_timeseries_per_minute;
 use psn_trace::{ContactRates, ContactTrace, DatasetId};
 
 use crate::config::ExperimentProfile;
@@ -86,10 +86,27 @@ pub fn run_activity_study(profile: ExperimentProfile) -> Vec<ActivityReport> {
 
 /// Builds the activity report for one already-generated trace.
 pub fn activity_report(scenario: impl Into<String>, trace: &ContactTrace) -> ActivityReport {
-    let per_minute = contact_timeseries(trace);
-    let stationarity = stationarity_report(trace)
+    activity_report_from_parts(scenario, contact_timeseries(trace), ContactRates::from_trace(trace))
+}
+
+/// Builds the activity report without a materialized trace — the
+/// stream-native path, where both the per-minute series and the per-node
+/// rates were folded online from the event stream. Bit-identical to
+/// [`activity_report`] when the summary matches the trace.
+pub fn activity_report_streamed(
+    scenario: impl Into<String>,
+    summary: &psn_trace::ContactSummary,
+) -> ActivityReport {
+    activity_report_from_parts(scenario, summary.per_minute().clone(), summary.rates())
+}
+
+fn activity_report_from_parts(
+    scenario: impl Into<String>,
+    per_minute: BinnedSeries,
+    rates: ContactRates,
+) -> ActivityReport {
+    let stationarity = psn_trace::binning::stationarity_from_series(&per_minute)
         .unwrap_or_else(|| unreachable!("generated datasets always contain contacts"));
-    let rates = ContactRates::from_trace(trace);
     ActivityReport {
         scenario: scenario.into(),
         per_minute,

@@ -27,6 +27,12 @@ use crate::config::ExperimentProfile;
 use crate::report::{Block, Column, Scalar, Section, Series};
 use psn_forwarding::{classify_message, PairType};
 
+/// Messages per worker claim: one slot-major [`PathEnumerator::enumerate_batch`]
+/// sweep amortizes cold-slot reloads across the chunk, while a small chunk
+/// keeps work-stealing granular enough to balance wildly varying
+/// per-message cost.
+const ENUMERATION_CHUNK: usize = 8;
+
 /// Scatter points `(optimal duration, time to explosion)` for one pair type
 /// (one panel of Fig. 8).
 #[derive(Debug, Clone)]
@@ -256,23 +262,59 @@ pub fn run_explosion_study_on_graph<'a>(
 ) -> ExplosionStudy {
     let graph = graph.into();
     assert_eq!(graph.node_count(), trace.node_count(), "graph belongs to a different trace");
-    let rates = ContactRates::from_trace(trace);
+    run_explosion_study_streamed(
+        scenario,
+        ContactRates::from_trace(trace),
+        graph,
+        messages,
+        enumeration,
+        explosion_threshold,
+        threads,
+    )
+}
+
+/// Runs the explosion study without a materialized trace — the stream-native
+/// path, where the per-node contact rates (the only trace statistic this
+/// study reads) are folded online from the event stream
+/// ([`psn_trace::ContactSummary::rates`]). Bit-identical to
+/// [`run_explosion_study_on_graph`] when the rates match the trace.
+///
+/// # Panics
+///
+/// As [`run_explosion_study_on_graph`]; the graph must cover the same node
+/// population the rates were folded over.
+pub fn run_explosion_study_streamed<'a>(
+    scenario: impl Into<String>,
+    rates: ContactRates,
+    graph: impl Into<GraphRef<'a>>,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+    explosion_threshold: usize,
+    threads: usize,
+) -> ExplosionStudy {
+    let graph = graph.into();
+    assert_eq!(graph.node_count(), rates.node_count(), "graph belongs to a different population");
     let threads = threads.max(1);
 
-    // Enumerate messages in parallel; each worker claims indices off a
-    // lock-free fetch-add counter so the work is balanced even though
-    // per-message cost varies wildly (out-out messages cost far more than
-    // in-in ones). Results accumulate in per-worker vectors that are merged
-    // after the join, so the hot loop takes no locks at all.
+    // Enumerate messages in parallel; each worker claims a *chunk* of
+    // message indices off a lock-free fetch-add counter and runs the chunk
+    // as one slot-major `enumerate_batch` sweep: over a bounded-window
+    // graph every slot the chunk needs is reloaded at most once for the
+    // whole chunk instead of once per message, and results are unchanged
+    // because messages enumerate independently. Chunks keep the work
+    // balanced even though per-message cost varies wildly (out-out
+    // messages cost far more than in-in ones). Results accumulate in
+    // per-worker vectors that are merged after the join, so the hot loop
+    // takes no locks at all.
     //
-    // Each job runs under `catch_unwind`: a panicking message cannot take
+    // Each job runs under `catch_unwind`: a panicking chunk cannot take
     // its sibling threads down mid-job. The first panic is recorded,
     // remaining workers drain (they stop claiming new work), and the panic
     // is re-raised once on the calling thread — one clean failure the
     // study layer can isolate to its cell.
-    // The enumerator sweeps busy slots in ascending order once per
-    // message: declare the sequential plan so a windowed graph keeps the
-    // sweep prefix hot across message restarts instead of FIFO-thrashing.
+    // Both chunk sweeps and message restarts walk busy slots in ascending
+    // order: declare the sequential plan so a windowed graph keeps the
+    // sweep prefix hot across chunk boundaries instead of FIFO-thrashing.
     graph.advise_sequential(true);
     let next = AtomicUsize::new(0);
     let abort = std::sync::atomic::AtomicBool::new(false);
@@ -283,31 +325,38 @@ pub fn run_explosion_study_on_graph<'a>(
                 .map(|_| {
                     scope.spawn(|| {
                         let enumerator = PathEnumerator::new(graph, enumeration.clone());
-                        let mut scratch = psn_spacetime::EnumerationScratch::new();
+                        let mut scratches: Vec<psn_spacetime::EnumerationScratch> = Vec::new();
                         let mut local = Vec::new();
                         loop {
                             // relaxed: advisory abort flag; a stale read only costs one extra job.
                             if abort.load(Ordering::Relaxed) {
                                 break;
                             }
-                            // relaxed: work-stealing claim counter; each index is claimed once and results are joined, which orders the data.
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            if idx >= messages.len() {
+                            // relaxed: work-stealing claim counter; each chunk is claimed once and results are joined, which orders the data.
+                            let start = next.fetch_add(ENUMERATION_CHUNK, Ordering::Relaxed);
+                            if start >= messages.len() {
                                 break;
                             }
+                            let end = (start + ENUMERATION_CHUNK).min(messages.len());
+                            let chunk = &messages[start..end];
                             let job =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     psn_fault::inject_job(psn_fault::sites::QUEUE_EXPLOSION);
-                                    let result = enumerator
-                                        .enumerate_with_scratch(&messages[idx], &mut scratch);
-                                    let profile = ExplosionProfile::with_threshold(
-                                        &result,
-                                        explosion_threshold,
-                                    );
-                                    (profile, result.sample_paths)
+                                    let results = enumerator.enumerate_batch(chunk, &mut scratches);
+                                    results
+                                        .into_iter()
+                                        .enumerate()
+                                        .map(|(offset, result)| {
+                                            let profile = ExplosionProfile::with_threshold(
+                                                &result,
+                                                explosion_threshold,
+                                            );
+                                            (start + offset, profile, result.sample_paths)
+                                        })
+                                        .collect::<Vec<_>>()
                                 }));
                             match job {
-                                Ok((profile, paths)) => local.push((idx, profile, paths)),
+                                Ok(mut items) => local.append(&mut items),
                                 Err(payload) => {
                                     // relaxed: advisory abort flag; a stale read only costs one extra job.
                                     abort.store(true, Ordering::Relaxed);

@@ -227,7 +227,8 @@ pub fn run_forwarding_study_on(
     threads: usize,
 ) -> ForwardingStudy {
     let simulator = Simulator::new(trace, SimulatorConfig { threads, ..Default::default() });
-    run_forwarding_study_with(scenario, trace, simulator, workload, runs)
+    let rates = ContactRates::from_trace(trace);
+    run_forwarding_study_with(scenario, rates, trace.window(), simulator, workload, runs)
 }
 
 /// Runs the forwarding study around an already-built space-time graph and
@@ -255,18 +256,54 @@ pub fn run_forwarding_study_shared(
         timeline,
         SimulatorConfig { delta, threads, ..SimulatorConfig::default() },
     );
-    run_forwarding_study_with(scenario, trace, simulator, workload, runs)
+    let rates = ContactRates::from_trace(trace);
+    run_forwarding_study_with(scenario, rates, trace.window(), simulator, workload, runs)
+}
+
+/// Runs the forwarding study without a materialized trace — the
+/// stream-native path. Everything the study reads off the trace is folded
+/// online from the event stream: per-node rates and the observation window
+/// from the [`psn_trace::ContactSummary`], and the future-knowledge oracle
+/// from the summary's pair counts
+/// ([`psn_forwarding::TraceOracle::from_summary`]). Bit-identical to
+/// [`run_forwarding_study_shared`] when the summary matches the trace.
+pub fn run_forwarding_study_streamed(
+    scenario: impl Into<String>,
+    summary: &psn_trace::ContactSummary,
+    graph: impl Into<psn_spacetime::SharedGraph>,
+    timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
+    workload: MessageWorkloadConfig,
+    runs: usize,
+    threads: usize,
+) -> ForwardingStudy {
+    let graph = graph.into();
+    let delta = graph.as_graph_ref().delta();
+    let simulator = Simulator::from_streamed_parts(
+        summary.node_count(),
+        psn_forwarding::TraceOracle::from_summary(summary),
+        graph,
+        timeline,
+        SimulatorConfig { delta, threads, ..SimulatorConfig::default() },
+    );
+    run_forwarding_study_with(
+        scenario,
+        summary.rates(),
+        summary.window(),
+        simulator,
+        workload,
+        runs,
+    )
 }
 
 fn run_forwarding_study_with(
     scenario: impl Into<String>,
-    trace: &ContactTrace,
-    simulator: Simulator<'_>,
+    rates: ContactRates,
+    window: psn_trace::TimeWindow,
+    simulator: Simulator,
     workload: MessageWorkloadConfig,
     runs: usize,
 ) -> ForwardingStudy {
     assert!(runs >= 1, "need at least one simulation run");
-    let rates = ContactRates::from_trace(trace);
     let generator = MessageGenerator::new(workload);
 
     // The same message sets are replayed for every algorithm so the
@@ -289,7 +326,7 @@ fn run_forwarding_study_with(
         .collect();
     let mut results = simulator.run_many(&jobs).into_iter();
 
-    let window_start = trace.window().start;
+    let window_start = window.start;
     let algorithms = algorithm_instances
         .iter()
         .map(|(kind, _)| {
@@ -316,9 +353,8 @@ fn run_forwarding_study_with(
             // silently dropped. The range extends one bin past the window
             // end because deliveries in the final slot are timestamped at
             // the slot's end, which coincides with the window boundary.
-            let mut reception_series =
-                BinnedSeries::new(0.0, trace.window().duration() + 60.0, 60.0)
-                    .unwrap_or_else(|e| unreachable!("trace windows are non-empty: {e:?}"));
+            let mut reception_series = BinnedSeries::new(0.0, window.duration() + 60.0, 60.0)
+                .unwrap_or_else(|e| unreachable!("trace windows are non-empty: {e:?}"));
             for outcome in &outcomes {
                 if let Some(t) = outcome.delivered_at {
                     reception_series.record(t - window_start);

@@ -96,18 +96,57 @@ pub fn run_paths_taken_shared(
     enumeration: EnumerationConfig,
 ) -> Vec<PathsTakenCase> {
     let graph = graph.into();
-    let enumerator = PathEnumerator::new(&graph, enumeration);
     // The simulator's Δ must match however the graph was discretized.
     let config =
         SimulatorConfig { delta: graph.as_graph_ref().delta(), ..SimulatorConfig::default() };
     let simulator = Simulator::from_parts(trace, graph.clone(), timeline, config);
+    run_paths_taken_with(graph, simulator, messages, enumeration)
+}
+
+/// Runs the Fig. 12 analysis without a materialized trace — the
+/// stream-native path, where the simulator's oracle is folded from the
+/// event stream ([`psn_trace::ContactSummary`]). Bit-identical to
+/// [`run_paths_taken_shared`] when the summary matches the trace.
+pub fn run_paths_taken_streamed(
+    summary: &psn_trace::ContactSummary,
+    graph: impl Into<psn_spacetime::SharedGraph>,
+    timeline: std::sync::Arc<psn_forwarding::HistoryTimeline>,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+) -> Vec<PathsTakenCase> {
+    let graph = graph.into();
+    let config =
+        SimulatorConfig { delta: graph.as_graph_ref().delta(), ..SimulatorConfig::default() };
+    let simulator = Simulator::from_streamed_parts(
+        summary.node_count(),
+        psn_forwarding::TraceOracle::from_summary(summary),
+        graph.clone(),
+        timeline,
+        config,
+    );
+    run_paths_taken_with(graph, simulator, messages, enumeration)
+}
+
+fn run_paths_taken_with(
+    graph: psn_spacetime::SharedGraph,
+    simulator: Simulator,
+    messages: &[Message],
+    enumeration: EnumerationConfig,
+) -> Vec<PathsTakenCase> {
+    let enumerator = PathEnumerator::new(&graph, enumeration);
     let algorithms = standard_algorithms();
-    let mut scratch = psn_spacetime::EnumerationScratch::new();
 
     // Both the simulator and the enumerator sweep busy slots in ascending
-    // order once per message: declare the sequential plan so a windowed
-    // graph keeps the sweep prefix hot across restarts.
+    // order: declare the sequential plan so a windowed graph keeps the
+    // sweep prefix hot across restarts.
     graph.as_graph_ref().advise_sequential(true);
+
+    // One slot-major batch over all messages: a bounded-window graph
+    // reloads each spilled slot at most once for the whole figure instead
+    // of once per message, and results are bit-identical to per-message
+    // enumeration because messages are independent.
+    let mut scratches = Vec::new();
+    let enumeration_results = enumerator.enumerate_batch(messages, &mut scratches);
 
     // One batched `run_many` over all (algorithm × message) work instead of
     // a simulator run per (message, algorithm) pair: messages simulate
@@ -122,7 +161,7 @@ pub fn run_paths_taken_shared(
         .iter()
         .enumerate()
         .map(|(msg_idx, message)| {
-            let enumeration_result = enumerator.enumerate_with_scratch(message, &mut scratch);
+            let enumeration_result = &enumeration_results[msg_idx];
             let first_arrival = enumeration_result.first_delivery_time();
 
             // Burst structure: group deliveries by arrival time.

@@ -47,17 +47,21 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use psn_artifact::{ArtifactKey, ArtifactKind, BuiltArtifact};
 use psn_spacetime::{EnumerationConfig, MessageGenerator, MessageWorkloadConfig};
-use psn_trace::{FingerprintHasher, ScenarioConfig, Seconds};
+use psn_trace::{ContactStream, FingerprintHasher, ScenarioConfig, Seconds};
 
 use crate::config::ExperimentProfile;
-use crate::experiments::activity::{activity_report, ActivityReport};
-use crate::experiments::explosion::{run_explosion_study_on_graph, ExplosionStudy};
-use crate::experiments::forwarding::{run_forwarding_study_shared, ForwardingStudy};
+use crate::experiments::activity::{activity_report, activity_report_streamed, ActivityReport};
+use crate::experiments::explosion::{
+    run_explosion_study_on_graph, run_explosion_study_streamed, ExplosionStudy,
+};
+use crate::experiments::forwarding::{
+    run_forwarding_study_shared, run_forwarding_study_streamed, ForwardingStudy,
+};
 use crate::experiments::hop_rates::{
     run_hop_rate_study, run_hop_rate_study_on_outcomes, HopRateStudy,
 };
 use crate::experiments::model::run_model_validation;
-use crate::experiments::paths_taken::run_paths_taken_shared;
+use crate::experiments::paths_taken::{run_paths_taken_shared, run_paths_taken_streamed};
 use crate::report::{
     Artifact, Block, CellValue, Column, JsonRenderer, Renderer, ReportDoc, RunMeta, Scalar,
     Section, Table, TextRenderer,
@@ -1031,6 +1035,30 @@ fn run_one_inner(
 /// Computes one run's typed sections with `threads` engine workers,
 /// resolving the trace, space-time graph and history timeline through the
 /// artifact store so every run over the same scenario shares them.
+/// What one run's engines read their trace-level statistics from: the
+/// memoized materialized trace, or the summary folded online from the
+/// contact-event stream (stream-native mode, which never materializes).
+enum RunSource {
+    Materialized(std::sync::Arc<psn_trace::ContactTrace>),
+    Streamed(psn_trace::ContactSummary),
+}
+
+impl RunSource {
+    fn node_count(&self) -> usize {
+        match self {
+            RunSource::Materialized(trace) => trace.node_count(),
+            RunSource::Streamed(summary) => summary.node_count(),
+        }
+    }
+
+    fn window_duration(&self) -> Seconds {
+        match self {
+            RunSource::Materialized(trace) => trace.window().duration(),
+            RunSource::Streamed(summary) => summary.window().duration(),
+        }
+    }
+}
+
 fn compute_run_sections(
     plan: &StudyPlan,
     run: &PlannedRun,
@@ -1038,8 +1066,6 @@ fn compute_run_sections(
     threads: usize,
     store: &ArtifactStore,
 ) -> Result<Vec<Section>, ArtifactError> {
-    let (trace, _) = store.scenario_trace(&run.config)?;
-
     let needs_explosion = plan.views.iter().any(StudyView::needs_explosion);
     let needs_forwarding = plan.views.iter().any(StudyView::needs_forwarding);
     let needs_activity = plan
@@ -1056,31 +1082,62 @@ fn compute_run_sections(
     // enumeration, the simulator and the paths-taken analysis all share the
     // one Δ-slotted graph of this scenario. Materialized mode memoizes both
     // through the artifact store, shared across every run, seed and sweep
-    // cell with the same fingerprint; streaming mode folds the contact-event
-    // stream once into a bounded-window graph and the timeline together
-    // (nothing to memoize — the point is not to materialize), with outputs
-    // pinned bit-identical to the materialized engines by differential
-    // tests, which is why `streaming_window` stays out of cache keys.
+    // cell with the same fingerprint. Streaming mode never touches the
+    // trace artifact at all: the scenario's O(1)-state stream source feeds
+    // one pass that folds the bounded-window graph, the timeline and every
+    // trace aggregate the engines need (rates, pair counts, activity bins)
+    // together, with outputs pinned bit-identical to the materialized
+    // engines by differential tests — which is why `streaming_window`
+    // stays out of cache keys.
     let needs_graph = needs_explosion || needs_forwarding || has_paths_taken;
     let needs_timeline = needs_forwarding || has_paths_taken;
-    let (graph, timeline): (
+    // The forwarding oracle is the only consumer of the O(nodes²) pair
+    // matrix; enumeration/activity-only studies fold per-node state only.
+    let needs_pair_counts = needs_timeline;
+    let (source, graph, timeline): (
+        RunSource,
         Option<psn_spacetime::SharedGraph>,
         Option<std::sync::Arc<psn_forwarding::HistoryTimeline>>,
-    ) = match (needs_graph, p.streaming_window) {
-        (false, _) => (None, None),
-        (true, None) => {
-            let graph = store.spacetime_graph(&run.config, &trace, p.delta)?.0;
-            let timeline = if needs_timeline {
-                Some(store.history_timeline(&run.config, &graph, p.delta)?.0)
+    ) = match p.streaming_window {
+        None => {
+            let (trace, _) = store.scenario_trace(&run.config)?;
+            let (graph, timeline) = if needs_graph {
+                let graph = store.spacetime_graph(&run.config, &trace, p.delta)?.0;
+                let timeline = if needs_timeline {
+                    Some(store.history_timeline(&run.config, &graph, p.delta)?.0)
+                } else {
+                    None
+                };
+                (Some(graph.into()), timeline)
             } else {
-                None
+                (None, None)
             };
-            (Some(graph.into()), timeline)
+            (RunSource::Materialized(trace), graph, timeline)
         }
-        (true, Some(window)) => {
-            let (graph, timeline) =
-                stream_graph_and_timeline(&trace, p.delta, window, needs_timeline, store)?;
-            (Some(graph), timeline)
+        Some(window) => {
+            let mut stream = if needs_pair_counts {
+                psn_trace::SummarizingStream::new(run.config.stream(p.delta))
+            } else {
+                psn_trace::SummarizingStream::rates_only(run.config.stream(p.delta))
+            };
+            let (graph, timeline) = if needs_graph {
+                let (graph, timeline) =
+                    stream_graph_and_timeline(&mut stream, window, needs_timeline, store)?;
+                (Some(graph), timeline)
+            } else {
+                // Activity-only studies have no graph to fold, but the
+                // summary still wants every event.
+                while stream
+                    .next_event()
+                    .map_err(|e| ArtifactError::Io {
+                        context: "draining scenario contact stream".to_string(),
+                        source: std::io::Error::other(e.to_string()),
+                    })?
+                    .is_some()
+                {}
+                (None, None)
+            };
+            (RunSource::Streamed(stream.into_summary()), graph, timeline)
         }
     };
 
@@ -1088,36 +1145,65 @@ fn compute_run_sections(
         RunOutputs { explosion: None, forwarding: None, activity: None, hop_rates: None };
     if needs_explosion {
         let generator = MessageGenerator::new(MessageWorkloadConfig {
-            nodes: trace.node_count(),
-            generation_horizon: (trace.window().duration() * 2.0 / 3.0).max(1.0),
+            nodes: source.node_count(),
+            generation_horizon: (source.window_duration() * 2.0 / 3.0).max(1.0),
             mean_interarrival: 4.0,
             seed: p.enumeration_message_seed,
         });
         let messages = generator.uniform_messages(p.enumeration_messages);
-        outputs.explosion = Some(run_explosion_study_on_graph(
-            run.label.clone(),
-            &trace,
-            graph.as_ref().unwrap_or_else(|| unreachable!("explosion implies a graph")),
-            &messages,
-            p.enumeration.clone(),
-            p.explosion_threshold,
-            threads,
-        ));
+        let graph = graph.as_ref().unwrap_or_else(|| unreachable!("explosion implies a graph"));
+        outputs.explosion = Some(match &source {
+            RunSource::Materialized(trace) => run_explosion_study_on_graph(
+                run.label.clone(),
+                trace,
+                graph,
+                &messages,
+                p.enumeration.clone(),
+                p.explosion_threshold,
+                threads,
+            ),
+            RunSource::Streamed(summary) => run_explosion_study_streamed(
+                run.label.clone(),
+                summary.rates(),
+                graph,
+                &messages,
+                p.enumeration.clone(),
+                p.explosion_threshold,
+                threads,
+            ),
+        });
     }
     if needs_forwarding {
-        let workload = p.forwarding_workload(trace.node_count(), trace.window().duration());
-        outputs.forwarding = Some(run_forwarding_study_shared(
-            run.label.clone(),
-            &trace,
-            graph.clone().unwrap_or_else(|| unreachable!("forwarding implies a graph")),
-            timeline.clone().unwrap_or_else(|| unreachable!("forwarding implies a timeline")),
-            workload,
-            p.simulation_runs,
-            threads,
-        ));
+        let workload = p.forwarding_workload(source.node_count(), source.window_duration());
+        let graph = graph.clone().unwrap_or_else(|| unreachable!("forwarding implies a graph"));
+        let timeline =
+            timeline.clone().unwrap_or_else(|| unreachable!("forwarding implies a timeline"));
+        outputs.forwarding = Some(match &source {
+            RunSource::Materialized(trace) => run_forwarding_study_shared(
+                run.label.clone(),
+                trace,
+                graph,
+                timeline,
+                workload,
+                p.simulation_runs,
+                threads,
+            ),
+            RunSource::Streamed(summary) => run_forwarding_study_streamed(
+                run.label.clone(),
+                summary,
+                graph,
+                timeline,
+                workload,
+                p.simulation_runs,
+                threads,
+            ),
+        });
     }
     if needs_activity {
-        outputs.activity = Some(activity_report(run.label.clone(), &trace));
+        outputs.activity = Some(match &source {
+            RunSource::Materialized(trace) => activity_report(run.label.clone(), trace),
+            RunSource::Streamed(summary) => activity_report_streamed(run.label.clone(), summary),
+        });
     }
     if needs_hop_rates {
         let study = outputs
@@ -1194,21 +1280,33 @@ fn compute_run_sections(
                 .pair_type_section()],
             StudyView::PathsTaken => {
                 let generator = MessageGenerator::new(MessageWorkloadConfig {
-                    nodes: trace.node_count(),
-                    generation_horizon: trace.window().duration() * 2.0 / 3.0,
+                    nodes: source.node_count(),
+                    generation_horizon: source.window_duration() * 2.0 / 3.0,
                     mean_interarrival: 4.0,
                     seed: p.paths_taken_seed,
                 });
                 let messages = generator.uniform_messages(p.paths_taken_messages);
-                let cases = run_paths_taken_shared(
-                    &trace,
-                    graph.clone().unwrap_or_else(|| unreachable!("paths-taken implies a graph")),
-                    timeline
-                        .clone()
-                        .unwrap_or_else(|| unreachable!("paths-taken implies a timeline")),
-                    &messages,
-                    p.enumeration.clone(),
-                );
+                let graph =
+                    graph.clone().unwrap_or_else(|| unreachable!("paths-taken implies a graph"));
+                let timeline = timeline
+                    .clone()
+                    .unwrap_or_else(|| unreachable!("paths-taken implies a timeline"));
+                let cases = match &source {
+                    RunSource::Materialized(trace) => run_paths_taken_shared(
+                        trace,
+                        graph,
+                        timeline,
+                        &messages,
+                        p.enumeration.clone(),
+                    ),
+                    RunSource::Streamed(summary) => run_paths_taken_streamed(
+                        summary,
+                        graph,
+                        timeline,
+                        &messages,
+                        p.enumeration.clone(),
+                    ),
+                };
                 cases.iter().map(|case| case.section()).collect()
             }
             StudyView::HopRateProgression => {
@@ -1249,16 +1347,19 @@ fn compute_run_sections(
 }
 
 /// Builds the bounded-window space-time graph and (when needed) the
-/// history timeline in **one pass** over the trace's contact-event stream
-/// — the streaming execution mode. Cold slots spill through the versioned
-/// artifact codec into a private temp directory (removed when the graph is
-/// dropped), and the timeline builder folds each sealed busy slot as the
-/// window advances, so neither structure ever holds more than O(window)
-/// slots in memory. The peak working set (hot slots + timeline builder) is
+/// history timeline in **one pass** over a contact-event stream — the
+/// streaming execution mode. The source is any [`psn_trace::ContactStream`]:
+/// a trace adapter, or (stream-native mode) a scenario's O(1)-state
+/// generator-backed stream, typically wrapped in a
+/// [`psn_trace::SummarizingStream`] so the same pass also folds the trace
+/// aggregates. Cold slots spill raw slot records into a private slab temp
+/// file (the fast spill path; removed when the graph is dropped), and the
+/// timeline builder folds each sealed busy slot as the window advances, so
+/// neither structure ever holds more than O(window) slots in memory. The
+/// peak working set (hot slots + spill scratch + timeline builder) is
 /// recorded on the store for the `--cache` summary.
 fn stream_graph_and_timeline(
-    trace: &psn_trace::ContactTrace,
-    delta: Seconds,
+    stream: &mut impl psn_trace::ContactStream,
     window: usize,
     needs_timeline: bool,
     store: &ArtifactStore,
@@ -1269,14 +1370,13 @@ fn stream_graph_and_timeline(
     fn stream_error(context: &str, message: String) -> ArtifactError {
         ArtifactError::Io { context: context.to_string(), source: std::io::Error::other(message) }
     }
-    let spill = psn_artifact::CodecSlotSpill::in_temp_dir()
-        .map_err(|e| stream_error("creating streaming spill directory", e.to_string()))?;
-    let mut stream = psn_trace::TraceEventStream::new(trace, delta);
+    let spill = psn_artifact::SlabSlotSpill::in_temp_file()
+        .map_err(|e| stream_error("creating streaming spill slab", e.to_string()))?;
     let mut builder =
-        needs_timeline.then(|| psn_forwarding::TimelineBuilder::new(trace.node_count()));
+        needs_timeline.then(|| psn_forwarding::TimelineBuilder::new(stream.node_count()));
     let mut builder_peak = 0usize;
     let graph = psn_spacetime::WindowedSpaceTimeGraph::stream_with(
-        &mut stream,
+        stream,
         window,
         Box::new(spill),
         |slot, sealed| {
@@ -1804,6 +1904,62 @@ mod tests {
         let warm = run_study_with(&parallel.plan().unwrap(), &store).unwrap();
         assert!(warm.cache.iter().all(|c| c.source == CacheSource::Memory), "{:?}", warm.cache);
         assert_eq!(cold.doc, warm.doc);
+    }
+
+    #[test]
+    fn streaming_studies_are_byte_identical_for_every_study() {
+        // The stream-native contract: for each of the six studies, a
+        // `--streaming` run (scenario event stream → bounded-window graph +
+        // folded summary, no materialized trace) produces the identical
+        // typed document — and therefore identical rendered bytes — as the
+        // materialized run. Fresh stores on both sides so neither run can
+        // be served from the other's cache.
+        let materialized = quick_params();
+        let streaming = quick_params().with_streaming_window(Some(16));
+        for study in StudyId::all() {
+            if study == StudyId::Model {
+                continue; // no scenario, nothing to stream
+            }
+            let scenarios = vec![dense_scenario(11)];
+            let base_plan =
+                StudySpec::new(study, scenarios.clone(), materialized.clone()).plan().unwrap();
+            let stream_plan = StudySpec::new(study, scenarios, streaming.clone()).plan().unwrap();
+            let base = run_study_with(&base_plan, &ArtifactStore::in_memory()).unwrap();
+            let streamed = run_study_with(&stream_plan, &ArtifactStore::in_memory()).unwrap();
+            assert_eq!(base.doc, streamed.doc, "{study}: streaming changed the document");
+            assert_eq!(base.render(), streamed.render(), "{study}: rendered bytes differ");
+        }
+    }
+
+    #[test]
+    fn streaming_study_never_materializes_a_trace() {
+        // The point of the stream-native path: a `--streaming` study folds
+        // the scenario's event stream directly and must never build (or
+        // even request) the materialized ContactTrace artifact.
+        use psn_artifact::ArtifactKind;
+        for study in StudyId::all() {
+            if study == StudyId::Model {
+                continue;
+            }
+            let store = ArtifactStore::in_memory();
+            let spec = StudySpec::new(
+                study,
+                vec![dense_scenario(11)],
+                quick_params().with_streaming_window(Some(16)),
+            );
+            let report = run_study_with(&spec.plan().unwrap(), &store).unwrap();
+            assert!(!report.doc.sections.is_empty(), "{study}: no sections");
+            let stats = store.stats();
+            assert_eq!(
+                stats.builds_of(ArtifactKind::Trace),
+                0,
+                "{study}: streaming run materialized a trace: {stats:?}"
+            );
+            // Graphs and timelines are built per-run in streaming mode (the
+            // bounded-window representation is not cacheable), never stored.
+            assert_eq!(stats.builds_of(ArtifactKind::Graph), 0, "{study}: {stats:?}");
+            assert_eq!(stats.builds_of(ArtifactKind::Timeline), 0, "{study}: {stats:?}");
+        }
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub mod sites {
     pub const QUEUE_FORWARDING: &str = "queue.forwarding";
     /// A study run taken off the sweep work queue.
     pub const QUEUE_STUDY_RUN: &str = "queue.study-run";
+    /// A sealed slot's edge record about to be written to the spill tier.
+    pub const SPILL_STORE_SLOT: &str = "spill.store-slot";
+    /// A spilled slot's edge record read back for a cold-slot reload.
+    pub const SPILL_LOAD_SLOT: &str = "spill.load-slot";
 
     /// Every registered site, for enumeration, docs and the `psn-analyze`
     /// self-check.
@@ -86,6 +90,8 @@ pub mod sites {
         QUEUE_EXPLOSION,
         QUEUE_FORWARDING,
         QUEUE_STUDY_RUN,
+        SPILL_STORE_SLOT,
+        SPILL_LOAD_SLOT,
     ];
 }
 

@@ -7,7 +7,7 @@
 //! of nodes computed from the whole trace, followed by a shortest-path
 //! computation. [`TraceOracle`] precomputes both from a contact trace.
 
-use psn_trace::{ContactTrace, NodeId, Seconds};
+use psn_trace::{ContactSummary, ContactTrace, NodeId, Seconds};
 
 /// Precomputed whole-trace knowledge for oracle-based algorithms.
 #[derive(Debug, Clone)]
@@ -32,7 +32,6 @@ impl TraceOracle {
     /// Pairs that never meet get infinite delay.
     pub fn from_trace(trace: &ContactTrace) -> Self {
         let n = trace.node_count();
-        let window = trace.window().duration();
 
         let mut total_contacts = vec![0u64; n];
         let mut pair_counts = vec![0u64; n * n];
@@ -42,6 +41,22 @@ impl TraceOracle {
             pair_counts[c.a.index() * n + c.b.index()] += 1;
             pair_counts[c.b.index() * n + c.a.index()] += 1;
         }
+
+        Self::from_counts(trace.window().duration(), total_contacts, &pair_counts)
+    }
+
+    /// Builds the oracle from already-folded contact counts — the streaming
+    /// path's entry point, fed by a [`ContactSummary`] instead of a
+    /// materialized trace. `pair_counts` is the symmetric `n * n` row-major
+    /// per-pair count matrix. Bit-identical to [`TraceOracle::from_trace`]
+    /// when the counts match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair_counts` is not `n * n` for `n = total_contacts.len()`.
+    pub fn from_counts(window: Seconds, total_contacts: Vec<u64>, pair_counts: &[u64]) -> Self {
+        let n = total_contacts.len();
+        assert_eq!(pair_counts.len(), n * n, "pair-count matrix must be node_count^2");
 
         let mut expected_delay = vec![f64::INFINITY; n * n];
         for i in 0..n {
@@ -77,6 +92,16 @@ impl TraceOracle {
         }
 
         Self { node_count: n, total_contacts, expected_delay, shortest_delay: shortest }
+    }
+
+    /// Builds the oracle from a stream-folded [`ContactSummary`] —
+    /// bit-identical to [`TraceOracle::from_trace`] on the matching trace.
+    pub fn from_summary(summary: &ContactSummary) -> Self {
+        Self::from_counts(
+            summary.window().duration(),
+            summary.per_node_counts().to_vec(),
+            summary.pair_counts(),
+        )
     }
 
     /// Number of nodes covered.

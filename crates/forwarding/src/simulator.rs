@@ -699,18 +699,18 @@ impl WorkerScratch {
 /// The graph is a [`SharedGraph`], so the simulator runs unchanged over
 /// either the fully materialized graph or the bounded-window streaming one.
 #[derive(Debug)]
-pub struct Simulator<'a> {
-    trace: &'a ContactTrace,
+pub struct Simulator {
+    node_count: usize,
     graph: SharedGraph,
     oracle: TraceOracle,
     timeline: std::sync::Arc<HistoryTimeline>,
     config: SimulatorConfig,
 }
 
-impl<'a> Simulator<'a> {
+impl Simulator {
     /// Builds a simulator for a trace, precomputing the space-time graph,
     /// the whole-trace oracle and the shared history timeline.
-    pub fn new(trace: &'a ContactTrace, config: SimulatorConfig) -> Self {
+    pub fn new(trace: &ContactTrace, config: SimulatorConfig) -> Self {
         assert!(config.delta > 0.0, "slot length must be positive");
         let graph = std::sync::Arc::new(SpaceTimeGraph::build(trace, config.delta));
         let timeline = std::sync::Arc::new(HistoryTimeline::build(&graph));
@@ -722,14 +722,38 @@ impl<'a> Simulator<'a> {
     /// shared across studies, seeds and sweep cells. The parts must belong
     /// to `trace` (same node count) and to each other, and the graph's
     /// discretization must match `config.delta`; results are then
-    /// bit-identical to [`Simulator::new`].
+    /// bit-identical to [`Simulator::new`]. The trace is only read during
+    /// construction (node count + oracle fold); the simulator does not
+    /// borrow it afterwards.
     ///
     /// # Panics
     ///
     /// Panics when the parts are inconsistent with the trace or the
     /// config — a mismatched cache key, never a data-dependent condition.
     pub fn from_parts(
-        trace: &'a ContactTrace,
+        trace: &ContactTrace,
+        graph: impl Into<SharedGraph>,
+        timeline: std::sync::Arc<HistoryTimeline>,
+        config: SimulatorConfig,
+    ) -> Self {
+        let oracle = TraceOracle::from_trace(trace);
+        Self::from_streamed_parts(trace.node_count(), oracle, graph, timeline, config)
+    }
+
+    /// Builds a simulator without a materialized trace — the stream-native
+    /// study path, where the oracle is folded from a
+    /// [`psn_trace::ContactSummary`] during the one streaming pass
+    /// ([`TraceOracle::from_summary`]) and the graph is the bounded-window
+    /// streaming representation. Bit-identical to [`Simulator::from_parts`]
+    /// when the oracle's counts match the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts disagree on node count or discretization — a
+    /// mismatched cache key, never a data-dependent condition.
+    pub fn from_streamed_parts(
+        node_count: usize,
+        oracle: TraceOracle,
         graph: impl Into<SharedGraph>,
         timeline: std::sync::Arc<HistoryTimeline>,
         config: SimulatorConfig,
@@ -744,23 +768,15 @@ impl<'a> Simulator<'a> {
                 graph.delta(),
                 config.delta
             );
-            assert_eq!(
-                graph.node_count(),
-                trace.node_count(),
-                "graph belongs to a different trace"
-            );
+            assert_eq!(graph.node_count(), node_count, "graph belongs to a different trace");
         }
-        assert_eq!(
-            timeline.node_count(),
-            trace.node_count(),
-            "timeline belongs to a different trace"
-        );
-        let oracle = TraceOracle::from_trace(trace);
-        Self { trace, graph, oracle, timeline, config }
+        assert_eq!(timeline.node_count(), node_count, "timeline belongs to a different trace");
+        assert_eq!(oracle.node_count(), node_count, "oracle belongs to a different trace");
+        Self { node_count, graph, oracle, timeline, config }
     }
 
     /// Builds a simulator with the default Δ = 10 s.
-    pub fn with_default_config(trace: &'a ContactTrace) -> Self {
+    pub fn with_default_config(trace: &ContactTrace) -> Self {
         Self::new(trace, SimulatorConfig::default())
     }
 
@@ -891,7 +907,7 @@ impl<'a> Simulator<'a> {
         };
 
         if threads <= 1 || items.len() <= 1 {
-            let mut scratch = WorkerScratch::new(self.trace.node_count(), slot_count);
+            let mut scratch = WorkerScratch::new(self.node_count, slot_count);
             for &item in &items {
                 let (job_idx, start, _) = item;
                 for (offset, outcome) in process_item(&mut scratch, item).into_iter().enumerate() {
@@ -916,8 +932,7 @@ impl<'a> Simulator<'a> {
                     let handles: Vec<_> = (0..threads)
                         .map(|_| {
                             scope.spawn(|| {
-                                let mut scratch =
-                                    WorkerScratch::new(self.trace.node_count(), slot_count);
+                                let mut scratch = WorkerScratch::new(self.node_count, slot_count);
                                 let mut local = Vec::new();
                                 loop {
                                     // relaxed: advisory abort flag; a stale read only costs one extra job.
@@ -991,7 +1006,7 @@ impl<'a> Simulator<'a> {
     /// uniform `Some`/`None` answer).
     fn decision_mode(&self, algorithm: &dyn ForwardingAlgorithm) -> DecisionMode {
         let graph = self.graph.as_graph_ref();
-        if self.trace.node_count() == 0 || graph.slot_count() == 0 {
+        if self.node_count == 0 || graph.slot_count() == 0 {
             return DecisionMode::Direct;
         }
         let view = self.timeline.at_slot(0);
@@ -1033,7 +1048,7 @@ impl<'a> Simulator<'a> {
             static_utils,
         } = scratch;
         let graph = self.graph.as_graph_ref();
-        let n = self.trace.node_count();
+        let n = self.node_count;
         state.reset();
         state.holders[message.source.index()] = true;
         holder_list.clear();
@@ -1517,7 +1532,7 @@ impl<'a> Simulator<'a> {
         messages: &[Message],
     ) -> SimulationResult {
         let graph = self.graph.as_graph_ref();
-        let n = self.trace.node_count();
+        let n = self.node_count;
         let mut history = ContactHistory::new(n);
         let mut states: Vec<MessageState> = messages.iter().map(|_| MessageState::new(n)).collect();
 
@@ -1874,7 +1889,7 @@ mod tests {
             .collect()
     }
 
-    fn assert_engines_agree(sim: &Simulator<'_>, messages: &[Message]) {
+    fn assert_engines_agree(sim: &Simulator, messages: &[Message]) {
         let algorithms = standard_algorithms();
         let jobs: Vec<(&dyn ForwardingAlgorithm, &[Message])> =
             algorithms.iter().map(|(_, a)| (a.as_ref(), messages)).collect();

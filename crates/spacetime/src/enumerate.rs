@@ -24,6 +24,21 @@
 //! single slot (the paper's stopping rule), when the configured maximum
 //! number of delivered paths has been collected, or when the trace ends.
 //!
+//! ## Drivers
+//!
+//! Messages are independent, so the slot loop can be driven two ways with
+//! bit-identical results:
+//!
+//! * **message-major** ([`PathEnumerator::enumerate_with_scratch`]): sweep
+//!   `start_slot..end` once per message — the natural shape for one-off
+//!   queries and for materialized graphs, where a slot access is a borrow;
+//! * **slot-major** ([`PathEnumerator::enumerate_batch`]): pin each slot
+//!   once and step every active message against it. Over a bounded-window
+//!   [`WindowedSpaceTimeGraph`](crate::WindowedSpaceTimeGraph) this
+//!   collapses spill reload traffic from O(messages × busy slots) to
+//!   O(busy slots) per batch, because the batch revisits a cold slot at
+//!   most once however many messages need it.
+//!
 //! ## Engine
 //!
 //! In-flight paths live in a parent-pointer [`PathArena`]: extending a path
@@ -44,6 +59,7 @@ use psn_trace::{NodeId, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::arena::{PathArena, PathRef};
+use crate::graph::Slot;
 use crate::message::Message;
 use crate::path::Path;
 use crate::windowed::GraphRef;
@@ -253,6 +269,28 @@ impl EnumerationScratch {
     }
 }
 
+/// Per-message progress of one enumeration run, shared by the
+/// message-major and slot-major drivers. All algorithmic mutation happens
+/// in [`PathEnumerator::step_slot`]; a driver only decides *when* each run
+/// sees each slot, which is why the two drivers are bit-identical.
+#[derive(Debug, Default)]
+struct RunState {
+    deliveries: Vec<Delivery>,
+    sample_paths: Vec<Path>,
+    exploded: bool,
+    truncated: bool,
+    /// The slot containing the message's creation time: the first slot this
+    /// run may observe.
+    start_slot: usize,
+    slots_processed: usize,
+    /// Arrival tie-break counter: earlier candidates win equal-depth
+    /// selections, reproducing the materialize-everything order exactly.
+    candidate_seq: u64,
+    /// Set when the run stopped early (truncation or explosion); the driver
+    /// must not step it again.
+    done: bool,
+}
+
 /// The per-message k-shortest valid path enumerator.
 ///
 /// Works over either space-time graph representation through [`GraphRef`]:
@@ -299,220 +337,294 @@ impl<'a> PathEnumerator<'a> {
         scratch: &mut EnumerationScratch,
     ) -> EnumerationResult {
         let graph = self.graph;
-        let k = self.config.k;
-        let n = graph.node_count();
-        let destination = message.destination;
+        let mut state = self.begin_run(message, scratch);
+        for s in state.start_slot..graph.slot_count() {
+            let slot_time = graph.slot_end_time(s);
+            let slot = graph.slot(s);
+            self.step_slot(message, scratch, &mut state, &slot, slot_time);
+            if state.done {
+                break;
+            }
+        }
+        Self::finish_run(message, state)
+    }
 
-        scratch.reset(n);
+    /// Enumerates a batch of messages in one slot-major sweep, reusing (and
+    /// growing on demand) a pool of one scratch per message.
+    ///
+    /// Result `i` is bit-identical to `enumerate(&messages[i])`: runs are
+    /// fully independent — separate scratch, separate [`RunState`] — and
+    /// each sees exactly the slot sequence the message-major driver would
+    /// show it. Only the visit *order* changes: each slot is pinned once
+    /// via [`GraphRef::slot`] and every active run steps against that one
+    /// pinned slot. Over a [`WindowedSpaceTimeGraph`] this means a spilled
+    /// slot is reloaded at most once per batch instead of once per message
+    /// (the `spill_loads` counter pins the reduction in tests); over a
+    /// materialized graph it is simply a different loop nesting.
+    ///
+    /// [`WindowedSpaceTimeGraph`]: crate::WindowedSpaceTimeGraph
+    pub fn enumerate_batch(
+        &self,
+        messages: &[Message],
+        scratches: &mut Vec<EnumerationScratch>,
+    ) -> Vec<EnumerationResult> {
+        let graph = self.graph;
+        if messages.is_empty() {
+            return Vec::new();
+        }
+        if scratches.len() < messages.len() {
+            scratches.resize_with(messages.len(), EnumerationScratch::new);
+        }
+        let mut states: Vec<RunState> = messages
+            .iter()
+            .zip(scratches.iter_mut())
+            .map(|(message, scratch)| self.begin_run(message, scratch))
+            .collect();
+        let first_slot = states.iter().map(|st| st.start_slot).min().unwrap_or(0);
+        let mut active = states.len();
+        for s in first_slot..graph.slot_count() {
+            if active == 0 {
+                break;
+            }
+            let slot_time = graph.slot_end_time(s);
+            let slot = graph.slot(s);
+            for ((message, scratch), state) in
+                messages.iter().zip(scratches.iter_mut()).zip(states.iter_mut())
+            {
+                if state.done || s < state.start_slot {
+                    continue;
+                }
+                self.step_slot(message, scratch, state, &slot, slot_time);
+                if state.done {
+                    active -= 1;
+                }
+            }
+        }
+        messages
+            .iter()
+            .zip(states)
+            .map(|(message, state)| Self::finish_run(message, state))
+            .collect()
+    }
+
+    /// Seeds `scratch` and a fresh [`RunState`] for one message: the
+    /// trivial source path is stored at the source node and the sweep is
+    /// positioned at the slot containing the creation time.
+    fn begin_run(&self, message: &Message, scratch: &mut EnumerationScratch) -> RunState {
+        scratch.reset(self.graph.node_count());
         let source_ref = scratch.arena.root(message.source, message.created_at);
         scratch.stored[message.source.index()].push(source_ref);
         scratch.holders.push(message.source.0);
+        RunState { start_slot: self.graph.slot_of_time(message.created_at), ..RunState::default() }
+    }
 
-        let mut deliveries: Vec<Delivery> = Vec::new();
-        let mut sample_paths: Vec<Path> = Vec::new();
-        let mut exploded = false;
-        let mut truncated = false;
+    /// Sorts the recorded deliveries and packages the run into its result.
+    fn finish_run(message: &Message, mut state: RunState) -> EnumerationResult {
+        state
+            .deliveries
+            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops)));
+        EnumerationResult {
+            message: *message,
+            deliveries: state.deliveries,
+            sample_paths: state.sample_paths,
+            exploded: state.exploded,
+            truncated: state.truncated,
+            slots_processed: state.slots_processed,
+        }
+    }
 
-        let start_slot = graph.slot_of_time(message.created_at);
-        let mut slots_processed = 0;
-        // Arrival tie-break counter: earlier candidates win equal-depth
-        // selections, reproducing the materialize-everything order exactly.
-        let mut candidate_seq: u64 = 0;
+    /// Advances one run through one slot: deliver, prune, extend, select.
+    /// `slot` must be the pinned slot `s` of this enumerator's graph and
+    /// `slot_time` its end time; the caller guarantees
+    /// `state.start_slot <= s` and `!state.done`, and slots are presented
+    /// in strictly ascending order.
+    fn step_slot(
+        &self,
+        message: &Message,
+        scratch: &mut EnumerationScratch,
+        state: &mut RunState,
+        slot: &Slot,
+        slot_time: Seconds,
+    ) {
+        let k = self.config.k;
+        let destination = message.destination;
+        state.slots_processed += 1;
+        let destination_active = slot.has_contacts(destination);
 
-        'slots: for s in start_slot..graph.slot_count() {
-            slots_processed += 1;
-            let slot_time = graph.slot_end_time(s);
-            let slot = graph.slot(s);
-            let destination_active = slot.has_contacts(destination);
-
-            // Nodes able to reach the destination through zero-weight edges
-            // this slot (the destination's component, including itself). Any
-            // path one of whose nodes lies in this set either delivers now
-            // (if its current holder is in the set) or becomes invalid under
-            // the first-preference rule: that earlier holder keeps a copy
-            // forever and would have delivered it now, so any later delivery
-            // of this path is dominated.
-            let mut near_mask = 0u64;
-            if destination_active {
-                for &m in slot.component_slice(destination) {
-                    scratch.near_destination[m.index()] = true;
-                    scratch.near_list.push(m.0);
-                    near_mask |= 1u64 << (m.0 & 63);
-                }
-            }
-
-            let mut delivered_this_slot: usize = 0;
-
-            scratch.holders_snapshot.clear();
-            scratch.holders_snapshot.extend_from_slice(&scratch.holders);
-            for &holder_u32 in &scratch.holders_snapshot {
-                let holder_idx = holder_u32 as usize;
-                if scratch.stored[holder_idx].is_empty() {
-                    continue;
-                }
-                let holder = NodeId(holder_u32);
-                let delivers = destination_active
-                    && holder != destination
-                    && scratch.near_destination[holder_idx];
-
-                if delivers {
-                    // Every stored path at this holder is delivered now.
-                    // Under the first-preference rule the stored copies are
-                    // also removed afterwards: continuing them would be
-                    // dominated by the delivery that just happened.
-                    for i in 0..scratch.stored[holder_idx].len() {
-                        let r = scratch.stored[holder_idx][i];
-                        delivered_this_slot += 1;
-                        let hops = scratch.arena.depth(r) as usize + 1;
-                        deliveries.push(Delivery { time: slot_time, hops });
-                        if sample_paths.len() < self.config.stored_path_limit {
-                            sample_paths.push(scratch.arena.materialize_extended(
-                                r,
-                                destination,
-                                slot_time,
-                            ));
-                        }
-                        if let Some(cap) = self.config.max_delivered_paths {
-                            if deliveries.len() >= cap {
-                                truncated = true;
-                                break;
-                            }
-                        }
-                    }
-                    if self.config.enforce_first_preference {
-                        scratch.stored[holder_idx].clear();
-                    }
-                } else {
-                    // Drop paths that carry a node which meets the
-                    // destination this slot (first preference: that node
-                    // still holds a copy and delivers it now, so this longer
-                    // continuation can never be a first-preference path).
-                    if destination_active && self.config.enforce_first_preference {
-                        let arena = &scratch.arena;
-                        let near = &scratch.near_destination;
-                        scratch.stored[holder_idx]
-                            .retain(|&r| !arena.intersects(r, near_mask, near));
-                    }
-                    if scratch.stored[holder_idx].is_empty() || !slot.has_contacts(holder) {
-                        // Nothing to extend; surviving paths simply wait.
-                        continue;
-                    }
-                    // Extend to every component member not already on the
-                    // path. The holder itself and the destination are never
-                    // extension targets: the holder is on its own path (so
-                    // the contains check skips it), and the destination is
-                    // either inactive or in another component (its own
-                    // component delivers above).
-                    let members = slot.component_slice(holder);
-                    for i in 0..scratch.stored[holder_idx].len() {
-                        let r = scratch.stored[holder_idx][i];
-                        let child_depth = scratch.arena.depth(r) + 1;
-                        for &v in members {
-                            if scratch.arena.contains(r, v) {
-                                continue;
-                            }
-                            let inbox = &mut scratch.arrivals[v.index()];
-                            if inbox.is_empty() {
-                                scratch.touched.push(v.0);
-                            }
-                            inbox.push(ArrivalCandidate {
-                                parent: r,
-                                depth: child_depth,
-                                seq: candidate_seq,
-                            });
-                            candidate_seq += 1;
-                            // Amortized-O(1) online pruning: once the inbox
-                            // doubles past k, keep only the k smallest
-                            // (depth, seq) keys — exactly the candidates
-                            // that could still survive this node's final
-                            // selection.
-                            if inbox.len() >= 2 * k {
-                                inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
-                                inbox.truncate(k);
-                            }
-                        }
-                    }
-                }
-
-                if truncated {
-                    break;
-                }
-            }
-
-            // Merge arrivals with retained paths and keep the k shortest per
-            // node (fewest hops first; earlier arrival wins ties because
-            // retained paths sort before arrivals of equal length). Only
-            // nodes that actually received arrivals need any work.
-            if !truncated {
-                scratch.touched.sort_unstable();
-                for t in 0..scratch.touched.len() {
-                    let idx = scratch.touched[t] as usize;
-                    // Final candidate selection for this inbox, then
-                    // materialize only the survivors into the arena, in
-                    // arrival order (seq), so the merge below sees the same
-                    // relative order the unbounded engine produced.
-                    let inbox = &mut scratch.arrivals[idx];
-                    if inbox.len() > k {
-                        inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
-                        inbox.truncate(k);
-                    }
-                    inbox.sort_unstable_by_key(|c| c.seq);
-                    scratch.arrival_refs.clear();
-                    for i in 0..scratch.arrivals[idx].len() {
-                        let c = scratch.arrivals[idx][i];
-                        scratch.arrival_refs.push(scratch.arena.extend(
-                            c.parent,
-                            NodeId(scratch.touched[t]),
-                            slot_time,
-                        ));
-                    }
-                    scratch.arrivals[idx].clear();
-                    Self::keep_k_shortest(
-                        &scratch.arena,
-                        &mut scratch.stored[idx],
-                        &mut scratch.arrival_refs,
-                        &mut scratch.merge_buf,
-                        k,
-                    );
-                }
-                // Refresh the holder list: previous holders that still hold
-                // paths plus newly touched nodes, ascending and deduplicated.
-                scratch.holders_next.clear();
-                merge_sorted_into(&scratch.holders, &scratch.touched, &mut scratch.holders_next);
-                std::mem::swap(&mut scratch.holders, &mut scratch.holders_next);
-                let stored = &scratch.stored;
-                scratch.holders.retain(|&h| !stored[h as usize].is_empty());
-            } else {
-                for &t in &scratch.touched {
-                    scratch.arrivals[t as usize].clear();
-                }
-            }
-            scratch.touched.clear();
-
-            for &m in &scratch.near_list {
-                scratch.near_destination[m as usize] = false;
-            }
-            scratch.near_list.clear();
-
-            if truncated {
-                break 'slots;
-            }
-            if delivered_this_slot >= k {
-                exploded = true;
-                break 'slots;
+        // Nodes able to reach the destination through zero-weight edges
+        // this slot (the destination's component, including itself). Any
+        // path one of whose nodes lies in this set either delivers now
+        // (if its current holder is in the set) or becomes invalid under
+        // the first-preference rule: that earlier holder keeps a copy
+        // forever and would have delivered it now, so any later delivery
+        // of this path is dominated.
+        let mut near_mask = 0u64;
+        if destination_active {
+            for &m in slot.component_slice(destination) {
+                scratch.near_destination[m.index()] = true;
+                scratch.near_list.push(m.0);
+                near_mask |= 1u64 << (m.0 & 63);
             }
         }
 
-        deliveries
-            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite").then(a.hops.cmp(&b.hops)));
+        let mut delivered_this_slot: usize = 0;
 
-        EnumerationResult {
-            message: *message,
-            deliveries,
-            sample_paths,
-            exploded,
-            truncated,
-            slots_processed,
+        scratch.holders_snapshot.clear();
+        scratch.holders_snapshot.extend_from_slice(&scratch.holders);
+        for &holder_u32 in &scratch.holders_snapshot {
+            let holder_idx = holder_u32 as usize;
+            if scratch.stored[holder_idx].is_empty() {
+                continue;
+            }
+            let holder = NodeId(holder_u32);
+            let delivers =
+                destination_active && holder != destination && scratch.near_destination[holder_idx];
+
+            if delivers {
+                // Every stored path at this holder is delivered now.
+                // Under the first-preference rule the stored copies are
+                // also removed afterwards: continuing them would be
+                // dominated by the delivery that just happened.
+                for i in 0..scratch.stored[holder_idx].len() {
+                    let r = scratch.stored[holder_idx][i];
+                    delivered_this_slot += 1;
+                    let hops = scratch.arena.depth(r) as usize + 1;
+                    state.deliveries.push(Delivery { time: slot_time, hops });
+                    if state.sample_paths.len() < self.config.stored_path_limit {
+                        state.sample_paths.push(scratch.arena.materialize_extended(
+                            r,
+                            destination,
+                            slot_time,
+                        ));
+                    }
+                    if let Some(cap) = self.config.max_delivered_paths {
+                        if state.deliveries.len() >= cap {
+                            state.truncated = true;
+                            break;
+                        }
+                    }
+                }
+                if self.config.enforce_first_preference {
+                    scratch.stored[holder_idx].clear();
+                }
+            } else {
+                // Drop paths that carry a node which meets the
+                // destination this slot (first preference: that node
+                // still holds a copy and delivers it now, so this longer
+                // continuation can never be a first-preference path).
+                if destination_active && self.config.enforce_first_preference {
+                    let arena = &scratch.arena;
+                    let near = &scratch.near_destination;
+                    scratch.stored[holder_idx].retain(|&r| !arena.intersects(r, near_mask, near));
+                }
+                if scratch.stored[holder_idx].is_empty() || !slot.has_contacts(holder) {
+                    // Nothing to extend; surviving paths simply wait.
+                    continue;
+                }
+                // Extend to every component member not already on the
+                // path. The holder itself and the destination are never
+                // extension targets: the holder is on its own path (so
+                // the contains check skips it), and the destination is
+                // either inactive or in another component (its own
+                // component delivers above).
+                let members = slot.component_slice(holder);
+                for i in 0..scratch.stored[holder_idx].len() {
+                    let r = scratch.stored[holder_idx][i];
+                    let child_depth = scratch.arena.depth(r) + 1;
+                    for &v in members {
+                        if scratch.arena.contains(r, v) {
+                            continue;
+                        }
+                        let inbox = &mut scratch.arrivals[v.index()];
+                        if inbox.is_empty() {
+                            scratch.touched.push(v.0);
+                        }
+                        inbox.push(ArrivalCandidate {
+                            parent: r,
+                            depth: child_depth,
+                            seq: state.candidate_seq,
+                        });
+                        state.candidate_seq += 1;
+                        // Amortized-O(1) online pruning: once the inbox
+                        // doubles past k, keep only the k smallest
+                        // (depth, seq) keys — exactly the candidates
+                        // that could still survive this node's final
+                        // selection.
+                        if inbox.len() >= 2 * k {
+                            inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
+                            inbox.truncate(k);
+                        }
+                    }
+                }
+            }
+
+            if state.truncated {
+                break;
+            }
+        }
+
+        // Merge arrivals with retained paths and keep the k shortest per
+        // node (fewest hops first; earlier arrival wins ties because
+        // retained paths sort before arrivals of equal length). Only
+        // nodes that actually received arrivals need any work.
+        if !state.truncated {
+            scratch.touched.sort_unstable();
+            for t in 0..scratch.touched.len() {
+                let idx = scratch.touched[t] as usize;
+                // Final candidate selection for this inbox, then
+                // materialize only the survivors into the arena, in
+                // arrival order (seq), so the merge below sees the same
+                // relative order the unbounded engine produced.
+                let inbox = &mut scratch.arrivals[idx];
+                if inbox.len() > k {
+                    inbox.select_nth_unstable_by_key(k - 1, |c| (c.depth, c.seq));
+                    inbox.truncate(k);
+                }
+                inbox.sort_unstable_by_key(|c| c.seq);
+                scratch.arrival_refs.clear();
+                for i in 0..scratch.arrivals[idx].len() {
+                    let c = scratch.arrivals[idx][i];
+                    scratch.arrival_refs.push(scratch.arena.extend(
+                        c.parent,
+                        NodeId(scratch.touched[t]),
+                        slot_time,
+                    ));
+                }
+                scratch.arrivals[idx].clear();
+                Self::keep_k_shortest(
+                    &scratch.arena,
+                    &mut scratch.stored[idx],
+                    &mut scratch.arrival_refs,
+                    &mut scratch.merge_buf,
+                    k,
+                );
+            }
+            // Refresh the holder list: previous holders that still hold
+            // paths plus newly touched nodes, ascending and deduplicated.
+            scratch.holders_next.clear();
+            merge_sorted_into(&scratch.holders, &scratch.touched, &mut scratch.holders_next);
+            std::mem::swap(&mut scratch.holders, &mut scratch.holders_next);
+            let stored = &scratch.stored;
+            scratch.holders.retain(|&h| !stored[h as usize].is_empty());
+        } else {
+            for &t in &scratch.touched {
+                scratch.arrivals[t as usize].clear();
+            }
+        }
+        scratch.touched.clear();
+
+        for &m in &scratch.near_list {
+            scratch.near_destination[m as usize] = false;
+        }
+        scratch.near_list.clear();
+
+        if state.truncated {
+            state.done = true;
+            return;
+        }
+        if delivered_this_slot >= k {
+            state.exploded = true;
+            state.done = true;
         }
     }
 
@@ -1162,5 +1274,188 @@ mod tests {
         // The delivery lands at the end of the slot containing the 1-2
         // contact: slot 2 of a window starting at 1000 ends at 1030.
         assert_eq!(result.first_delivery_time(), Some(1030.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Slot-major batch driver: must be bit-identical to the message-major
+    // driver, and must touch each slot of a windowed graph once per batch.
+    // ------------------------------------------------------------------
+
+    fn assert_batch_matches_sequential(
+        enumerator: &PathEnumerator<'_>,
+        messages: &[Message],
+        scratches: &mut Vec<EnumerationScratch>,
+        scratch: &mut EnumerationScratch,
+    ) {
+        let batch = enumerator.enumerate_batch(messages, scratches);
+        assert_eq!(batch.len(), messages.len());
+        for (message, batched) in messages.iter().zip(&batch) {
+            let single = enumerator.enumerate_with_scratch(message, scratch);
+            assert_eq!(batched.deliveries, single.deliveries, "deliveries differ for {message}");
+            assert_eq!(
+                batched.sample_paths, single.sample_paths,
+                "sample paths differ for {message}"
+            );
+            assert_eq!(batched.exploded, single.exploded, "explosion flag differs for {message}");
+            assert_eq!(
+                batched.truncated, single.truncated,
+                "truncation flag differs for {message}"
+            );
+            assert_eq!(
+                batched.slots_processed, single.slots_processed,
+                "slot count differs for {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_random_traces() {
+        let mut scratches = Vec::new();
+        let mut scratch = EnumerationScratch::new();
+        for seed in 200..208u64 {
+            // Node counts straddle the 64-node bitmask boundary.
+            let nodes = 6 + (seed as usize % 4) * 21;
+            let trace = random_trace(seed, nodes, 140, 500.0);
+            let graph = SpaceTimeGraph::build_default(&trace);
+            for k in [1usize, 6, 24] {
+                let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(k));
+                // Staggered creation times give every run a different
+                // start slot, so the sweep joins runs mid-flight.
+                let messages: Vec<Message> = (0..8u32)
+                    .map(|i| {
+                        Message::new(
+                            nid((i * 3) % nodes as u32),
+                            nid((i * 5 + 1) % nodes as u32),
+                            25.0 * i as f64,
+                        )
+                    })
+                    .filter(|m| m.source != m.destination)
+                    .collect();
+                assert_batch_matches_sequential(
+                    &enumerator,
+                    &messages,
+                    &mut scratches,
+                    &mut scratch,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_with_caps_and_ablation() {
+        let mut scratches = Vec::new();
+        let mut scratch = EnumerationScratch::new();
+        for seed in 300..304u64 {
+            let trace = random_trace(seed, 10, 60, 400.0);
+            let graph = SpaceTimeGraph::build_default(&trace);
+            for config in [
+                EnumerationConfig {
+                    k: 25,
+                    max_delivered_paths: Some(7),
+                    stored_path_limit: 3,
+                    enforce_first_preference: true,
+                },
+                EnumerationConfig {
+                    k: 5,
+                    max_delivered_paths: Some(2),
+                    stored_path_limit: 1,
+                    enforce_first_preference: true,
+                },
+                EnumerationConfig::quick(8).without_first_preference(),
+            ] {
+                let enumerator = PathEnumerator::new(&graph, config);
+                let messages: Vec<Message> = vec![
+                    Message::new(nid(0), nid(9), 0.0),
+                    Message::new(nid(5), nid(2), 0.0),
+                    Message::new(nid(3), nid(7), 50.0),
+                    Message::new(nid(9), nid(0), 120.0),
+                ];
+                assert_batch_matches_sequential(
+                    &enumerator,
+                    &messages,
+                    &mut scratches,
+                    &mut scratch,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_singleton_inputs() {
+        let trace = trace_from(vec![(0, 1, 1.0, 5.0), (1, 2, 21.0, 25.0)], 3, 60.0);
+        let graph = SpaceTimeGraph::build_default(&trace);
+        let enumerator = PathEnumerator::new(&graph, EnumerationConfig::quick(10));
+        let mut scratches = Vec::new();
+        assert!(enumerator.enumerate_batch(&[], &mut scratches).is_empty());
+        assert!(scratches.is_empty());
+        let message = Message::new(nid(0), nid(2), 0.0);
+        let batch = enumerator.enumerate_batch(std::slice::from_ref(&message), &mut scratches);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].deliveries, enumerator.enumerate(&message).deliveries);
+        assert_eq!(scratches.len(), 1);
+    }
+
+    #[test]
+    fn batched_sweep_reloads_each_slot_once_per_batch() {
+        use crate::windowed::{MemorySpill, WindowedSpaceTimeGraph};
+        use psn_trace::TraceEventStream;
+
+        // A relay chain spread across many slots: messages toward the chain
+        // tail sweep most of the trace before delivering, so message-major
+        // enumeration re-walks (and re-loads) the same slots once per
+        // message while the slot-major batch walks them once in total.
+        let contacts: Vec<(u32, u32, f64, f64)> =
+            (0..7u32).map(|i| (i, i + 1, 20.0 * i as f64 + 1.0, 20.0 * i as f64 + 5.0)).collect();
+        let trace = trace_from(contacts, 8, 200.0);
+        let messages: Vec<Message> = vec![
+            Message::new(nid(0), nid(7), 0.0),
+            Message::new(nid(1), nid(7), 0.0),
+            Message::new(nid(0), nid(6), 0.0),
+            Message::new(nid(2), nid(7), 0.0),
+            Message::new(nid(0), nid(5), 0.0),
+        ];
+        let config = EnumerationConfig::quick(10);
+        let windowed = |window_slots: usize| {
+            WindowedSpaceTimeGraph::stream_with(
+                &mut TraceEventStream::new(&trace, 10.0),
+                window_slots,
+                Box::new(MemorySpill::new()),
+                |_, _| {},
+            )
+            .unwrap()
+        };
+
+        // Message-major: each message sweeps the busy prefix on its own.
+        let graph_seq = windowed(2);
+        let enumerator = PathEnumerator::new(&graph_seq, config.clone());
+        let mut scratch = EnumerationScratch::new();
+        let sequential: Vec<EnumerationResult> =
+            messages.iter().map(|m| enumerator.enumerate_with_scratch(m, &mut scratch)).collect();
+        let loads_sequential = graph_seq.spill_loads();
+
+        // Slot-major batch over an identically shaped graph.
+        let graph_batch = windowed(2);
+        let enumerator = PathEnumerator::new(&graph_batch, config);
+        let mut scratches = Vec::new();
+        let batched = enumerator.enumerate_batch(&messages, &mut scratches);
+        let loads_batched = graph_batch.spill_loads();
+
+        for (single, batch) in sequential.iter().zip(&batched) {
+            assert_eq!(single.deliveries, batch.deliveries);
+            assert_eq!(single.sample_paths, batch.sample_paths);
+            assert_eq!(single.slots_processed, batch.slots_processed);
+        }
+        // The batch pins every slot at most once, so its reload count is
+        // bounded by the number of busy slots; the message-major driver
+        // pays that cost nearly once per message.
+        let busy = graph_batch.busy_slots().len() as u64;
+        assert!(
+            loads_batched <= busy,
+            "batch reloaded {loads_batched} slots, expected at most {busy}"
+        );
+        assert!(
+            loads_sequential >= 2 * loads_batched,
+            "sequential loads {loads_sequential} should dwarf batched loads {loads_batched}"
+        );
     }
 }

@@ -67,6 +67,12 @@ pub trait SlotSpill: Send + Sync + std::fmt::Debug {
     fn store(&self, index: usize, edges: &[(NodeId, NodeId)]) -> Result<(), SpillError>;
     /// Loads the edge list of slot `index` back.
     fn load(&self, index: usize) -> Result<Vec<(NodeId, NodeId)>, SpillError>;
+    /// Bytes of reusable encode/decode scratch the backend holds — counted
+    /// into [`WindowedSpaceTimeGraph::peak_bytes`] so the streaming
+    /// working-set figure includes the spill tier's buffers.
+    fn scratch_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// An in-memory spill backend for tests and small runs.
@@ -237,21 +243,50 @@ pub fn stream_graph<S: ContactStream>(stream: &mut S) -> Result<SpaceTimeGraph, 
 }
 
 /// Hot-slot cache of a windowed graph: FIFO insertion order, bounded count.
+///
+/// Spilling is **lazy**: a sealed slot is written to the spill sink only
+/// when it is about to be evicted (`spilled` records which slots have been
+/// written, so a slot evicted twice is stored once). Slots that never leave
+/// the hot window are never stored at all — the skip-spill path that makes
+/// small graphs and covered sweeps spill-free.
 #[derive(Debug, Default)]
 struct HotSet {
     map: BTreeMap<usize, Arc<Slot>>,
     order: VecDeque<usize>,
     resident_bytes: usize,
+    /// Per-slot "already persisted" flags, indexed by slot number.
+    spilled: Vec<bool>,
+}
+
+impl HotSet {
+    /// Evicts the FIFO (or, under a plan, LIFO) victim, persisting it first
+    /// if it was never spilled. Returns the number of spill stores made.
+    fn evict_one(&mut self, spill: &dyn SlotSpill, from_back: bool) -> Result<u64, SpillError> {
+        let victim = if from_back { self.order.pop_back() } else { self.order.pop_front() };
+        let Some(old) = victim else { return Ok(0) };
+        let Some(evicted) = self.map.remove(&old) else { return Ok(0) };
+        let mut stores = 0;
+        if !self.spilled[old] {
+            spill.store(old, evicted.edges())?;
+            self.spilled[old] = true;
+            stores = 1;
+        }
+        self.resident_bytes -= evicted.approx_bytes();
+        Ok(stores)
+    }
 }
 
 /// A space-time graph whose resident set is bounded by a slot window.
 ///
-/// Built in one pass over a [`ContactStream`]; every sealed busy slot is
-/// written to the [`SlotSpill`] sink and at most `window_slots` busy slots
-/// stay hot in memory. Queries for cold slots reload them from the spill
-/// (bit-exact, see [`Slot::seal`]); queries for contact-free slots share one
-/// empty slot. All slot queries go through [`WindowedSpaceTimeGraph::slot`],
-/// which returns an owned `Arc<Slot>` guard.
+/// Built in one pass over a [`ContactStream`]; at most `window_slots` busy
+/// slots stay hot in memory and a sealed busy slot is written to the
+/// [`SlotSpill`] sink **lazily, on first eviction** — a slot the hot window
+/// covers for the graph's whole lifetime is never stored, and a slot
+/// re-evicted after a reload is never stored twice. Queries for cold slots
+/// reload them from the spill (bit-exact, see [`Slot::seal`]); queries for
+/// contact-free slots share one empty slot. All slot queries go through
+/// [`WindowedSpaceTimeGraph::slot`], which returns an owned `Arc<Slot>`
+/// guard.
 #[derive(Debug)]
 pub struct WindowedSpaceTimeGraph {
     delta: Seconds,
@@ -277,7 +312,7 @@ pub struct WindowedSpaceTimeGraph {
 impl WindowedSpaceTimeGraph {
     /// Builds the windowed graph by draining `stream`, keeping at most
     /// `window_slots` busy slots hot (clamped to at least 1) and spilling
-    /// every sealed busy slot through `spill`.
+    /// evicted busy slots through `spill`.
     pub fn stream<S: ContactStream>(
         stream: &mut S,
         window_slots: usize,
@@ -306,9 +341,12 @@ impl WindowedSpaceTimeGraph {
         let mut slotter = IncrementalSlotter::new(num_slots);
         let mut busy_slots: Vec<usize> = Vec::new();
         let mut total_edges = 0usize;
-        let mut hot = HotSet::default();
+        let mut hot = HotSet { spilled: vec![false; num_slots], ..HotSet::default() };
+        let mut spill_stores = 0u64;
         let mut peak = 0usize;
-        let base_bytes = std::mem::size_of::<Self>() + empty.approx_bytes();
+        let base_bytes = std::mem::size_of::<Self>()
+            + empty.approx_bytes()
+            + num_slots * std::mem::size_of::<bool>();
 
         {
             let mut seal =
@@ -318,22 +356,21 @@ impl WindowedSpaceTimeGraph {
                     }
                     let slot = Arc::new(Slot::seal(node_count, edges));
                     tap(s, &slot);
-                    spill.store(s, slot.edges())?;
                     busy_slots.push(s);
                     total_edges += slot.edge_count();
                     hot.resident_bytes += slot.approx_bytes();
                     hot.map.insert(s, slot);
                     hot.order.push_back(s);
+                    // Lazy spill: slots are persisted at eviction, not at
+                    // seal, so slots that stay hot for the graph's whole
+                    // life are never written at all.
                     while hot.map.len() > window_slots {
-                        if let Some(old) = hot.order.pop_front() {
-                            if let Some(evicted) = hot.map.remove(&old) {
-                                hot.resident_bytes -= evicted.approx_bytes();
-                            }
-                        }
+                        spill_stores += hot.evict_one(spill.as_ref(), false)?;
                     }
                     let working = base_bytes
                         + hot.resident_bytes
-                        + busy_slots.len() * std::mem::size_of::<usize>();
+                        + busy_slots.len() * std::mem::size_of::<usize>()
+                        + spill.scratch_bytes();
                     peak = peak.max(working);
                     Ok(())
                 };
@@ -342,9 +379,10 @@ impl WindowedSpaceTimeGraph {
             }
             slotter.finish(&mut seal)?;
         }
-        let spill_stores = busy_slots.len() as u64;
-        let working =
-            base_bytes + hot.resident_bytes + busy_slots.len() * std::mem::size_of::<usize>();
+        let working = base_bytes
+            + hot.resident_bytes
+            + busy_slots.len() * std::mem::size_of::<usize>()
+            + spill.scratch_bytes();
         peak = peak.max(working);
 
         Ok(Self {
@@ -489,17 +527,23 @@ impl WindowedSpaceTimeGraph {
             // instead keeps its oldest entries (the sweep's prefix) and
             // drops the newest, so each sweep restart begins with hot
             // hits — the optimal policy for cyclic ascending scans.
-            let victim = if plan { hot.order.pop_back() } else { hot.order.pop_front() };
-            if let Some(old) = victim {
-                if let Some(evicted) = hot.map.remove(&old) {
-                    hot.resident_bytes -= evicted.approx_bytes();
+            // Eviction consults the spilled set: a slot already persisted
+            // (every reloaded slot is) costs zero extra stores, so steady
+            // state sweeps churn the hot set without touching the sink.
+            match hot.evict_one(self.spill.as_ref(), plan) {
+                // relaxed: monotonic stats counter, read only for reporting; orders no data.
+                Ok(stores) => {
+                    self.spill_stores.fetch_add(stores, Ordering::Relaxed);
                 }
+                Err(e) => panic!("evicting slot to spill failed: {e}"),
             }
         }
         let working = std::mem::size_of::<Self>()
             + self.empty.approx_bytes()
             + self.busy_slots.len() * std::mem::size_of::<usize>()
-            + hot.resident_bytes;
+            + self.num_slots * std::mem::size_of::<bool>()
+            + hot.resident_bytes
+            + self.spill.scratch_bytes();
         // relaxed: high-water-mark stats; fetch_max is atomic and the value is reporting-only.
         self.peak_bytes.fetch_max(working, Ordering::Relaxed);
         slot
@@ -528,13 +572,16 @@ impl WindowedSpaceTimeGraph {
         self.avoided_reloads.load(Ordering::Relaxed)
     }
 
-    /// Approximate *current* resident bytes: metadata plus hot slots.
+    /// Approximate *current* resident bytes: metadata, hot slots, and the
+    /// spill backend's reusable scratch buffers.
     pub fn approx_bytes(&self) -> usize {
         let hot = self.hot.lock().unwrap_or_else(|poison| poison.into_inner());
         std::mem::size_of::<Self>()
             + self.empty.approx_bytes()
             + self.busy_slots.len() * std::mem::size_of::<usize>()
+            + self.num_slots * std::mem::size_of::<bool>()
             + hot.resident_bytes
+            + self.spill.scratch_bytes()
     }
 
     /// Peak resident bytes observed over build and queries so far.
@@ -543,7 +590,9 @@ impl WindowedSpaceTimeGraph {
         self.peak_bytes.load(Ordering::Relaxed)
     }
 
-    /// Number of slots written to the spill sink.
+    /// Number of slot records written to the spill sink. Spilling is lazy
+    /// (store on first eviction), so this stays at zero while the hot
+    /// window covers every busy slot and never exceeds the busy-slot count.
     pub fn spill_stores(&self) -> u64 {
         // relaxed: monotonic stats counter, read only for reporting; orders no data.
         self.spill_stores.load(Ordering::Relaxed)
@@ -852,12 +901,107 @@ mod tests {
         .unwrap();
         let resident = windowed.approx_bytes();
         assert!(windowed.peak_bytes() >= resident);
+        // Lazy spill: every busy slot except the one still hot was evicted
+        // (and therefore stored) during the build.
+        assert_eq!(windowed.spill_stores(), windowed.busy_slots().len() as u64 - 1);
         // With a 1-slot window the resident set holds at most one busy slot.
         let one_slot_bound = std::mem::size_of::<WindowedSpaceTimeGraph>()
             + 2 * windowed.slot(0).approx_bytes() * 4
             + 1024;
         assert!(resident < one_slot_bound, "resident {resident} vs bound {one_slot_bound}");
-        assert_eq!(windowed.spill_stores(), windowed.busy_slots().len() as u64);
+    }
+
+    #[test]
+    fn hot_window_covering_all_busy_slots_never_spills() {
+        let trace = sample_trace();
+        let windowed = WindowedSpaceTimeGraph::stream(
+            &mut TraceEventStream::new(&trace, 10.0),
+            64,
+            Box::new(MemorySpill::new()),
+        )
+        .unwrap();
+        let full = SpaceTimeGraph::build_default(&trace);
+        // Repeated full scans in both directions: everything answers hot.
+        for s in (0..windowed.slot_count()).chain((0..windowed.slot_count()).rev()) {
+            assert_eq!(&*windowed.slot(s), full.slot(s), "slot {s}");
+        }
+        assert_eq!(windowed.spill_stores(), 0, "skip-spill: nothing was ever evicted");
+        assert_eq!(windowed.spill_loads(), 0);
+    }
+
+    #[test]
+    fn re_evicted_slots_are_stored_exactly_once() {
+        let trace = sample_trace();
+        let windowed = WindowedSpaceTimeGraph::stream(
+            &mut TraceEventStream::new(&trace, 10.0),
+            2,
+            Box::new(MemorySpill::new()),
+        )
+        .unwrap();
+        let busy = windowed.busy_slots().len() as u64;
+        assert_eq!(windowed.spill_stores(), busy - 2, "build evicts all but the hot window");
+        // Churn the hot set with repeated ascending sweeps. The two
+        // residual build slots get stored on their first eviction; every
+        // other eviction is of an already-spilled reload, so the store
+        // count saturates at the busy-slot count and stays there.
+        for _ in 0..3 {
+            for s in 0..windowed.slot_count() {
+                windowed.slot(s);
+            }
+        }
+        assert_eq!(windowed.spill_stores(), busy);
+        let loads_before = windowed.spill_loads();
+        windowed.advise_sequential(true);
+        for _ in 0..3 {
+            for s in 0..windowed.slot_count() {
+                windowed.slot(s);
+            }
+        }
+        windowed.advise_sequential(false);
+        assert_eq!(
+            windowed.spill_stores(),
+            busy,
+            "zero extra spill stores under a sequential access plan"
+        );
+        assert!(windowed.spill_loads() > loads_before, "cold reloads still happen");
+    }
+
+    /// A spill that reports a large reusable scratch buffer, for the
+    /// accounting test below.
+    #[derive(Debug, Default)]
+    struct ScratchySpill {
+        inner: MemorySpill,
+    }
+
+    impl SlotSpill for ScratchySpill {
+        fn store(&self, index: usize, edges: &[(NodeId, NodeId)]) -> Result<(), SpillError> {
+            self.inner.store(index, edges)
+        }
+
+        fn load(&self, index: usize) -> Result<Vec<(NodeId, NodeId)>, SpillError> {
+            self.inner.load(index)
+        }
+
+        fn scratch_bytes(&self) -> usize {
+            1 << 20
+        }
+    }
+
+    #[test]
+    fn peak_bytes_includes_spill_scratch_buffers() {
+        let trace = sample_trace();
+        let windowed = WindowedSpaceTimeGraph::stream(
+            &mut TraceEventStream::new(&trace, 10.0),
+            2,
+            Box::new(ScratchySpill::default()),
+        )
+        .unwrap();
+        assert!(
+            windowed.peak_bytes() >= 1 << 20,
+            "peak {} must count the spill scratch",
+            windowed.peak_bytes()
+        );
+        assert!(windowed.approx_bytes() >= 1 << 20);
     }
 
     #[test]

@@ -56,7 +56,14 @@ pub struct StationarityReport {
 /// Computes the stationarity diagnostics the paper uses informally when
 /// selecting its four 3-hour windows.
 pub fn stationarity_report(trace: &ContactTrace) -> Option<StationarityReport> {
-    let series = contact_timeseries_per_minute(trace);
+    stationarity_from_series(&contact_timeseries_per_minute(trace))
+}
+
+/// Computes the same diagnostics from an already-binned contact series —
+/// the entry point for the streaming path, whose per-minute series is
+/// folded online (see [`crate::summary::ContactSummary`]) rather than
+/// re-binned from a materialized trace.
+pub fn stationarity_from_series(series: &BinnedSeries) -> Option<StationarityReport> {
     let summary = series.per_bin_summary();
     let mean = summary.mean()?;
     let cv = series.coefficient_of_variation()?;

@@ -70,7 +70,7 @@ impl ConferenceTraceGenerator {
         self.draw_propensities(&mut rng)
     }
 
-    fn draw_propensities<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+    pub(crate) fn draw_propensities<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         let c = &self.config;
         let floor = (c.min_node_rate / c.max_node_rate).max(1e-3);
         let mut mobile: Vec<f64> = (0..c.mobile_nodes).map(|_| rng.gen_range(floor..1.0)).collect();

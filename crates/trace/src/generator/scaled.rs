@@ -33,7 +33,7 @@ use super::sampling::exponential;
 
 /// Draws a node index with probability proportional to its propensity,
 /// using inverse-CDF sampling over the prefix-sum array.
-fn sample_node<R: Rng + ?Sized>(rng: &mut R, prefix: &[f64]) -> usize {
+pub(crate) fn sample_node<R: Rng + ?Sized>(rng: &mut R, prefix: &[f64]) -> usize {
     let total = *prefix.last().unwrap_or_else(|| unreachable!("at least one node"));
     let u = rng.gen_range(0.0..total);
     // First index whose cumulative propensity exceeds the draw.

@@ -48,7 +48,9 @@ pub mod node;
 pub mod parser;
 pub mod rates;
 pub mod scenario;
+pub mod scenario_stream;
 pub mod stream;
+pub mod summary;
 pub mod sweep;
 pub mod trace;
 
@@ -58,10 +60,12 @@ pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use node::{NodeClass, NodeId, NodeRegistry};
 pub use rates::{ContactRates, RateClass};
 pub use scenario::{ScenarioConfig, ScenarioError, ScenarioSet};
+pub use scenario_stream::ScenarioContactStream;
 pub use stream::{
     ContactEvent, ContactStream, StreamError, StreamSummary, SyntheticContactStream,
     SyntheticStreamConfig, TraceEventStream,
 };
+pub use summary::{ContactSummary, SummarizingStream};
 pub use sweep::{ScenarioSweep, SweepAxis, SweepCell};
 pub use trace::{ContactTrace, TimeWindow, TraceError};
 

@@ -65,7 +65,14 @@ impl ContactRates {
             counts[c.a.index()] += 1;
             counts[c.b.index()] += 1;
         }
-        let window_seconds = trace.window().duration();
+        Self::from_counts(counts, trace.window().duration())
+    }
+
+    /// Builds the statistics from already-folded per-node contact counts —
+    /// the streaming path, where counts come from a
+    /// [`crate::summary::ContactSummary`] instead of a materialized trace.
+    /// Bit-identical to [`ContactRates::from_trace`] when the counts match.
+    pub fn from_counts(counts: Vec<u64>, window_seconds: Seconds) -> Self {
         let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / window_seconds).collect();
         let median_rate = if rates.is_empty() {
             0.0

@@ -157,7 +157,7 @@ pub trait ContactStream {
 /// `Down` events wait in a min-heap and are drained before any `Up` of an
 /// equal or later slot.
 #[derive(Debug)]
-struct EventSequencer {
+pub(crate) struct EventSequencer {
     window: TimeWindow,
     delta: Seconds,
     num_slots: usize,
@@ -167,7 +167,7 @@ struct EventSequencer {
 }
 
 impl EventSequencer {
-    fn new(window: TimeWindow, delta: Seconds) -> Self {
+    pub(crate) fn new(window: TimeWindow, delta: Seconds) -> Self {
         let num_slots = slot_count(window, delta);
         Self { window, delta, num_slots, downs: BinaryHeap::new(), previous_start: None }
     }
@@ -185,7 +185,7 @@ impl EventSequencer {
     /// (`None` once the source is exhausted). Returns `None` when both the
     /// source and the pending-down heap are empty. The contact is consumed
     /// (and its `Down` enqueued) only when the returned event is its `Up`.
-    fn step(
+    pub(crate) fn step(
         &mut self,
         peeked: Option<&Contact>,
     ) -> Result<(Option<ContactEvent>, bool), StreamError> {
